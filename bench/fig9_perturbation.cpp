@@ -1,0 +1,118 @@
+// Reproduces paper Fig. 9: 1000 Gaussian perturbations of ONE existing
+// pattern's latent vector create a large set of new topologies, a
+// substantial fraction of them legal (the paper reports ~400/1000),
+// while the same noise applied directly in pattern space creates none.
+//
+// Also runs the ablation DESIGN.md calls out: sensitivity-aware noise
+// (Algorithm 1, sigma_i^2 = 1/s_i) versus uniform noise at several
+// scales.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/perturb.hpp"
+#include "io/ascii_art.hpp"
+#include "io/table.hpp"
+#include "models/topology_codec.hpp"
+#include "squish/canonical.hpp"
+
+namespace {
+
+struct NoiseOutcome {
+  long legal = 0;
+  long uniqueLegal = 0;
+};
+
+NoiseOutcome perturbOne(dp::models::Tcae& tcae,
+                        const dp::nn::Tensor& latent,
+                        const dp::core::SensitivityAwarePerturber& p,
+                        const dp::drc::TopologyChecker& checker,
+                        long samples, dp::Rng& rng) {
+  NoiseOutcome out;
+  dp::core::PatternLibrary unique;
+  const int batch = 128;
+  long remaining = samples;
+  while (remaining > 0) {
+    const int b = static_cast<int>(std::min<long>(remaining, batch));
+    dp::nn::Tensor l({b, latent.size(1)});
+    for (int i = 0; i < b; ++i) {
+      const auto noise = p.sample(rng);
+      for (int c = 0; c < latent.size(1); ++c)
+        l.at(i, c) = latent.at(0, c) + noise[static_cast<std::size_t>(c)];
+    }
+    for (const auto& t : dp::models::decodeGeneratedTopologies(tcae.decode(l))) {
+      if (!checker.isLegal(t)) continue;
+      ++out.legal;
+      if (unique.add(t)) ++out.uniqueLegal;
+    }
+    remaining -= b;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dp::bench::Args args(argc, argv);
+  dp::bench::Scale scale = dp::bench::Scale::fromArgs(args);
+  scale.count = args.getLong("count", 1000);  // paper: 1000 samples
+  dp::bench::printHeader(
+      "Fig. 9 — Gaussian perturbation of one topology's latent vector",
+      scale.describe());
+
+  dp::Rng rng(scale.seed);
+  const dp::DesignRules rules = dp::euv7nmM2();
+  const dp::drc::TopologyChecker checker(
+      dp::drc::TopologyRuleConfig::fromRules(rules));
+  auto data = dp::bench::loadBenchmark(1, rules, scale.clips, rng);
+  auto tcae = dp::bench::trainTcae(data.topologies, scale.tcaeSteps, rng, scale.lr);
+
+  const auto& seed = data.topologies.front();
+  const dp::nn::Tensor latent =
+      tcae.encode(dp::models::encodeTopology(seed));
+  std::cout << "Perturbed topology:\n"
+            << dp::io::renderTopology(dp::squish::canonicalize(seed))
+            << "\n";
+
+  const auto sens = dp::bench::sensitivities(tcae, data.topologies, checker);
+
+  dp::io::Table table({"noise", "samples", "legal", "unique legal"});
+  auto addRow = [&](const std::string& name,
+                    const dp::core::SensitivityAwarePerturber& p) {
+    const auto o =
+        perturbOne(tcae, latent, p, checker, scale.count, rng);
+    table.addRow({name, std::to_string(scale.count),
+                  std::to_string(o.legal), std::to_string(o.uniqueLegal)});
+  };
+  addRow("sensitivity-aware (paper)",
+         dp::core::SensitivityAwarePerturber(sens, 1.0));
+  addRow("uniform sigma=0.5",
+         dp::core::SensitivityAwarePerturber::uniformNoise(
+             static_cast<int>(sens.size()), 0.5));
+  addRow("uniform sigma=1.0",
+         dp::core::SensitivityAwarePerturber::uniformNoise(
+             static_cast<int>(sens.size()), 1.0));
+  addRow("uniform sigma=2.0",
+         dp::core::SensitivityAwarePerturber::uniformNoise(
+             static_cast<int>(sens.size()), 2.0));
+
+  // Pattern-space ablation: the same Gaussian noise on the raw image.
+  {
+    long legal = 0;
+    const dp::nn::Tensor img = dp::models::encodeTopology(seed);
+    for (long i = 0; i < scale.count; ++i) {
+      dp::nn::Tensor noisy = img;
+      for (std::size_t k = 0; k < noisy.numel(); ++k)
+        noisy[k] += static_cast<float>(rng.gaussian(0.0, 1.0));
+      if (checker.isLegal(dp::models::decodeGeneratedTopology(noisy, 0))) ++legal;
+    }
+    table.addRow({"pattern-space sigma=1.0 (ablation)",
+                  std::to_string(scale.count), std::to_string(legal),
+                  "-"});
+  }
+  std::cout << table.toString();
+  std::cout << "\nExpected shape (paper Fig. 9): latent-space noise on one "
+               "pattern yields a large\nlegal fraction (paper: ~40%); "
+               "pattern-space noise yields essentially zero.\n";
+  return 0;
+}

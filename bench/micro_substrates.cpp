@@ -1,0 +1,162 @@
+// google-benchmark micro-benchmarks for the substrates: squish
+// extraction/reconstruction throughput, topology canonicalization and
+// hashing, DRC checking, Eq. (10) solving with both backends, GEMM and
+// TCAE encode/decode throughput. These bound the end-to-end pattern
+// generation rate reported by the experiment harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include "core/pattern_library.hpp"
+#include "datagen/generator.hpp"
+#include "drc/geometry_rules.hpp"
+#include "drc/topology_rules.hpp"
+#include "lp/geometry_solver.hpp"
+#include "models/tcae.hpp"
+#include "models/topology_codec.hpp"
+#include "squish/canonical.hpp"
+#include "squish/extract.hpp"
+#include "squish/hash.hpp"
+#include "squish/reconstruct.hpp"
+#include "tensor/gemm.hpp"
+
+namespace {
+
+const dp::DesignRules kRules = dp::euv7nmM2();
+
+std::vector<dp::Clip> sampleClips(int n) {
+  dp::Rng rng(99);
+  return dp::datagen::generateLibrary(dp::datagen::directprintSpec(1),
+                                      kRules, n, rng);
+}
+
+void BM_SquishExtract(benchmark::State& state) {
+  const auto clips = sampleClips(64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::squish::extract(clips[i++ % clips.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SquishExtract);
+
+void BM_SquishReconstruct(benchmark::State& state) {
+  const auto clips = sampleClips(64);
+  std::vector<dp::squish::SquishPattern> patterns;
+  for (const auto& c : clips) patterns.push_back(dp::squish::extract(c));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dp::squish::reconstruct(patterns[i++ % patterns.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SquishReconstruct);
+
+void BM_Canonicalize(benchmark::State& state) {
+  const auto clips = sampleClips(64);
+  std::vector<dp::squish::Topology> topos;
+  for (const auto& c : clips)
+    topos.push_back(dp::squish::padToNetwork(dp::squish::extract(c).topo));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dp::squish::canonicalize(topos[i++ % topos.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Canonicalize);
+
+void BM_HashTopology(benchmark::State& state) {
+  const auto clips = sampleClips(64);
+  std::vector<dp::squish::Topology> topos;
+  for (const auto& c : clips) topos.push_back(dp::squish::extract(c).topo);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dp::squish::hashTopology(topos[i++ % topos.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashTopology);
+
+void BM_TopologyDrc(benchmark::State& state) {
+  const auto clips = sampleClips(64);
+  std::vector<dp::squish::Topology> topos;
+  for (const auto& c : clips) topos.push_back(dp::squish::extract(c).topo);
+  const dp::drc::TopologyChecker checker(
+      dp::drc::TopologyRuleConfig::fromRules(kRules));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.isLegal(topos[i++ % topos.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TopologyDrc);
+
+void BM_GeometryDrc(benchmark::State& state) {
+  const auto clips = sampleClips(64);
+  const dp::drc::GeometryChecker checker(kRules);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.isClean(clips[i++ % clips.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GeometryDrc);
+
+void BM_GeometrySolver(benchmark::State& state) {
+  const auto backend = static_cast<dp::lp::GeometryBackend>(state.range(0));
+  const auto clips = sampleClips(64);
+  std::vector<dp::squish::Topology> topos;
+  for (const auto& c : clips)
+    if (!c.empty()) topos.push_back(dp::squish::extract(c).topo);
+  const dp::lp::GeometrySolver solver(kRules, backend);
+  dp::Rng rng(1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(topos[i++ % topos.size()], rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GeometrySolver)
+    ->Arg(static_cast<int>(dp::lp::GeometryBackend::kDifferenceConstraints))
+    ->Arg(static_cast<int>(dp::lp::GeometryBackend::kSimplexRandomVertex));
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  dp::Rng rng(1);
+  std::vector<float> a(static_cast<std::size_t>(n) * n);
+  std::vector<float> b(a.size()), c(a.size());
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    dp::nn::gemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n,
+                 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<long>(n) *
+                          n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TcaeEncodeDecode(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  dp::Rng rng(5);
+  dp::models::TcaeConfig cfg;
+  dp::models::Tcae tcae(cfg, rng);
+  const auto clips = sampleClips(batch);
+  std::vector<dp::squish::Topology> topos;
+  for (const auto& c : clips) topos.push_back(dp::squish::extract(c).topo);
+  topos.resize(static_cast<std::size_t>(batch),
+               dp::squish::Topology(1, 1));
+  const auto x = dp::models::encodeTopologies(topos);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tcae.reconstruct(x));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_TcaeEncodeDecode)->Arg(1)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

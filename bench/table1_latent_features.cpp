@@ -1,0 +1,69 @@
+// Reproduces paper Table I: how transformations of individual latent
+// vector nodes are reflected in topology space. For several latent
+// nodes, the harness sweeps the node over a range while keeping
+// everything else fixed, decodes, and prints the transformed topologies
+// plus a characterization of what changed (shape count, complexity).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "io/ascii_art.hpp"
+#include "io/table.hpp"
+#include "models/topology_codec.hpp"
+#include "squish/canonical.hpp"
+#include "squish/complexity.hpp"
+
+int main(int argc, char** argv) {
+  const dp::bench::Args args(argc, argv);
+  const dp::bench::Scale scale = dp::bench::Scale::fromArgs(args);
+  const int nodes = static_cast<int>(args.getLong("nodes", 8));
+  dp::bench::printHeader(
+      "Table I — latent-node transformations in topology space",
+      scale.describe());
+
+  dp::Rng rng(scale.seed);
+  const dp::DesignRules rules = dp::euv7nmM2();
+  const dp::drc::TopologyChecker checker(
+      dp::drc::TopologyRuleConfig::fromRules(rules));
+  auto data = dp::bench::loadBenchmark(1, rules, scale.clips, rng);
+  auto tcae = dp::bench::trainTcae(data.topologies, scale.tcaeSteps, rng, scale.lr);
+
+  const auto& seed = data.topologies.front();
+  const dp::nn::Tensor latent =
+      tcae.encode(dp::models::encodeTopology(seed));
+  std::cout << "Seed topology (canonical):\n"
+            << dp::io::renderTopology(dp::squish::canonicalize(seed))
+            << "\n";
+
+  dp::io::Table summary({"node", "effect on ones-count (λ=-2 .. +2)",
+                         "effect on cx", "legal fraction"});
+  const std::vector<double> lambdas{-2.0, -1.0, 0.0, 1.0, 2.0};
+  for (int node = 0; node < std::min(nodes, latent.size(1)); ++node) {
+    std::vector<dp::squish::Topology> sweep;
+    std::string onesTrend, cxTrend;
+    int legal = 0;
+    for (double lambda : lambdas) {
+      dp::nn::Tensor l = latent;
+      l.at(0, node) += static_cast<float>(lambda);
+      const auto t = dp::models::decodeGeneratedTopology(tcae.decode(l), 0);
+      const auto canon = dp::squish::canonicalize(t);
+      sweep.push_back(canon);
+      if (!onesTrend.empty()) onesTrend += " ";
+      onesTrend += std::to_string(canon.onesCount());
+      if (!cxTrend.empty()) cxTrend += " ";
+      cxTrend += std::to_string(
+          dp::squish::complexityOfCanonical(canon).cx);
+      if (checker.isLegal(t)) ++legal;
+    }
+    std::cout << "node " << node << " swept over {-2,-1,0,+1,+2}:\n"
+              << dp::io::renderTopologyRow(sweep) << "\n";
+    summary.addRow({std::to_string(node), onesTrend, cxTrend,
+                    dp::io::Table::num(
+                        static_cast<double>(legal) / lambdas.size(), 2)});
+  }
+  std::cout << summary.toString();
+  std::cout << "\nExpected shape (paper Table I): different nodes move "
+               "line-ends,\ncreate/destroy shapes, or change complexity; "
+               "transformations near λ=0 stay legal.\n";
+  return 0;
+}

@@ -1,0 +1,200 @@
+// deepattern_cli — command-line front end to the whole library.
+//
+//   deepattern_cli generate --spec directprint1 --count 500 --out lib.gds
+//   deepattern_cli expand   --in lib.gds --count 20000 --steps 3000 \
+//                           --out generated.gds
+//   deepattern_cli check    --in generated.gds
+//   deepattern_cli stats    --in generated.gds
+//   deepattern_cli render   --in lib.gds --index 0
+//
+// Clip files are read/written as GDSII when the path ends in .gds, and
+// as the line-oriented text format otherwise.
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "datagen/generator.hpp"
+#include "drc/geometry_rules.hpp"
+#include "io/ascii_art.hpp"
+#include "io/gdsii.hpp"
+#include "io/heatmap.hpp"
+#include "io/layout_text.hpp"
+#include "io/table.hpp"
+#include "squish/extract.hpp"
+#include "squish/pad.hpp"
+
+namespace {
+
+using ArgMap = std::map<std::string, std::string>;
+
+ArgMap parseArgs(int argc, char** argv, int first) {
+  ArgMap args;
+  for (int i = first; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) continue;
+    a = a.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
+      args[a] = argv[++i];
+    else
+      args[a] = "1";
+  }
+  return args;
+}
+
+std::string get(const ArgMap& args, const std::string& key,
+                const std::string& def) {
+  const auto it = args.find(key);
+  return it == args.end() ? def : it->second;
+}
+
+bool isGds(const std::string& path) {
+  return path.size() >= 4 && path.substr(path.size() - 4) == ".gds";
+}
+
+std::vector<dp::Clip> readClips(const std::string& path) {
+  return isGds(path) ? dp::io::readGdsiiFile(path)
+                     : dp::io::readClipsFile(path);
+}
+
+void writeClips(const std::string& path,
+                const std::vector<dp::Clip>& clips) {
+  if (isGds(path))
+    dp::io::writeGdsiiFile(path, clips);
+  else
+    dp::io::writeClipsFile(path, clips);
+  std::cout << "wrote " << clips.size() << " clips to " << path << "\n";
+}
+
+int usage() {
+  std::cout <<
+      "usage: deepattern_cli <command> [--flags]\n"
+      "  generate --spec directprint1..5|industry --count N [--seed S]\n"
+      "           --out FILE(.gds|.txt)\n"
+      "  expand   --in FILE --count N [--steps T] [--seed S] --out FILE\n"
+      "  check    --in FILE\n"
+      "  stats    --in FILE\n"
+      "  render   --in FILE [--index I]\n";
+  return 2;
+}
+
+int cmdGenerate(const ArgMap& args) {
+  const std::string specName = get(args, "spec", "directprint1");
+  const int count = std::stoi(get(args, "count", "500"));
+  dp::Rng rng(std::stoull(get(args, "seed", "1")));
+  const dp::DesignRules rules = dp::euv7nmM2();
+  dp::datagen::LibrarySpec spec;
+  if (specName == "industry") {
+    spec = dp::datagen::industryToolSpec();
+  } else if (specName.rfind("directprint", 0) == 0) {
+    spec = dp::datagen::directprintSpec(specName.back() - '0');
+  } else {
+    std::cerr << "unknown spec: " << specName << "\n";
+    return 2;
+  }
+  writeClips(get(args, "out", "library.txt"),
+             dp::datagen::generateLibrary(spec, rules, count, rng));
+  return 0;
+}
+
+int cmdExpand(const ArgMap& args) {
+  const auto clips = readClips(get(args, "in", "library.txt"));
+  dp::Rng rng(std::stoull(get(args, "seed", "1")));
+  dp::core::PipelineConfig cfg;
+  cfg.flow.count = std::stol(get(args, "count", "20000"));
+  cfg.tcae.trainSteps = std::stol(get(args, "steps", "3000"));
+  cfg.tcae.initialLr = 2e-3;
+  cfg.maxClips = std::stol(get(args, "max-clips", "2000"));
+  const auto result =
+      dp::core::runPipeline(clips, dp::euv7nmM2(), cfg, rng);
+  std::cout << "generated " << result.generation.generated
+            << " topologies, " << result.generation.unique.size()
+            << " unique DRC-clean, H = "
+            << result.generation.unique.diversity() << "\n";
+  std::cout << "materialized " << result.materialized.drcClean
+            << " DRC-clean clips\n";
+  writeClips(get(args, "out", "generated.txt"),
+             result.materialized.clips);
+  return 0;
+}
+
+int cmdCheck(const ArgMap& args) {
+  const auto clips = readClips(get(args, "in", "library.txt"));
+  const dp::drc::GeometryChecker checker(dp::euv7nmM2());
+  std::map<std::string, long> histogram;
+  long clean = 0;
+  for (const auto& clip : clips) {
+    const auto report = checker.check(clip);
+    if (report.clean()) {
+      ++clean;
+      continue;
+    }
+    for (const auto v : report.violations) ++histogram[toString(v)];
+  }
+  std::cout << clean << "/" << clips.size() << " clips DRC-clean\n";
+  for (const auto& [name, count] : histogram)
+    std::cout << "  " << name << ": " << count << " clips\n";
+  return clean == static_cast<long>(clips.size()) ? 0 : 1;
+}
+
+int cmdStats(const ArgMap& args) {
+  const auto clips = readClips(get(args, "in", "library.txt"));
+  dp::core::PatternLibrary lib;
+  double density = 0.0;
+  long nonEmpty = 0;
+  for (const auto& clip : clips) {
+    if (clip.empty()) continue;
+    ++nonEmpty;
+    density += clip.density();
+    lib.add(dp::squish::unpad(dp::squish::extract(clip).topo));
+  }
+  dp::io::Table t({"metric", "value"});
+  t.addRow({"clips", std::to_string(clips.size())});
+  t.addRow({"non-empty clips", std::to_string(nonEmpty)});
+  t.addRow({"unique topologies", std::to_string(lib.size())});
+  t.addRow({"diversity H", dp::io::Table::num(lib.diversity())});
+  t.addRow({"mean cx", dp::io::Table::num(lib.meanCx(), 2)});
+  t.addRow({"mean cy", dp::io::Table::num(lib.meanCy(), 2)});
+  t.addRow({"mean density",
+            dp::io::Table::num(nonEmpty ? density / nonEmpty : 0.0)});
+  std::cout << t.toString() << "\nComplexity distribution:\n"
+            << dp::io::renderHeatmap(lib.histogram());
+  return 0;
+}
+
+int cmdRender(const ArgMap& args) {
+  const auto clips = readClips(get(args, "in", "library.txt"));
+  const std::size_t index =
+      static_cast<std::size_t>(std::stoul(get(args, "index", "0")));
+  if (index >= clips.size()) {
+    std::cerr << "index out of range (library has " << clips.size()
+              << " clips)\n";
+    return 2;
+  }
+  std::cout << dp::io::renderClip(clips[index], 8.0) << "\n";
+  const auto p = dp::squish::extract(clips[index]);
+  std::cout << "squish topology (" << p.topo.rows() << "x"
+            << p.topo.cols() << "):\n"
+            << p.topo.toString();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const ArgMap args = parseArgs(argc, argv, 2);
+  try {
+    if (cmd == "generate") return cmdGenerate(args);
+    if (cmd == "expand") return cmdExpand(args);
+    if (cmd == "check") return cmdCheck(args);
+    if (cmd == "stats") return cmdStats(args);
+    if (cmd == "render") return cmdRender(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,96 @@
+// Latent space exploration (paper §IV-B, Table I and Fig. 9): make the
+// auto-learned features visible. For a trained TCAE,
+//  - sweep individual latent nodes and print how the decoded topology
+//    transforms (line ends move, shapes appear/vanish),
+//  - print the per-node feature sensitivities (Algorithm 1),
+//  - show that Gaussian perturbation of a single pattern's latent vector
+//    yields many new legal topologies while the same noise applied in
+//    pattern space yields none.
+
+#include <iostream>
+
+#include "core/sensitivity.hpp"
+#include "datagen/generator.hpp"
+#include "io/ascii_art.hpp"
+#include "models/topology_codec.hpp"
+#include "squish/canonical.hpp"
+
+int main() {
+  dp::Rng rng(3);
+  const dp::DesignRules rules = dp::euv7nmM2();
+  const dp::drc::TopologyChecker checker(
+      dp::drc::TopologyRuleConfig::fromRules(rules));
+
+  const auto clips = dp::datagen::generateLibrary(
+      dp::datagen::directprintSpec(1), rules, 300, rng);
+  const auto topologies = dp::datagen::extractTopologies(clips);
+
+  dp::models::TcaeConfig cfg;
+  cfg.trainSteps = 2500;
+  cfg.initialLr = 2e-3;
+  dp::models::Tcae tcae(cfg, rng);
+  std::cout << "Training TCAE (" << tcae.parameterCount()
+            << " parameters)...\n\n";
+  tcae.train(topologies, rng);
+
+  // --- Table I: per-node sweeps on one pattern ---
+  const auto& seed = topologies.front();
+  const dp::nn::Tensor latent =
+      tcae.encode(dp::models::encodeTopology(seed));
+  std::cout << "Seed topology:\n"
+            << dp::io::renderTopology(dp::squish::canonicalize(seed))
+            << "\n";
+  for (int node : {0, 5, 11}) {
+    std::vector<dp::squish::Topology> sweep;
+    for (double lambda : {-2.0, -1.0, 0.0, 1.0, 2.0}) {
+      dp::nn::Tensor l = latent;
+      l.at(0, node) += static_cast<float>(lambda);
+      sweep.push_back(dp::squish::canonicalize(
+          dp::models::decodeGeneratedTopology(tcae.decode(l), 0)));
+    }
+    std::cout << "Latent node " << node
+              << " swept over {-2,-1,0,+1,+2}:\n"
+              << dp::io::renderTopologyRow(sweep) << "\n";
+  }
+
+  // --- Algorithm 1: feature sensitivities ---
+  dp::core::SensitivityConfig scfg;
+  scfg.maxTopologies = 32;
+  const auto sens =
+      dp::core::estimateSensitivity(tcae, topologies, checker, scfg);
+  std::cout << "Feature sensitivities (fraction of invalid decodes per "
+               "node):\n";
+  for (std::size_t i = 0; i < sens.size(); ++i) {
+    std::cout << "  node " << i << ": " << sens[i]
+              << (sens[i] > 0.5 ? "  <- sensitive, keep noise small" : "")
+              << "\n";
+  }
+  std::cout << "\n";
+
+  // --- Fig. 9: latent-space vs pattern-space noise ---
+  const int kSamples = 1000;
+  int legalLatent = 0, legalPattern = 0;
+  const dp::nn::Tensor seedImage = dp::models::encodeTopology(seed);
+  for (int i = 0; i < kSamples; ++i) {
+    dp::nn::Tensor l = latent;
+    for (int c = 0; c < l.size(1); ++c)
+      l.at(0, c) += static_cast<float>(rng.gaussian(0.0, 1.0));
+    if (checker.isLegal(dp::models::decodeGeneratedTopology(tcae.decode(l), 0)))
+      ++legalLatent;
+
+    dp::nn::Tensor img = seedImage;
+    for (std::size_t k = 0; k < img.numel(); ++k)
+      img[k] += static_cast<float>(rng.gaussian(0.0, 1.0));
+    if (checker.isLegal(dp::models::decodeGeneratedTopology(img, 0)))
+      ++legalPattern;
+  }
+  std::cout << "Gaussian noise on ONE pattern, " << kSamples
+            << " samples:\n";
+  std::cout << "  latent-space noise  -> " << legalLatent
+            << " legal topologies\n";
+  std::cout << "  pattern-space noise -> " << legalPattern
+            << " legal topologies\n";
+  std::cout << "(The paper reports ~400/1000 legal for latent noise and "
+               "none for pattern-space noise.)\n";
+  return 0;
+}

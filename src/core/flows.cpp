@@ -1,0 +1,145 @@
+#include "core/flows.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "models/batch.hpp"
+#include "models/topology_codec.hpp"
+#include "squish/pad.hpp"
+
+namespace dp::core {
+
+namespace {
+
+/// Shared accounting: decode a batch tensor, check legality, record.
+void accountBatch(const nn::Tensor& activations,
+                  const drc::TopologyChecker& checker,
+                  GenerationResult& result,
+                  const nn::Tensor* perturbations = nullptr) {
+  const auto topologies = models::decodeGeneratedTopologies(activations);
+  for (std::size_t i = 0; i < topologies.size(); ++i) {
+    ++result.generated;
+    if (!checker.isLegal(topologies[i])) continue;
+    ++result.legal;
+    result.unique.add(topologies[i]);
+    if (perturbations) {
+      const int d = perturbations->size(1);
+      std::vector<float> row(static_cast<std::size_t>(d));
+      for (int c = 0; c < d; ++c)
+        row[static_cast<std::size_t>(c)] =
+            perturbations->at(static_cast<int>(i), c);
+      result.goodVectors.push_back(std::move(row));
+    }
+  }
+}
+
+}  // namespace
+
+GenerationResult tcaeRandom(models::Tcae& tcae,
+                            const std::vector<squish::Topology>& existing,
+                            const SensitivityAwarePerturber& perturber,
+                            const drc::TopologyChecker& checker,
+                            const FlowConfig& config, Rng& rng) {
+  if (existing.empty())
+    throw std::invalid_argument("tcaeRandom: empty existing library");
+  const int pool = std::min<int>(static_cast<int>(existing.size()),
+                                 config.sourcePoolSize);
+  const std::vector<squish::Topology> sources(existing.begin(),
+                                              existing.begin() + pool);
+  const nn::Tensor sourceLatents = tcae.encode(
+      models::encodeTopologies(sources, tcae.config().inputSize));
+
+  GenerationResult result;
+  long remaining = config.count;
+  while (remaining > 0) {
+    const int b = static_cast<int>(
+        std::min<long>(remaining, config.batchSize));
+    const auto idx = models::sampleIndices(pool, b, rng);
+    nn::Tensor latents = models::gatherRows(sourceLatents, idx);
+    const nn::Tensor noise = perturber.sampleBatch(b, rng);
+    latents += noise;
+    const nn::Tensor recon = tcae.decode(latents);
+    accountBatch(recon, checker, result,
+                 config.collectGoodVectors ? &noise : nullptr);
+    remaining -= b;
+  }
+  return result;
+}
+
+GenerationResult tcaeCombine(models::Tcae& tcae,
+                             const std::vector<squish::Topology>& existing,
+                             const drc::TopologyChecker& checker,
+                             const CombineConfig& config, Rng& rng) {
+  if (existing.empty())
+    throw std::invalid_argument("tcaeCombine: empty existing library");
+  if (config.arity < 2)
+    throw std::invalid_argument("tcaeCombine: arity must be >= 2");
+  const int pool = std::min<int>(static_cast<int>(existing.size()),
+                                 config.poolSize);
+  const std::vector<squish::Topology> sources(existing.begin(),
+                                              existing.begin() + pool);
+  const nn::Tensor sourceLatents = tcae.encode(
+      models::encodeTopologies(sources, tcae.config().inputSize));
+  const int latentDim = sourceLatents.size(1);
+
+  GenerationResult result;
+  long remaining = config.count;
+  while (remaining > 0) {
+    const int b = static_cast<int>(
+        std::min<long>(remaining, config.batchSize));
+    nn::Tensor latents({b, latentDim});
+    for (int row = 0; row < b; ++row) {
+      // Random convex weights: uniform draws normalized to sum 1.
+      std::vector<double> alpha(static_cast<std::size_t>(config.arity));
+      double total = 0.0;
+      for (double& a : alpha) {
+        a = rng.uniform(1e-3, 1.0);
+        total += a;
+      }
+      for (int k = 0; k < config.arity; ++k) {
+        const int src = rng.uniformInt(0, pool - 1);
+        const double w = alpha[static_cast<std::size_t>(k)] / total;
+        for (int c = 0; c < latentDim; ++c)
+          latents.at(row, c) +=
+              static_cast<float>(w * sourceLatents.at(src, c));
+      }
+    }
+    accountBatch(tcae.decode(latents), checker, result);
+    remaining -= b;
+  }
+  return result;
+}
+
+GenerationResult evaluateSampler(const TopologySampler& sampler,
+                                 const drc::TopologyChecker& checker,
+                                 long count, int batchSize, Rng& rng) {
+  if (!sampler) throw std::invalid_argument("evaluateSampler: no sampler");
+  GenerationResult result;
+  long remaining = count;
+  while (remaining > 0) {
+    const int b = static_cast<int>(std::min<long>(remaining, batchSize));
+    accountBatch(sampler(b, rng), checker, result);
+    remaining -= b;
+  }
+  return result;
+}
+
+GenerationResult libraryResult(
+    const std::vector<squish::Topology>& topologies,
+    const drc::TopologyChecker& checker) {
+  GenerationResult result;
+  for (const auto& raw : topologies) {
+    // Trailing all-zero rows/columns are stripped so pattern identity
+    // matches the generated-pattern convention (the zero-padding of the
+    // network inputs makes right/top margins indistinguishable from
+    // padding; see models::decodeGeneratedTopology).
+    const squish::Topology t = squish::unpad(raw);
+    ++result.generated;
+    if (!checker.isLegal(t)) continue;
+    ++result.legal;
+    result.unique.add(t);
+  }
+  return result;
+}
+
+}  // namespace dp::core

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file flows.hpp
+/// The TCAE-family topology generation flows (paper §III-B):
+///  - tcaeRandom: sensitivity-aware Gaussian perturbation of existing
+///    pattern latents (§III-B3),
+///  - tcaeCombine: convex combination of existing pattern latents
+///    (Eq. 6, §III-B2),
+///  - evaluateSampler: legality/uniqueness accounting for any direct
+///    topology sampler (the DCGAN and VAE baselines of Table II),
+///  - libraryResult: accounting for a fixed topology set (the "Existing
+///    Design" and "Industry Tool" rows of Table II).
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/generation_result.hpp"
+#include "core/perturb.hpp"
+#include "drc/topology_rules.hpp"
+#include "models/tcae.hpp"
+
+namespace dp::core {
+
+struct FlowConfig {
+  long count = 20000;    ///< topologies to attempt
+  int batchSize = 128;   ///< decode batch size
+  bool collectGoodVectors = false;  ///< record legal perturbation vectors
+  int sourcePoolSize = 1000;  ///< existing patterns whose latents are
+                              ///< perturbed (paper uses 1000)
+};
+
+/// TCAE-Random: perturb latents of existing patterns with
+/// sensitivity-aware Gaussian noise and decode. goodVectors (if
+/// collected) holds the *perturbation* vectors that decoded legally —
+/// the training source of the G-TCAE GAN (§III-C2).
+[[nodiscard]] GenerationResult tcaeRandom(
+    models::Tcae& tcae, const std::vector<squish::Topology>& existing,
+    const SensitivityAwarePerturber& perturber,
+    const drc::TopologyChecker& checker, const FlowConfig& config,
+    Rng& rng);
+
+struct CombineConfig {
+  long count = 20000;
+  int batchSize = 128;
+  int arity = 2;        ///< patterns combined per sample
+  int poolSize = 10;    ///< pool of existing clips to combine (paper: 10)
+};
+
+/// TCAE-Combine: decode random convex combinations (sum alpha_i = 1,
+/// alpha_i > 0) of existing-pattern latents.
+[[nodiscard]] GenerationResult tcaeCombine(
+    models::Tcae& tcae, const std::vector<squish::Topology>& existing,
+    const drc::TopologyChecker& checker, const CombineConfig& config,
+    Rng& rng);
+
+/// A sampler draws a batch of topology activations (N,1,S,S) in [0,1].
+using TopologySampler = std::function<nn::Tensor(int n, Rng& rng)>;
+
+/// Runs `count` samples through the legality/uniqueness accounting.
+[[nodiscard]] GenerationResult evaluateSampler(
+    const TopologySampler& sampler, const drc::TopologyChecker& checker,
+    long count, int batchSize, Rng& rng);
+
+/// Accounting for an already-materialized topology set.
+[[nodiscard]] GenerationResult libraryResult(
+    const std::vector<squish::Topology>& topologies,
+    const drc::TopologyChecker& checker);
+
+}  // namespace dp::core

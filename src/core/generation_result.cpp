@@ -1,0 +1,21 @@
+#include "core/generation_result.hpp"
+
+#include <stdexcept>
+
+namespace dp::core {
+
+nn::Tensor vectorsToTensor(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty())
+    throw std::invalid_argument("vectorsToTensor: no rows");
+  const int d = static_cast<int>(rows.front().size());
+  nn::Tensor out({static_cast<int>(rows.size()), d});
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (static_cast<int>(rows[r].size()) != d)
+      throw std::invalid_argument("vectorsToTensor: ragged rows");
+    for (int c = 0; c < d; ++c)
+      out.at(static_cast<int>(r), c) = rows[r][static_cast<std::size_t>(c)];
+  }
+  return out;
+}
+
+}  // namespace dp::core

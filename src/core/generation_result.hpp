@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file generation_result.hpp
+/// Common result type of the topology-generation flows (TCAE-Random,
+/// TCAE-Combine, G-TCAE, and the baseline generators): attempt counts,
+/// legality counts, the unique-pattern library, and — for flows that
+/// feed the G-TCAE GAN — the perturbation/latent vectors that produced
+/// legal patterns.
+
+#include <vector>
+
+#include "core/pattern_library.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dp::core {
+
+struct GenerationResult {
+  long generated = 0;  ///< topologies attempted
+  long legal = 0;      ///< DRC-legal among attempts (with repetitions)
+  PatternLibrary unique;  ///< unique legal patterns
+  /// Latent-space vectors whose decoding was legal (training source for
+  /// the G-TCAE generative component; empty when not collected).
+  std::vector<std::vector<float>> goodVectors;
+
+  [[nodiscard]] double legalFraction() const {
+    return generated > 0 ? static_cast<double>(legal) / generated : 0.0;
+  }
+  [[nodiscard]] double uniqueLegalFraction() const {
+    return generated > 0
+               ? static_cast<double>(unique.size()) / generated
+               : 0.0;
+  }
+};
+
+/// Packs equal-length float vectors into an (N, D) tensor.
+[[nodiscard]] nn::Tensor vectorsToTensor(
+    const std::vector<std::vector<float>>& rows);
+
+}  // namespace dp::core

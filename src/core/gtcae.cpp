@@ -1,0 +1,305 @@
+#include "core/gtcae.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include <cmath>
+#include <map>
+
+#include "models/batch.hpp"
+#include "models/topology_codec.hpp"
+#include "squish/complexity.hpp"
+#include "squish/pad.hpp"
+
+namespace dp::core {
+
+namespace {
+
+/// Uniform interface over the two guide models: train on an (N, D)
+/// vector set, then sample (n, D) vectors.
+class VectorGuide {
+ public:
+  virtual ~VectorGuide() = default;
+  virtual void train(const nn::Tensor& data, Rng& rng) = 0;
+  [[nodiscard]] virtual nn::Tensor sample(int n, Rng& rng) = 0;
+};
+
+class GanGuide final : public VectorGuide {
+ public:
+  GanGuide(int dataDim, const GtcaeConfig& config, Rng& rng)
+      : gan_(models::makeMlpGan(dataDim, rng, config.ganZDim,
+                                config.ganHidden)),
+        config_(config.gan) {}
+
+  void train(const nn::Tensor& data, Rng& rng) override {
+    gan_.train(data, config_, rng);
+  }
+  nn::Tensor sample(int n, Rng& rng) override { return gan_.sample(n, rng); }
+
+ private:
+  models::Gan gan_;
+  models::GanConfig config_;
+};
+
+class VaeGuide final : public VectorGuide {
+ public:
+  VaeGuide(int dataDim, const GtcaeConfig& config, Rng& rng)
+      : vae_(makeConfig(dataDim, config), rng) {}
+
+  void train(const nn::Tensor& data, Rng& rng) override {
+    vae_.train(data, rng);
+  }
+  nn::Tensor sample(int n, Rng& rng) override { return vae_.sample(n, rng); }
+
+ private:
+  static models::VaeConfig makeConfig(int dataDim,
+                                      const GtcaeConfig& config) {
+    models::VaeConfig vc;
+    vc.backbone = models::VaeConfig::Backbone::kVector;
+    vc.inputDim = dataDim;
+    vc.latentDim = config.vaeLatentDim;
+    vc.hidden = config.ganHidden;
+    vc.trainSteps = config.vaeTrainSteps;
+    return vc;
+  }
+  models::Vae vae_;
+};
+
+/// Per-dimension first/second-moment statistics of an (N, D) tensor.
+struct Moments {
+  std::vector<double> mean;
+  std::vector<double> std;
+};
+
+Moments momentsOf(const nn::Tensor& data) {
+  const int n = data.size(0);
+  const int d = data.size(1);
+  Moments m;
+  m.mean.assign(static_cast<std::size_t>(d), 0.0);
+  m.std.assign(static_cast<std::size_t>(d), 1.0);
+  for (int j = 0; j < d; ++j) {
+    double mean = 0.0;
+    for (int i = 0; i < n; ++i) mean += data.at(i, j);
+    mean /= n;
+    double var = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double diff = data.at(i, j) - mean;
+      var += diff * diff;
+    }
+    var /= std::max(n - 1, 1);
+    m.mean[static_cast<std::size_t>(j)] = mean;
+    m.std[static_cast<std::size_t>(j)] =
+        std::sqrt(var) > 1e-6 ? std::sqrt(var) : 1.0;
+  }
+  return m;
+}
+
+/// Standardizes the training vectors per dimension before handing them
+/// to the inner guide, and calibrates the inverse transform against the
+/// guide's *own* sample moments. Encoder latents have arbitrary
+/// per-dimension scales, so standardization is what lets a GAN/VAE with
+/// batch-normalized hidden layers fit them; and VAE priors are known to
+/// under-disperse relative to the data (posterior/prior mismatch), so
+/// matching the first two sample moments to the data keeps the decoded
+/// pattern spread faithful for both guide types.
+class NormalizedGuide final : public VectorGuide {
+ public:
+  explicit NormalizedGuide(std::unique_ptr<VectorGuide> inner)
+      : inner_(std::move(inner)) {}
+
+  void train(const nn::Tensor& data, Rng& rng) override {
+    data_ = momentsOf(data);
+    const int n = data.size(0);
+    const int d = data.size(1);
+    nn::Tensor normalized({n, d});
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < d; ++j)
+        normalized.at(i, j) = static_cast<float>(
+            (data.at(i, j) - data_.mean[static_cast<std::size_t>(j)]) /
+            data_.std[static_cast<std::size_t>(j)]);
+    inner_->train(normalized, rng);
+    // Calibration: measure what the trained guide actually emits.
+    const nn::Tensor probe = inner_->sample(512, rng);
+    guide_ = momentsOf(probe);
+  }
+
+  nn::Tensor sample(int n, Rng& rng) override {
+    nn::Tensor out = inner_->sample(n, rng);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < out.size(1); ++j) {
+        const auto k = static_cast<std::size_t>(j);
+        const double unit = (out.at(i, j) - guide_.mean[k]) / guide_.std[k];
+        out.at(i, j) =
+            static_cast<float>(unit * data_.std[k] + data_.mean[k]);
+      }
+    return out;
+  }
+
+ private:
+  std::unique_ptr<VectorGuide> inner_;
+  Moments data_;
+  Moments guide_;
+};
+
+std::unique_ptr<VectorGuide> makeGuide(int dataDim,
+                                       const GtcaeConfig& config,
+                                       Rng& rng) {
+  std::unique_ptr<VectorGuide> inner;
+  if (config.guide == GtcaeConfig::Guide::kGan)
+    inner = std::make_unique<GanGuide>(dataDim, config, rng);
+  else
+    inner = std::make_unique<VaeGuide>(dataDim, config, rng);
+  return std::make_unique<NormalizedGuide>(std::move(inner));
+}
+
+/// Decode-and-account loop shared by both G-TCAE flows.
+GenerationResult runGeneration(models::Tcae& tcae,
+                               const nn::Tensor* sourceLatents,
+                               VectorGuide& guide,
+                               const drc::TopologyChecker& checker,
+                               const FlowConfig& flow, Rng& rng) {
+  GenerationResult result;
+  long remaining = flow.count;
+  while (remaining > 0) {
+    const int b =
+        static_cast<int>(std::min<long>(remaining, flow.batchSize));
+    nn::Tensor latents = guide.sample(b, rng);
+    if (sourceLatents) {
+      const auto idx =
+          models::sampleIndices(sourceLatents->size(0), b, rng);
+      latents += models::gatherRows(*sourceLatents, idx);
+    }
+    const auto topologies =
+        models::decodeGeneratedTopologies(tcae.decode(latents));
+    for (const auto& t : topologies) {
+      ++result.generated;
+      if (!checker.isLegal(t)) continue;
+      ++result.legal;
+      result.unique.add(t);
+    }
+    remaining -= b;
+  }
+  return result;
+}
+
+}  // namespace
+
+GenerationResult gtcaeMassive(models::Tcae& tcae,
+                              const std::vector<squish::Topology>& existing,
+                              const nn::Tensor& goodPerturbations,
+                              const drc::TopologyChecker& checker,
+                              const GtcaeConfig& config, Rng& rng) {
+  if (existing.empty())
+    throw std::invalid_argument("gtcaeMassive: empty existing library");
+  if (goodPerturbations.dim() != 2 || goodPerturbations.size(0) == 0)
+    throw std::invalid_argument(
+        "gtcaeMassive: need (N,D) perturbation vectors");
+
+  const int pool = std::min<int>(static_cast<int>(existing.size()),
+                                 config.flow.sourcePoolSize);
+  const std::vector<squish::Topology> sources(existing.begin(),
+                                              existing.begin() + pool);
+  const nn::Tensor sourceLatents = tcae.encode(
+      models::encodeTopologies(sources, tcae.config().inputSize));
+
+  auto guide = makeGuide(goodPerturbations.size(1), config, rng);
+  guide->train(goodPerturbations, rng);
+  return runGeneration(tcae, &sourceLatents, *guide, checker, config.flow,
+                       rng);
+}
+
+std::vector<ContextGroupResult> gtcaeContextSpecific(
+    models::Tcae& tcae, const std::vector<squish::Topology>& existing,
+    const drc::TopologyChecker& checker,
+    const std::vector<ContextBand>& bands, const GtcaeConfig& config,
+    Rng& rng) {
+  if (existing.empty())
+    throw std::invalid_argument("gtcaeContextSpecific: empty library");
+  const nn::Tensor latents = tcae.encode(
+      models::encodeTopologies(existing, tcae.config().inputSize));
+
+  std::vector<ContextGroupResult> results;
+  for (const ContextBand& band : bands) {
+    std::vector<int> members;
+    for (std::size_t i = 0; i < existing.size(); ++i) {
+      // Band membership uses the same identity convention as generated
+      // patterns: trailing zero margins stripped.
+      const auto c = squish::complexityOf(squish::unpad(existing[i]));
+      if (c.cx >= band.minCx && c.cx <= band.maxCx)
+        members.push_back(static_cast<int>(i));
+    }
+    ContextGroupResult group;
+    group.band = band;
+    group.trainingCount = static_cast<long>(members.size());
+    if (members.size() >= 2) {
+      const nn::Tensor bandLatents = models::gatherRows(latents, members);
+      auto guide = makeGuide(bandLatents.size(1), config, rng);
+      guide->train(bandLatents, rng);
+      // Context mode: the recognition unit is discarded; the guide
+      // produces pure latent vectors for the generation unit.
+      group.result = runGeneration(tcae, nullptr, *guide, checker,
+                                   config.flow, rng);
+      group.avgCx = group.result.unique.meanCx();
+      group.avgCy = group.result.unique.meanCy();
+    }
+    results.push_back(std::move(group));
+  }
+  return results;
+}
+
+std::vector<ContextBand> contextBandsByQuantiles(
+    const std::vector<squish::Topology>& existing) {
+  if (existing.empty())
+    throw std::invalid_argument("contextBandsByQuantiles: empty library");
+  std::map<int, long> counts;
+  for (const auto& t : existing)
+    ++counts[squish::complexityOf(squish::unpad(t)).cx];
+  const long n = static_cast<long>(existing.size());
+  const int minCx = counts.begin()->first;
+  const int maxCx = counts.rbegin()->first;
+
+  // Tercile cuts over the distinct-value histogram.
+  int t1 = minCx, t2 = minCx;
+  long cum = 0;
+  bool haveT1 = false, haveT2 = false;
+  for (const auto& [v, c] : counts) {
+    cum += c;
+    if (!haveT1 && 3 * cum >= n) {
+      t1 = v;
+      haveT1 = true;
+    }
+    if (!haveT2 && 3 * cum >= 2 * n) {
+      t2 = v;
+      haveT2 = true;
+    }
+  }
+  // Libraries concentrated at the top (the paper's case: most patterns
+  // at cx 11-12) push both cuts onto the maximum; back them off onto
+  // the previous distinct values so every band keeps mass.
+  auto prevDistinct = [&](int v) {
+    auto it = counts.lower_bound(v);
+    return it == counts.begin() ? v : std::prev(it)->first;
+  };
+  if (t2 >= maxCx) t2 = prevDistinct(maxCx);
+  if (t1 >= t2) t1 = prevDistinct(t2);
+  return {
+      ContextBand{"low-cx", minCx, t1},
+      ContextBand{"med-cx", t1 + 1, t2},
+      ContextBand{"high-cx", t2 + 1, maxCx},
+  };
+}
+
+std::vector<ContextBand> defaultContextBands(int minCx, int maxCx) {
+  const int span = std::max(1, maxCx - minCx + 1);
+  const int lowEnd = minCx + span / 3 - 1;
+  const int medEnd = minCx + 2 * span / 3 - 1;
+  return {
+      ContextBand{"low-cx", minCx, std::max(minCx, lowEnd)},
+      ContextBand{"med-cx", std::max(minCx, lowEnd) + 1,
+                  std::max(minCx, medEnd)},
+      ContextBand{"high-cx", std::max(minCx, medEnd) + 1, maxCx},
+  };
+}
+
+}  // namespace dp::core

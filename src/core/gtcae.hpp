@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file gtcae.hpp
+/// GAN-guided TCAE (paper §III-C). A small generative model (the
+/// paper's MLP GAN, or a vector VAE for the V-TCAE case study) is
+/// trained on latent-space vectors and drives the TCAE generation unit:
+///  - massive pattern generation: the guide learns the distribution of
+///    perturbation vectors that produced DRC-clean patterns, raising the
+///    valid fraction above sensitivity-aware random noise;
+///  - context-specific generation: the guide learns the pure latent
+///    vectors of one pattern class (a complexity band) and generates
+///    class-conditional patterns directly, without the recognition unit.
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/flows.hpp"
+#include "models/gan.hpp"
+#include "models/vae.hpp"
+
+namespace dp::core {
+
+struct GtcaeConfig {
+  enum class Guide { kGan, kVae };
+
+  Guide guide = Guide::kGan;
+  FlowConfig flow;           ///< generation-phase parameters
+  models::GanConfig gan;     ///< GAN guide training parameters
+  int ganZDim = 16;
+  int ganHidden = 64;
+  int vaeLatentDim = 16;     ///< VAE guide bottleneck (V-TCAE)
+  long vaeTrainSteps = 1500;
+};
+
+/// Massive pattern generation (§III-C2, Table III): train the guide on
+/// `goodPerturbations` (from a tcaeRandom run with collectGoodVectors),
+/// then decode guide-generated perturbations added to existing-pattern
+/// latents.
+[[nodiscard]] GenerationResult gtcaeMassive(
+    models::Tcae& tcae, const std::vector<squish::Topology>& existing,
+    const nn::Tensor& goodPerturbations,
+    const drc::TopologyChecker& checker, const GtcaeConfig& config,
+    Rng& rng);
+
+/// A complexity band for context-specific generation (paper Fig. 11
+/// uses low / medium / high cx groups).
+struct ContextBand {
+  std::string name;
+  int minCx = 0;
+  int maxCx = 1 << 30;
+};
+
+struct ContextGroupResult {
+  ContextBand band;
+  long trainingCount = 0;  ///< latents available for this band
+  GenerationResult result;
+  double avgCx = 0.0;      ///< mean cx of the unique generated patterns
+  double avgCy = 0.0;
+};
+
+/// Context-specific pattern generation (§III-C2, Fig. 11): per band,
+/// train the guide on the pure latent vectors of existing patterns in
+/// that band and decode guide-generated latents directly.
+[[nodiscard]] std::vector<ContextGroupResult> gtcaeContextSpecific(
+    models::Tcae& tcae, const std::vector<squish::Topology>& existing,
+    const drc::TopologyChecker& checker,
+    const std::vector<ContextBand>& bands, const GtcaeConfig& config,
+    Rng& rng);
+
+/// The paper's three Fig. 11 bands, parameterized on the observed cx
+/// range of the training library.
+[[nodiscard]] std::vector<ContextBand> defaultContextBands(int minCx,
+                                                           int maxCx);
+
+/// Three contiguous low/med/high-cx bands placed at the terciles of the
+/// library's observed cx distribution, so every band holds a
+/// substantial share of the training latents even when the distribution
+/// is skewed (as the paper's cy-11/12-dominated libraries are).
+[[nodiscard]] std::vector<ContextBand> contextBandsByQuantiles(
+    const std::vector<squish::Topology>& existing);
+
+}  // namespace dp::core

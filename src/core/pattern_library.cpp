@@ -1,0 +1,94 @@
+#include "core/pattern_library.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "squish/canonical.hpp"
+#include "squish/hash.hpp"
+
+namespace dp::core {
+
+bool PatternLibrary::add(const squish::Topology& t) {
+  squish::Topology canon = squish::canonicalize(t);
+  const std::uint64_t h = squish::hashTopology(canon);
+  auto& bucket = patterns_[h];
+  for (const auto& existing : bucket)
+    if (existing == canon) return false;
+  complexities_.push_back(squish::complexityOfCanonical(canon));
+  bucket.push_back(std::move(canon));
+  return true;
+}
+
+bool PatternLibrary::contains(const squish::Topology& t) const {
+  const squish::Topology canon = squish::canonicalize(t);
+  const auto it = patterns_.find(squish::hashTopology(canon));
+  if (it == patterns_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), canon) !=
+         it->second.end();
+}
+
+std::vector<squish::Topology> PatternLibrary::patterns() const {
+  std::vector<squish::Topology> out;
+  out.reserve(complexities_.size());
+  for (const auto& [h, bucket] : patterns_)
+    for (const auto& t : bucket) out.push_back(t);
+  return out;
+}
+
+std::vector<squish::Complexity> PatternLibrary::complexities() const {
+  return complexities_;
+}
+
+double PatternLibrary::diversity() const {
+  return shannonDiversity(complexities_);
+}
+
+double PatternLibrary::meanCx() const {
+  if (complexities_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& c : complexities_) s += c.cx;
+  return s / static_cast<double>(complexities_.size());
+}
+
+double PatternLibrary::meanCy() const {
+  if (complexities_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& c : complexities_) s += c.cy;
+  return s / static_cast<double>(complexities_.size());
+}
+
+std::vector<std::vector<double>> PatternLibrary::histogram() const {
+  int maxCx = 0, maxCy = 0;
+  for (const auto& c : complexities_) {
+    maxCx = std::max(maxCx, c.cx);
+    maxCy = std::max(maxCy, c.cy);
+  }
+  std::vector<std::vector<double>> counts(
+      static_cast<std::size_t>(maxCy) + 1,
+      std::vector<double>(static_cast<std::size_t>(maxCx) + 1, 0.0));
+  for (const auto& c : complexities_)
+    counts[static_cast<std::size_t>(c.cy)]
+          [static_cast<std::size_t>(c.cx)] += 1.0;
+  return counts;
+}
+
+void PatternLibrary::merge(const PatternLibrary& other) {
+  for (const auto& [h, bucket] : other.patterns_)
+    for (const auto& t : bucket) add(t);
+}
+
+double shannonDiversity(const std::vector<squish::Complexity>& cplx) {
+  if (cplx.empty()) return 0.0;
+  std::map<std::pair<int, int>, double> counts;
+  for (const auto& c : cplx) counts[{c.cx, c.cy}] += 1.0;
+  const double n = static_cast<double>(cplx.size());
+  double h = 0.0;
+  for (const auto& [key, cnt] : counts) {
+    const double p = cnt / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace dp::core

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file pattern_library.hpp
+/// A deduplicated library of canonical squish topologies with the
+/// paper's evaluation metrics: unique pattern count and pattern
+/// diversity H (Definition 2 — Shannon entropy of the joint (cx, cy)
+/// complexity histogram). Uniqueness and diversity are defined on
+/// topologies (paper §III-D).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "squish/complexity.hpp"
+#include "squish/topology.hpp"
+
+namespace dp::core {
+
+class PatternLibrary {
+ public:
+  PatternLibrary() = default;
+
+  /// Canonicalizes `t` and inserts it if new. Returns true when the
+  /// pattern was not in the library yet. Hash collisions are resolved by
+  /// exact comparison, so the count is exact.
+  bool add(const squish::Topology& t);
+
+  /// Number of unique patterns.
+  [[nodiscard]] std::size_t size() const { return patterns_.size(); }
+  [[nodiscard]] bool empty() const { return patterns_.empty(); }
+
+  /// True when the canonical form of `t` is already present.
+  [[nodiscard]] bool contains(const squish::Topology& t) const;
+
+  /// All stored canonical topologies (unspecified order).
+  [[nodiscard]] std::vector<squish::Topology> patterns() const;
+
+  /// Complexities of all stored patterns.
+  [[nodiscard]] std::vector<squish::Complexity> complexities() const;
+
+  /// Pattern diversity H (Definition 2).
+  [[nodiscard]] double diversity() const;
+
+  /// Mean complexity along x / y.
+  [[nodiscard]] double meanCx() const;
+  [[nodiscard]] double meanCy() const;
+
+  /// Joint histogram counts[cy][cx] covering all observed complexities
+  /// (index 0..max); used by the Fig. 10 heatmaps.
+  [[nodiscard]] std::vector<std::vector<double>> histogram() const;
+
+  /// Inserts every pattern of `other`.
+  void merge(const PatternLibrary& other);
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<squish::Topology>>
+      patterns_;  // hash -> exact-collision bucket
+  std::vector<squish::Complexity> complexities_;
+};
+
+/// Shannon entropy (Eq. (1), log base 2 / bits) of a set of complexity
+/// pairs.
+[[nodiscard]] double shannonDiversity(
+    const std::vector<squish::Complexity>& cplx);
+
+}  // namespace dp::core

@@ -1,0 +1,49 @@
+#include "core/perturb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dp::core {
+
+SensitivityAwarePerturber::SensitivityAwarePerturber(
+    std::vector<double> sensitivity, double scale, double maxStddev) {
+  if (sensitivity.empty())
+    throw std::invalid_argument("Perturber: empty sensitivity");
+  stddev_.reserve(sensitivity.size());
+  for (double s : sensitivity) {
+    // sigma_i = sqrt(1 / s_i), clamped for s_i ~ 0.
+    const double sigma =
+        s > 0.0 ? std::sqrt(1.0 / s) : std::numeric_limits<double>::infinity();
+    stddev_.push_back(scale * std::min(sigma, maxStddev));
+  }
+}
+
+SensitivityAwarePerturber SensitivityAwarePerturber::uniformNoise(
+    int latentDim, double scale) {
+  if (latentDim <= 0)
+    throw std::invalid_argument("uniformNoise: latentDim must be positive");
+  return SensitivityAwarePerturber(
+      DirectStddev{},
+      std::vector<double>(static_cast<std::size_t>(latentDim), scale));
+}
+
+std::vector<float> SensitivityAwarePerturber::sample(Rng& rng) const {
+  std::vector<float> out(stddev_.size());
+  for (std::size_t i = 0; i < stddev_.size(); ++i)
+    out[i] = static_cast<float>(rng.gaussian(0.0, stddev_[i]));
+  return out;
+}
+
+nn::Tensor SensitivityAwarePerturber::sampleBatch(int n, Rng& rng) const {
+  nn::Tensor out({n, latentDim()});
+  for (int row = 0; row < n; ++row) {
+    for (int i = 0; i < latentDim(); ++i)
+      out.at(row, i) = static_cast<float>(
+          rng.gaussian(0.0, stddev_[static_cast<std::size_t>(i)]));
+  }
+  return out;
+}
+
+}  // namespace dp::core

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file perturb.hpp
+/// Sensitivity-aware latent perturbation sampling (paper §III-B3):
+/// perturbation vector entries are drawn independently from
+/// N(0, 1/s_i), so nodes that easily break legality receive small noise.
+/// Zero-sensitivity nodes would get unbounded variance; the standard
+/// deviation is clamped to `maxStddev`.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dp::core {
+
+class SensitivityAwarePerturber {
+ public:
+  /// `sensitivity` from estimateSensitivity(); `scale` multiplies every
+  /// stddev (a global noise-strength knob); `maxStddev` caps the
+  /// per-node stddev.
+  SensitivityAwarePerturber(std::vector<double> sensitivity,
+                            double scale = 1.0, double maxStddev = 3.0);
+
+  /// Uniform-noise variant for ablation: every node gets stddev
+  /// `scale` regardless of sensitivity.
+  [[nodiscard]] static SensitivityAwarePerturber uniformNoise(
+      int latentDim, double scale);
+
+  [[nodiscard]] int latentDim() const {
+    return static_cast<int>(stddev_.size());
+  }
+  [[nodiscard]] const std::vector<double>& stddevs() const {
+    return stddev_;
+  }
+
+  /// Samples one perturbation vector.
+  [[nodiscard]] std::vector<float> sample(Rng& rng) const;
+
+  /// Samples `n` perturbation vectors as an (n, latentDim) tensor.
+  [[nodiscard]] nn::Tensor sampleBatch(int n, Rng& rng) const;
+
+ private:
+  struct DirectStddev {};  // tag: construct from stddevs, not sensitivities
+  SensitivityAwarePerturber(DirectStddev, std::vector<double> stddev)
+      : stddev_(std::move(stddev)) {}
+
+  std::vector<double> stddev_;
+};
+
+}  // namespace dp::core

@@ -1,0 +1,62 @@
+#include "core/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "datagen/generator.hpp"
+#include "squish/reconstruct.hpp"
+
+namespace dp::core {
+
+MaterializeResult materialize(const PatternLibrary& library,
+                              const lp::GeometrySolver& solver,
+                              const drc::GeometryChecker& geomChecker,
+                              Rng& rng, long maxClips) {
+  MaterializeResult out;
+  for (const auto& topo : library.patterns()) {
+    if (maxClips >= 0 && out.attempted >= maxClips) break;
+    ++out.attempted;
+    const auto pattern = solver.solve(topo, rng);
+    if (!pattern) continue;
+    ++out.solved;
+    dp::Clip clip = squish::reconstruct(*pattern);
+    if (!geomChecker.isClean(clip)) continue;
+    ++out.drcClean;
+    out.clips.push_back(std::move(clip));
+  }
+  return out;
+}
+
+PipelineResult runPipeline(const std::vector<dp::Clip>& existingClips,
+                           const dp::DesignRules& rules,
+                           const PipelineConfig& config, Rng& rng) {
+  if (existingClips.empty())
+    throw std::invalid_argument("runPipeline: empty existing library");
+
+  // 1. Squish pattern extraction.
+  const auto topologies = datagen::extractTopologies(existingClips);
+  if (topologies.empty())
+    throw std::invalid_argument("runPipeline: no non-empty clips");
+
+  // 2. Topology generation: TCAE identity training + sensitivity-aware
+  //    random perturbation.
+  models::Tcae tcae(config.tcae, rng);
+  tcae.train(topologies, rng);
+  const drc::TopologyChecker checker(
+      drc::TopologyRuleConfig::fromRules(rules));
+  PipelineResult result;
+  result.sensitivity =
+      estimateSensitivity(tcae, topologies, checker, config.sensitivity);
+  const SensitivityAwarePerturber perturber(result.sensitivity,
+                                            config.perturbScale);
+  result.generation = tcaeRandom(tcae, topologies, perturber, checker,
+                                 config.flow, rng);
+
+  // 3. Legal pattern assessment: geometry via Eq. (10).
+  const lp::GeometrySolver solver(rules);
+  const drc::GeometryChecker geomChecker(rules);
+  result.materialized = materialize(result.generation.unique, solver,
+                                    geomChecker, rng, config.maxClips);
+  return result;
+}
+
+}  // namespace dp::core

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// The complete pattern-generation flow of the paper's Fig. 8: squish
+/// extraction of an existing library -> TCAE training -> latent-space
+/// topology generation -> legal pattern assessment (Eq. 10) -> final
+/// DRC-clean layout clips.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/flows.hpp"
+#include "core/generation_result.hpp"
+#include "core/pattern_library.hpp"
+#include "core/sensitivity.hpp"
+#include "drc/geometry_rules.hpp"
+#include "geometry/clip.hpp"
+#include "lp/geometry_solver.hpp"
+#include "models/tcae.hpp"
+
+namespace dp::core {
+
+/// Result of materializing a topology library into layout clips.
+struct MaterializeResult {
+  std::vector<dp::Clip> clips;   ///< solved, DRC-clean clips
+  long attempted = 0;            ///< topologies fed to the solver
+  long solved = 0;               ///< topologies with a feasible Eq. (10)
+  long drcClean = 0;             ///< solved clips passing geometry DRC
+};
+
+/// Solves Eq. (10) for every pattern in `library` (optionally capped at
+/// `maxClips`) and keeps the clips that pass the geometry checker.
+[[nodiscard]] MaterializeResult materialize(
+    const PatternLibrary& library, const lp::GeometrySolver& solver,
+    const drc::GeometryChecker& geomChecker, Rng& rng,
+    long maxClips = -1);
+
+/// End-to-end convenience pipeline configuration.
+struct PipelineConfig {
+  models::TcaeConfig tcae;
+  SensitivityConfig sensitivity;
+  FlowConfig flow;
+  double perturbScale = 1.0;
+  long maxClips = 2000;  ///< clips to materialize from the unique set
+};
+
+/// End-to-end run summary.
+struct PipelineResult {
+  GenerationResult generation;
+  MaterializeResult materialized;
+  std::vector<double> sensitivity;
+};
+
+/// Runs the full Fig. 8 flow on an existing clip library: extracts
+/// squish topologies, trains a TCAE, estimates sensitivities, runs
+/// TCAE-Random and materializes the unique patterns into clips.
+[[nodiscard]] PipelineResult runPipeline(
+    const std::vector<dp::Clip>& existingClips,
+    const dp::DesignRules& rules, const PipelineConfig& config, Rng& rng);
+
+}  // namespace dp::core

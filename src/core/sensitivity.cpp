@@ -1,0 +1,50 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "models/topology_codec.hpp"
+
+namespace dp::core {
+
+std::vector<double> estimateSensitivity(
+    models::Tcae& tcae, const std::vector<squish::Topology>& topologies,
+    const drc::TopologyChecker& checker, const SensitivityConfig& config) {
+  if (topologies.empty())
+    throw std::invalid_argument("estimateSensitivity: no topologies");
+  if (config.sweepSteps < 2)
+    throw std::invalid_argument("estimateSensitivity: sweepSteps >= 2");
+
+  const int n = std::min<int>(static_cast<int>(topologies.size()),
+                              config.maxTopologies);
+  const std::vector<squish::Topology> sample(topologies.begin(),
+                                             topologies.begin() + n);
+  const nn::Tensor latents = tcae.encode(
+      models::encodeTopologies(sample, tcae.config().inputSize));
+  const int latentDim = latents.size(1);
+
+  std::vector<double> s(static_cast<std::size_t>(latentDim), 0.0);
+  for (int i = 0; i < latentDim; ++i) {
+    long invalid = 0;
+    long total = 0;
+    for (int k = 0; k < config.sweepSteps; ++k) {
+      const double lambda =
+          -config.range +
+          2.0 * config.range * k / (config.sweepSteps - 1);
+      nn::Tensor perturbed = latents;
+      for (int row = 0; row < n; ++row)
+        perturbed.at(row, i) += static_cast<float>(lambda);
+      const nn::Tensor recon = tcae.decode(perturbed);
+      for (const auto& topo : models::decodeGeneratedTopologies(recon)) {
+        if (!checker.isLegal(topo)) ++invalid;
+        ++total;
+      }
+    }
+    s[static_cast<std::size_t>(i)] =
+        total > 0 ? static_cast<double>(invalid) / static_cast<double>(total)
+                  : 0.0;
+  }
+  return s;
+}
+
+}  // namespace dp::core

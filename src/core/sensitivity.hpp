@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file sensitivity.hpp
+/// Feature sensitivity estimation — Algorithm 1 of the paper. The
+/// sensitivity s_i of latent node i is the fraction of reconstructions
+/// that become *invalid* topologies when node i is swept over the
+/// perturbation range [-t, t] with everything else unchanged
+/// (Definition 3). Highly sensitive nodes receive small random
+/// perturbations later (perturb.hpp).
+
+#include <vector>
+
+#include "drc/topology_rules.hpp"
+#include "models/tcae.hpp"
+#include "squish/topology.hpp"
+
+namespace dp::core {
+
+struct SensitivityConfig {
+  double range = 2.0;       ///< perturbation range t (lambda in [-t, t])
+  int sweepSteps = 9;       ///< number of lambda values sampled in [-t, t]
+  int maxTopologies = 64;   ///< cap on |T| per node for tractability
+};
+
+/// Runs Algorithm 1: returns one sensitivity in [0, 1] per latent node.
+/// Deterministic: uses the first maxTopologies entries of `topologies`.
+[[nodiscard]] std::vector<double> estimateSensitivity(
+    models::Tcae& tcae, const std::vector<squish::Topology>& topologies,
+    const drc::TopologyChecker& checker, const SensitivityConfig& config);
+
+}  // namespace dp::core

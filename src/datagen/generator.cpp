@@ -1,0 +1,98 @@
+#include "datagen/generator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geometry/track_grid.hpp"
+#include "squish/extract.hpp"
+
+namespace dp::datagen {
+
+namespace {
+
+/// Minimum cells a run needs to satisfy a design-rule length `nm` on the
+/// given grid.
+int cellsFor(double nm, double gridNm) {
+  return std::max(1, static_cast<int>(std::ceil(nm / gridNm - 1e-9)));
+}
+
+}  // namespace
+
+dp::Clip generateClip(const LibrarySpec& spec, const dp::DesignRules& rules,
+                      Rng& rng) {
+  if (spec.gridNm <= 0.0)
+    throw std::invalid_argument("generateClip: grid must be positive");
+  const int cells =
+      static_cast<int>(std::floor(rules.clipWidth / spec.gridNm + 1e-9));
+  if (cells <= 0)
+    throw std::invalid_argument("generateClip: grid coarser than clip");
+
+  // Design rules may demand longer runs than the spec's minima.
+  const int minWire =
+      std::max(spec.minWireCells, cellsFor(rules.minLength, spec.gridNm));
+  const int minGap =
+      std::max(spec.minGapCells, cellsFor(rules.minT2T, spec.gridNm));
+  const int maxWire = std::max(spec.maxWireCells, minWire);
+  const int maxGap = std::max(spec.maxGapCells, minGap);
+
+  dp::Clip clip(dp::Rect{0.0, 0.0, rules.clipWidth, rules.clipHeight});
+  const dp::TrackGrid grid(clip.window(), rules);
+
+  // Window-to-track alignment: wires sit on rows 2t+phase. Occupied
+  // rows are never adjacent either way.
+  const int phase = spec.randomPhase && rng.bernoulli(0.5) ? 0 : 1;
+  for (int t = 0; t < grid.trackCount(); ++t) {
+    if (!rng.bernoulli(spec.trackOccupancy)) continue;
+    const dp::Rect band = grid.rowBand(2 * t + phase);
+
+    // Walk the grid cells, alternating gap and wire runs. A leading gap
+    // of zero cells lets wires touch the window border.
+    int pos = spec.allowBorderWires && rng.bernoulli(0.5)
+                  ? 0
+                  : rng.uniformInt(minGap, maxGap);
+    bool wire = true;
+    while (pos < cells) {
+      if (wire) {
+        int len = rng.uniformInt(minWire, maxWire);
+        // A wire truncated by the right border is allowed (border wires
+        // are exempt from the length rule); otherwise it must fit.
+        if (pos + len > cells) {
+          if (spec.allowBorderWires)
+            len = cells - pos;
+          else
+            break;
+        }
+        clip.addShape(dp::Rect{pos * spec.gridNm, band.y0,
+                               (pos + len) * spec.gridNm, band.y1});
+        pos += len;
+      } else {
+        pos += rng.uniformInt(minGap, maxGap);
+      }
+      wire = !wire;
+    }
+  }
+  clip.normalize();
+  return clip;
+}
+
+std::vector<dp::Clip> generateLibrary(const LibrarySpec& spec,
+                                      const dp::DesignRules& rules,
+                                      int count, Rng& rng) {
+  std::vector<dp::Clip> clips;
+  clips.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) clips.push_back(generateClip(spec, rules, rng));
+  return clips;
+}
+
+std::vector<dp::squish::Topology> extractTopologies(
+    const std::vector<dp::Clip>& clips) {
+  std::vector<dp::squish::Topology> out;
+  out.reserve(clips.size());
+  for (const dp::Clip& c : clips) {
+    if (c.empty()) continue;
+    out.push_back(dp::squish::extract(c).topo);
+  }
+  return out;
+}
+
+}  // namespace dp::datagen

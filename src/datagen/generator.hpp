@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file generator.hpp
+/// Synthetic clip generation from a LibrarySpec: unidirectional,
+/// on-track, DRC-clean 192x192 nm clips in the style of the paper's
+/// training benchmarks.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "datagen/library_spec.hpp"
+#include "geometry/clip.hpp"
+#include "geometry/design_rules.hpp"
+#include "squish/topology.hpp"
+
+namespace dp::datagen {
+
+/// Generates one clip: every wire track (odd half-pitch rows) is
+/// occupied with probability spec.trackOccupancy; occupied tracks hold
+/// alternating wire/gap runs drawn from the spec's run-length ranges on
+/// the spec's x grid. All outputs satisfy the geometry DRC for `rules`.
+[[nodiscard]] dp::Clip generateClip(const LibrarySpec& spec,
+                                    const dp::DesignRules& rules, Rng& rng);
+
+/// Generates `count` clips.
+[[nodiscard]] std::vector<dp::Clip> generateLibrary(
+    const LibrarySpec& spec, const dp::DesignRules& rules, int count,
+    Rng& rng);
+
+/// Extracts the squish topologies of a clip library (canonical by
+/// construction; empty clips are skipped).
+[[nodiscard]] std::vector<dp::squish::Topology> extractTopologies(
+    const std::vector<dp::Clip>& clips);
+
+}  // namespace dp::datagen

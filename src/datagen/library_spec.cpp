@@ -1,0 +1,76 @@
+#include "datagen/library_spec.hpp"
+
+#include <stdexcept>
+
+namespace dp::datagen {
+
+LibrarySpec directprintSpec(int index) {
+  LibrarySpec s;
+  switch (index) {
+    case 1:
+      s.name = "directprint1";
+      s.gridNm = 16.0;
+      s.trackOccupancy = 0.85;
+      s.minWireCells = 2;
+      s.maxWireCells = 4;
+      s.minGapCells = 1;
+      s.maxGapCells = 2;
+      break;
+    case 2:
+      s.name = "directprint2";
+      s.gridNm = 16.0;
+      s.trackOccupancy = 0.90;
+      s.minWireCells = 1;
+      s.maxWireCells = 3;
+      s.minGapCells = 1;
+      s.maxGapCells = 3;
+      break;
+    case 3:
+      s.name = "directprint3";
+      s.gridNm = 24.0;
+      s.trackOccupancy = 0.85;
+      s.minWireCells = 2;
+      s.maxWireCells = 4;
+      s.minGapCells = 1;
+      s.maxGapCells = 2;
+      break;
+    case 4:
+      s.name = "directprint4";
+      s.gridNm = 16.0;
+      s.trackOccupancy = 0.70;
+      s.minWireCells = 3;
+      s.maxWireCells = 6;
+      s.minGapCells = 2;
+      s.maxGapCells = 3;
+      break;
+    case 5:
+      s.name = "directprint5";
+      s.gridNm = 32.0;
+      s.trackOccupancy = 0.90;
+      s.minWireCells = 1;
+      s.maxWireCells = 3;
+      s.minGapCells = 1;
+      s.maxGapCells = 2;
+      break;
+    default:
+      throw std::invalid_argument("directprintSpec: index must be 1..5");
+  }
+  return s;
+}
+
+LibrarySpec industryToolSpec() {
+  // Tuned so the library's diversity lands near the paper's H ~ 1.6 for
+  // the industrial baseline: a coarse grid and near-constant run
+  // lengths concentrate the complexity histogram.
+  LibrarySpec s;
+  s.name = "industry-tool";
+  s.gridNm = 32.0;
+  s.trackOccupancy = 0.97;
+  s.minWireCells = 1;
+  s.maxWireCells = 2;
+  s.minGapCells = 1;
+  s.maxGapCells = 1;
+  return s;
+}
+
+}  // namespace dp::datagen

@@ -1,0 +1,64 @@
+#include "drc/geometry_rules.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "geometry/track_grid.hpp"
+
+namespace dp::drc {
+
+DrcReport GeometryChecker::check(const dp::Clip& clip) const {
+  constexpr double kEps = 1e-6;
+  DrcReport report;
+  dp::Clip c = clip;
+  c.normalize();
+  if (c.empty()) {
+    report.add(Violation::kEmptyPattern);
+    return report;
+  }
+
+  const dp::TrackGrid grid(c.window(), rules_);
+  std::map<int, std::vector<dp::Rect>> byTrack;
+
+  for (const dp::Rect& s : c.shapes()) {
+    if (!c.window().contains(s)) report.add(Violation::kOutsideWindow);
+    const int track = grid.latticeRowOf(s);
+    if (track < 0) {
+      report.add(Violation::kOffTrack);
+      continue;
+    }
+    byTrack[track].push_back(s);
+    // Wires cut by the window border are prefixes of longer wires and are
+    // exempt from the in-clip length rule (paper §III-D: C_W covers
+    // "floating wires", the 011...110 runs).
+    const bool touchesBorder = s.x0 <= c.window().x0 + kEps ||
+                               s.x1 >= c.window().x1 - kEps;
+    if (!touchesBorder && s.width() < rules_.minLength - kEps)
+      report.add(Violation::kMinLength);
+  }
+
+  // Adjacent-track occupancy (shapes must sit on every other track at
+  // most — two occupied neighbouring tracks violate the EUV rule).
+  for (auto it = byTrack.begin(); it != byTrack.end(); ++it) {
+    auto next = std::next(it);
+    if (next != byTrack.end() && next->first == it->first + 1)
+      report.add(Violation::kAdjacentTracks);
+  }
+
+  // Within-track spacing and overlap.
+  for (auto& [track, shapes] : byTrack) {
+    std::sort(shapes.begin(), shapes.end(),
+              [](const dp::Rect& a, const dp::Rect& b) { return a.x0 < b.x0; });
+    for (std::size_t i = 1; i < shapes.size(); ++i) {
+      const double gap = shapes[i].x0 - shapes[i - 1].x1;
+      if (gap < -kEps)
+        report.add(Violation::kOverlap);
+      else if (gap < rules_.minT2T - kEps)
+        report.add(Violation::kMinT2T);
+    }
+  }
+  return report;
+}
+
+}  // namespace dp::drc

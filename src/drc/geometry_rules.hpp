@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file geometry_rules.hpp
+/// Geometry-space DRC for finished layout clips: verifies the critical
+/// dimensions of the paper's Fig. 2 (pitch/on-track placement, tip-to-tip
+/// spacing, wire length) plus basic sanity (window containment, no
+/// overlaps). This is the final gate certifying that a pattern produced
+/// by the generation flow (topology + solved δx/δy) is DRC-clean.
+
+#include "geometry/clip.hpp"
+#include "geometry/design_rules.hpp"
+#include "drc/violation.hpp"
+
+namespace dp::drc {
+
+/// Clip-level design-rule checker.
+class GeometryChecker {
+ public:
+  explicit GeometryChecker(dp::DesignRules rules) : rules_(rules) {}
+
+  [[nodiscard]] const dp::DesignRules& rules() const { return rules_; }
+
+  /// Full report for `clip`. The clip is normalized internally so
+  /// abutting same-track rectangles are not reported as T2T violations.
+  [[nodiscard]] DrcReport check(const dp::Clip& clip) const;
+
+  [[nodiscard]] bool isClean(const dp::Clip& clip) const {
+    return check(clip).clean();
+  }
+
+ private:
+  dp::DesignRules rules_;
+};
+
+}  // namespace dp::drc

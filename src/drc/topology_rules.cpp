@@ -1,0 +1,69 @@
+#include "drc/topology_rules.hpp"
+
+#include "squish/canonical.hpp"
+#include "squish/complexity.hpp"
+
+namespace dp::drc {
+
+namespace {
+
+using dp::squish::Topology;
+
+/// Shapes on two adjacent rows: on the unidirectional layers modeled
+/// here every occupied scan-line row is a distinct wire track, so two
+/// vertically adjacent occupied rows violate the every-other-track rule
+/// regardless of horizontal overlap.
+bool hasAdjacentTrackShapes(const Topology& t) {
+  for (int r = 1; r < t.rows(); ++r)
+    if (t.rowHasShape(r) && t.rowHasShape(r - 1)) return true;
+  return false;
+}
+
+/// Diagonal corner contact: cells (r,c) and (r+1,c+1) set with the
+/// off-diagonal empty, or the mirrored configuration.
+bool hasBowTie(const Topology& t) {
+  for (int r = 0; r + 1 < t.rows(); ++r) {
+    for (int c = 0; c + 1 < t.cols(); ++c) {
+      const bool a = t.at(r, c), b = t.at(r, c + 1);
+      const bool d = t.at(r + 1, c), e = t.at(r + 1, c + 1);
+      if (a && e && !b && !d) return true;
+      if (b && d && !a && !e) return true;
+    }
+  }
+  return false;
+}
+
+/// A connected (4-neighbourhood) shape spanning more than one row.
+bool has2dShape(const Topology& t) {
+  for (int r = 0; r + 1 < t.rows(); ++r)
+    for (int c = 0; c < t.cols(); ++c)
+      if (t.at(r, c) && t.at(r + 1, c)) return true;
+  return false;
+}
+
+}  // namespace
+
+DrcReport TopologyChecker::check(const dp::squish::Topology& t) const {
+  DrcReport report;
+  const Topology canon = dp::squish::canonicalize(t);
+  if (canon.empty() || canon.onesCount() == 0) {
+    if (config_.forbidEmpty) report.add(Violation::kEmptyPattern);
+    return report;
+  }
+  const auto cplx = dp::squish::complexityOfCanonical(canon);
+  if (cplx.cx > config_.maxCx) report.add(Violation::kComplexityX);
+  if (cplx.cy > config_.maxCy) report.add(Violation::kComplexityY);
+  if (config_.forbid2dShapes && has2dShape(canon))
+    report.add(Violation::kTwoDimensionalShape);
+  if (config_.forbidAdjacentTracks && hasAdjacentTrackShapes(canon))
+    report.add(Violation::kAdjacentTracks);
+  if (config_.forbidBowTie && hasBowTie(canon))
+    report.add(Violation::kBowTie);
+  return report;
+}
+
+bool TopologyChecker::isLegal(const dp::squish::Topology& t) const {
+  return check(t).clean();
+}
+
+}  // namespace dp::drc

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file topology_rules.hpp
+/// Topology-space legality checking (paper §III-B3): "a topology is
+/// illegal if and only if it contains any patterns in Fig. 5 — illegal
+/// topologies can be filtered out by checking whether shapes appear at
+/// any two adjacent tracks", plus the complexity caps of §IV-A
+/// (cx > 12 or cy > 12 marked illegal so the geometry linear system
+/// always admits a solution in the given window).
+
+#include "geometry/design_rules.hpp"
+#include "drc/violation.hpp"
+#include "squish/topology.hpp"
+
+namespace dp::drc {
+
+/// Configuration of the topology checker. Individual rules can be
+/// toggled for ablation studies; the defaults implement the paper.
+struct TopologyRuleConfig {
+  int maxCx = 12;                 ///< complexity cap along x
+  int maxCy = 12;                 ///< complexity cap along y
+  bool forbidAdjacentTracks = true;
+  bool forbidBowTie = true;
+  bool forbid2dShapes = true;
+  bool forbidEmpty = true;
+
+  /// Derives the caps from a design-rule set.
+  [[nodiscard]] static TopologyRuleConfig fromRules(
+      const dp::DesignRules& r) {
+    TopologyRuleConfig c;
+    c.maxCx = r.maxCx;
+    c.maxCy = r.maxCy;
+    return c;
+  }
+};
+
+/// Stateless topology legality checker.
+class TopologyChecker {
+ public:
+  TopologyChecker() = default;
+  explicit TopologyChecker(TopologyRuleConfig config) : config_(config) {}
+
+  [[nodiscard]] const TopologyRuleConfig& config() const { return config_; }
+
+  /// Full report on the canonical form of `t` (canonicalizes internally).
+  [[nodiscard]] DrcReport check(const dp::squish::Topology& t) const;
+
+  /// True when check(t) is clean.
+  [[nodiscard]] bool isLegal(const dp::squish::Topology& t) const;
+
+ private:
+  TopologyRuleConfig config_{};
+};
+
+}  // namespace dp::drc

@@ -1,0 +1,43 @@
+#include "drc/violation.hpp"
+
+#include <algorithm>
+
+namespace dp::drc {
+
+std::string toString(Violation v) {
+  switch (v) {
+    case Violation::kEmptyPattern: return "empty-pattern";
+    case Violation::kAdjacentTracks: return "adjacent-tracks";
+    case Violation::kBowTie: return "bow-tie";
+    case Violation::kTwoDimensionalShape: return "2d-shape";
+    case Violation::kComplexityX: return "complexity-x";
+    case Violation::kComplexityY: return "complexity-y";
+    case Violation::kOffTrack: return "off-track";
+    case Violation::kMinLength: return "min-length";
+    case Violation::kMinT2T: return "min-t2t";
+    case Violation::kOverlap: return "overlap";
+    case Violation::kOutsideWindow: return "outside-window";
+  }
+  return "unknown";
+}
+
+bool DrcReport::has(Violation v) const {
+  return std::find(violations.begin(), violations.end(), v) !=
+         violations.end();
+}
+
+void DrcReport::add(Violation v) {
+  if (!has(v)) violations.push_back(v);
+}
+
+std::string DrcReport::toString() const {
+  if (clean()) return "clean";
+  std::string out;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i) out += ", ";
+    out += drc::toString(violations[i]);
+  }
+  return out;
+}
+
+}  // namespace dp::drc

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file violation.hpp
+/// Design-rule violation taxonomy shared by the topology-level and the
+/// geometry-level checkers. The topology kinds mirror the illegal
+/// examples of the paper's Fig. 5; the geometry kinds mirror the critical
+/// dimensions of Fig. 2 / Eq. (10).
+
+#include <string>
+#include <vector>
+
+namespace dp::drc {
+
+/// One category of design-rule violation.
+enum class Violation {
+  // --- topology space (Fig. 5) ---
+  kEmptyPattern,        ///< no shape cell at all
+  kAdjacentTracks,      ///< shapes on two adjacent wire tracks
+  kBowTie,              ///< shapes meeting at exactly one corner
+  kTwoDimensionalShape, ///< a connected shape spanning multiple tracks
+  kComplexityX,         ///< cx exceeds the configured cap
+  kComplexityY,         ///< cy exceeds the configured cap
+  // --- geometry space (Fig. 2) ---
+  kOffTrack,            ///< shape does not sit exactly on a wire track
+  kMinLength,           ///< wire shorter than l_min
+  kMinT2T,              ///< tip-to-tip spacing below t_min
+  kOverlap,             ///< two shapes overlap
+  kOutsideWindow,       ///< shape leaks outside the clip window
+};
+
+/// Human-readable name of a violation kind.
+[[nodiscard]] std::string toString(Violation v);
+
+/// Result of a DRC run: the list of violated rule kinds (deduplicated,
+/// in enum order) — empty means clean.
+struct DrcReport {
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+  [[nodiscard]] bool has(Violation v) const;
+  void add(Violation v);
+  [[nodiscard]] std::string toString() const;
+};
+
+}  // namespace dp::drc

@@ -1,0 +1,86 @@
+#include "geometry/clip.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dp {
+
+Clip::Clip(Rect window, std::vector<Rect> shapes)
+    : window_(window.normalized()) {
+  shapes_.reserve(shapes.size());
+  for (const Rect& r : shapes) addShape(r);
+}
+
+bool Clip::addShape(const Rect& r) {
+  const Rect clipped = r.normalized().intersect(window_);
+  if (clipped.empty()) return false;
+  shapes_.push_back(clipped);
+  return true;
+}
+
+void Clip::normalize() {
+  std::sort(shapes_.begin(), shapes_.end(), rectLess);
+  // Pass 1: merge rectangles sharing the same y-band that overlap or
+  // abut in x.
+  std::vector<Rect> merged;
+  merged.reserve(shapes_.size());
+  for (const Rect& r : shapes_) {
+    if (!merged.empty()) {
+      Rect& last = merged.back();
+      if (last.y0 == r.y0 && last.y1 == r.y1 && r.x0 <= last.x1) {
+        last.x1 = std::max(last.x1, r.x1);
+        continue;
+      }
+    }
+    merged.push_back(r);
+  }
+  // Pass 2: merge vertically stacked rectangles with identical x
+  // extents (abutting or overlapping in y), so reconstructed squish
+  // patterns come back as maximal rectangles.
+  std::sort(merged.begin(), merged.end(), [](const Rect& a, const Rect& b) {
+    if (a.x0 != b.x0) return a.x0 < b.x0;
+    if (a.x1 != b.x1) return a.x1 < b.x1;
+    return a.y0 < b.y0;
+  });
+  std::vector<Rect> stacked;
+  stacked.reserve(merged.size());
+  for (const Rect& r : merged) {
+    if (!stacked.empty()) {
+      Rect& last = stacked.back();
+      if (last.x0 == r.x0 && last.x1 == r.x1 && r.y0 <= last.y1) {
+        last.y1 = std::max(last.y1, r.y1);
+        continue;
+      }
+    }
+    stacked.push_back(r);
+  }
+  std::sort(stacked.begin(), stacked.end(), rectLess);
+  shapes_ = std::move(stacked);
+}
+
+double Clip::shapeArea() const {
+  double a = 0.0;
+  for (const Rect& r : shapes_) a += r.area();
+  return a;
+}
+
+double Clip::density() const {
+  const double wa = window_.area();
+  return wa > 0.0 ? shapeArea() / wa : 0.0;
+}
+
+Clip Clip::rebased() const {
+  const double dx = -window_.x0;
+  const double dy = -window_.y0;
+  Clip out(window_.shifted(dx, dy));
+  for (const Rect& r : shapes_) out.addShape(r.shifted(dx, dy));
+  return out;
+}
+
+std::string Clip::toString() const {
+  std::ostringstream os;
+  os << "Clip window=" << window_.toString() << " shapes=" << shapes_.size();
+  return os.str();
+}
+
+}  // namespace dp

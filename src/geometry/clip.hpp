@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file clip.hpp
+/// A layout clip: a fixed window plus the rectilinear shapes inside it.
+/// Clips are the unit of pattern extraction and generation in the paper
+/// (192x192 nm windows of the 7nm EUV M2 layer).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geometry/rect.hpp"
+
+namespace dp {
+
+/// A layout clip. Shapes are kept clipped to the window.
+class Clip {
+ public:
+  Clip() = default;
+  explicit Clip(Rect window) : window_(window.normalized()) {}
+  Clip(Rect window, std::vector<Rect> shapes);
+
+  [[nodiscard]] const Rect& window() const { return window_; }
+  [[nodiscard]] const std::vector<Rect>& shapes() const { return shapes_; }
+  [[nodiscard]] std::size_t shapeCount() const { return shapes_.size(); }
+  [[nodiscard]] bool empty() const { return shapes_.empty(); }
+
+  /// Adds a shape, clipping it to the window. Degenerate (empty after
+  /// clipping) shapes are dropped. Returns true if the shape was kept.
+  bool addShape(const Rect& r);
+
+  /// Canonicalizes the clip: sorts shapes, merges overlapping/abutting
+  /// same-row rectangles into maximal rectangles. Unidirectional layers
+  /// guarantee merging within a track suffices to reach a canonical form.
+  void normalize();
+
+  /// Sum of shape areas (after normalize(), shapes are disjoint).
+  [[nodiscard]] double shapeArea() const;
+
+  /// Fraction of the window covered by shapes, in [0, 1].
+  [[nodiscard]] double density() const;
+
+  /// Returns the clip translated so its window lower-left is at (0, 0).
+  [[nodiscard]] Clip rebased() const;
+
+  [[nodiscard]] std::string toString() const;
+
+  friend bool operator==(const Clip&, const Clip&) = default;
+
+ private:
+  Rect window_;
+  std::vector<Rect> shapes_;
+};
+
+}  // namespace dp

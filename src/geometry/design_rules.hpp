@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file design_rules.hpp
+/// Design-rule set for the unidirectional EUV metal layers the paper
+/// targets (7nm M2, §II and Fig. 2 of the paper).
+///
+/// Terminology follows the paper exactly:
+///   - pitch `p`      : distance between adjacent wire tracks,
+///   - T2T `t`        : minimum line-end to line-end distance in a track,
+///   - wire length `l`: shape size along the track (x direction),
+///   - wire width `w` : shape size against the track (y direction).
+///
+/// Eq. (10a) of the paper fixes every horizontal scan-line interval to
+/// p/2, i.e., wire bands and the spaces between them are both p/2 tall.
+
+namespace dp {
+
+/// A complete design-rule set for one unidirectional metal layer.
+/// All lengths in nanometres.
+struct DesignRules {
+  // Values form a scaled 7nm-EUV-M2 surrogate chosen so that every
+  // topology within the complexity caps admits a feasible Eq. (10)
+  // system inside the clip window (the paper guarantees the same by
+  // construction, §IV-A).
+  double pitch = 32.0;       ///< Track pitch `p` (wire band + space = p).
+  double minT2T = 12.0;      ///< Minimum tip-to-tip spacing `t_min`.
+  double minLength = 16.0;   ///< Minimum wire length `l_min`.
+  double minSpaceX = 6.0;    ///< Minimum width of any vertical grid column.
+  double clipWidth = 192.0;  ///< Clip window extent `d_x`.
+  double clipHeight = 192.0; ///< Clip window extent `d_y`.
+  int maxCx = 12;            ///< Complexity cap in x (paper §IV-A).
+  int maxCy = 12;            ///< Complexity cap in y (paper §IV-A).
+
+  /// Wire width = p/2 (shapes occupy the full track band, §III-D).
+  [[nodiscard]] constexpr double wireWidth() const { return pitch / 2.0; }
+
+  /// Height of every horizontal grid row (Eq. 10a).
+  [[nodiscard]] constexpr double rowHeight() const { return pitch / 2.0; }
+
+  /// Number of p/2 rows that fit in the clip window.
+  [[nodiscard]] constexpr int rowCount() const {
+    return static_cast<int>(clipHeight / rowHeight());
+  }
+
+  /// Number of wire tracks in the clip window (every other row).
+  [[nodiscard]] constexpr int trackCount() const { return rowCount() / 2; }
+
+  friend constexpr bool operator==(const DesignRules&,
+                                   const DesignRules&) = default;
+};
+
+/// The rule set used throughout the paper's experiments: 7nm EUV M2
+/// surrogate — 192x192 nm clips, 32 nm pitch, 16 nm wires, 12 rows.
+[[nodiscard]] constexpr DesignRules euv7nmM2() { return DesignRules{}; }
+
+/// A relaxed rule set handy for tests (small window, loose minima).
+[[nodiscard]] constexpr DesignRules testRules() {
+  DesignRules r;
+  r.pitch = 4.0;
+  r.minT2T = 2.0;
+  r.minLength = 2.0;
+  r.minSpaceX = 1.0;
+  r.clipWidth = 32.0;
+  r.clipHeight = 16.0;
+  r.maxCx = 16;
+  r.maxCy = 8;
+  return r;
+}
+
+}  // namespace dp

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file point.hpp
+/// Basic 2-D point type used throughout the layout geometry substrate.
+/// Coordinates are in nanometres, stored as double (design rules in this
+/// project are multiples of 0.5 nm, so doubles are exact for all legal
+/// values that appear in practice).
+
+namespace dp {
+
+/// A point in the layout plane, in nanometres.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+}  // namespace dp

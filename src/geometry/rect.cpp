@@ -1,0 +1,50 @@
+#include "geometry/rect.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace dp {
+
+bool Rect::touches(const Rect& o) const {
+  if (overlaps(o)) return true;
+  const bool xOverlap = x0 < o.x1 && o.x0 < x1;
+  const bool yOverlap = y0 < o.y1 && o.y0 < y1;
+  const bool xAbut = x1 == o.x0 || o.x1 == x0;
+  const bool yAbut = y1 == o.y0 || o.y1 == y0;
+  return (xAbut && yOverlap) || (yAbut && xOverlap);
+}
+
+bool Rect::cornerTouches(const Rect& o) const {
+  const bool xAbut = x1 == o.x0 || o.x1 == x0;
+  const bool yAbut = y1 == o.y0 || o.y1 == y0;
+  return xAbut && yAbut && !touches(o);
+}
+
+Rect Rect::intersect(const Rect& o) const {
+  Rect r{std::max(x0, o.x0), std::max(y0, o.y0), std::min(x1, o.x1),
+         std::min(y1, o.y1)};
+  if (r.empty()) return Rect{};
+  return r;
+}
+
+Rect Rect::unite(const Rect& o) const {
+  if (empty()) return o;
+  if (o.empty()) return *this;
+  return {std::min(x0, o.x0), std::min(y0, o.y0), std::max(x1, o.x1),
+          std::max(y1, o.y1)};
+}
+
+std::string Rect::toString() const {
+  std::ostringstream os;
+  os << "(" << x0 << "," << y0 << ")-(" << x1 << "," << y1 << ")";
+  return os.str();
+}
+
+bool rectLess(const Rect& a, const Rect& b) {
+  if (a.y0 != b.y0) return a.y0 < b.y0;
+  if (a.x0 != b.x0) return a.x0 < b.x0;
+  if (a.y1 != b.y1) return a.y1 < b.y1;
+  return a.x1 < b.x1;
+}
+
+}  // namespace dp

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file rect.hpp
+/// Axis-aligned rectangle in layout (nanometre) coordinates.
+///
+/// All shapes handled by this project are rectilinear; on the
+/// unidirectional EUV metal layers the paper targets they are plain
+/// rectangles, so Rect is the workhorse geometry type.
+
+#include <algorithm>
+#include <string>
+
+#include "geometry/point.hpp"
+
+namespace dp {
+
+/// Closed axis-aligned rectangle [x0, x1] x [y0, y1] in nanometres.
+/// Invariant (after normalize()): x0 <= x1 and y0 <= y1.
+struct Rect {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+
+  constexpr Rect() = default;
+  constexpr Rect(double x0_, double y0_, double x1_, double y1_)
+      : x0(x0_), y0(y0_), x1(x1_), y1(y1_) {}
+
+  [[nodiscard]] constexpr double width() const { return x1 - x0; }
+  [[nodiscard]] constexpr double height() const { return y1 - y0; }
+  [[nodiscard]] constexpr double area() const { return width() * height(); }
+  [[nodiscard]] constexpr Point lowerLeft() const { return {x0, y0}; }
+  [[nodiscard]] constexpr Point upperRight() const { return {x1, y1}; }
+  [[nodiscard]] constexpr Point center() const {
+    return {(x0 + x1) / 2.0, (y0 + y1) / 2.0};
+  }
+  [[nodiscard]] constexpr bool empty() const { return x1 <= x0 || y1 <= y0; }
+
+  /// Returns a copy with corners swapped as needed so the invariant holds.
+  [[nodiscard]] constexpr Rect normalized() const {
+    return {std::min(x0, x1), std::min(y0, y1), std::max(x0, x1),
+            std::max(y0, y1)};
+  }
+
+  /// True when the interiors overlap (shared edges do not count).
+  [[nodiscard]] constexpr bool overlaps(const Rect& o) const {
+    return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+  }
+
+  /// True when the two rectangles share at least an edge segment or
+  /// overlap (corner-only contact does not count as touching).
+  [[nodiscard]] bool touches(const Rect& o) const;
+
+  /// True when the rectangles meet at exactly one corner point — the
+  /// "bow-tie" configuration forbidden by EUV design rules (Fig. 5).
+  [[nodiscard]] bool cornerTouches(const Rect& o) const;
+
+  /// True when `o` lies entirely inside (or on the border of) this rect.
+  [[nodiscard]] constexpr bool contains(const Rect& o) const {
+    return x0 <= o.x0 && o.x1 <= x1 && y0 <= o.y0 && o.y1 <= y1;
+  }
+
+  [[nodiscard]] constexpr bool contains(const Point& p) const {
+    return x0 <= p.x && p.x <= x1 && y0 <= p.y && p.y <= y1;
+  }
+
+  /// Intersection rectangle; empty() if the inputs do not overlap.
+  [[nodiscard]] Rect intersect(const Rect& o) const;
+
+  /// Smallest rectangle containing both inputs.
+  [[nodiscard]] Rect unite(const Rect& o) const;
+
+  /// Translate by (dx, dy).
+  [[nodiscard]] constexpr Rect shifted(double dx, double dy) const {
+    return {x0 + dx, y0 + dy, x1 + dx, y1 + dy};
+  }
+
+  [[nodiscard]] std::string toString() const;
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Lexicographic order (y0, x0, y1, x1) — a stable canonical shape order.
+[[nodiscard]] bool rectLess(const Rect& a, const Rect& b);
+
+}  // namespace dp

@@ -1,0 +1,57 @@
+#include "geometry/track_grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dp {
+
+TrackGrid::TrackGrid(Rect window, const DesignRules& rules)
+    : window_(window.normalized()), rowHeight_(rules.rowHeight()) {
+  if (rowHeight_ <= 0.0) throw std::invalid_argument("pitch must be > 0");
+  rowCount_ = static_cast<int>(std::floor(window_.height() / rowHeight_ +
+                                          1e-9));
+}
+
+Rect TrackGrid::rowBand(int row) const {
+  if (row < 0 || row >= rowCount_)
+    throw std::out_of_range("TrackGrid::rowBand");
+  const double y0 = window_.y0 + row * rowHeight_;
+  return {window_.x0, y0, window_.x1, y0 + rowHeight_};
+}
+
+Rect TrackGrid::trackBand(int track) const {
+  return rowBand(2 * track + 1);
+}
+
+int TrackGrid::rowAt(double y) const {
+  if (y < window_.y0 || y > window_.y1) return -1;
+  int row = static_cast<int>(std::floor((y - window_.y0) / rowHeight_));
+  if (row == rowCount_) --row;  // y exactly at the top border
+  return row;
+}
+
+bool TrackGrid::onTrack(const Rect& shape) const { return trackOf(shape) >= 0; }
+
+int TrackGrid::latticeRowOf(const Rect& shape) const {
+  constexpr double kEps = 1e-6;
+  for (int r = 0; r < rowCount_; ++r) {
+    const Rect band = rowBand(r);
+    if (std::abs(shape.y0 - band.y0) < kEps &&
+        std::abs(shape.y1 - band.y1) < kEps)
+      return r;
+  }
+  return -1;
+}
+
+int TrackGrid::trackOf(const Rect& shape) const {
+  constexpr double kEps = 1e-6;
+  for (int t = 0; t < trackCount(); ++t) {
+    const Rect band = trackBand(t);
+    if (std::abs(shape.y0 - band.y0) < kEps &&
+        std::abs(shape.y1 - band.y1) < kEps)
+      return t;
+  }
+  return -1;
+}
+
+}  // namespace dp

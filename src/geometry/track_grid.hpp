@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file track_grid.hpp
+/// Maps the fixed routing tracks of a unidirectional metal layer onto a
+/// clip window. Wires must sit exactly on track bands; this class is the
+/// single source of truth for where those bands are.
+
+#include <vector>
+
+#include "geometry/design_rules.hpp"
+#include "geometry/rect.hpp"
+
+namespace dp {
+
+/// Routing-track geometry of one clip window. Rows of height p/2
+/// alternate space / wire band starting with a space row at the bottom:
+/// row 1, 3, 5, ... are wire tracks (so tracks never touch the window
+/// border and adjacent-track spacing is guaranteed by construction).
+class TrackGrid {
+ public:
+  TrackGrid(Rect window, const DesignRules& rules);
+
+  [[nodiscard]] int rowCount() const { return rowCount_; }
+  [[nodiscard]] int trackCount() const { return rowCount_ / 2; }
+
+  /// Y-extent of grid row `row` (0-based from the bottom).
+  [[nodiscard]] Rect rowBand(int row) const;
+
+  /// Y-extent of wire track `track` (0-based from the bottom);
+  /// track i occupies grid row 2*i + 1.
+  [[nodiscard]] Rect trackBand(int track) const;
+
+  /// Grid row index containing coordinate y, or -1 if outside the window.
+  [[nodiscard]] int rowAt(double y) const;
+
+  /// True when `shape` exactly fills some wire-track band in y.
+  [[nodiscard]] bool onTrack(const Rect& shape) const;
+
+  /// Track index of an on-track shape, or -1.
+  [[nodiscard]] int trackOf(const Rect& shape) const;
+
+  /// Half-pitch lattice row exactly filled by `shape` in y (any row, not
+  /// just the odd wire-track rows), or -1. Generated clips may align
+  /// their wires to any lattice row as long as occupied rows are never
+  /// adjacent; this is the check the geometry DRC uses.
+  [[nodiscard]] int latticeRowOf(const Rect& shape) const;
+
+ private:
+  Rect window_;
+  double rowHeight_;
+  int rowCount_;
+};
+
+}  // namespace dp

@@ -1,0 +1,58 @@
+#include "io/ascii_art.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dp::io {
+
+std::string renderTopology(const dp::squish::Topology& t) {
+  return t.toString();
+}
+
+std::string renderTopologyRow(
+    const std::vector<dp::squish::Topology>& topos, int gap) {
+  if (topos.empty()) return "";
+  int maxRows = 0;
+  for (const auto& t : topos) maxRows = std::max(maxRows, t.rows());
+  std::ostringstream os;
+  const std::string spacer(static_cast<std::size_t>(gap), ' ');
+  for (int r = maxRows - 1; r >= 0; --r) {
+    for (std::size_t k = 0; k < topos.size(); ++k) {
+      const auto& t = topos[k];
+      if (k) os << spacer;
+      for (int c = 0; c < t.cols(); ++c)
+        os << (r < t.rows() ? (t.at(r, c) ? '#' : '.') : ' ');
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string renderClip(const dp::Clip& clip, double nmPerChar) {
+  const dp::Rect& w = clip.window();
+  const int cols = std::max(
+      1, static_cast<int>(std::round(w.width() / nmPerChar)));
+  const int rows = std::max(
+      1, static_cast<int>(std::round(w.height() / nmPerChar)));
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(cols), '.'));
+  for (const dp::Rect& s : clip.shapes()) {
+    const int c0 = std::clamp(
+        static_cast<int>(std::floor((s.x0 - w.x0) / nmPerChar)), 0, cols);
+    const int c1 = std::clamp(
+        static_cast<int>(std::ceil((s.x1 - w.x0) / nmPerChar)), 0, cols);
+    const int r0 = std::clamp(
+        static_cast<int>(std::floor((s.y0 - w.y0) / nmPerChar)), 0, rows);
+    const int r1 = std::clamp(
+        static_cast<int>(std::ceil((s.y1 - w.y0) / nmPerChar)), 0, rows);
+    for (int r = r0; r < r1; ++r)
+      for (int c = c0; c < c1; ++c)
+        grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = '#';
+  }
+  std::ostringstream os;
+  for (int r = rows - 1; r >= 0; --r) os << grid[static_cast<std::size_t>(r)] << '\n';
+  return os.str();
+}
+
+}  // namespace dp::io

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file ascii_art.hpp
+/// Terminal rendering of topologies and clips, used by the experiment
+/// harnesses that reproduce the paper's visual figures (Fig. 1, Fig. 6,
+/// Fig. 9, Fig. 11, Table I).
+
+#include <string>
+#include <vector>
+
+#include "geometry/clip.hpp"
+#include "squish/topology.hpp"
+
+namespace dp::io {
+
+/// One topology as a block of '#'/'.' rows (top row first).
+[[nodiscard]] std::string renderTopology(const dp::squish::Topology& t);
+
+/// Several topologies side by side (each padded to its own width), with
+/// `gap` spaces between them — handy for the paper's grid-of-samples
+/// figures.
+[[nodiscard]] std::string renderTopologyRow(
+    const std::vector<dp::squish::Topology>& topos, int gap = 3);
+
+/// A clip rasterized at `nmPerChar` into '#'/'.' characters.
+[[nodiscard]] std::string renderClip(const dp::Clip& clip,
+                                     double nmPerChar = 8.0);
+
+}  // namespace dp::io

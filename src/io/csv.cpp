@@ -1,0 +1,56 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dp::io {
+
+namespace {
+
+std::string escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("CsvWriter: empty header");
+}
+
+void CsvWriter::addRow(std::vector<std::string> row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument("CsvWriter::addRow: column mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::toString() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ",";
+      os << escape(row[i]);
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void CsvWriter::writeFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("CsvWriter: cannot open " + path);
+  out << toString();
+  if (!out) throw std::runtime_error("CsvWriter: write failed");
+}
+
+}  // namespace dp::io

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file csv.hpp
+/// Tiny CSV writer for exporting experiment series (diversity sweeps,
+/// loss curves) for external plotting.
+
+#include <string>
+#include <vector>
+
+namespace dp::io {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+
+  /// Serializes header + rows; fields containing commas/quotes are
+  /// quoted per RFC 4180.
+  [[nodiscard]] std::string toString() const;
+
+  /// Writes to a file; throws std::runtime_error on failure.
+  void writeFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dp::io

@@ -1,0 +1,278 @@
+#include "io/gdsii.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace dp::io {
+
+namespace {
+
+// GDSII record types (subset).
+enum : std::uint8_t {
+  kHeader = 0x00,
+  kBgnLib = 0x01,
+  kLibName = 0x02,
+  kUnits = 0x03,
+  kEndLib = 0x04,
+  kBgnStr = 0x05,
+  kStrName = 0x06,
+  kEndStr = 0x07,
+  kBoundary = 0x08,
+  kLayer = 0x0D,
+  kDataType = 0x0E,
+  kXy = 0x10,
+  kEndEl = 0x11,
+};
+
+// GDSII data types.
+enum : std::uint8_t {
+  kNoData = 0x00,
+  kInt16 = 0x02,
+  kInt32 = 0x03,
+  kReal8 = 0x05,
+  kAscii = 0x06,
+};
+
+void putU16(std::string& buf, std::uint16_t v) {
+  buf.push_back(static_cast<char>(v >> 8));
+  buf.push_back(static_cast<char>(v & 0xFF));
+}
+
+void putI32(std::string& buf, std::int32_t v) {
+  const auto u = static_cast<std::uint32_t>(v);
+  buf.push_back(static_cast<char>(u >> 24));
+  buf.push_back(static_cast<char>((u >> 16) & 0xFF));
+  buf.push_back(static_cast<char>((u >> 8) & 0xFF));
+  buf.push_back(static_cast<char>(u & 0xFF));
+}
+
+/// GDSII 8-byte excess-64 real.
+void putReal8(std::string& buf, double v) {
+  std::uint64_t bits = 0;
+  if (v != 0.0) {
+    const bool neg = v < 0.0;
+    double mag = std::abs(v);
+    int exp = 0;  // base-16 exponent
+    while (mag >= 1.0) {
+      mag /= 16.0;
+      ++exp;
+    }
+    while (mag < 1.0 / 16.0) {
+      mag *= 16.0;
+      --exp;
+    }
+    const auto mant =
+        static_cast<std::uint64_t>(std::llround(mag * 72057594037927936.0));
+    bits = (static_cast<std::uint64_t>(neg ? 1 : 0) << 63) |
+           (static_cast<std::uint64_t>(exp + 64) << 56) | mant;
+  }
+  for (int i = 7; i >= 0; --i)
+    buf.push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+}
+
+void record(std::ostream& out, std::uint8_t type, std::uint8_t dataType,
+            const std::string& payload) {
+  std::string buf;
+  putU16(buf, static_cast<std::uint16_t>(4 + payload.size()));
+  buf.push_back(static_cast<char>(type));
+  buf.push_back(static_cast<char>(dataType));
+  buf += payload;
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+void recordI16(std::ostream& out, std::uint8_t type,
+               std::initializer_list<std::int16_t> values) {
+  std::string p;
+  for (std::int16_t v : values) putU16(p, static_cast<std::uint16_t>(v));
+  record(out, type, kInt16, p);
+}
+
+void recordAscii(std::ostream& out, std::uint8_t type, std::string s) {
+  if (s.size() % 2) s.push_back('\0');  // records are word-aligned
+  record(out, type, kAscii, s);
+}
+
+void writeBoundary(std::ostream& out, const dp::Rect& r,
+                   std::int16_t layer, std::int16_t dataType,
+                   double dbuPerNm) {
+  record(out, kBoundary, kNoData, "");
+  recordI16(out, kLayer, {layer});
+  recordI16(out, kDataType, {dataType});
+  std::string xy;
+  auto dbu = [&](double nm) {
+    return static_cast<std::int32_t>(std::llround(nm * dbuPerNm));
+  };
+  // Closed rectangle: 5 points, first repeated last.
+  const std::int32_t x0 = dbu(r.x0), y0 = dbu(r.y0);
+  const std::int32_t x1 = dbu(r.x1), y1 = dbu(r.y1);
+  for (auto [x, y] : {std::pair{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1},
+                      {x0, y0}}) {
+    putI32(xy, x);
+    putI32(xy, y);
+  }
+  record(out, kXy, kInt32, xy);
+  record(out, kEndEl, kNoData, "");
+}
+
+/// Raw record as read from the stream.
+struct RawRecord {
+  std::uint8_t type = 0;
+  std::uint8_t dataType = 0;
+  std::string payload;
+};
+
+bool readRecord(std::istream& in, RawRecord& rec) {
+  unsigned char head[4];
+  if (!in.read(reinterpret_cast<char*>(head), 4)) return false;
+  const std::size_t len = (static_cast<std::size_t>(head[0]) << 8) | head[1];
+  if (len < 4) throw std::runtime_error("gdsii: record length < 4");
+  rec.type = head[2];
+  rec.dataType = head[3];
+  rec.payload.resize(len - 4);
+  if (len > 4 &&
+      !in.read(rec.payload.data(), static_cast<std::streamsize>(len - 4)))
+    throw std::runtime_error("gdsii: truncated record");
+  return true;
+}
+
+std::int16_t payloadI16(const RawRecord& r) {
+  if (r.payload.size() < 2) throw std::runtime_error("gdsii: short INT16");
+  return static_cast<std::int16_t>(
+      (static_cast<std::uint8_t>(r.payload[0]) << 8) |
+      static_cast<std::uint8_t>(r.payload[1]));
+}
+
+std::int32_t payloadI32At(const RawRecord& r, std::size_t idx) {
+  const std::size_t o = idx * 4;
+  if (r.payload.size() < o + 4) throw std::runtime_error("gdsii: short XY");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v = (v << 8) | static_cast<std::uint8_t>(r.payload[o + i]);
+  return static_cast<std::int32_t>(v);
+}
+
+}  // namespace
+
+void writeGdsii(std::ostream& out, const std::vector<dp::Clip>& clips,
+                const GdsiiOptions& options) {
+  recordI16(out, kHeader, {600});  // stream version 6
+  // BGNLIB: creation + modification timestamps (12 int16) — zeroed for
+  // reproducible output.
+  recordI16(out, kBgnLib, {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  recordAscii(out, kLibName, options.libName);
+  {
+    std::string units;
+    // user units per dbu, metres per dbu (1 nm dbu).
+    putReal8(units, 1.0 / options.dbuPerNm * 1e-3);  // um per dbu
+    putReal8(units, 1.0 / options.dbuPerNm * 1e-9);  // m per dbu
+    record(out, kUnits, kReal8, units);
+  }
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    recordI16(out, kBgnStr, {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+    recordAscii(out, kStrName, "CLIP_" + std::to_string(i));
+    writeBoundary(out, clips[i].window(), options.windowLayer,
+                  options.dataType, options.dbuPerNm);
+    for (const dp::Rect& r : clips[i].shapes())
+      writeBoundary(out, r, options.layer, options.dataType,
+                    options.dbuPerNm);
+    record(out, kEndStr, kNoData, "");
+  }
+  record(out, kEndLib, kNoData, "");
+}
+
+void writeGdsiiFile(const std::string& path,
+                    const std::vector<dp::Clip>& clips,
+                    const GdsiiOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("writeGdsiiFile: cannot open " + path);
+  writeGdsii(out, clips, options);
+  if (!out) throw std::runtime_error("writeGdsiiFile: write failed");
+}
+
+std::vector<dp::Clip> readGdsii(std::istream& in,
+                                const GdsiiOptions& options) {
+  std::vector<dp::Clip> clips;
+  std::optional<dp::Rect> window;
+  std::vector<dp::Rect> shapes;
+  bool inStruct = false, inBoundary = false;
+  std::int16_t layer = -1;
+  std::optional<dp::Rect> box;
+
+  RawRecord rec;
+  while (readRecord(in, rec)) {
+    switch (rec.type) {
+      case kBgnStr:
+        inStruct = true;
+        window.reset();
+        shapes.clear();
+        break;
+      case kEndStr: {
+        if (!window)
+          throw std::runtime_error("gdsii: structure without window layer");
+        dp::Clip clip(*window);
+        for (const dp::Rect& r : shapes) clip.addShape(r);
+        clips.push_back(std::move(clip));
+        inStruct = false;
+        break;
+      }
+      case kBoundary:
+        inBoundary = true;
+        layer = -1;
+        box.reset();
+        break;
+      case kLayer:
+        if (inBoundary) layer = payloadI16(rec);
+        break;
+      case kXy: {
+        if (!inBoundary) break;
+        const std::size_t points = rec.payload.size() / 8;
+        if (points == 0) break;
+        double minX = 0, minY = 0, maxX = 0, maxY = 0;
+        for (std::size_t p = 0; p < points; ++p) {
+          const double x = payloadI32At(rec, 2 * p) / options.dbuPerNm;
+          const double y = payloadI32At(rec, 2 * p + 1) / options.dbuPerNm;
+          if (p == 0) {
+            minX = maxX = x;
+            minY = maxY = y;
+          } else {
+            minX = std::min(minX, x);
+            maxX = std::max(maxX, x);
+            minY = std::min(minY, y);
+            maxY = std::max(maxY, y);
+          }
+        }
+        box = dp::Rect{minX, minY, maxX, maxY};
+        break;
+      }
+      case kEndEl:
+        if (inBoundary && box && inStruct) {
+          if (layer == options.windowLayer)
+            window = *box;
+          else if (layer == options.layer)
+            shapes.push_back(*box);
+          // other layers: ignored
+        }
+        inBoundary = false;
+        break;
+      case kEndLib:
+        return clips;
+      default:
+        break;  // HEADER/BGNLIB/LIBNAME/UNITS/STRNAME/DATATYPE: skipped
+    }
+  }
+  throw std::runtime_error("gdsii: missing ENDLIB");
+}
+
+std::vector<dp::Clip> readGdsiiFile(const std::string& path,
+                                    const GdsiiOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("readGdsiiFile: cannot open " + path);
+  return readGdsii(in, options);
+}
+
+}  // namespace dp::io

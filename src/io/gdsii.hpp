@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file gdsii.hpp
+/// Minimal GDSII stream-format writer/reader for pattern libraries.
+/// Generated clips become one structure each (CLIP_0, CLIP_1, ...) with
+/// BOUNDARY elements on a configurable layer. This is the interchange
+/// path to real EDA tooling; the text format (layout_text.hpp) remains
+/// the human-readable option.
+///
+/// Supported records: HEADER, BGNLIB, LIBNAME, UNITS, BGNSTR, STRNAME,
+/// ENDSTR, BOUNDARY, LAYER, DATATYPE, XY, ENDEL, ENDLIB — the subset
+/// every GDSII consumer understands. Coordinates are written in
+/// database units of 1 nm.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geometry/clip.hpp"
+
+namespace dp::io {
+
+struct GdsiiOptions {
+  std::string libName = "DEEPATTERN";
+  std::int16_t layer = 2;        ///< metal layer of the wire shapes
+  std::int16_t windowLayer = 0;  ///< boundary layer carrying the window
+  std::int16_t dataType = 0;
+  double dbuPerNm = 1.0;         ///< database units per nanometre
+};
+
+/// Writes one structure per clip (CLIP_<i>). The clip window is emitted
+/// as a BOUNDARY on `windowLayer` (the usual pr-boundary convention);
+/// wire shapes are BOUNDARY elements on `layer`.
+void writeGdsii(std::ostream& out, const std::vector<dp::Clip>& clips,
+                const GdsiiOptions& options = {});
+
+/// Writes to a file. Throws std::runtime_error on I/O failure.
+void writeGdsiiFile(const std::string& path,
+                    const std::vector<dp::Clip>& clips,
+                    const GdsiiOptions& options = {});
+
+/// Reads back the structures written by writeGdsii: the window comes
+/// from the `windowLayer` boundary, shapes from `layer`. Throws
+/// std::runtime_error on malformed input or records outside the
+/// supported subset.
+[[nodiscard]] std::vector<dp::Clip> readGdsii(
+    std::istream& in, const GdsiiOptions& options = {});
+
+/// Reads from a file. Throws std::runtime_error on I/O failure.
+[[nodiscard]] std::vector<dp::Clip> readGdsiiFile(
+    const std::string& path, const GdsiiOptions& options = {});
+
+}  // namespace dp::io

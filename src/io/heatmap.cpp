@@ -1,0 +1,50 @@
+#include "io/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dp::io {
+
+std::string renderHeatmap(const std::vector<std::vector<double>>& counts,
+                          const std::string& xLabel,
+                          const std::string& yLabel) {
+  static const std::string ramp = " 123456789#";
+  double maxLog = 0.0;
+  std::size_t cols = 0;
+  for (const auto& row : counts) {
+    cols = std::max(cols, row.size());
+    for (double v : row)
+      if (v > 0.0) maxLog = std::max(maxLog, std::log10(1.0 + v));
+  }
+  std::ostringstream os;
+  os << yLabel << " ^\n";
+  for (std::size_t y = counts.size(); y-- > 0;) {
+    os << (y < 10 ? " " : "") << y << " |";
+    for (std::size_t x = 0; x < cols; ++x) {
+      const double v = x < counts[y].size() ? counts[y][x] : 0.0;
+      if (v <= 0.0) {
+        os << " .";
+      } else {
+        const double l = std::log10(1.0 + v);
+        const int idx = maxLog > 0.0
+                            ? 1 + static_cast<int>(std::round(
+                                      (ramp.size() - 2) * l / maxLog))
+                            : 1;
+        os << " "
+           << ramp[static_cast<std::size_t>(
+                  std::clamp<int>(idx, 1, static_cast<int>(ramp.size()) - 1))];
+      }
+    }
+    os << "\n";
+  }
+  os << "    +";
+  for (std::size_t x = 0; x < cols; ++x) os << "--";
+  os << "> " << xLabel << "\n    ";
+  for (std::size_t x = 0; x < cols; ++x)
+    os << " " << (x % 10);
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace dp::io

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file heatmap.hpp
+/// Console heatmap for the complexity-distribution figures (paper
+/// Fig. 10): cells are log-scaled pattern counts over (cx, cy).
+
+#include <string>
+#include <vector>
+
+namespace dp::io {
+
+/// Renders `counts[y][x]` as a character heatmap. Rows print top-down
+/// from the largest y index; zero cells print '.', non-zero cells print
+/// a density ramp character by log-scale magnitude.
+/// `xLabel`/`yLabel` annotate the axes.
+[[nodiscard]] std::string renderHeatmap(
+    const std::vector<std::vector<double>>& counts,
+    const std::string& xLabel = "cx", const std::string& yLabel = "cy");
+
+}  // namespace dp::io

@@ -1,0 +1,63 @@
+#include "io/layout_text.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dp::io {
+
+void writeClips(std::ostream& out, const std::vector<dp::Clip>& clips) {
+  out << "# deepattern layout text format v1\n";
+  for (const dp::Clip& c : clips) {
+    const dp::Rect& w = c.window();
+    out << "clip " << w.x0 << " " << w.y0 << " " << w.x1 << " " << w.y1
+        << "\n";
+    for (const dp::Rect& r : c.shapes())
+      out << "rect " << r.x0 << " " << r.y0 << " " << r.x1 << " " << r.y1
+          << "\n";
+  }
+}
+
+void writeClipsFile(const std::string& path,
+                    const std::vector<dp::Clip>& clips) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("writeClipsFile: cannot open " + path);
+  writeClips(out, clips);
+  if (!out) throw std::runtime_error("writeClipsFile: write failed");
+}
+
+std::vector<dp::Clip> readClips(std::istream& in) {
+  std::vector<dp::Clip> clips;
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    double x0, y0, x1, y1;
+    if (!(ls >> kind >> x0 >> y0 >> x1 >> y1))
+      throw std::runtime_error("readClips: malformed line " +
+                               std::to_string(lineNo));
+    if (kind == "clip") {
+      clips.emplace_back(dp::Rect{x0, y0, x1, y1});
+    } else if (kind == "rect") {
+      if (clips.empty())
+        throw std::runtime_error("readClips: rect before clip at line " +
+                                 std::to_string(lineNo));
+      clips.back().addShape(dp::Rect{x0, y0, x1, y1});
+    } else {
+      throw std::runtime_error("readClips: unknown record '" + kind +
+                               "' at line " + std::to_string(lineNo));
+    }
+  }
+  return clips;
+}
+
+std::vector<dp::Clip> readClipsFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("readClipsFile: cannot open " + path);
+  return readClips(in);
+}
+
+}  // namespace dp::io

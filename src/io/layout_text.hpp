@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file layout_text.hpp
+/// A minimal line-oriented text format for layout clips — the project's
+/// interchange format (GDSII/OASIS writers are out of scope; the paper
+/// itself notes those formats are not what the ML flow consumes).
+///
+/// Format:
+///   clip <x0> <y0> <x1> <y1>
+///   rect <x0> <y0> <x1> <y1>     (zero or more, belonging to the
+///                                 preceding clip)
+/// Blank lines and lines starting with '#' are ignored.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geometry/clip.hpp"
+
+namespace dp::io {
+
+/// Writes clips in the text format.
+void writeClips(std::ostream& out, const std::vector<dp::Clip>& clips);
+
+/// Writes clips to a file. Throws std::runtime_error on I/O failure.
+void writeClipsFile(const std::string& path,
+                    const std::vector<dp::Clip>& clips);
+
+/// Parses clips from the text format. Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] std::vector<dp::Clip> readClips(std::istream& in);
+
+/// Reads clips from a file. Throws std::runtime_error on I/O failure.
+[[nodiscard]] std::vector<dp::Clip> readClipsFile(const std::string& path);
+
+}  // namespace dp::io

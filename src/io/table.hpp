@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file table.hpp
+/// Fixed-width console table formatter used by the benchmark harnesses
+/// to print paper-style result tables.
+
+#include <string>
+#include <vector>
+
+namespace dp::io {
+
+/// Builds a text table with a header row, column separators and an
+/// underline, column widths auto-fitted to content.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must match the header's column count.
+  void addRow(std::vector<std::string> row);
+
+  /// Convenience: formats a double with the given precision.
+  [[nodiscard]] static std::string num(double v, int precision = 3);
+
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dp::io

@@ -1,0 +1,55 @@
+#include "lp/diff_constraints.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace dp::lp {
+
+DifferenceSystem::DifferenceSystem(std::size_t numVars)
+    : numVars_(numVars) {
+  if (numVars == 0)
+    throw std::invalid_argument("DifferenceSystem: need >= 1 variable");
+}
+
+void DifferenceSystem::addUpperBound(std::size_t j, std::size_t i,
+                                     double c) {
+  if (i >= numVars_ || j >= numVars_)
+    throw std::out_of_range("DifferenceSystem: variable index");
+  // x_j - x_i <= c  ==  edge i -> j with weight c.
+  edges_.push_back(Edge{i, j, c});
+}
+
+void DifferenceSystem::addLowerBound(std::size_t j, std::size_t i,
+                                     double c) {
+  addUpperBound(i, j, -c);
+}
+
+void DifferenceSystem::addEquality(std::size_t j, std::size_t i, double c) {
+  addUpperBound(j, i, c);
+  addLowerBound(j, i, c);
+}
+
+std::optional<std::vector<double>> DifferenceSystem::solve() const {
+  // Virtual source: initialize all distances to 0 (equivalent to a
+  // 0-weight edge from the source to every variable).
+  std::vector<double> dist(numVars_, 0.0);
+  constexpr double kEps = 1e-9;
+  bool changed = true;
+  for (std::size_t pass = 0; pass <= numVars_ && changed; ++pass) {
+    changed = false;
+    for (const Edge& e : edges_) {
+      const double cand = dist[e.from] + e.weight;
+      if (cand < dist[e.to] - kEps) {
+        dist[e.to] = cand;
+        changed = true;
+      }
+    }
+  }
+  if (changed) return std::nullopt;  // negative cycle -> infeasible
+
+  const double base = dist[0];
+  for (double& d : dist) d -= base;
+  return dist;
+}
+
+}  // namespace dp::lp

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file diff_constraints.hpp
+/// Solver for systems of difference constraints  x_j - x_i <= c.
+///
+/// Eq. (10) of the paper is exactly such a system over the scan-line
+/// coordinates (every constraint bounds x_b - x_a for some pair of scan
+/// lines), so a single-source shortest-path computation (Bellman-Ford)
+/// yields a feasible solution or proves infeasibility via a negative
+/// cycle. This is the fast deterministic backend of the geometry solver;
+/// the simplex backend adds randomized vertex selection.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace dp::lp {
+
+/// A system of difference constraints over `numVars` variables.
+class DifferenceSystem {
+ public:
+  explicit DifferenceSystem(std::size_t numVars);
+
+  [[nodiscard]] std::size_t numVars() const { return numVars_; }
+
+  /// Adds x_j - x_i <= c.
+  void addUpperBound(std::size_t j, std::size_t i, double c);
+
+  /// Adds x_j - x_i >= c   (i.e., x_i - x_j <= -c).
+  void addLowerBound(std::size_t j, std::size_t i, double c);
+
+  /// Adds x_j - x_i == c.
+  void addEquality(std::size_t j, std::size_t i, double c);
+
+  /// Bellman-Ford from a virtual source connected to every variable with
+  /// weight 0. Returns a feasible assignment (the shortest-path
+  /// potentials, shifted so x_0 == 0), or nullopt when infeasible.
+  [[nodiscard]] std::optional<std::vector<double>> solve() const;
+
+ private:
+  struct Edge {
+    std::size_t from, to;
+    double weight;  // x_to <= x_from + weight
+  };
+  std::size_t numVars_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace dp::lp

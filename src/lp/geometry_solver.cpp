@@ -1,0 +1,153 @@
+#include "lp/geometry_solver.hpp"
+
+#include <vector>
+
+#include "lp/diff_constraints.hpp"
+#include "lp/simplex.hpp"
+#include "squish/canonical.hpp"
+
+namespace dp::lp {
+
+namespace {
+
+using dp::squish::SquishPattern;
+using dp::squish::Topology;
+
+/// A contiguous same-value run of one topology row.
+struct Run {
+  int begin;  ///< first column (inclusive)
+  int end;    ///< one past last column
+  bool shape; ///< true for a 1-run, false for a 0-run
+};
+
+std::vector<Run> rowRuns(const Topology& t, int row) {
+  std::vector<Run> runs;
+  int c = 0;
+  while (c < t.cols()) {
+    const bool v = t.at(row, c) != 0;
+    int e = c;
+    while (e < t.cols() && (t.at(row, e) != 0) == v) ++e;
+    runs.push_back(Run{c, e, v});
+    c = e;
+  }
+  return runs;
+}
+
+/// Collects the C_T2T index pairs (zero runs flanked by shapes) and the
+/// C_W pairs (floating-wire one runs) of all rows, as scan-line index
+/// pairs (a, b) meaning the constraint applies to x_b - x_a.
+void collectRuns(const Topology& t, std::vector<std::pair<int, int>>& t2t,
+                 std::vector<std::pair<int, int>>& wires) {
+  for (int r = 0; r < t.rows(); ++r) {
+    const auto runs = rowRuns(t, r);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const Run& run = runs[i];
+      const bool interior = i > 0 && i + 1 < runs.size();
+      if (!run.shape && interior) t2t.emplace_back(run.begin, run.end);
+      if (run.shape && interior) wires.emplace_back(run.begin, run.end);
+    }
+  }
+}
+
+/// δy assignment: shape rows get one half-pitch unit; space rows get a
+/// random positive number of units so the row heights sum to the window.
+std::optional<std::vector<double>> solveDy(const Topology& t,
+                                           const dp::DesignRules& rules,
+                                           dp::Rng& rng) {
+  const int totalUnits = rules.rowCount();
+  const int rows = t.rows();
+  std::vector<int> units(rows, 1);
+  std::vector<int> spaceRows;
+  for (int r = 0; r < rows; ++r)
+    if (!t.rowHasShape(r)) spaceRows.push_back(r);
+  int extra = totalUnits - rows;
+  if (extra < 0) return std::nullopt;  // too many scan lines for the window
+  if (extra > 0 && spaceRows.empty()) return std::nullopt;
+  for (int i = 0; i < extra; ++i) {
+    const int pick =
+        spaceRows[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<int>(spaceRows.size()) - 1))];
+    ++units[pick];
+  }
+  std::vector<double> dy(rows);
+  for (int r = 0; r < rows; ++r) dy[r] = units[r] * rules.rowHeight();
+  return dy;
+}
+
+std::optional<std::vector<double>> solveDxDiff(
+    const Topology& t, const dp::DesignRules& rules,
+    const std::vector<std::pair<int, int>>& t2t,
+    const std::vector<std::pair<int, int>>& wires) {
+  const int cols = t.cols();
+  DifferenceSystem sys(static_cast<std::size_t>(cols) + 1);
+  for (int c = 0; c < cols; ++c)
+    sys.addLowerBound(c + 1, c, rules.minSpaceX);
+  for (const auto& [a, b] : t2t) sys.addLowerBound(b, a, rules.minT2T);
+  for (const auto& [a, b] : wires) sys.addLowerBound(b, a, rules.minLength);
+  sys.addEquality(cols, 0, rules.clipWidth);
+  const auto xs = sys.solve();
+  if (!xs) return std::nullopt;
+  std::vector<double> dx(cols);
+  for (int c = 0; c < cols; ++c) dx[c] = (*xs)[c + 1] - (*xs)[c];
+  return dx;
+}
+
+std::optional<std::vector<double>> solveDxSimplex(
+    const Topology& t, const dp::DesignRules& rules,
+    const std::vector<std::pair<int, int>>& t2t,
+    const std::vector<std::pair<int, int>>& wires, dp::Rng& rng) {
+  // Substitute δ'_c = δ_c - minSpaceX >= 0 to fit the x >= 0 form.
+  const int cols = t.cols();
+  LinearProgram lp(static_cast<std::size_t>(cols));
+  std::vector<double> obj(cols);
+  for (double& w : obj) w = rng.uniform(0.05, 1.0);
+  lp.setObjective(obj);
+
+  auto addRun = [&](int a, int b, double minTotal) {
+    const double rhs = minTotal - (b - a) * rules.minSpaceX;
+    if (rhs <= 0.0) return;  // already implied by positivity
+    lp.addRangeSumConstraint(static_cast<std::size_t>(a),
+                             static_cast<std::size_t>(b) - 1,
+                             Relation::kGreaterEqual, rhs);
+  };
+  for (const auto& [a, b] : t2t) addRun(a, b, rules.minT2T);
+  for (const auto& [a, b] : wires) addRun(a, b, rules.minLength);
+  lp.addRangeSumConstraint(0, static_cast<std::size_t>(cols) - 1,
+                           Relation::kEqual,
+                           rules.clipWidth - cols * rules.minSpaceX);
+
+  const LpResult res = lp.solve();
+  if (res.status != SolveStatus::kOptimal) return std::nullopt;
+  std::vector<double> dx(cols);
+  for (int c = 0; c < cols; ++c) dx[c] = res.x[c] + rules.minSpaceX;
+  return dx;
+}
+
+}  // namespace
+
+std::optional<SquishPattern> GeometrySolver::solve(
+    const Topology& topo, Rng& rng) const {
+  const Topology canon = dp::squish::canonicalize(topo);
+  if (canon.empty() || canon.onesCount() == 0) return std::nullopt;
+
+  const auto dy = solveDy(canon, rules_, rng);
+  if (!dy) return std::nullopt;
+
+  std::vector<std::pair<int, int>> t2t, wires;
+  collectRuns(canon, t2t, wires);
+  const auto dx =
+      backend_ == GeometryBackend::kDifferenceConstraints
+          ? solveDxDiff(canon, rules_, t2t, wires)
+          : solveDxSimplex(canon, rules_, t2t, wires, rng);
+  if (!dx) return std::nullopt;
+
+  SquishPattern p;
+  p.topo = canon;
+  p.dx = *dx;
+  p.dy = *dy;
+  p.x0 = 0.0;
+  p.y0 = 0.0;
+  return p;
+}
+
+}  // namespace dp::lp

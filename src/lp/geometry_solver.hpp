@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file geometry_solver.hpp
+/// Legal pattern assessment (paper §III-D): given a legal squish
+/// topology, build the linear system of Eq. (10) over the scan-line
+/// coordinates and solve it for the geometry vectors δx and δy, turning
+/// the topology into a complete DRC-clean squish pattern.
+///
+/// Constraints implemented (with C_T2T found as the 1 0...0 1 runs and
+/// C_W as the 0 1...1 0 runs of each topology row, exactly as §III-D
+/// describes):
+///   (10a) row heights: shape rows are p/2 tall; space rows are positive
+///         multiples of p/2; rows sum to the clip height.
+///   (10b) Σ δx over every tip-to-tip run >= t_min
+///   (10c) Σ δx over every floating-wire run >= l_min
+///   (10d) every δx >= minSpaceX (strict positivity of scan lines)
+///   (10e) Σ δx = clip width, Σ δy = clip height
+///
+/// The paper notes the system "tends to have multiple or infinite
+/// solutions" and keeps one randomly selected solution per topology; the
+/// simplex backend reproduces that by maximizing a random positive
+/// objective (a random vertex of the feasible polytope), while the
+/// Bellman-Ford backend returns the canonical left-packed solution.
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "geometry/design_rules.hpp"
+#include "squish/squish_pattern.hpp"
+#include "squish/topology.hpp"
+
+namespace dp::lp {
+
+enum class GeometryBackend {
+  kDifferenceConstraints,  ///< Bellman-Ford; deterministic, fast
+  kSimplexRandomVertex,    ///< simplex with randomized objective
+};
+
+/// Builds and solves Eq. (10) systems for canonical legal topologies.
+class GeometrySolver {
+ public:
+  explicit GeometrySolver(
+      dp::DesignRules rules,
+      GeometryBackend backend = GeometryBackend::kDifferenceConstraints)
+      : rules_(rules), backend_(backend) {}
+
+  [[nodiscard]] const dp::DesignRules& rules() const { return rules_; }
+  [[nodiscard]] GeometryBackend backend() const { return backend_; }
+
+  /// Solves for the geometry of (the canonical form of) `topo`.
+  /// Returns nullopt when the system is infeasible inside the clip
+  /// window (possible for topologies beyond the complexity caps) or the
+  /// topology cannot sit on the half-pitch row lattice.
+  [[nodiscard]] std::optional<dp::squish::SquishPattern> solve(
+      const dp::squish::Topology& topo, Rng& rng) const;
+
+ private:
+  dp::DesignRules rules_;
+  GeometryBackend backend_;
+};
+
+}  // namespace dp::lp

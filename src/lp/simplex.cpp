@@ -1,0 +1,230 @@
+#include "lp/simplex.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dp::lp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau. Rows = constraints, one column per variable
+/// plus the RHS; the objective (reduced-cost) row is kept separately.
+struct Tableau {
+  std::size_t rows = 0;
+  std::size_t cols = 0;  // number of variables (structural+slack+artificial)
+  std::vector<std::vector<double>> a;  // rows x cols
+  std::vector<double> rhs;             // rows
+  std::vector<double> obj;             // cols (reduced costs)
+  double objValue = 0.0;
+  std::vector<std::size_t> basis;      // basic variable per row
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double p = a[pr][pc];
+    for (std::size_t c = 0; c < cols; ++c) a[pr][c] /= p;
+    rhs[pr] /= p;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == pr) continue;
+      const double f = a[r][pc];
+      if (std::abs(f) < kEps) continue;
+      for (std::size_t c = 0; c < cols; ++c) a[r][c] -= f * a[pr][c];
+      rhs[r] -= f * rhs[pr];
+    }
+    const double f = obj[pc];
+    if (std::abs(f) > kEps) {
+      for (std::size_t c = 0; c < cols; ++c) obj[c] -= f * a[pr][c];
+      objValue -= f * rhs[pr];
+    }
+    basis[pr] = pc;
+  }
+
+  /// Runs simplex iterations (maximization, Bland's rule) until optimal
+  /// or unbounded. `allowed[c]` gates which columns may enter.
+  SolveStatus iterate(const std::vector<bool>& allowed) {
+    for (;;) {
+      // Bland: smallest-index column with positive reduced cost.
+      std::size_t enter = cols;
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (allowed[c] && obj[c] > kEps) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter == cols) return SolveStatus::kOptimal;
+
+      // Min-ratio leaving row; Bland tie-break on basis index.
+      std::size_t leave = rows;
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (a[r][enter] > kEps) {
+          const double ratio = rhs[r] / a[r][enter];
+          if (ratio < best - kEps ||
+              (ratio < best + kEps &&
+               (leave == rows || basis[r] < basis[leave]))) {
+            best = ratio;
+            leave = r;
+          }
+        }
+      }
+      if (leave == rows) return SolveStatus::kUnbounded;
+      pivot(leave, enter);
+    }
+  }
+};
+
+}  // namespace
+
+LinearProgram::LinearProgram(std::size_t numVars)
+    : objective_(numVars, 0.0) {
+  if (numVars == 0)
+    throw std::invalid_argument("LinearProgram: need at least one variable");
+}
+
+void LinearProgram::setObjective(std::vector<double> c) {
+  if (c.size() != objective_.size())
+    throw std::invalid_argument("setObjective: size mismatch");
+  objective_ = std::move(c);
+}
+
+void LinearProgram::addConstraint(std::vector<double> coeffs, Relation rel,
+                                  double rhs) {
+  if (coeffs.size() != objective_.size())
+    throw std::invalid_argument("addConstraint: size mismatch");
+  constraints_.push_back(Constraint{std::move(coeffs), rel, rhs});
+}
+
+void LinearProgram::addRangeSumConstraint(std::size_t first,
+                                          std::size_t last, Relation rel,
+                                          double rhs) {
+  if (first > last || last >= objective_.size())
+    throw std::invalid_argument("addRangeSumConstraint: bad range");
+  std::vector<double> coeffs(objective_.size(), 0.0);
+  for (std::size_t i = first; i <= last; ++i) coeffs[i] = 1.0;
+  addConstraint(std::move(coeffs), rel, rhs);
+}
+
+LpResult LinearProgram::solve() const {
+  const std::size_t n = objective_.size();
+  const std::size_t m = constraints_.size();
+
+  // Normalize to rhs >= 0.
+  std::vector<Constraint> cons = constraints_;
+  for (Constraint& c : cons) {
+    if (c.rhs < 0.0) {
+      for (double& v : c.coeffs) v = -v;
+      c.rhs = -c.rhs;
+      if (c.rel == Relation::kLessEqual)
+        c.rel = Relation::kGreaterEqual;
+      else if (c.rel == Relation::kGreaterEqual)
+        c.rel = Relation::kLessEqual;
+    }
+  }
+
+  // Column layout: [structural n][slack/surplus][artificial].
+  std::size_t numSlack = 0, numArt = 0;
+  for (const Constraint& c : cons) {
+    if (c.rel != Relation::kEqual) ++numSlack;
+    if (c.rel != Relation::kLessEqual) ++numArt;
+  }
+
+  Tableau t;
+  t.rows = m;
+  t.cols = n + numSlack + numArt;
+  t.a.assign(m, std::vector<double>(t.cols, 0.0));
+  t.rhs.assign(m, 0.0);
+  t.basis.assign(m, 0);
+
+  std::vector<bool> isArtificial(t.cols, false);
+  std::size_t slackCol = n;
+  std::size_t artCol = n + numSlack;
+  for (std::size_t r = 0; r < m; ++r) {
+    const Constraint& c = cons[r];
+    for (std::size_t j = 0; j < n; ++j) t.a[r][j] = c.coeffs[j];
+    t.rhs[r] = c.rhs;
+    switch (c.rel) {
+      case Relation::kLessEqual:
+        t.a[r][slackCol] = 1.0;
+        t.basis[r] = slackCol++;
+        break;
+      case Relation::kGreaterEqual:
+        t.a[r][slackCol++] = -1.0;
+        t.a[r][artCol] = 1.0;
+        isArtificial[artCol] = true;
+        t.basis[r] = artCol++;
+        break;
+      case Relation::kEqual:
+        t.a[r][artCol] = 1.0;
+        isArtificial[artCol] = true;
+        t.basis[r] = artCol++;
+        break;
+    }
+  }
+
+  std::vector<bool> allowAll(t.cols, true);
+
+  // Phase 1: maximize -(sum of artificials).
+  if (numArt > 0) {
+    t.obj.assign(t.cols, 0.0);
+    t.objValue = 0.0;
+    for (std::size_t c = 0; c < t.cols; ++c)
+      if (isArtificial[c]) t.obj[c] = -1.0;
+    // Price out the basic artificials.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (isArtificial[t.basis[r]]) {
+        for (std::size_t c = 0; c < t.cols; ++c) t.obj[c] += t.a[r][c];
+        t.objValue += t.rhs[r];
+      }
+    }
+    const SolveStatus s1 = t.iterate(allowAll);
+    (void)s1;  // phase 1 is always bounded (objective <= 0)
+    // t.objValue tracks -z; phase-1 z = -(sum of artificials) is 0 at a
+    // feasible point, so a strictly positive residual means infeasible.
+    if (t.objValue > 1e-7) {
+      return LpResult{SolveStatus::kInfeasible, {}, 0.0};
+    }
+    // Drive any remaining basic artificials out (degenerate, value 0).
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!isArtificial[t.basis[r]]) continue;
+      std::size_t pc = t.cols;
+      for (std::size_t c = 0; c < n + numSlack; ++c) {
+        if (std::abs(t.a[r][c]) > kEps) {
+          pc = c;
+          break;
+        }
+      }
+      if (pc != t.cols) t.pivot(r, pc);
+      // else: redundant row; the artificial stays basic at value 0 and is
+      // barred from re-entering in phase 2 below.
+    }
+  }
+
+  // Phase 2: the real objective over structural variables.
+  t.obj.assign(t.cols, 0.0);
+  t.objValue = 0.0;
+  for (std::size_t j = 0; j < n; ++j) t.obj[j] = objective_[j];
+  for (std::size_t r = 0; r < m; ++r) {
+    const double cb = t.basis[r] < n ? objective_[t.basis[r]] : 0.0;
+    if (std::abs(cb) < kEps) continue;
+    for (std::size_t c = 0; c < t.cols; ++c) t.obj[c] -= cb * t.a[r][c];
+    t.objValue -= cb * t.rhs[r];
+  }
+  std::vector<bool> allowed(t.cols, true);
+  for (std::size_t c = 0; c < t.cols; ++c)
+    if (isArtificial[c]) allowed[c] = false;
+
+  const SolveStatus s2 = t.iterate(allowed);
+  if (s2 == SolveStatus::kUnbounded)
+    return LpResult{SolveStatus::kUnbounded, {}, 0.0};
+
+  LpResult res;
+  res.status = SolveStatus::kOptimal;
+  res.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r)
+    if (t.basis[r] < n) res.x[t.basis[r]] = t.rhs[r];
+  res.objective = -t.objValue;
+  return res;
+}
+
+}  // namespace dp::lp

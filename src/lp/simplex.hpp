@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file simplex.hpp
+/// Dense two-phase primal simplex solver for small linear programs.
+///
+/// Solves
+///     maximize   c^T x
+///     subject to A_i x  (<= | = | >=)  b_i      for every constraint i
+///                x >= 0
+///
+/// The geometry systems derived from Eq. (10) of the paper have a few
+/// dozen variables and constraints, so a dense tableau with Bland's rule
+/// (guaranteed termination) is the right tool. The paper "adopts an
+/// industrial solver"; this class is our substitution for it.
+
+#include <cstddef>
+#include <vector>
+
+namespace dp::lp {
+
+enum class Relation { kLessEqual, kEqual, kGreaterEqual };
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded };
+
+/// One linear constraint: coeffs . x  (rel)  rhs.
+struct Constraint {
+  std::vector<double> coeffs;
+  Relation rel = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// Solver result. `x` and `objective` are meaningful only for kOptimal.
+struct LpResult {
+  SolveStatus status = SolveStatus::kInfeasible;
+  std::vector<double> x;
+  double objective = 0.0;
+};
+
+/// A small LP in the standard form documented above.
+class LinearProgram {
+ public:
+  /// Creates a program over `numVars` non-negative variables with the
+  /// all-zero objective (set coefficients via setObjective).
+  explicit LinearProgram(std::size_t numVars);
+
+  [[nodiscard]] std::size_t numVars() const { return objective_.size(); }
+  [[nodiscard]] std::size_t numConstraints() const {
+    return constraints_.size();
+  }
+
+  /// Sets the maximization objective. Throws on size mismatch.
+  void setObjective(std::vector<double> c);
+
+  /// Appends a constraint. Throws on coefficient-count mismatch.
+  void addConstraint(std::vector<double> coeffs, Relation rel, double rhs);
+
+  /// Convenience: coeff-on-a-contiguous-range constraint
+  /// sum(x[first..last]) rel rhs (inclusive range).
+  void addRangeSumConstraint(std::size_t first, std::size_t last,
+                             Relation rel, double rhs);
+
+  /// Runs two-phase simplex with Bland's anti-cycling rule.
+  [[nodiscard]] LpResult solve() const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace dp::lp

@@ -1,0 +1,36 @@
+#include "models/batch.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dp::models {
+
+nn::Tensor gatherRows(const nn::Tensor& data,
+                      const std::vector<int>& indices) {
+  if (data.dim() < 1) throw std::invalid_argument("gatherRows: 0-d data");
+  const int n = data.size(0);
+  std::size_t rowSize = 1;
+  std::vector<int> outShape = data.shape();
+  outShape[0] = static_cast<int>(indices.size());
+  for (int d = 1; d < data.dim(); ++d)
+    rowSize *= static_cast<std::size_t>(data.size(d));
+  nn::Tensor out(outShape);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const int idx = indices[i];
+    if (idx < 0 || idx >= n)
+      throw std::out_of_range("gatherRows: index out of range");
+    std::memcpy(out.data() + i * rowSize,
+                data.data() + static_cast<std::size_t>(idx) * rowSize,
+                rowSize * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<int> sampleIndices(int n, int count, Rng& rng) {
+  if (n <= 0) throw std::invalid_argument("sampleIndices: empty dataset");
+  std::vector<int> idx(static_cast<std::size_t>(count));
+  for (int& i : idx) i = rng.uniformInt(0, n - 1);
+  return idx;
+}
+
+}  // namespace dp::models

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file batch.hpp
+/// Mini-batch utilities: row gathering and random index sampling over a
+/// dataset tensor whose first dimension is the sample dimension.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dp::models {
+
+/// Gathers the given sample indices from `data` (first dim = samples)
+/// into a new tensor with first dimension indices.size().
+[[nodiscard]] nn::Tensor gatherRows(const nn::Tensor& data,
+                                    const std::vector<int>& indices);
+
+/// Samples `count` indices uniformly with replacement from [0, n).
+[[nodiscard]] std::vector<int> sampleIndices(int n, int count, Rng& rng);
+
+}  // namespace dp::models

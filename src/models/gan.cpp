@@ -1,0 +1,149 @@
+#include "models/gan.hpp"
+
+#include <stdexcept>
+
+#include "models/batch.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/conv_transpose2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/reshape.hpp"
+#include "nn/schedule.hpp"
+
+namespace dp::models {
+
+using nn::Tensor;
+
+Gan::Gan(nn::Sequential generator, nn::Sequential discriminator,
+         std::vector<int> zShape)
+    : gen_(std::move(generator)), disc_(std::move(discriminator)),
+      zShape_(std::move(zShape)) {
+  if (zShape_.empty()) throw std::invalid_argument("Gan: empty z shape");
+}
+
+Tensor Gan::sample(int n, Rng& rng) {
+  std::vector<int> shape = zShape_;
+  shape.insert(shape.begin(), n);
+  const Tensor z = Tensor::randn(shape, rng);
+  return gen_.forward(z, /*training=*/false);
+}
+
+GanStats Gan::train(const Tensor& data, const GanConfig& config, Rng& rng) {
+  if (data.dim() < 1 || data.size(0) == 0)
+    throw std::invalid_argument("Gan::train: empty dataset");
+  const int n = data.size(0);
+  nn::Adam genOpt(gen_.params(), config.lr);
+  nn::Adam discOpt(disc_.params(), config.lr);
+  const nn::StepDecaySchedule sched(config.lr, config.lrDecayFactor,
+                                    config.lrDecayEvery);
+  const int b = config.batchSize;
+  GanStats stats;
+
+  for (long step = 0; step < config.trainSteps; ++step) {
+    const double lr = sched.lrAt(step);
+    genOpt.setLearningRate(lr);
+    discOpt.setLearningRate(lr);
+
+    // --- discriminator update: real -> 1, fake -> 0 ---
+    discOpt.zeroGrad();
+    double dLoss = 0.0;
+    {
+      const Tensor real = gatherRows(data, sampleIndices(n, b, rng));
+      const Tensor logits = disc_.forward(real, /*training=*/true);
+      Tensor grad;
+      dLoss += nn::bceWithLogitsLoss(logits, Tensor::full(logits.shape(), 1.0f),
+                                     grad);
+      disc_.backward(grad);
+    }
+    {
+      std::vector<int> shape = zShape_;
+      shape.insert(shape.begin(), b);
+      const Tensor z = Tensor::randn(shape, rng);
+      const Tensor fake = gen_.forward(z, /*training=*/true);
+      const Tensor logits = disc_.forward(fake, /*training=*/true);
+      Tensor grad;
+      dLoss += nn::bceWithLogitsLoss(logits, Tensor::zeros(logits.shape()),
+                                     grad);
+      disc_.backward(grad);  // fake batch is detached: no generator update
+    }
+    discOpt.step();
+
+    // --- generator update: make D(G(z)) -> 1 ---
+    genOpt.zeroGrad();
+    discOpt.zeroGrad();  // discard the gradients the G pass leaves in D
+    double gLoss = 0.0;
+    {
+      std::vector<int> shape = zShape_;
+      shape.insert(shape.begin(), b);
+      const Tensor z = Tensor::randn(shape, rng);
+      const Tensor fake = gen_.forward(z, /*training=*/true);
+      const Tensor logits = disc_.forward(fake, /*training=*/true);
+      Tensor grad;
+      gLoss = nn::bceWithLogitsLoss(logits, Tensor::full(logits.shape(), 1.0f),
+                                    grad);
+      const Tensor gradFake = disc_.backward(grad);
+      gen_.backward(gradFake);
+      genOpt.step();
+      discOpt.zeroGrad();
+    }
+
+    stats.finalDiscLoss = dLoss;
+    stats.finalGenLoss = gLoss;
+    ++stats.steps;
+  }
+  return stats;
+}
+
+Gan makeMlpGan(int dataDim, Rng& rng, int zDim, int hidden) {
+  nn::Sequential gen;
+  gen.emplace<nn::Linear>(zDim, hidden, rng);
+  gen.emplace<nn::BatchNorm1d>(hidden);
+  gen.emplace<nn::LeakyReLU>(0.2f);
+  gen.emplace<nn::Linear>(hidden, hidden, rng);
+  gen.emplace<nn::BatchNorm1d>(hidden);
+  gen.emplace<nn::LeakyReLU>(0.2f);
+  gen.emplace<nn::Linear>(hidden, dataDim, rng);
+
+  nn::Sequential disc;
+  disc.emplace<nn::Linear>(dataDim, hidden, rng, /*weightDecay=*/0.01);
+  disc.emplace<nn::LeakyReLU>(0.2f);
+  disc.emplace<nn::Linear>(hidden, hidden / 2, rng, /*weightDecay=*/0.01);
+  disc.emplace<nn::LeakyReLU>(0.2f);
+  disc.emplace<nn::Linear>(hidden / 2, 1, rng, /*weightDecay=*/0.01);
+
+  return Gan(std::move(gen), std::move(disc), {zDim});
+}
+
+Gan makeDcgan(Rng& rng, int size, int zDim) {
+  if (size % 4 != 0)
+    throw std::invalid_argument("makeDcgan: size must be divisible by 4");
+  const int s4 = size / 4;
+  const int genC = 16;
+  const int discC = 8;
+
+  nn::Sequential gen;
+  gen.emplace<nn::Linear>(zDim, genC * s4 * s4, rng);
+  gen.emplace<nn::ReLU>();
+  gen.emplace<nn::Reshape>(genC, s4, s4);
+  gen.emplace<nn::ConvTranspose2d>(genC, genC / 2, 4, 2, 1, rng);
+  gen.emplace<nn::ReLU>();
+  gen.emplace<nn::ConvTranspose2d>(genC / 2, 1, 4, 2, 1, rng);
+  gen.emplace<nn::Sigmoid>();
+
+  nn::Sequential disc;
+  disc.emplace<nn::Conv2d>(1, discC, 3, 2, 1, rng, /*weightDecay=*/0.01);
+  disc.emplace<nn::LeakyReLU>(0.2f);
+  disc.emplace<nn::Conv2d>(discC, discC * 2, 3, 2, 1, rng,
+                           /*weightDecay=*/0.01);
+  disc.emplace<nn::LeakyReLU>(0.2f);
+  disc.emplace<nn::Flatten>();
+  disc.emplace<nn::Linear>(discC * 2 * s4 * s4, 1, rng,
+                           /*weightDecay=*/0.01);
+
+  return Gan(std::move(gen), std::move(disc), {zDim});
+}
+
+}  // namespace dp::models

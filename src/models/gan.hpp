@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file gan.hpp
+/// Generative adversarial network (Goodfellow et al. 2014) over an
+/// arbitrary generator/discriminator pair. Two concrete builds:
+///  - makeMlpGan: the paper's G-TCAE component (§III-C2) — a shallow
+///    three-layer perceptron generator with 64 hidden nodes, Leaky-ReLU
+///    and batch normalization, producing 32-long latent vectors, and a
+///    two-hidden-layer discriminator.
+///  - makeDcgan: the DCGAN baseline of Table II that generates 24x24
+///    topologies directly (and, per the paper, mostly fails to).
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dp::models {
+
+/// GAN training hyper-parameters (paper §IV-A: lr 0.001 decayed by 0.05
+/// every 10000 iterations, discriminator L2 0.01, generator unregularized).
+struct GanConfig {
+  double lr = 1e-3;
+  double lrDecayFactor = 0.05;
+  long lrDecayEvery = 10000;
+  long trainSteps = 1500;
+  int batchSize = 64;
+};
+
+/// Per-step loss trace.
+struct GanStats {
+  long steps = 0;
+  double finalDiscLoss = 0.0;
+  double finalGenLoss = 0.0;
+};
+
+class Gan {
+ public:
+  /// Takes ownership of the two networks. `zShape` is the shape of one
+  /// noise sample (excluding the batch dimension).
+  Gan(nn::Sequential generator, nn::Sequential discriminator,
+      std::vector<int> zShape);
+
+  /// Draws n samples: z ~ N(0,1), returns G(z) (first dim n).
+  [[nodiscard]] nn::Tensor sample(int n, Rng& rng);
+
+  /// Alternating D/G updates on `data` (first dim = samples), exactly
+  /// the procedure of Goodfellow et al. as the paper prescribes.
+  GanStats train(const nn::Tensor& data, const GanConfig& config, Rng& rng);
+
+  [[nodiscard]] nn::Sequential& generator() { return gen_; }
+  [[nodiscard]] nn::Sequential& discriminator() { return disc_; }
+
+ private:
+  nn::Sequential gen_;
+  nn::Sequential disc_;
+  std::vector<int> zShape_;
+};
+
+/// The paper's latent-vector GAN: z in R^zDim -> vectors in R^dataDim.
+[[nodiscard]] Gan makeMlpGan(int dataDim, Rng& rng, int zDim = 16,
+                             int hidden = 64);
+
+/// DCGAN baseline over (1, size, size) topologies; the generator ends
+/// in a sigmoid, so threshold its output at 0.5 to obtain topologies.
+[[nodiscard]] Gan makeDcgan(Rng& rng, int size = 24, int zDim = 32);
+
+}  // namespace dp::models

@@ -1,0 +1,117 @@
+#include "models/tcae.hpp"
+
+#include <stdexcept>
+
+#include "models/batch.hpp"
+#include "models/topology_codec.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/conv_transpose2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/reshape.hpp"
+#include "nn/schedule.hpp"
+#include "nn/serialize.hpp"
+
+namespace dp::models {
+
+using nn::Tensor;
+
+Tcae::Tcae(TcaeConfig config, Rng& rng) : config_(config) {
+  const int s = config_.inputSize;
+  if (s % 4 != 0)
+    throw std::invalid_argument("Tcae: inputSize must be divisible by 4");
+  const int s4 = s / 4;  // spatial size after two stride-2 convs
+  const int flat = config_.conv2Channels * s4 * s4;
+
+  encoder_.emplace<nn::Conv2d>(1, config_.conv1Channels, 3, 2, 1, rng,
+                               config_.convWeightDecay);
+  encoder_.emplace<nn::ReLU>();
+  encoder_.emplace<nn::Conv2d>(config_.conv1Channels, config_.conv2Channels,
+                               3, 2, 1, rng, config_.convWeightDecay);
+  encoder_.emplace<nn::ReLU>();
+  encoder_.emplace<nn::Flatten>();
+  encoder_.emplace<nn::Linear>(flat, config_.hidden, rng,
+                               config_.denseWeightDecay);
+  encoder_.emplace<nn::ReLU>();
+  encoder_.emplace<nn::Linear>(config_.hidden, config_.latentDim, rng,
+                               config_.denseWeightDecay);
+
+  decoder_.emplace<nn::Linear>(config_.latentDim, config_.hidden, rng,
+                               config_.denseWeightDecay);
+  decoder_.emplace<nn::ReLU>();
+  decoder_.emplace<nn::Linear>(config_.hidden, flat, rng,
+                               config_.denseWeightDecay);
+  decoder_.emplace<nn::ReLU>();
+  decoder_.emplace<nn::Reshape>(config_.conv2Channels, s4, s4);
+  decoder_.emplace<nn::ConvTranspose2d>(config_.conv2Channels,
+                                        config_.conv1Channels, 4, 2, 1, rng,
+                                        config_.convWeightDecay);
+  decoder_.emplace<nn::ReLU>();
+  decoder_.emplace<nn::ConvTranspose2d>(config_.conv1Channels, 1, 4, 2, 1,
+                                        rng, config_.convWeightDecay);
+  decoder_.emplace<nn::Sigmoid>();
+}
+
+Tensor Tcae::encode(const Tensor& topologies) {
+  return encoder_.forward(topologies, /*training=*/false);
+}
+
+Tensor Tcae::decode(const Tensor& latents) {
+  return decoder_.forward(latents, /*training=*/false);
+}
+
+Tensor Tcae::reconstruct(const Tensor& topologies) {
+  return decode(encode(topologies));
+}
+
+double Tcae::trainStep(const Tensor& batch, nn::Optimizer& opt) {
+  opt.zeroGrad();
+  const Tensor latent = encoder_.forward(batch, /*training=*/true);
+  const Tensor recon = decoder_.forward(latent, /*training=*/true);
+  Tensor grad;
+  const double loss = nn::mseLoss(recon, batch, grad);
+  const Tensor gradLatent = decoder_.backward(grad);
+  encoder_.backward(gradLatent);
+  opt.step();
+  return loss;
+}
+
+TrainStats Tcae::train(const std::vector<squish::Topology>& data,
+                       Rng& rng) {
+  if (data.empty()) throw std::invalid_argument("Tcae::train: no data");
+  const Tensor dataset = encodeTopologies(data, config_.inputSize);
+  nn::Adam opt(params(), config_.initialLr);
+  const nn::StepDecaySchedule sched(config_.initialLr,
+                                    config_.lrDecayFactor,
+                                    config_.lrDecayEvery);
+  TrainStats stats;
+  for (long step = 0; step < config_.trainSteps; ++step) {
+    opt.setLearningRate(sched.lrAt(step));
+    const auto idx = sampleIndices(static_cast<int>(data.size()),
+                                   config_.batchSize, rng);
+    const double loss = trainStep(gatherRows(dataset, idx), opt);
+    stats.finalLoss = loss;
+    if (step % 100 == 0) stats.lossEvery100.push_back(loss);
+    ++stats.steps;
+  }
+  return stats;
+}
+
+std::vector<nn::Param*> Tcae::params() {
+  std::vector<nn::Param*> all = encoder_.params();
+  for (nn::Param* p : decoder_.params()) all.push_back(p);
+  return all;
+}
+
+std::size_t Tcae::parameterCount() {
+  std::size_t n = 0;
+  for (nn::Param* p : params()) n += p->value.numel();
+  return n;
+}
+
+void Tcae::save(const std::string& path) { nn::saveParams(params(), path); }
+
+void Tcae::load(const std::string& path) { nn::loadParams(params(), path); }
+
+}  // namespace dp::models

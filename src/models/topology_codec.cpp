@@ -1,0 +1,62 @@
+#include "models/topology_codec.hpp"
+
+#include <stdexcept>
+
+namespace dp::models {
+
+nn::Tensor encodeTopologies(const std::vector<squish::Topology>& topos,
+                            int size) {
+  if (topos.empty())
+    throw std::invalid_argument("encodeTopologies: empty input");
+  nn::Tensor out({static_cast<int>(topos.size()), 1, size, size});
+  for (std::size_t n = 0; n < topos.size(); ++n) {
+    const squish::Topology padded = squish::padTo(topos[n], size, size);
+    for (int r = 0; r < size; ++r)
+      for (int c = 0; c < size; ++c)
+        out.at(static_cast<int>(n), 0, r, c) =
+            padded.at(r, c) ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+nn::Tensor encodeTopology(const squish::Topology& topo, int size) {
+  return encodeTopologies({topo}, size);
+}
+
+squish::Topology decodeTopology(const nn::Tensor& t, int n,
+                                float threshold) {
+  if (t.dim() != 4 || t.size(1) != 1)
+    throw std::invalid_argument("decodeTopology: expected (N,1,S,S)");
+  const int rows = t.size(2);
+  const int cols = t.size(3);
+  squish::Topology topo(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      topo.set(r, c, t.at(n, 0, r, c) >= threshold ? 1 : 0);
+  return topo;
+}
+
+std::vector<squish::Topology> decodeTopologies(const nn::Tensor& t,
+                                               float threshold) {
+  std::vector<squish::Topology> out;
+  out.reserve(static_cast<std::size_t>(t.size(0)));
+  for (int n = 0; n < t.size(0); ++n)
+    out.push_back(decodeTopology(t, n, threshold));
+  return out;
+}
+
+squish::Topology decodeGeneratedTopology(const nn::Tensor& t, int n,
+                                         float threshold) {
+  return squish::unpad(decodeTopology(t, n, threshold));
+}
+
+std::vector<squish::Topology> decodeGeneratedTopologies(
+    const nn::Tensor& t, float threshold) {
+  std::vector<squish::Topology> out;
+  out.reserve(static_cast<std::size_t>(t.size(0)));
+  for (int n = 0; n < t.size(0); ++n)
+    out.push_back(decodeGeneratedTopology(t, n, threshold));
+  return out;
+}
+
+}  // namespace dp::models

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file topology_codec.hpp
+/// Conversions between squish topologies and network tensors. Training
+/// inputs are zero-padded to the paper's 24x24 network size; network
+/// outputs in [0,1] are binarized at 0.5 to recover topologies.
+
+#include <vector>
+
+#include "squish/pad.hpp"
+#include "squish/topology.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dp::models {
+
+/// Encodes topologies as an (N, 1, S, S) tensor, zero-padding each to
+/// S = kNetworkTopologySize. Throws when a topology exceeds S.
+[[nodiscard]] nn::Tensor encodeTopologies(
+    const std::vector<squish::Topology>& topos,
+    int size = squish::kNetworkTopologySize);
+
+/// Encodes one topology as a (1, 1, S, S) tensor.
+[[nodiscard]] nn::Tensor encodeTopology(
+    const squish::Topology& topo, int size = squish::kNetworkTopologySize);
+
+/// Decodes sample `n` of an (N, 1, S, S) activation tensor into a raw
+/// S x S topology by thresholding at `threshold`.
+[[nodiscard]] squish::Topology decodeTopology(const nn::Tensor& t, int n,
+                                              float threshold = 0.5f);
+
+/// Decodes every sample of an (N, 1, S, S) activation tensor.
+[[nodiscard]] std::vector<squish::Topology> decodeTopologies(
+    const nn::Tensor& t, float threshold = 0.5f);
+
+/// Decodes one generated sample: threshold, then strip the zero padding
+/// (trailing all-zero rows/columns). The network input convention pads
+/// every topology with zeros to S x S, so trailing zeros in an output
+/// are padding, not pattern margin — legality, complexity and
+/// uniqueness of generated patterns are all defined on this unpadded
+/// form.
+[[nodiscard]] squish::Topology decodeGeneratedTopology(
+    const nn::Tensor& t, int n, float threshold = 0.5f);
+
+/// decodeGeneratedTopology for every sample.
+[[nodiscard]] std::vector<squish::Topology> decodeGeneratedTopologies(
+    const nn::Tensor& t, float threshold = 0.5f);
+
+}  // namespace dp::models

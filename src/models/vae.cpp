@@ -1,0 +1,148 @@
+#include "models/vae.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "models/batch.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/conv_transpose2d.hpp"
+#include "nn/loss.hpp"
+#include "nn/reshape.hpp"
+#include "nn/schedule.hpp"
+
+namespace dp::models {
+
+using nn::Tensor;
+
+Vae::Vae(VaeConfig config, Rng& rng)
+    : config_(config),
+      muHead_(config.hidden, config.latentDim, rng, config.weightDecay),
+      logVarHead_(config.hidden, config.latentDim, rng, config.weightDecay) {
+  if (config_.backbone == VaeConfig::Backbone::kTopology) {
+    const int s = config_.inputSize;
+    if (s % 4 != 0)
+      throw std::invalid_argument("Vae: inputSize must be divisible by 4");
+    const int s4 = s / 4;
+    const int flat = config_.conv2Channels * s4 * s4;
+    encBase_.emplace<nn::Conv2d>(1, config_.conv1Channels, 3, 2, 1, rng,
+                                 config_.weightDecay);
+    encBase_.emplace<nn::ReLU>();
+    encBase_.emplace<nn::Conv2d>(config_.conv1Channels,
+                                 config_.conv2Channels, 3, 2, 1, rng,
+                                 config_.weightDecay);
+    encBase_.emplace<nn::ReLU>();
+    encBase_.emplace<nn::Flatten>();
+    encBase_.emplace<nn::Linear>(flat, config_.hidden, rng,
+                                 config_.weightDecay);
+    encBase_.emplace<nn::ReLU>();
+
+    decoder_.emplace<nn::Linear>(config_.latentDim, config_.hidden, rng,
+                                 config_.weightDecay);
+    decoder_.emplace<nn::ReLU>();
+    decoder_.emplace<nn::Linear>(config_.hidden, flat, rng,
+                                 config_.weightDecay);
+    decoder_.emplace<nn::ReLU>();
+    decoder_.emplace<nn::Reshape>(config_.conv2Channels, s4, s4);
+    decoder_.emplace<nn::ConvTranspose2d>(config_.conv2Channels,
+                                          config_.conv1Channels, 4, 2, 1,
+                                          rng, config_.weightDecay);
+    decoder_.emplace<nn::ReLU>();
+    decoder_.emplace<nn::ConvTranspose2d>(config_.conv1Channels, 1, 4, 2, 1,
+                                          rng, config_.weightDecay);
+    decoder_.emplace<nn::Sigmoid>();
+  } else {
+    encBase_.emplace<nn::Linear>(config_.inputDim, config_.hidden, rng,
+                                 config_.weightDecay);
+    encBase_.emplace<nn::ReLU>();
+
+    decoder_.emplace<nn::Linear>(config_.latentDim, config_.hidden, rng,
+                                 config_.weightDecay);
+    decoder_.emplace<nn::ReLU>();
+    decoder_.emplace<nn::Linear>(config_.hidden, config_.inputDim, rng,
+                                 config_.weightDecay);
+  }
+}
+
+VaeForward Vae::encode(const Tensor& x) {
+  const Tensor h = encBase_.forward(x, /*training=*/false);
+  VaeForward out;
+  out.mu = muHead_.forward(h, /*training=*/false);
+  out.logVar = logVarHead_.forward(h, /*training=*/false);
+  return out;
+}
+
+Tensor Vae::decode(const Tensor& z) {
+  return decoder_.forward(z, /*training=*/false);
+}
+
+Tensor Vae::sample(int n, Rng& rng) {
+  const Tensor z = Tensor::randn({n, config_.latentDim}, rng);
+  return decode(z);
+}
+
+double Vae::trainStep(const Tensor& batch, nn::Optimizer& opt, Rng& rng) {
+  opt.zeroGrad();
+  const Tensor h = encBase_.forward(batch, /*training=*/true);
+  const Tensor mu = muHead_.forward(h, /*training=*/true);
+  const Tensor logVar = logVarHead_.forward(h, /*training=*/true);
+
+  // Reparameterization: z = mu + eps * exp(0.5 * logVar).
+  const Tensor eps = Tensor::randn(mu.shape(), rng);
+  Tensor z = mu;
+  for (std::size_t i = 0; i < z.numel(); ++i)
+    z[i] += eps[i] * std::exp(0.5f * logVar[i]);
+
+  const Tensor recon = decoder_.forward(z, /*training=*/true);
+  Tensor gradRecon;
+  const double reconLoss = nn::mseLoss(recon, batch, gradRecon);
+  Tensor gradMuKl, gradLogVarKl;
+  const double klLoss =
+      nn::gaussianKlLoss(mu, logVar, gradMuKl, gradLogVarKl);
+
+  const Tensor dz = decoder_.backward(gradRecon);
+  // dmu = dz + klWeight * dKL/dmu;
+  // dlogVar = dz * eps * 0.5*exp(0.5*logVar) + klWeight * dKL/dlogVar.
+  Tensor gradMu = dz;
+  Tensor gradLogVar(dz.shape());
+  for (std::size_t i = 0; i < dz.numel(); ++i) {
+    gradMu[i] += static_cast<float>(config_.klWeight) * gradMuKl[i];
+    gradLogVar[i] =
+        dz[i] * eps[i] * 0.5f * std::exp(0.5f * logVar[i]) +
+        static_cast<float>(config_.klWeight) * gradLogVarKl[i];
+  }
+  const Tensor dhMu = muHead_.backward(gradMu);
+  const Tensor dhLogVar = logVarHead_.backward(gradLogVar);
+  Tensor dh = dhMu;
+  dh += dhLogVar;
+  encBase_.backward(dh);
+  opt.step();
+  return reconLoss + config_.klWeight * klLoss;
+}
+
+double Vae::train(const Tensor& data, Rng& rng) {
+  if (data.dim() < 1 || data.size(0) == 0)
+    throw std::invalid_argument("Vae::train: empty dataset");
+  nn::Adam opt(params(), config_.initialLr);
+  const nn::StepDecaySchedule sched(config_.initialLr,
+                                    config_.lrDecayFactor,
+                                    config_.lrDecayEvery);
+  double loss = 0.0;
+  for (long step = 0; step < config_.trainSteps; ++step) {
+    opt.setLearningRate(sched.lrAt(step));
+    const auto idx =
+        sampleIndices(data.size(0), config_.batchSize, rng);
+    loss = trainStep(gatherRows(data, idx), opt, rng);
+  }
+  return loss;
+}
+
+std::vector<nn::Param*> Vae::params() {
+  std::vector<nn::Param*> all = encBase_.params();
+  for (nn::Param* p : muHead_.params()) all.push_back(p);
+  for (nn::Param* p : logVarHead_.params()) all.push_back(p);
+  for (nn::Param* p : decoder_.params()) all.push_back(p);
+  return all;
+}
+
+}  // namespace dp::models

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file vae.hpp
+/// Variational auto-encoder (Kingma & Welling 2013), Eq. (7) of the
+/// paper. Two builds are used in the evaluation:
+///  - topology backbone ("VAE" row of Table II): same architecture as
+///    the TCAE with the bottleneck replaced by mean/variance heads;
+///    sampling z ~ N(0,1) through the decoder generates topologies.
+///  - vector backbone ("V-TCAE" of Table III): a small MLP VAE over the
+///    TCAE perturbation/latent vectors, playing the GAN's role in the
+///    G-TCAE architecture.
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/linear.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dp::models {
+
+struct VaeConfig {
+  enum class Backbone { kTopology, kVector };
+
+  Backbone backbone = Backbone::kTopology;
+  int inputSize = 24;   ///< topology backbone: image edge length
+  int inputDim = 32;    ///< vector backbone: feature dimension
+  int latentDim = 16;
+  int hidden = 96;
+  int conv1Channels = 8;
+  int conv2Channels = 16;
+  // Weight of the KL term. Large enough that the aggregate posterior
+  // approaches the prior, so sampling z ~ N(0,1) through the decoder is
+  // meaningful; small enough not to collapse reconstruction.
+  double klWeight = 0.1;
+  double weightDecay = 1e-3;
+  double initialLr = 1e-3;
+  double lrDecayFactor = 0.7;
+  long lrDecayEvery = 2000;
+  long trainSteps = 1500;
+  int batchSize = 64;
+};
+
+/// One VAE forward pass result.
+struct VaeForward {
+  nn::Tensor recon;
+  nn::Tensor mu;
+  nn::Tensor logVar;
+};
+
+class Vae {
+ public:
+  Vae(VaeConfig config, Rng& rng);
+
+  [[nodiscard]] const VaeConfig& config() const { return config_; }
+
+  /// Encode to the posterior parameters (inference mode).
+  [[nodiscard]] VaeForward encode(const nn::Tensor& x);
+
+  /// Decode latent codes to data space (inference mode).
+  [[nodiscard]] nn::Tensor decode(const nn::Tensor& z);
+
+  /// Draws n samples from the prior z ~ N(0,1) through the decoder.
+  [[nodiscard]] nn::Tensor sample(int n, Rng& rng);
+
+  /// Trains on `data` (first dim = samples) with the ELBO objective
+  /// (reconstruction MSE + klWeight * KL). Returns final total loss.
+  double train(const nn::Tensor& data, Rng& rng);
+
+  [[nodiscard]] std::vector<nn::Param*> params();
+
+ private:
+  /// One optimization step; returns the total loss.
+  double trainStep(const nn::Tensor& batch, nn::Optimizer& opt, Rng& rng);
+
+  VaeConfig config_;
+  nn::Sequential encBase_;
+  nn::Linear muHead_;
+  nn::Linear logVarHead_;
+  nn::Sequential decoder_;
+};
+
+}  // namespace dp::models

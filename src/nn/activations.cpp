@@ -1,0 +1,70 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace dp::nn {
+
+Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
+  input_ = x;
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i)
+    if (y[i] < 0.0f) y[i] = 0.0f;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& gradOut) {
+  requireSameShape(gradOut, input_, "ReLU::backward");
+  Tensor dx = gradOut;
+  for (std::size_t i = 0; i < dx.numel(); ++i)
+    if (input_[i] <= 0.0f) dx[i] = 0.0f;
+  return dx;
+}
+
+Tensor LeakyReLU::forward(const Tensor& x, bool /*training*/) {
+  input_ = x;
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i)
+    if (y[i] < 0.0f) y[i] *= slope_;
+  return y;
+}
+
+Tensor LeakyReLU::backward(const Tensor& gradOut) {
+  requireSameShape(gradOut, input_, "LeakyReLU::backward");
+  Tensor dx = gradOut;
+  for (std::size_t i = 0; i < dx.numel(); ++i)
+    if (input_[i] <= 0.0f) dx[i] *= slope_;
+  return dx;
+}
+
+Tensor Sigmoid::forward(const Tensor& x, bool /*training*/) {
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i)
+    y[i] = 1.0f / (1.0f + std::exp(-y[i]));
+  output_ = y;
+  return y;
+}
+
+Tensor Sigmoid::backward(const Tensor& gradOut) {
+  requireSameShape(gradOut, output_, "Sigmoid::backward");
+  Tensor dx = gradOut;
+  for (std::size_t i = 0; i < dx.numel(); ++i)
+    dx[i] *= output_[i] * (1.0f - output_[i]);
+  return dx;
+}
+
+Tensor Tanh::forward(const Tensor& x, bool /*training*/) {
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i) y[i] = std::tanh(y[i]);
+  output_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& gradOut) {
+  requireSameShape(gradOut, output_, "Tanh::backward");
+  Tensor dx = gradOut;
+  for (std::size_t i = 0; i < dx.numel(); ++i)
+    dx[i] *= 1.0f - output_[i] * output_[i];
+  return dx;
+}
+
+}  // namespace dp::nn

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file activations.hpp
+/// Elementwise activation layers: ReLU, LeakyReLU (the paper's GAN
+/// generator uses Leaky-ReLU, §III-C2), Sigmoid and Tanh.
+
+#include "nn/layer.hpp"
+
+namespace dp::nn {
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& gradOut) override;
+  [[nodiscard]] std::string name() const override { return "relu"; }
+
+ private:
+  Tensor input_;
+};
+
+class LeakyReLU final : public Layer {
+ public:
+  explicit LeakyReLU(float slope = 0.2f) : slope_(slope) {}
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& gradOut) override;
+  [[nodiscard]] std::string name() const override { return "leaky_relu"; }
+  [[nodiscard]] float slope() const { return slope_; }
+
+ private:
+  float slope_;
+  Tensor input_;
+};
+
+class Sigmoid final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& gradOut) override;
+  [[nodiscard]] std::string name() const override { return "sigmoid"; }
+
+ private:
+  Tensor output_;
+};
+
+class Tanh final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& gradOut) override;
+  [[nodiscard]] std::string name() const override { return "tanh"; }
+
+ private:
+  Tensor output_;
+};
+
+}  // namespace dp::nn

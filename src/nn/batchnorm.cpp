@@ -1,0 +1,88 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dp::nn {
+
+BatchNorm1d::BatchNorm1d(int features, double momentum, double eps)
+    : features_(features), momentum_(momentum), eps_(eps),
+      gamma_(Tensor::full({features}, 1.0f)),
+      beta_(Tensor::zeros({features})),
+      runningMean_(Tensor::zeros({features})),
+      runningVar_(Tensor::full({features}, 1.0f)) {
+  if (features <= 0)
+    throw std::invalid_argument("BatchNorm1d: features must be positive");
+}
+
+Tensor BatchNorm1d::forward(const Tensor& x, bool training) {
+  if (x.dim() != 2 || x.size(1) != features_)
+    throw std::invalid_argument("BatchNorm1d::forward: bad input " +
+                                x.shapeString());
+  const int n = x.size(0);
+  Tensor mean({features_});
+  Tensor var({features_});
+  if (training && n > 1) {
+    for (int j = 0; j < features_; ++j) {
+      double m = 0.0;
+      for (int i = 0; i < n; ++i) m += x.at(i, j);
+      m /= n;
+      double v = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const double d = x.at(i, j) - m;
+        v += d * d;
+      }
+      v /= n;
+      mean[j] = static_cast<float>(m);
+      var[j] = static_cast<float>(v);
+      runningMean_[j] = static_cast<float>(momentum_ * runningMean_[j] +
+                                           (1.0 - momentum_) * m);
+      runningVar_[j] = static_cast<float>(momentum_ * runningVar_[j] +
+                                          (1.0 - momentum_) * v);
+    }
+  } else {
+    mean = runningMean_;
+    var = runningVar_;
+  }
+
+  invStd_ = Tensor({features_});
+  for (int j = 0; j < features_; ++j)
+    invStd_[j] = static_cast<float>(1.0 / std::sqrt(var[j] + eps_));
+
+  xhat_ = Tensor({n, features_});
+  Tensor y({n, features_});
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < features_; ++j) {
+      const float xh = (x.at(i, j) - mean[j]) * invStd_[j];
+      xhat_.at(i, j) = xh;
+      y.at(i, j) = gamma_.value[j] * xh + beta_.value[j];
+    }
+  return y;
+}
+
+Tensor BatchNorm1d::backward(const Tensor& gradOut) {
+  const int n = xhat_.size(0);
+  if (gradOut.dim() != 2 || gradOut.size(0) != n ||
+      gradOut.size(1) != features_)
+    throw std::invalid_argument("BatchNorm1d::backward: bad shape");
+  Tensor dx({n, features_});
+  for (int j = 0; j < features_; ++j) {
+    double sumDy = 0.0, sumDyXhat = 0.0;
+    for (int i = 0; i < n; ++i) {
+      sumDy += gradOut.at(i, j);
+      sumDyXhat += gradOut.at(i, j) * xhat_.at(i, j);
+    }
+    gamma_.grad[j] += static_cast<float>(sumDyXhat);
+    beta_.grad[j] += static_cast<float>(sumDy);
+    const double g = gamma_.value[j];
+    const double is = invStd_[j];
+    for (int i = 0; i < n; ++i) {
+      const double dy = gradOut.at(i, j);
+      dx.at(i, j) = static_cast<float>(
+          g * is * (dy - sumDy / n - xhat_.at(i, j) * sumDyXhat / n));
+    }
+  }
+  return dx;
+}
+
+}  // namespace dp::nn

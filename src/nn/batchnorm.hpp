@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file batchnorm.hpp
+/// Batch normalization over (N, D) feature batches (the paper's GAN
+/// generator applies batch normalization between dense layers, §III-C2).
+/// Keeps running statistics for inference mode.
+
+#include "nn/layer.hpp"
+
+namespace dp::nn {
+
+class BatchNorm1d final : public Layer {
+ public:
+  explicit BatchNorm1d(int features, double momentum = 0.9,
+                       double eps = 1e-5);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& gradOut) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  [[nodiscard]] std::string name() const override { return "batchnorm1d"; }
+
+  [[nodiscard]] const Tensor& runningMean() const { return runningMean_; }
+  [[nodiscard]] const Tensor& runningVar() const { return runningVar_; }
+
+ private:
+  int features_;
+  double momentum_;
+  double eps_;
+  Param gamma_;
+  Param beta_;
+  Tensor runningMean_;
+  Tensor runningVar_;
+  // Backward caches.
+  Tensor xhat_;
+  Tensor invStd_;  // (D)
+};
+
+}  // namespace dp::nn

@@ -1,0 +1,96 @@
+#include "nn/conv2d.hpp"
+
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+
+namespace dp::nn {
+
+Conv2d::Conv2d(int inChannels, int outChannels, int kernel, int stride,
+               int pad, Rng& rng, double weightDecay)
+    : inC_(inChannels), outC_(outChannels), kernel_(kernel),
+      stride_(stride), pad_(pad),
+      weight_(Tensor::zeros({outChannels, inChannels * kernel * kernel}),
+              weightDecay),
+      bias_(Tensor::zeros({outChannels})) {
+  if (inChannels <= 0 || outChannels <= 0 || kernel <= 0 || stride <= 0 ||
+      pad < 0)
+    throw std::invalid_argument("Conv2d: bad configuration");
+  xavierUniform(weight_.value, inChannels * kernel * kernel,
+                outChannels * kernel * kernel, rng);
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*training*/) {
+  if (x.dim() != 4 || x.size(1) != inC_)
+    throw std::invalid_argument("Conv2d::forward: bad input " +
+                                x.shapeString());
+  const int n = x.size(0);
+  geom_ = ConvGeom{inC_, x.size(2), x.size(3), kernel_, stride_, pad_};
+  const int oh = geom_.outHeight();
+  const int ow = geom_.outWidth();
+  if (oh <= 0 || ow <= 0)
+    throw std::invalid_argument("Conv2d::forward: input too small");
+  input_ = x;
+  const int cr = geom_.colRows();
+  const int cc = geom_.colCols();
+  cols_ = Tensor({n, cr * cc});
+
+  Tensor y({n, outC_, oh, ow});
+  const std::size_t planeIn =
+      static_cast<std::size_t>(inC_) * geom_.height * geom_.width;
+  const std::size_t planeOut = static_cast<std::size_t>(outC_) * oh * ow;
+  for (int s = 0; s < n; ++s) {
+    float* cols = cols_.data() + static_cast<std::size_t>(s) * cr * cc;
+    im2col(geom_, x.data() + s * planeIn, cols);
+    // y_s (outC, cc) = W (outC, cr) * cols (cr, cc)
+    gemm(false, false, outC_, cc, cr, 1.0f, weight_.value.data(), cr, cols,
+         cc, 0.0f, y.data() + s * planeOut, cc);
+  }
+  for (int s = 0; s < n; ++s)
+    for (int c = 0; c < outC_; ++c) {
+      float* plane = y.data() + s * planeOut + static_cast<std::size_t>(c) * oh * ow;
+      const float b = bias_.value[c];
+      for (int i = 0; i < oh * ow; ++i) plane[i] += b;
+    }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& gradOut) {
+  const int n = input_.size(0);
+  const int oh = geom_.outHeight();
+  const int ow = geom_.outWidth();
+  if (gradOut.dim() != 4 || gradOut.size(0) != n ||
+      gradOut.size(1) != outC_ || gradOut.size(2) != oh ||
+      gradOut.size(3) != ow)
+    throw std::invalid_argument("Conv2d::backward: bad gradient shape");
+
+  const int cr = geom_.colRows();
+  const int cc = geom_.colCols();
+  Tensor dx(input_.shape());
+  std::vector<float> dcols(static_cast<std::size_t>(cr) * cc);
+  const std::size_t planeIn =
+      static_cast<std::size_t>(inC_) * geom_.height * geom_.width;
+  const std::size_t planeOut = static_cast<std::size_t>(outC_) * oh * ow;
+
+  for (int s = 0; s < n; ++s) {
+    const float* dy = gradOut.data() + s * planeOut;
+    const float* cols = cols_.data() + static_cast<std::size_t>(s) * cr * cc;
+    // dW (outC, cr) += dy (outC, cc) * cols^T (cc, cr)
+    gemm(false, true, outC_, cr, cc, 1.0f, dy, cc, cols, cc, 1.0f,
+         weight_.grad.data(), cr);
+    // dcols (cr, cc) = W^T (cr, outC) * dy (outC, cc)
+    gemm(true, false, cr, cc, outC_, 1.0f, weight_.value.data(), cr, dy, cc,
+         0.0f, dcols.data(), cc);
+    col2im(geom_, dcols.data(), dx.data() + s * planeIn);
+    for (int c = 0; c < outC_; ++c) {
+      const float* plane = dy + static_cast<std::size_t>(c) * oh * ow;
+      float acc = 0.0f;
+      for (int i = 0; i < oh * ow; ++i) acc += plane[i];
+      bias_.grad[c] += acc;
+    }
+  }
+  return dx;
+}
+
+}  // namespace dp::nn

@@ -1,0 +1,100 @@
+#include "nn/conv_transpose2d.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+
+namespace dp::nn {
+
+ConvTranspose2d::ConvTranspose2d(int inChannels, int outChannels,
+                                 int kernel, int stride, int pad, Rng& rng,
+                                 double weightDecay)
+    : inC_(inChannels), outC_(outChannels), kernel_(kernel),
+      stride_(stride), pad_(pad),
+      weight_(Tensor::zeros({inChannels, outChannels * kernel * kernel}),
+              weightDecay),
+      bias_(Tensor::zeros({outChannels})) {
+  if (inChannels <= 0 || outChannels <= 0 || kernel <= 0 || stride <= 0 ||
+      pad < 0)
+    throw std::invalid_argument("ConvTranspose2d: bad configuration");
+  xavierUniform(weight_.value, inChannels * kernel * kernel,
+                outChannels * kernel * kernel, rng);
+}
+
+Tensor ConvTranspose2d::forward(const Tensor& x, bool /*training*/) {
+  if (x.dim() != 4 || x.size(1) != inC_)
+    throw std::invalid_argument("ConvTranspose2d::forward: bad input " +
+                                x.shapeString());
+  const int n = x.size(0);
+  const int h = x.size(2);
+  const int w = x.size(3);
+  const int oh = outSize(h);
+  const int ow = outSize(w);
+  if (oh <= 0 || ow <= 0)
+    throw std::invalid_argument("ConvTranspose2d::forward: input too small");
+  input_ = x;
+  // Adjoint conv maps the (outC, oh, ow) image down to (h, w).
+  geom_ = ConvGeom{outC_, oh, ow, kernel_, stride_, pad_};
+  const int cr = geom_.colRows();   // outC*K*K
+  const int cc = geom_.colCols();   // h*w
+
+  Tensor y({n, outC_, oh, ow});
+  std::vector<float> cols(static_cast<std::size_t>(cr) * cc);
+  const std::size_t planeIn = static_cast<std::size_t>(inC_) * h * w;
+  const std::size_t planeOut = static_cast<std::size_t>(outC_) * oh * ow;
+  for (int s = 0; s < n; ++s) {
+    // cols (cr, cc) = W^T (cr, inC) * x_s (inC, cc)
+    gemm(true, false, cr, cc, inC_, 1.0f, weight_.value.data(), cr,
+         x.data() + s * planeIn, cc, 0.0f, cols.data(), cc);
+    col2im(geom_, cols.data(), y.data() + s * planeOut);
+  }
+  for (int s = 0; s < n; ++s)
+    for (int c = 0; c < outC_; ++c) {
+      float* plane =
+          y.data() + s * planeOut + static_cast<std::size_t>(c) * oh * ow;
+      const float b = bias_.value[c];
+      for (int i = 0; i < oh * ow; ++i) plane[i] += b;
+    }
+  return y;
+}
+
+Tensor ConvTranspose2d::backward(const Tensor& gradOut) {
+  const int n = input_.size(0);
+  const int h = input_.size(2);
+  const int w = input_.size(3);
+  const int oh = geom_.height;
+  const int ow = geom_.width;
+  if (gradOut.dim() != 4 || gradOut.size(0) != n ||
+      gradOut.size(1) != outC_ || gradOut.size(2) != oh ||
+      gradOut.size(3) != ow)
+    throw std::invalid_argument("ConvTranspose2d::backward: bad shape");
+
+  const int cr = geom_.colRows();
+  const int cc = geom_.colCols();  // == h*w
+  Tensor dx(input_.shape());
+  std::vector<float> cols(static_cast<std::size_t>(cr) * cc);
+  const std::size_t planeIn = static_cast<std::size_t>(inC_) * h * w;
+  const std::size_t planeOut = static_cast<std::size_t>(outC_) * oh * ow;
+
+  for (int s = 0; s < n; ++s) {
+    const float* dy = gradOut.data() + s * planeOut;
+    im2col(geom_, dy, cols.data());
+    // dx_s (inC, cc) = W (inC, cr) * cols (cr, cc)
+    gemm(false, false, inC_, cc, cr, 1.0f, weight_.value.data(), cr,
+         cols.data(), cc, 0.0f, dx.data() + s * planeIn, cc);
+    // dW (inC, cr) += x_s (inC, cc) * cols^T (cc, cr)
+    gemm(false, true, inC_, cr, cc, 1.0f, input_.data() + s * planeIn, cc,
+         cols.data(), cc, 1.0f, weight_.grad.data(), cr);
+    for (int c = 0; c < outC_; ++c) {
+      const float* plane = dy + static_cast<std::size_t>(c) * oh * ow;
+      float acc = 0.0f;
+      for (int i = 0; i < oh * ow; ++i) acc += plane[i];
+      bias_.grad[c] += acc;
+    }
+  }
+  return dx;
+}
+
+}  // namespace dp::nn

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file conv_transpose2d.hpp
+/// 2-D transposed convolution ("deconvolution", Dumoulin & Visin 2016 —
+/// the paper's generation unit building block). Implemented as the exact
+/// adjoint of Conv2d: forward is a conv backward-data pass (GEMM +
+/// col2im) and backward-data is a conv forward pass (im2col + GEMM).
+/// Output spatial size: (in-1)*stride - 2*pad + kernel.
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+
+namespace dp::nn {
+
+class ConvTranspose2d final : public Layer {
+ public:
+  ConvTranspose2d(int inChannels, int outChannels, int kernel, int stride,
+                  int pad, Rng& rng, double weightDecay = 0.0);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& gradOut) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override {
+    return "conv_transpose2d";
+  }
+
+  [[nodiscard]] int outSize(int inSize) const {
+    return (inSize - 1) * stride_ - 2 * pad_ + kernel_;
+  }
+
+ private:
+  int inC_, outC_, kernel_, stride_, pad_;
+  Param weight_;  // (inC, outC*K*K) — the adjoint conv's weight layout
+  Param bias_;    // (outC)
+  Tensor input_;  // cached (N,inC,H,W)
+  ConvGeom geom_; // geometry of the adjoint conv: (outC, OH, OW) -> (H, W)
+};
+
+}  // namespace dp::nn

@@ -1,0 +1,19 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace dp::nn {
+
+void xavierUniform(Tensor& w, int fanIn, int fanOut, Rng& rng) {
+  const double a = std::sqrt(6.0 / (fanIn + fanOut));
+  for (std::size_t i = 0; i < w.numel(); ++i)
+    w[i] = static_cast<float>(rng.uniform(-a, a));
+}
+
+void heNormal(Tensor& w, int fanIn, Rng& rng) {
+  const double s = std::sqrt(2.0 / fanIn);
+  for (std::size_t i = 0; i < w.numel(); ++i)
+    w[i] = static_cast<float>(rng.gaussian(0.0, s));
+}
+
+}  // namespace dp::nn

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file init.hpp
+/// Weight initialization. The paper initializes all neuron weights with
+/// the Xavier (Glorot) initializer (§IV-A); He initialization is
+/// provided for completeness/ablation.
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dp::nn {
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fanIn + fanOut)).
+void xavierUniform(Tensor& w, int fanIn, int fanOut, Rng& rng);
+
+/// He normal: N(0, sqrt(2 / fanIn)).
+void heNormal(Tensor& w, int fanIn, Rng& rng);
+
+}  // namespace dp::nn

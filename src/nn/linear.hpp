@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file linear.hpp
+/// Fully connected (dense) layer: y = x W^T + b over (N, in) batches.
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace dp::nn {
+
+class Linear final : public Layer {
+ public:
+  /// Xavier-initialized dense layer with the given L2 coefficient.
+  Linear(int inFeatures, int outFeatures, Rng& rng, double weightDecay = 0.0);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& gradOut) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override { return "linear"; }
+
+  [[nodiscard]] int inFeatures() const { return in_; }
+  [[nodiscard]] int outFeatures() const { return out_; }
+  [[nodiscard]] Param& weight() { return weight_; }
+  [[nodiscard]] Param& bias() { return bias_; }
+
+ private:
+  int in_;
+  int out_;
+  Param weight_;  // (out, in)
+  Param bias_;    // (out)
+  Tensor input_;  // cached for backward
+};
+
+}  // namespace dp::nn

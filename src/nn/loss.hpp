@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file loss.hpp
+/// Loss functions. Each returns the scalar loss and writes dL/dpred into
+/// an output tensor, ready to feed a backward() chain.
+///   - MSE:  the TCAE identity-mapping objective ||T - T'||^2 (Eq. 4).
+///   - BCE-with-logits: the GAN generator/discriminator objective,
+///     computed in a numerically stable form.
+///   - Gaussian KL: the VAE regularizer KL(N(mu, sigma^2) || N(0, 1)).
+
+#include "tensor/tensor.hpp"
+
+namespace dp::nn {
+
+/// Mean squared error over all elements. Gradient: 2*(pred-target)/numel.
+[[nodiscard]] double mseLoss(const Tensor& pred, const Tensor& target,
+                             Tensor& gradOut);
+
+/// Binary cross entropy on logits z against targets y in {0,1} (soft
+/// targets allowed). loss = mean(max(z,0) - z*y + log(1+exp(-|z|))),
+/// gradient (sigmoid(z) - y)/numel.
+[[nodiscard]] double bceWithLogitsLoss(const Tensor& logits,
+                                       const Tensor& targets,
+                                       Tensor& gradOut);
+
+/// KL(N(mu, exp(logVar)) || N(0,1)) summed over features, averaged over
+/// the batch: -0.5 * mean_n sum_d (1 + logVar - mu^2 - exp(logVar)).
+/// Gradients w.r.t. mu and logVar are written to the two out tensors.
+[[nodiscard]] double gaussianKlLoss(const Tensor& mu, const Tensor& logVar,
+                                    Tensor& gradMu, Tensor& gradLogVar);
+
+}  // namespace dp::nn

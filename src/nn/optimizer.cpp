@@ -1,0 +1,71 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dp::nn {
+
+Optimizer::Optimizer(std::vector<Param*> params, double lr)
+    : params_(std::move(params)), lr_(lr) {
+  for (Param* p : params_)
+    if (!p) throw std::invalid_argument("Optimizer: null parameter");
+}
+
+void Optimizer::zeroGrad() {
+  for (Param* p : params_) p->grad.zero();
+}
+
+Sgd::Sgd(std::vector<Param*> params, double lr, double momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.push_back(Tensor::zeros(p->value.shape()));
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param& p = *params_[k];
+    Tensor& vel = velocity_[k];
+    for (std::size_t i = 0; i < p.value.numel(); ++i) {
+      const double g = effectiveGrad(p, i);
+      const double v = momentum_ * vel[i] - lr_ * g;
+      vel[i] = static_cast<float>(v);
+      p.value[i] += static_cast<float>(v);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, double lr, double beta1,
+           double beta2, double eps)
+    : Optimizer(std::move(params), lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.push_back(Tensor::zeros(p->value.shape()));
+    v_.push_back(Tensor::zeros(p->value.shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param& p = *params_[k];
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    for (std::size_t i = 0; i < p.value.numel(); ++i) {
+      const double g = effectiveGrad(p, i);
+      const double mi = beta1_ * m[i] + (1.0 - beta1_) * g;
+      const double vi = beta2_ * v[i] + (1.0 - beta2_) * g * g;
+      m[i] = static_cast<float>(mi);
+      v[i] = static_cast<float>(vi);
+      const double mhat = mi / bc1;
+      const double vhat = vi / bc2;
+      p.value[i] -= static_cast<float>(lr_ * mhat /
+                                       (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace dp::nn

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file optimizer.hpp
+/// First-order optimizers over Param sets. L2 regularization is applied
+/// per parameter via Param::weightDecay (the paper uses 0.001 for conv
+/// and 0.01 for dense layers, §IV-A). The learning rate is a mutable
+/// field so schedules (schedule.hpp) can drive it from the outside.
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dp::nn {
+
+/// Base optimizer: owns nothing, references a fixed parameter list.
+class Optimizer {
+ public:
+  Optimizer(std::vector<Param*> params, double lr);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  /// Clears all gradient accumulators.
+  void zeroGrad();
+
+  [[nodiscard]] double learningRate() const { return lr_; }
+  void setLearningRate(double lr) { lr_ = lr; }
+
+ protected:
+  /// Effective gradient of parameter scalar i including weight decay.
+  [[nodiscard]] static double effectiveGrad(const Param& p, std::size_t i) {
+    return p.grad[i] + p.weightDecay * p.value[i];
+  }
+
+  std::vector<Param*> params_;
+  double lr_;
+};
+
+/// SGD with classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, double lr, double momentum = 0.0);
+  void step() override;
+
+ private:
+  double momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba). Default betas as in the reference implementation.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void step() override;
+
+ private:
+  double beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace dp::nn

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file reshape.hpp
+/// Shape-adapter layers: Flatten (N,C,H,W) -> (N, C*H*W) and Reshape
+/// (N, D) -> (N, c, h, w). Pure data movement; gradients pass through.
+
+#include <stdexcept>
+
+#include "nn/layer.hpp"
+
+namespace dp::nn {
+
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override {
+    (void)training;
+    if (x.dim() < 2) throw std::invalid_argument("Flatten: need >= 2-D");
+    inShape_ = x.shape();
+    int features = 1;
+    for (int d = 1; d < x.dim(); ++d) features *= x.size(d);
+    return x.reshaped({x.size(0), features});
+  }
+  Tensor backward(const Tensor& gradOut) override {
+    return gradOut.reshaped(inShape_);
+  }
+  [[nodiscard]] std::string name() const override { return "flatten"; }
+
+ private:
+  std::vector<int> inShape_;
+};
+
+/// Reshapes (N, c*h*w) feature batches into (N, c, h, w) images.
+class Reshape final : public Layer {
+ public:
+  Reshape(int c, int h, int w) : c_(c), h_(h), w_(w) {}
+  Tensor forward(const Tensor& x, bool training) override {
+    (void)training;
+    inShape_ = x.shape();
+    return x.reshaped({x.size(0), c_, h_, w_});
+  }
+  Tensor backward(const Tensor& gradOut) override {
+    return gradOut.reshaped(inShape_);
+  }
+  [[nodiscard]] std::string name() const override { return "reshape"; }
+
+ private:
+  int c_, h_, w_;
+  std::vector<int> inShape_;
+};
+
+}  // namespace dp::nn

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file schedule.hpp
+/// Learning-rate schedules. The paper decays the initial rate 0.001 by a
+/// factor of 0.7 every 2000 iterations for the TCAE and by 0.05 every
+/// 10000 iterations for the GAN (§IV-A).
+
+#include <cmath>
+
+namespace dp::nn {
+
+/// Staircase exponential decay: lr(step) = lr0 * factor^(step / every).
+class StepDecaySchedule {
+ public:
+  StepDecaySchedule(double initialLr, double factor, long everySteps)
+      : lr0_(initialLr), factor_(factor), every_(everySteps) {}
+
+  [[nodiscard]] double lrAt(long step) const {
+    const long k = every_ > 0 ? step / every_ : 0;
+    return lr0_ * std::pow(factor_, static_cast<double>(k));
+  }
+
+ private:
+  double lr0_;
+  double factor_;
+  long every_;
+};
+
+}  // namespace dp::nn

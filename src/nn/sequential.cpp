@@ -1,0 +1,39 @@
+#include "nn/sequential.hpp"
+
+#include <stdexcept>
+
+namespace dp::nn {
+
+Sequential& Sequential::add(LayerPtr layer) {
+  if (!layer) throw std::invalid_argument("Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x, bool training) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, training);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& gradOut) {
+  Tensor g = gradOut;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& l : layers_)
+    for (Param* p : l->params()) out.push_back(p);
+  return out;
+}
+
+std::size_t Sequential::parameterCount() {
+  std::size_t n = 0;
+  for (Param* p : params()) n += p->value.numel();
+  return n;
+}
+
+}  // namespace dp::nn

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file sequential.hpp
+/// Sequential container: a layer pipeline with chained forward/backward
+/// and aggregated parameters. Both units of the TCAE and the GAN
+/// generator/discriminator are Sequential stacks.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dp::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer (takes ownership). Returns *this for chaining.
+  Sequential& add(LayerPtr layer);
+
+  /// Constructs a layer in place.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  [[nodiscard]] std::size_t layerCount() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& gradOut) override;
+  std::vector<Param*> params() override;
+  [[nodiscard]] std::string name() const override { return "sequential"; }
+
+  /// Total number of trainable scalars.
+  [[nodiscard]] std::size_t parameterCount();
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace dp::nn

@@ -1,0 +1,62 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace dp::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x44505031;  // "DPP1"
+}
+
+void saveParams(const std::vector<Param*>& params,
+                const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("saveParams: cannot open " + path);
+  const std::uint32_t magic = kMagic;
+  const std::uint32_t count = static_cast<std::uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const Param* p : params) {
+    const std::uint32_t dims = static_cast<std::uint32_t>(p->value.dim());
+    out.write(reinterpret_cast<const char*>(&dims), sizeof dims);
+    for (int d = 0; d < p->value.dim(); ++d) {
+      const std::int32_t s = p->value.size(d);
+      out.write(reinterpret_cast<const char*>(&s), sizeof s);
+    }
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("saveParams: write failed: " + path);
+}
+
+void loadParams(const std::vector<Param*>& params,
+                const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("loadParams: cannot open " + path);
+  std::uint32_t magic = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in || magic != kMagic)
+    throw std::runtime_error("loadParams: bad file header: " + path);
+  if (count != params.size())
+    throw std::runtime_error("loadParams: parameter count mismatch");
+  for (Param* p : params) {
+    std::uint32_t dims = 0;
+    in.read(reinterpret_cast<char*>(&dims), sizeof dims);
+    if (!in || dims != static_cast<std::uint32_t>(p->value.dim()))
+      throw std::runtime_error("loadParams: rank mismatch");
+    for (int d = 0; d < p->value.dim(); ++d) {
+      std::int32_t s = 0;
+      in.read(reinterpret_cast<char*>(&s), sizeof s);
+      if (!in || s != p->value.size(d))
+        throw std::runtime_error("loadParams: shape mismatch");
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("loadParams: truncated file");
+  }
+}
+
+}  // namespace dp::nn

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file serialize.hpp
+/// Binary (de)serialization of parameter sets, so trained models can be
+/// cached between runs of the experiment harnesses.
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dp::nn {
+
+/// Writes all parameter values (shapes + float data) to `path`.
+/// Throws std::runtime_error on I/O failure.
+void saveParams(const std::vector<Param*>& params, const std::string& path);
+
+/// Loads parameter values saved by saveParams. The parameter list must
+/// have identical shapes in identical order; throws std::runtime_error
+/// otherwise or on I/O failure.
+void loadParams(const std::vector<Param*>& params, const std::string& path);
+
+}  // namespace dp::nn

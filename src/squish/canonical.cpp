@@ -1,0 +1,92 @@
+#include "squish/canonical.hpp"
+
+#include <numeric>
+#include <vector>
+
+namespace dp::squish {
+
+namespace {
+
+/// Indices of rows to keep: the first row of every run of identical rows.
+std::vector<int> keptRows(const Topology& t) {
+  std::vector<int> keep;
+  for (int r = 0; r < t.rows(); ++r)
+    if (r == 0 || !t.rowsEqual(r, r - 1)) keep.push_back(r);
+  return keep;
+}
+
+std::vector<int> keptCols(const Topology& t) {
+  std::vector<int> keep;
+  for (int c = 0; c < t.cols(); ++c)
+    if (c == 0 || !t.colsEqual(c, c - 1)) keep.push_back(c);
+  return keep;
+}
+
+Topology gather(const Topology& t, const std::vector<int>& rows,
+                const std::vector<int>& cols) {
+  Topology out(static_cast<int>(rows.size()), static_cast<int>(cols.size()));
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    for (std::size_t c = 0; c < cols.size(); ++c)
+      out.set(static_cast<int>(r), static_cast<int>(c),
+              t.at(rows[r], cols[c]));
+  return out;
+}
+
+/// Sums delta entries over the runs that start at the kept indices.
+std::vector<double> mergeDeltas(const std::vector<double>& deltas,
+                                const std::vector<int>& keep, int total) {
+  std::vector<double> out(keep.size(), 0.0);
+  for (std::size_t k = 0; k < keep.size(); ++k) {
+    const int begin = keep[k];
+    const int end = (k + 1 < keep.size()) ? keep[k + 1] : total;
+    for (int i = begin; i < end; ++i) out[k] += deltas[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+bool isCanonical(const Topology& t) {
+  for (int r = 1; r < t.rows(); ++r)
+    if (t.rowsEqual(r, r - 1)) return false;
+  for (int c = 1; c < t.cols(); ++c)
+    if (t.colsEqual(c, c - 1)) return false;
+  return true;
+}
+
+Topology canonicalize(const Topology& t) {
+  if (t.empty()) return t;
+  // Merging duplicate rows cannot create new duplicate column pairs (two
+  // columns differing in a removed row also differ in the kept identical
+  // row), so a single row pass followed by a single column pass reaches a
+  // fixpoint.
+  const auto rows = keptRows(t);
+  std::vector<int> allCols(t.cols());
+  std::iota(allCols.begin(), allCols.end(), 0);
+  const Topology rowMerged = gather(t, rows, allCols);
+  const auto cols = keptCols(rowMerged);
+  std::vector<int> allRows(rowMerged.rows());
+  std::iota(allRows.begin(), allRows.end(), 0);
+  return gather(rowMerged, allRows, cols);
+}
+
+SquishPattern canonicalize(const SquishPattern& p) {
+  if (p.topo.empty()) return p;
+  const auto rows = keptRows(p.topo);
+  std::vector<int> allCols(p.topo.cols());
+  std::iota(allCols.begin(), allCols.end(), 0);
+  const Topology rowMerged = gather(p.topo, rows, allCols);
+  const auto cols = keptCols(rowMerged);
+  std::vector<int> allRows(rowMerged.rows());
+  std::iota(allRows.begin(), allRows.end(), 0);
+
+  SquishPattern out;
+  out.topo = gather(rowMerged, allRows, cols);
+  out.dy = mergeDeltas(p.dy, rows, p.topo.rows());
+  out.dx = mergeDeltas(p.dx, cols, p.topo.cols());
+  out.x0 = p.x0;
+  out.y0 = p.y0;
+  return out;
+}
+
+}  // namespace dp::squish

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file canonical.hpp
+/// Canonicalization ("re-squishing") of topology matrices. A topology is
+/// canonical when no two adjacent rows and no two adjacent columns are
+/// identical — i.e., every scan line actually separates distinct
+/// geometry. Binarized neural-network outputs and zero-padded training
+/// inputs are not canonical; all legality, complexity and uniqueness
+/// computations in this project operate on the canonical form.
+
+#include "squish/squish_pattern.hpp"
+#include "squish/topology.hpp"
+
+namespace dp::squish {
+
+/// True when no two adjacent rows/columns of `t` are identical.
+[[nodiscard]] bool isCanonical(const Topology& t);
+
+/// Merges identical adjacent rows and columns until canonical.
+/// An empty topology is returned unchanged.
+[[nodiscard]] Topology canonicalize(const Topology& t);
+
+/// Canonicalizes a full squish pattern, summing the δ entries of merged
+/// rows/columns so the described geometry is unchanged.
+[[nodiscard]] SquishPattern canonicalize(const SquishPattern& p);
+
+}  // namespace dp::squish

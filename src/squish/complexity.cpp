@@ -1,0 +1,15 @@
+#include "squish/complexity.hpp"
+
+#include "squish/canonical.hpp"
+
+namespace dp::squish {
+
+Complexity complexityOfCanonical(const Topology& t) {
+  return Complexity{t.cols(), t.rows()};
+}
+
+Complexity complexityOf(const Topology& t) {
+  return complexityOfCanonical(canonicalize(t));
+}
+
+}  // namespace dp::squish

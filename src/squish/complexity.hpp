@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file complexity.hpp
+/// Pattern complexity (paper Definition 1): the number of scan lines
+/// minus one along each axis — equivalently, the number of columns (cx)
+/// and rows (cy) of the canonical topology matrix.
+
+#include "squish/topology.hpp"
+
+namespace dp::squish {
+
+/// (cx, cy) complexity pair.
+struct Complexity {
+  int cx = 0;
+  int cy = 0;
+  friend constexpr bool operator==(const Complexity&,
+                                   const Complexity&) = default;
+};
+
+/// Complexity of an already-canonical topology (cx = cols, cy = rows).
+[[nodiscard]] Complexity complexityOfCanonical(const Topology& t);
+
+/// Complexity of an arbitrary topology: canonicalizes first.
+[[nodiscard]] Complexity complexityOf(const Topology& t);
+
+}  // namespace dp::squish

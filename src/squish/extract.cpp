@@ -1,0 +1,68 @@
+#include "squish/extract.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace dp::squish {
+
+namespace {
+
+/// Sorted unique coordinates with an epsilon merge to absorb floating
+/// point fuzz from upstream computations.
+std::vector<double> uniqueSorted(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  std::vector<double> out;
+  out.reserve(v.size());
+  constexpr double kEps = 1e-9;
+  for (double x : v) {
+    if (out.empty() || x - out.back() > kEps) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace
+
+SquishPattern extract(const dp::Clip& clip) {
+  const dp::Rect& w = clip.window();
+  std::vector<double> xs{w.x0, w.x1};
+  std::vector<double> ys{w.y0, w.y1};
+  for (const dp::Rect& r : clip.shapes()) {
+    xs.push_back(r.x0);
+    xs.push_back(r.x1);
+    ys.push_back(r.y0);
+    ys.push_back(r.y1);
+  }
+  xs = uniqueSorted(std::move(xs));
+  ys = uniqueSorted(std::move(ys));
+
+  const int cols = static_cast<int>(xs.size()) - 1;
+  const int rows = static_cast<int>(ys.size()) - 1;
+
+  SquishPattern p;
+  p.topo = Topology(std::max(rows, 0), std::max(cols, 0));
+  p.x0 = w.x0;
+  p.y0 = w.y0;
+  p.dx.resize(std::max(cols, 0));
+  p.dy.resize(std::max(rows, 0));
+  for (int c = 0; c < cols; ++c) p.dx[c] = xs[c + 1] - xs[c];
+  for (int r = 0; r < rows; ++r) p.dy[r] = ys[r + 1] - ys[r];
+
+  for (const dp::Rect& s : clip.shapes()) {
+    // Locate the grid band covered by the shape. Edges are exact members
+    // of xs/ys because they were inserted above.
+    const auto cx0 = std::lower_bound(xs.begin(), xs.end(), s.x0 - 1e-9) -
+                     xs.begin();
+    const auto cx1 = std::lower_bound(xs.begin(), xs.end(), s.x1 - 1e-9) -
+                     xs.begin();
+    const auto cy0 = std::lower_bound(ys.begin(), ys.end(), s.y0 - 1e-9) -
+                     ys.begin();
+    const auto cy1 = std::lower_bound(ys.begin(), ys.end(), s.y1 - 1e-9) -
+                     ys.begin();
+    for (auto r = cy0; r < cy1; ++r)
+      for (auto c = cx0; c < cx1; ++c)
+        p.topo.set(static_cast<int>(r), static_cast<int>(c), 1);
+  }
+  return p;
+}
+
+}  // namespace dp::squish

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file extract.hpp
+/// Squish pattern extraction (paper Fig. 3): extend every shape edge of a
+/// clip into an infinite scan line; the scan lines cut the window into a
+/// grid; each grid cell becomes one topology entry (1 = covered by a
+/// shape). The resulting representation is lossless.
+
+#include "geometry/clip.hpp"
+#include "squish/squish_pattern.hpp"
+
+namespace dp::squish {
+
+/// Extracts the squish pattern of `clip`. Window borders always
+/// contribute scan lines, so empty clips yield a 1x1 all-zero topology.
+/// The result is canonical by construction: adjacent scan lines are
+/// distinct coordinates and every interior scan line carries a shape edge,
+/// so no two adjacent rows/columns of the topology are identical unless
+/// the edge lies on the window border.
+[[nodiscard]] SquishPattern extract(const dp::Clip& clip);
+
+}  // namespace dp::squish

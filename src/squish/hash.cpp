@@ -1,0 +1,35 @@
+#include "squish/hash.hpp"
+
+#include "squish/canonical.hpp"
+
+namespace dp::squish {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+constexpr std::uint64_t fnvStep(std::uint64_t h, std::uint8_t byte) {
+  return (h ^ byte) * kFnvPrime;
+}
+
+std::uint64_t fnvU32(std::uint64_t h, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) h = fnvStep(h, static_cast<std::uint8_t>(v >> (8 * i)));
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t hashTopology(const Topology& t) {
+  std::uint64_t h = kFnvOffset;
+  h = fnvU32(h, static_cast<std::uint32_t>(t.rows()));
+  h = fnvU32(h, static_cast<std::uint32_t>(t.cols()));
+  for (std::uint8_t c : t.cells()) h = fnvStep(h, c ? 1 : 0);
+  return h;
+}
+
+std::uint64_t hashCanonical(const Topology& t) {
+  return hashTopology(canonicalize(t));
+}
+
+}  // namespace dp::squish

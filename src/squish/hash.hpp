@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file hash.hpp
+/// Stable 64-bit hashing of topology matrices, used to deduplicate
+/// generated patterns. Uniqueness in the paper's metrics is defined on
+/// topologies (§III-D: "the diversity and the unique pattern count are
+/// calculated based on topologies"), so hashing the canonical topology is
+/// exactly the right key.
+
+#include <cstdint>
+
+#include "squish/topology.hpp"
+
+namespace dp::squish {
+
+/// FNV-1a 64-bit hash over (rows, cols, cells). Two equal topologies
+/// always hash equal; collisions between the tiny (<= 24x24) binary
+/// matrices in this domain are vanishingly unlikely but callers that
+/// need certainty should compare Topology values on hash equality.
+[[nodiscard]] std::uint64_t hashTopology(const Topology& t);
+
+/// Hash of the canonical form: canonicalizes, then hashes.
+[[nodiscard]] std::uint64_t hashCanonical(const Topology& t);
+
+}  // namespace dp::squish

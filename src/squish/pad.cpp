@@ -1,0 +1,32 @@
+#include "squish/pad.hpp"
+
+#include <stdexcept>
+
+namespace dp::squish {
+
+Topology padTo(const Topology& t, int rows, int cols) {
+  if (t.rows() > rows || t.cols() > cols)
+    throw std::invalid_argument("padTo: topology larger than target");
+  Topology out(rows, cols);
+  for (int r = 0; r < t.rows(); ++r)
+    for (int c = 0; c < t.cols(); ++c) out.set(r, c, t.at(r, c));
+  return out;
+}
+
+Topology padToNetwork(const Topology& t) {
+  return padTo(t, kNetworkTopologySize, kNetworkTopologySize);
+}
+
+Topology unpad(const Topology& t) {
+  int rows = t.rows();
+  while (rows > 1 && !t.rowHasShape(rows - 1)) --rows;
+  int cols = t.cols();
+  while (cols > 1 && !t.colHasShape(cols - 1)) --cols;
+  if (t.onesCount() == 0) return Topology(1, 1);
+  Topology out(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) out.set(r, c, t.at(r, c));
+  return out;
+}
+
+}  // namespace dp::squish

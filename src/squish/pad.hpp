@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file pad.hpp
+/// Fixed-size zero padding of topology matrices. The paper zero-pads
+/// every squish topology to 24x24 before feeding it to the neural
+/// networks (§IV-A); the padded region is space and collapses back into
+/// single scan-line rows/columns under canonicalization.
+
+#include "squish/topology.hpp"
+
+namespace dp::squish {
+
+/// Paper's network input edge length.
+inline constexpr int kNetworkTopologySize = 24;
+
+/// Zero-pads `t` to rows x cols with the original anchored at the
+/// bottom-left (row 0, col 0). Throws std::invalid_argument when `t` is
+/// larger than the target in either dimension.
+[[nodiscard]] Topology padTo(const Topology& t, int rows, int cols);
+
+/// padTo() with the paper's 24x24 network size.
+[[nodiscard]] Topology padToNetwork(const Topology& t);
+
+/// Removes all-zero rows from the top and all-zero columns from the
+/// right — the exact inverse of padTo for topologies whose true extent
+/// includes at least one shape in its last row/column. Returns a 1x1
+/// zero topology when `t` has no shapes at all.
+[[nodiscard]] Topology unpad(const Topology& t);
+
+}  // namespace dp::squish

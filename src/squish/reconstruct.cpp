@@ -1,0 +1,30 @@
+#include "squish/reconstruct.hpp"
+
+#include <stdexcept>
+
+namespace dp::squish {
+
+dp::Clip reconstruct(const SquishPattern& p) {
+  if (!p.isConsistent())
+    throw std::invalid_argument("reconstruct: inconsistent squish pattern");
+  const auto xs = p.xLines();
+  const auto ys = p.yLines();
+  dp::Clip clip(dp::Rect{xs.front(), ys.front(), xs.back(), ys.back()});
+  for (int r = 0; r < p.topo.rows(); ++r) {
+    int c = 0;
+    while (c < p.topo.cols()) {
+      if (!p.topo.at(r, c)) {
+        ++c;
+        continue;
+      }
+      int end = c;
+      while (end < p.topo.cols() && p.topo.at(r, end)) ++end;
+      clip.addShape(dp::Rect{xs[c], ys[r], xs[end], ys[r + 1]});
+      c = end;
+    }
+  }
+  clip.normalize();
+  return clip;
+}
+
+}  // namespace dp::squish

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file reconstruct.hpp
+/// Inverse of squish extraction: expand a squish pattern back into a
+/// layout clip. Together with extract() this realizes the paper's claim
+/// that the squish representation is lossless.
+
+#include "geometry/clip.hpp"
+#include "squish/squish_pattern.hpp"
+
+namespace dp::squish {
+
+/// Rebuilds the layout clip described by `p`. Shape cells in the same row
+/// that are horizontally contiguous are merged into single rectangles, so
+/// the output is in normalized (maximal-rectangle-per-band) form; on the
+/// unidirectional layers this project targets that is fully canonical.
+/// Throws std::invalid_argument when p.isConsistent() is false.
+[[nodiscard]] dp::Clip reconstruct(const SquishPattern& p);
+
+}  // namespace dp::squish

@@ -1,0 +1,53 @@
+#include "squish/squish_pattern.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace dp::squish {
+
+bool SquishPattern::isConsistent() const {
+  if (static_cast<int>(dx.size()) != topo.cols()) return false;
+  if (static_cast<int>(dy.size()) != topo.rows()) return false;
+  for (double d : dx)
+    if (!(d > 0.0)) return false;
+  for (double d : dy)
+    if (!(d > 0.0)) return false;
+  return true;
+}
+
+double SquishPattern::width() const {
+  return std::accumulate(dx.begin(), dx.end(), 0.0);
+}
+
+double SquishPattern::height() const {
+  return std::accumulate(dy.begin(), dy.end(), 0.0);
+}
+
+std::vector<double> SquishPattern::xLines() const {
+  std::vector<double> xs(dx.size() + 1);
+  xs[0] = x0;
+  for (std::size_t i = 0; i < dx.size(); ++i) xs[i + 1] = xs[i] + dx[i];
+  return xs;
+}
+
+std::vector<double> SquishPattern::yLines() const {
+  std::vector<double> ys(dy.size() + 1);
+  ys[0] = y0;
+  for (std::size_t i = 0; i < dy.size(); ++i) ys[i + 1] = ys[i] + dy[i];
+  return ys;
+}
+
+double squishStorageBytes(const SquishPattern& p) {
+  const double topoBits = static_cast<double>(p.topo.cellCount());
+  return topoBits / 8.0 + 4.0 * static_cast<double>(p.dx.size() +
+                                                    p.dy.size());
+}
+
+double imageStorageBytes(double widthNm, double heightNm,
+                         double nmPerPixel) {
+  const double px = std::ceil(widthNm / nmPerPixel);
+  const double py = std::ceil(heightNm / nmPerPixel);
+  return px * py / 8.0;
+}
+
+}  // namespace dp::squish

@@ -1,0 +1,68 @@
+#include "squish/topology.hpp"
+
+#include <stdexcept>
+
+namespace dp::squish {
+
+Topology::Topology(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows < 0 || cols < 0)
+    throw std::invalid_argument("Topology dimensions must be non-negative");
+  cells_.assign(cellCount(), 0);
+}
+
+Topology::Topology(int rows, int cols,
+                   const std::vector<std::uint8_t>& cells)
+    : Topology(rows, cols) {
+  if (cells.size() != cellCount())
+    throw std::invalid_argument("Topology cell count mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    cells_[i] = cells[i] ? 1 : 0;
+}
+
+std::size_t Topology::index(int row, int col) const {
+  if (row < 0 || row >= rows_ || col < 0 || col >= cols_)
+    throw std::out_of_range("Topology index");
+  return static_cast<std::size_t>(row) * cols_ + col;
+}
+
+int Topology::onesCount() const {
+  int n = 0;
+  for (std::uint8_t c : cells_) n += c ? 1 : 0;
+  return n;
+}
+
+bool Topology::rowHasShape(int row) const {
+  for (int c = 0; c < cols_; ++c)
+    if (at(row, c)) return true;
+  return false;
+}
+
+bool Topology::colHasShape(int col) const {
+  for (int r = 0; r < rows_; ++r)
+    if (at(r, col)) return true;
+  return false;
+}
+
+bool Topology::rowsEqual(int r0, int r1) const {
+  for (int c = 0; c < cols_; ++c)
+    if (at(r0, c) != at(r1, c)) return false;
+  return true;
+}
+
+bool Topology::colsEqual(int c0, int c1) const {
+  for (int r = 0; r < rows_; ++r)
+    if (at(r, c0) != at(r, c1)) return false;
+  return true;
+}
+
+std::string Topology::toString() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(rows_) * (cols_ + 1));
+  for (int r = rows_ - 1; r >= 0; --r) {
+    for (int c = 0; c < cols_; ++c) out.push_back(at(r, c) ? '#' : '.');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace dp::squish

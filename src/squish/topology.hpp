@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file topology.hpp
+/// The squish topology matrix `T` (paper §III-A, Fig. 3): a small binary
+/// matrix in which entry (row, col) is 1 when the corresponding scan-line
+/// grid cell is covered by a shape and 0 when it is space.
+///
+/// Convention: row 0 is the bottom of the clip, column 0 the left edge.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dp::squish {
+
+/// Binary topology matrix. Rows x cols are small (<= ~32 each); storage
+/// is one byte per cell for simplicity of indexing and NN interop.
+class Topology {
+ public:
+  Topology() = default;
+  Topology(int rows, int cols);
+  /// Build from a row-major 0/1 initializer, `rows*cols` entries, with
+  /// row 0 FIRST (bottom row first).
+  Topology(int rows, int cols, const std::vector<std::uint8_t>& cells);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+  [[nodiscard]] std::size_t cellCount() const {
+    return static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_);
+  }
+
+  [[nodiscard]] std::uint8_t at(int row, int col) const {
+    return cells_[index(row, col)];
+  }
+  void set(int row, int col, std::uint8_t v) { cells_[index(row, col)] = v; }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& cells() const {
+    return cells_;
+  }
+
+  /// Number of shape (=1) cells.
+  [[nodiscard]] int onesCount() const;
+
+  /// True when any cell in `row` is a shape cell.
+  [[nodiscard]] bool rowHasShape(int row) const;
+
+  /// True when any cell in `col` is a shape cell.
+  [[nodiscard]] bool colHasShape(int col) const;
+
+  /// True when rows r0 and r1 hold identical cell sequences.
+  [[nodiscard]] bool rowsEqual(int r0, int r1) const;
+
+  /// True when columns c0 and c1 hold identical cell sequences.
+  [[nodiscard]] bool colsEqual(int c0, int c1) const;
+
+  /// Multi-line ASCII rendering, top row first ('#' shape, '.' space).
+  [[nodiscard]] std::string toString() const;
+
+  friend bool operator==(const Topology&, const Topology&) = default;
+
+ private:
+  [[nodiscard]] std::size_t index(int row, int col) const;
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<std::uint8_t> cells_;  // row-major, bottom row first
+};
+
+}  // namespace dp::squish

@@ -1,0 +1,72 @@
+#include "tensor/gemm.hpp"
+
+#include <stdexcept>
+
+namespace dp::nn {
+
+namespace {
+
+inline void scaleC(int m, int n, float beta, float* c, int ldc) {
+  if (beta == 1.0f) return;
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+}
+
+}  // namespace
+
+void gemm(bool transA, bool transB, int m, int n, int k, float alpha,
+          const float* a, int lda, const float* b, int ldb, float beta,
+          float* c, int ldc) {
+  if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("gemm: size");
+  scaleC(m, n, beta, c, ldc);
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+
+  if (!transA && !transB) {
+    // C[i][j] += A[i][p] * B[p][j] — ipj order streams B and C rows.
+    for (int i = 0; i < m; ++i) {
+      float* crow = c + static_cast<long>(i) * ldc;
+      const float* arow = a + static_cast<long>(i) * lda;
+      for (int p = 0; p < k; ++p) {
+        const float av = alpha * arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b + static_cast<long>(p) * ldb;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (transA && !transB) {
+    // A stored KxM: A^T[i][p] = A[p][i].
+    for (int p = 0; p < k; ++p) {
+      const float* arow = a + static_cast<long>(p) * lda;
+      const float* brow = b + static_cast<long>(p) * ldb;
+      for (int i = 0; i < m; ++i) {
+        const float av = alpha * arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c + static_cast<long>(i) * ldc;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!transA && transB) {
+    // B stored NxK: dot products of A rows with B rows.
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<long>(i) * lda;
+      float* crow = c + static_cast<long>(i) * ldc;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b + static_cast<long>(j) * ldb;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += alpha * acc;
+      }
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      float* crow = c + static_cast<long>(i) * ldc;
+      for (int j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += a[p * lda + i] * b[j * ldb + p];
+        crow[j] += alpha * acc;
+      }
+    }
+  }
+}
+
+}  // namespace dp::nn

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file gemm.hpp
+/// Single-precision general matrix multiply used by every dense and
+/// convolutional layer. Row-major, with optional transposition of either
+/// operand:  C = alpha * op(A) * op(B) + beta * C.
+/// Loop orders are chosen for cache-friendly access in the common
+/// no-transpose case; matrices in this project are at most a few
+/// thousand elements per side, so no further blocking is required.
+
+namespace dp::nn {
+
+/// C (MxN) = alpha * op(A) (MxK) * op(B) (KxN) + beta * C.
+/// lda/ldb/ldc are the row strides of the *stored* matrices (A is MxK
+/// when !transA, KxM when transA; similarly for B).
+void gemm(bool transA, bool transB, int m, int n, int k, float alpha,
+          const float* a, int lda, const float* b, int ldb, float beta,
+          float* c, int ldc);
+
+}  // namespace dp::nn

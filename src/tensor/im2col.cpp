@@ -1,0 +1,58 @@
+#include "tensor/im2col.hpp"
+
+#include <cstring>
+
+namespace dp::nn {
+
+void im2col(const ConvGeom& g, const float* image, float* cols) {
+  const int oh = g.outHeight();
+  const int ow = g.outWidth();
+  int row = 0;
+  for (int c = 0; c < g.channels; ++c) {
+    for (int kh = 0; kh < g.kernel; ++kh) {
+      for (int kw = 0; kw < g.kernel; ++kw, ++row) {
+        float* dst = cols + static_cast<long>(row) * oh * ow;
+        for (int y = 0; y < oh; ++y) {
+          const int iy = y * g.stride + kh - g.pad;
+          for (int x = 0; x < ow; ++x) {
+            const int ix = x * g.stride + kw - g.pad;
+            const bool in = iy >= 0 && iy < g.height && ix >= 0 &&
+                            ix < g.width;
+            dst[y * ow + x] =
+                in ? image[(static_cast<long>(c) * g.height + iy) * g.width +
+                           ix]
+                   : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvGeom& g, const float* cols, float* image) {
+  std::memset(image, 0,
+              sizeof(float) * static_cast<std::size_t>(g.channels) *
+                  g.height * g.width);
+  const int oh = g.outHeight();
+  const int ow = g.outWidth();
+  int row = 0;
+  for (int c = 0; c < g.channels; ++c) {
+    for (int kh = 0; kh < g.kernel; ++kh) {
+      for (int kw = 0; kw < g.kernel; ++kw, ++row) {
+        const float* src = cols + static_cast<long>(row) * oh * ow;
+        for (int y = 0; y < oh; ++y) {
+          const int iy = y * g.stride + kh - g.pad;
+          if (iy < 0 || iy >= g.height) continue;
+          for (int x = 0; x < ow; ++x) {
+            const int ix = x * g.stride + kw - g.pad;
+            if (ix < 0 || ix >= g.width) continue;
+            image[(static_cast<long>(c) * g.height + iy) * g.width + ix] +=
+                src[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dp::nn

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file im2col.hpp
+/// im2col / col2im transforms that reduce 2-D (de)convolution to GEMM.
+/// Single-sample variants: the layers loop over the batch, which keeps
+/// the scratch buffers small and the code straightforward.
+
+namespace dp::nn {
+
+/// Geometry of one convolution.
+struct ConvGeom {
+  int channels = 1;   ///< input channels C
+  int height = 0;     ///< input H
+  int width = 0;      ///< input W
+  int kernel = 3;     ///< square kernel size K
+  int stride = 1;
+  int pad = 0;
+
+  [[nodiscard]] int outHeight() const {
+    return (height + 2 * pad - kernel) / stride + 1;
+  }
+  [[nodiscard]] int outWidth() const {
+    return (width + 2 * pad - kernel) / stride + 1;
+  }
+  /// Rows of the column matrix: C*K*K.
+  [[nodiscard]] int colRows() const { return channels * kernel * kernel; }
+  /// Columns of the column matrix: OH*OW.
+  [[nodiscard]] int colCols() const { return outHeight() * outWidth(); }
+};
+
+/// Expands image (C,H,W) into cols (C*K*K, OH*OW). `cols` must hold
+/// colRows()*colCols() floats; it is fully overwritten.
+void im2col(const ConvGeom& g, const float* image, float* cols);
+
+/// Accumulates cols (C*K*K, OH*OW) back into image (C,H,W). `image`
+/// must hold C*H*W floats; it is zeroed first.
+void col2im(const ConvGeom& g, const float* cols, float* image);
+
+}  // namespace dp::nn

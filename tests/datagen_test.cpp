@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/pattern_library.hpp"
+#include "datagen/generator.hpp"
+#include "datagen/library_spec.hpp"
+#include "drc/geometry_rules.hpp"
+#include "drc/topology_rules.hpp"
+#include "squish/complexity.hpp"
+#include "squish/extract.hpp"
+
+namespace dp::datagen {
+namespace {
+
+TEST(LibrarySpec, AllDirectprintPresetsExist) {
+  for (int i = 1; i <= 5; ++i) {
+    const LibrarySpec s = directprintSpec(i);
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_GT(s.gridNm, 0.0);
+    EXPECT_GT(s.trackOccupancy, 0.0);
+    EXPECT_LE(s.minWireCells, s.maxWireCells);
+    EXPECT_LE(s.minGapCells, s.maxGapCells);
+  }
+  EXPECT_THROW(directprintSpec(0), std::invalid_argument);
+  EXPECT_THROW(directprintSpec(6), std::invalid_argument);
+}
+
+TEST(LibrarySpec, PresetsAreDistinct) {
+  for (int i = 1; i <= 5; ++i)
+    for (int j = i + 1; j <= 5; ++j)
+      EXPECT_NE(directprintSpec(i), directprintSpec(j));
+}
+
+TEST(LibrarySpec, IndustryToolIsCoarse) {
+  const LibrarySpec s = industryToolSpec();
+  EXPECT_GE(s.gridNm, directprintSpec(1).gridNm);
+  EXPECT_GE(s.trackOccupancy, 0.95);
+  // Near-constant run lengths are what keep its diversity low.
+  EXPECT_LE(s.maxWireCells - s.minWireCells, 1);
+  EXPECT_EQ(s.maxGapCells, s.minGapCells);
+}
+
+/// Every generated clip must pass the geometry DRC, for every preset.
+class GeneratorDrcProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GeneratorDrcProperty, ClipsAreDrcClean) {
+  const auto [specIdx, seed] = GetParam();
+  dp::Rng rng(static_cast<std::uint64_t>(seed));
+  const dp::DesignRules rules = dp::euv7nmM2();
+  const LibrarySpec spec =
+      specIdx == 0 ? industryToolSpec() : directprintSpec(specIdx);
+  const drc::GeometryChecker geom(rules);
+  const drc::TopologyChecker topoChecker(
+      drc::TopologyRuleConfig::fromRules(rules));
+  const auto clips = generateLibrary(spec, rules, 50, rng);
+  EXPECT_EQ(clips.size(), 50u);
+  for (const auto& clip : clips) {
+    if (clip.empty()) continue;
+    EXPECT_TRUE(geom.isClean(clip)) << geom.check(clip).toString();
+    const auto topo = squish::extract(clip).topo;
+    EXPECT_TRUE(topoChecker.isLegal(topo)) << topo.toString();
+    const auto cplx = squish::complexityOfCanonical(topo);
+    EXPECT_LE(cplx.cx, rules.maxCx);
+    EXPECT_LE(cplx.cy, rules.maxCy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecsAndSeeds, GeneratorDrcProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5),
+                       ::testing::Values(11, 47)));
+
+TEST(Generator, OccupancyControlsDensity) {
+  dp::Rng rng(5);
+  const dp::DesignRules rules = dp::euv7nmM2();
+  LibrarySpec sparse = directprintSpec(1);
+  sparse.trackOccupancy = 0.2;
+  LibrarySpec dense = directprintSpec(1);
+  dense.trackOccupancy = 1.0;
+  double sparseDensity = 0, denseDensity = 0;
+  for (int i = 0; i < 40; ++i) {
+    sparseDensity += generateClip(sparse, rules, rng).density();
+    denseDensity += generateClip(dense, rules, rng).density();
+  }
+  EXPECT_LT(sparseDensity, denseDensity);
+}
+
+TEST(Generator, IndustryToolHasLowerDiversityThanDesigns) {
+  // The core premise of the paper's Table II baseline comparison.
+  dp::Rng rng(6);
+  const dp::DesignRules rules = dp::euv7nmM2();
+  core::PatternLibrary industry, designs;
+  for (const auto& c :
+       generateLibrary(industryToolSpec(), rules, 400, rng))
+    if (!c.empty()) industry.add(squish::extract(c).topo);
+  for (const auto& c :
+       generateLibrary(directprintSpec(1), rules, 400, rng))
+    if (!c.empty()) designs.add(squish::extract(c).topo);
+  EXPECT_LT(industry.diversity(), designs.diversity());
+}
+
+TEST(Generator, ExtractTopologiesSkipsEmptyClips) {
+  dp::Rng rng(7);
+  LibrarySpec spec = directprintSpec(1);
+  spec.trackOccupancy = 0.0;  // all clips empty
+  const auto clips = generateLibrary(spec, dp::euv7nmM2(), 5, rng);
+  EXPECT_TRUE(extractTopologies(clips).empty());
+}
+
+TEST(Generator, RespectsDesignRuleMinimaOverSpec) {
+  // A spec requesting runs shorter than the DRC minima must still
+  // produce clean clips (the generator clamps to the rules).
+  dp::Rng rng(8);
+  dp::DesignRules rules = dp::euv7nmM2();
+  rules.minLength = 40.0;
+  rules.minT2T = 30.0;
+  LibrarySpec spec = directprintSpec(2);  // asks for 1-cell (16nm) runs
+  const drc::GeometryChecker geom(rules);
+  for (int i = 0; i < 20; ++i) {
+    const auto clip = generateClip(spec, rules, rng);
+    if (clip.empty()) continue;
+    EXPECT_TRUE(geom.isClean(clip)) << geom.check(clip).toString();
+  }
+}
+
+TEST(Generator, ValidatesSpec) {
+  dp::Rng rng(9);
+  LibrarySpec bad = directprintSpec(1);
+  bad.gridNm = 0.0;
+  EXPECT_THROW(generateClip(bad, dp::euv7nmM2(), rng),
+               std::invalid_argument);
+  bad.gridNm = 500.0;  // coarser than the clip
+  EXPECT_THROW(generateClip(bad, dp::euv7nmM2(), rng),
+               std::invalid_argument);
+}
+
+TEST(Generator, TrainingLikeLibraryConcentratesAtHighCy) {
+  // Fig. 10(a): the existing designs' cy sits almost entirely at 11-12.
+  dp::Rng rng(10);
+  const auto clips = generateLibrary(directprintSpec(1), dp::euv7nmM2(),
+                                     200, rng);
+  int highCy = 0, total = 0;
+  for (const auto& t : extractTopologies(clips)) {
+    const auto c = squish::complexityOfCanonical(t);
+    ++total;
+    if (c.cy >= 9) ++highCy;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(highCy) / total, 0.7);
+}
+
+}  // namespace
+}  // namespace dp::datagen

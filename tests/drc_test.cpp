@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "drc/geometry_rules.hpp"
+#include "drc/topology_rules.hpp"
+#include "drc/violation.hpp"
+#include "testutil.hpp"
+
+namespace dp::drc {
+namespace {
+
+using dp::test::topo;
+
+// ------------------------------------------------------------ DrcReport
+
+TEST(DrcReport, StartsClean) {
+  DrcReport r;
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.toString(), "clean");
+}
+
+TEST(DrcReport, AddDeduplicates) {
+  DrcReport r;
+  r.add(Violation::kBowTie);
+  r.add(Violation::kBowTie);
+  EXPECT_EQ(r.violations.size(), 1u);
+  EXPECT_TRUE(r.has(Violation::kBowTie));
+  EXPECT_FALSE(r.has(Violation::kMinT2T));
+}
+
+TEST(DrcReport, ToStringJoinsNames) {
+  DrcReport r;
+  r.add(Violation::kBowTie);
+  r.add(Violation::kMinT2T);
+  EXPECT_EQ(r.toString(), "bow-tie, min-t2t");
+}
+
+TEST(Violation, AllKindsHaveNames) {
+  for (Violation v :
+       {Violation::kEmptyPattern, Violation::kAdjacentTracks,
+        Violation::kBowTie, Violation::kTwoDimensionalShape,
+        Violation::kComplexityX, Violation::kComplexityY,
+        Violation::kOffTrack, Violation::kMinLength, Violation::kMinT2T,
+        Violation::kOverlap, Violation::kOutsideWindow})
+    EXPECT_NE(toString(v), "unknown");
+}
+
+// ----------------------------------------------------- TopologyChecker
+
+TEST(TopologyChecker, AcceptsLegalAlternatingPattern) {
+  const TopologyChecker checker;
+  EXPECT_TRUE(checker.isLegal(topo({"#.#",  //
+                                    "...",  //
+                                    ".#."})));
+}
+
+TEST(TopologyChecker, RejectsEmpty) {
+  const TopologyChecker checker;
+  const auto report = checker.check(topo({"...", "..."}));
+  EXPECT_TRUE(report.has(Violation::kEmptyPattern));
+}
+
+TEST(TopologyChecker, EmptyAllowedWhenDisabled) {
+  TopologyRuleConfig cfg;
+  cfg.forbidEmpty = false;
+  const TopologyChecker checker(cfg);
+  EXPECT_TRUE(checker.check(topo({"..."})).clean());
+}
+
+TEST(TopologyChecker, RejectsAdjacentTracks) {
+  const TopologyChecker checker;
+  const auto report = checker.check(topo({"#..",  //
+                                          "..#"}));
+  EXPECT_TRUE(report.has(Violation::kAdjacentTracks));
+}
+
+TEST(TopologyChecker, RejectsBowTie) {
+  TopologyRuleConfig cfg;
+  cfg.forbidAdjacentTracks = false;
+  cfg.forbid2dShapes = false;
+  const TopologyChecker checker(cfg);
+  const auto report = checker.check(topo({".#",  //
+                                          "#."}));
+  EXPECT_TRUE(report.has(Violation::kBowTie));
+  EXPECT_FALSE(report.has(Violation::kAdjacentTracks));
+}
+
+TEST(TopologyChecker, Rejects2dShapes) {
+  TopologyRuleConfig cfg;
+  cfg.forbidAdjacentTracks = false;
+  cfg.forbidBowTie = false;
+  const TopologyChecker checker(cfg);
+  const auto report = checker.check(topo({"#.",  //
+                                          "##"}));
+  EXPECT_TRUE(report.has(Violation::kTwoDimensionalShape));
+}
+
+TEST(TopologyChecker, ComplexityCapsApply) {
+  TopologyRuleConfig cfg;
+  cfg.maxCx = 3;
+  cfg.maxCy = 3;
+  const TopologyChecker checker(cfg);
+  // 5 columns after canonicalization (wire-gap-wire-gap-wire), 1 row.
+  const auto report = checker.check(topo({"#.#.#"}));
+  EXPECT_TRUE(report.has(Violation::kComplexityX));
+  EXPECT_FALSE(report.has(Violation::kComplexityY));
+}
+
+TEST(TopologyChecker, CanonicalizesBeforeChecking) {
+  TopologyRuleConfig cfg;
+  cfg.maxCx = 2;
+  cfg.maxCy = 2;
+  const TopologyChecker checker(cfg);
+  // Raw 4x4 but canonically 2x2.
+  EXPECT_TRUE(checker.isLegal(topo({"##..",  //
+                                    "##..",  //
+                                    "....",  //
+                                    "...."})));
+}
+
+TEST(TopologyChecker, PaperFig5AdjacentTrackExample) {
+  // Shapes on neighbouring tracks, even without x overlap, are illegal
+  // on the uni-directional EUV layers (Fig. 5).
+  const TopologyChecker checker;
+  EXPECT_FALSE(checker.isLegal(topo({"##...",  //
+                                     "...##"})));
+}
+
+TEST(TopologyChecker, FromRulesCopiesCaps) {
+  dp::DesignRules r = dp::euv7nmM2();
+  r.maxCx = 7;
+  const auto cfg = TopologyRuleConfig::fromRules(r);
+  EXPECT_EQ(cfg.maxCx, 7);
+  EXPECT_EQ(cfg.maxCy, 12);
+}
+
+// ----------------------------------------------------- GeometryChecker
+
+dp::Clip trackClip() {
+  // Legal: two wires on track 1 (y 48..64) and one on track 3 (112..128).
+  dp::Clip c(dp::Rect{0, 0, 192, 192});
+  c.addShape(dp::Rect{0, 48, 80, 64});
+  c.addShape(dp::Rect{100, 48, 192, 64});
+  c.addShape(dp::Rect{40, 112, 140, 128});
+  return c;
+}
+
+TEST(GeometryChecker, AcceptsLegalClip) {
+  const GeometryChecker checker(dp::euv7nmM2());
+  EXPECT_TRUE(checker.isClean(trackClip()));
+}
+
+TEST(GeometryChecker, FlagsEmptyClip) {
+  const GeometryChecker checker(dp::euv7nmM2());
+  const auto report = checker.check(dp::Clip(dp::Rect{0, 0, 192, 192}));
+  EXPECT_TRUE(report.has(Violation::kEmptyPattern));
+}
+
+TEST(GeometryChecker, FlagsOffTrackShapes) {
+  const GeometryChecker checker(dp::euv7nmM2());
+  dp::Clip c(dp::Rect{0, 0, 192, 192});
+  c.addShape(dp::Rect{0, 50, 80, 66});  // not on the half-pitch lattice
+  EXPECT_TRUE(checker.check(c).has(Violation::kOffTrack));
+}
+
+TEST(GeometryChecker, FlagsWrongWireWidth) {
+  const GeometryChecker checker(dp::euv7nmM2());
+  dp::Clip c(dp::Rect{0, 0, 192, 192});
+  c.addShape(dp::Rect{0, 48, 80, 80});  // two rows tall
+  EXPECT_TRUE(checker.check(c).has(Violation::kOffTrack));
+}
+
+TEST(GeometryChecker, FlagsAdjacentOccupiedRows) {
+  const GeometryChecker checker(dp::euv7nmM2());
+  dp::Clip c(dp::Rect{0, 0, 192, 192});
+  c.addShape(dp::Rect{0, 48, 80, 64});
+  c.addShape(dp::Rect{100, 64, 192, 80});  // the row right above
+  EXPECT_TRUE(checker.check(c).has(Violation::kAdjacentTracks));
+}
+
+TEST(GeometryChecker, FlagsShortInteriorWire) {
+  const GeometryChecker checker(dp::euv7nmM2());
+  dp::Clip c(dp::Rect{0, 0, 192, 192});
+  c.addShape(dp::Rect{50, 48, 60, 64});  // 10nm < 16nm min length
+  EXPECT_TRUE(checker.check(c).has(Violation::kMinLength));
+}
+
+TEST(GeometryChecker, BorderWiresExemptFromLengthRule) {
+  const GeometryChecker checker(dp::euv7nmM2());
+  dp::Clip c(dp::Rect{0, 0, 192, 192});
+  c.addShape(dp::Rect{0, 48, 10, 64});     // cut by left border
+  c.addShape(dp::Rect{184, 48, 192, 64});  // cut by right border
+  EXPECT_FALSE(checker.check(c).has(Violation::kMinLength));
+}
+
+TEST(GeometryChecker, FlagsTightTipToTip) {
+  const GeometryChecker checker(dp::euv7nmM2());
+  dp::Clip c(dp::Rect{0, 0, 192, 192});
+  c.addShape(dp::Rect{0, 48, 80, 64});
+  c.addShape(dp::Rect{86, 48, 192, 64});  // 6nm < 12nm T2T
+  EXPECT_TRUE(checker.check(c).has(Violation::kMinT2T));
+}
+
+TEST(GeometryChecker, FlagsOverlapWithinTrack) {
+  const GeometryChecker checker(dp::euv7nmM2());
+  dp::Clip c(dp::Rect{0, 0, 192, 192});
+  c.addShape(dp::Rect{0, 48, 80, 64});
+  c.addShape(dp::Rect{70, 48, 150, 64});
+  // normalize() merges overlapping same-track shapes into one wire, so
+  // the merged clip is clean — overlap is only reportable for distinct
+  // bands; the merged result must then be clean.
+  EXPECT_TRUE(checker.isClean(c));
+}
+
+TEST(GeometryChecker, AbuttingWiresMergeNotT2T) {
+  const GeometryChecker checker(dp::euv7nmM2());
+  dp::Clip c(dp::Rect{0, 0, 192, 192});
+  c.addShape(dp::Rect{0, 48, 80, 64});
+  c.addShape(dp::Rect{80, 48, 192, 64});
+  EXPECT_FALSE(checker.check(c).has(Violation::kMinT2T));
+}
+
+}  // namespace
+}  // namespace dp::drc

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "geometry/clip.hpp"
+#include "geometry/design_rules.hpp"
+#include "geometry/rect.hpp"
+#include "geometry/track_grid.hpp"
+
+namespace dp {
+namespace {
+
+// ---------------------------------------------------------------- Rect
+
+TEST(Rect, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_DOUBLE_EQ(r.area(), 0.0);
+}
+
+TEST(Rect, BasicMeasures) {
+  Rect r{1.0, 2.0, 5.0, 10.0};
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 8.0);
+  EXPECT_DOUBLE_EQ(r.area(), 32.0);
+  EXPECT_EQ(r.center(), (Point{3.0, 6.0}));
+  EXPECT_EQ(r.lowerLeft(), (Point{1.0, 2.0}));
+  EXPECT_EQ(r.upperRight(), (Point{5.0, 10.0}));
+}
+
+TEST(Rect, NormalizedSwapsCorners) {
+  Rect r{5.0, 10.0, 1.0, 2.0};
+  EXPECT_TRUE(r.empty());
+  const Rect n = r.normalized();
+  EXPECT_EQ(n, (Rect{1.0, 2.0, 5.0, 10.0}));
+  EXPECT_FALSE(n.empty());
+}
+
+TEST(Rect, OverlapsRequiresInteriorIntersection) {
+  Rect a{0, 0, 2, 2};
+  EXPECT_TRUE(a.overlaps(Rect{1, 1, 3, 3}));
+  EXPECT_FALSE(a.overlaps(Rect{2, 0, 4, 2}));  // shared edge only
+  EXPECT_FALSE(a.overlaps(Rect{3, 3, 4, 4}));  // disjoint
+  EXPECT_FALSE(a.overlaps(Rect{2, 2, 3, 3}));  // corner contact
+}
+
+TEST(Rect, TouchesIncludesEdgeAbutment) {
+  Rect a{0, 0, 2, 2};
+  EXPECT_TRUE(a.touches(Rect{2, 0, 4, 2}));   // right edge abut
+  EXPECT_TRUE(a.touches(Rect{0, 2, 2, 4}));   // top edge abut
+  EXPECT_TRUE(a.touches(Rect{1, 1, 3, 3}));   // overlap counts
+  EXPECT_FALSE(a.touches(Rect{2, 2, 3, 3}));  // corner only
+  EXPECT_FALSE(a.touches(Rect{5, 5, 6, 6}));
+}
+
+TEST(Rect, CornerTouchesDetectsBowTieContact) {
+  Rect a{0, 0, 2, 2};
+  EXPECT_TRUE(a.cornerTouches(Rect{2, 2, 3, 3}));
+  EXPECT_TRUE(a.cornerTouches(Rect{-1, -1, 0, 0}));
+  EXPECT_FALSE(a.cornerTouches(Rect{2, 0, 4, 2}));
+  EXPECT_FALSE(a.cornerTouches(Rect{1, 1, 3, 3}));
+}
+
+TEST(Rect, IntersectAndUnite) {
+  Rect a{0, 0, 4, 4};
+  Rect b{2, 2, 6, 6};
+  EXPECT_EQ(a.intersect(b), (Rect{2, 2, 4, 4}));
+  EXPECT_EQ(a.unite(b), (Rect{0, 0, 6, 6}));
+  EXPECT_TRUE(a.intersect(Rect{5, 5, 6, 6}).empty());
+  EXPECT_EQ(Rect{}.unite(a), a);
+}
+
+TEST(Rect, ContainsRectAndPoint) {
+  Rect a{0, 0, 4, 4};
+  EXPECT_TRUE(a.contains(Rect{1, 1, 3, 3}));
+  EXPECT_TRUE(a.contains(a));
+  EXPECT_FALSE(a.contains(Rect{1, 1, 5, 3}));
+  EXPECT_TRUE(a.contains(Point{4, 4}));
+  EXPECT_FALSE(a.contains(Point{4.1, 4}));
+}
+
+TEST(Rect, ShiftedTranslates) {
+  EXPECT_EQ((Rect{0, 0, 1, 1}.shifted(2, 3)), (Rect{2, 3, 3, 4}));
+}
+
+TEST(Rect, RectLessIsStrictWeakOrder) {
+  Rect a{0, 0, 1, 1}, b{0, 1, 1, 2};
+  EXPECT_TRUE(rectLess(a, b));
+  EXPECT_FALSE(rectLess(b, a));
+  EXPECT_FALSE(rectLess(a, a));
+}
+
+/// Property sweep: intersection is commutative and contained in both.
+class RectPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RectPropertyTest, IntersectionProperties) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 50; ++i) {
+    const Rect a{rng.uniform(0, 10), rng.uniform(0, 10),
+                 rng.uniform(10, 20), rng.uniform(10, 20)};
+    const Rect b{rng.uniform(0, 15), rng.uniform(0, 15),
+                 rng.uniform(5, 20), rng.uniform(5, 20)};
+    const Rect an = a.normalized(), bn = b.normalized();
+    EXPECT_EQ(an.intersect(bn), bn.intersect(an));
+    const Rect i1 = an.intersect(bn);
+    if (!i1.empty()) {
+      EXPECT_TRUE(an.contains(i1));
+      EXPECT_TRUE(bn.contains(i1));
+    }
+    EXPECT_TRUE(an.unite(bn).contains(an));
+    EXPECT_TRUE(an.unite(bn).contains(bn));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------- Clip
+
+TEST(Clip, AddShapeClipsToWindow) {
+  Clip c(Rect{0, 0, 10, 10});
+  EXPECT_TRUE(c.addShape(Rect{-5, 2, 5, 4}));
+  ASSERT_EQ(c.shapeCount(), 1u);
+  EXPECT_EQ(c.shapes()[0], (Rect{0, 2, 5, 4}));
+}
+
+TEST(Clip, AddShapeDropsOutsideShapes) {
+  Clip c(Rect{0, 0, 10, 10});
+  EXPECT_FALSE(c.addShape(Rect{20, 20, 30, 30}));
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Clip, NormalizeMergesAbuttingSameRowShapes) {
+  Clip c(Rect{0, 0, 20, 10});
+  c.addShape(Rect{0, 2, 5, 4});
+  c.addShape(Rect{5, 2, 9, 4});
+  c.addShape(Rect{3, 2, 6, 4});  // overlapping
+  c.normalize();
+  ASSERT_EQ(c.shapeCount(), 1u);
+  EXPECT_EQ(c.shapes()[0], (Rect{0, 2, 9, 4}));
+}
+
+TEST(Clip, NormalizeKeepsSeparatedShapes) {
+  Clip c(Rect{0, 0, 20, 10});
+  c.addShape(Rect{0, 2, 5, 4});
+  c.addShape(Rect{8, 2, 12, 4});
+  c.addShape(Rect{0, 6, 5, 8});
+  c.normalize();
+  EXPECT_EQ(c.shapeCount(), 3u);
+}
+
+TEST(Clip, DensityAndArea) {
+  Clip c(Rect{0, 0, 10, 10});
+  c.addShape(Rect{0, 0, 5, 10});
+  EXPECT_DOUBLE_EQ(c.shapeArea(), 50.0);
+  EXPECT_DOUBLE_EQ(c.density(), 0.5);
+}
+
+TEST(Clip, RebasedMovesOriginToZero) {
+  Clip c(Rect{10, 20, 30, 40});
+  c.addShape(Rect{12, 22, 14, 24});
+  const Clip r = c.rebased();
+  EXPECT_EQ(r.window(), (Rect{0, 0, 20, 20}));
+  ASSERT_EQ(r.shapeCount(), 1u);
+  EXPECT_EQ(r.shapes()[0], (Rect{2, 2, 4, 4}));
+}
+
+TEST(Clip, EqualityComparesWindowAndShapes) {
+  Clip a(Rect{0, 0, 10, 10});
+  Clip b(Rect{0, 0, 10, 10});
+  EXPECT_EQ(a, b);
+  a.addShape(Rect{1, 1, 2, 2});
+  EXPECT_NE(a, b);
+}
+
+// -------------------------------------------------------- DesignRules
+
+TEST(DesignRules, Euv7nmDerivedQuantities) {
+  const DesignRules r = euv7nmM2();
+  EXPECT_DOUBLE_EQ(r.wireWidth(), 16.0);
+  EXPECT_DOUBLE_EQ(r.rowHeight(), 16.0);
+  EXPECT_EQ(r.rowCount(), 12);
+  EXPECT_EQ(r.trackCount(), 6);
+  EXPECT_EQ(r.maxCx, 12);
+  EXPECT_EQ(r.maxCy, 12);
+}
+
+TEST(DesignRules, WorstCaseTopologyFitsInWindow) {
+  // The densest legal row alternates single-cell wires and gaps; its
+  // Eq. (10) lower bound must not exceed the clip width (the paper's
+  // cx <= 12 solvability guarantee).
+  const DesignRules r = euv7nmM2();
+  const int wires = r.maxCx / 2;
+  const double minWidth = (wires - 1) * r.minT2T +   // interior T2T runs
+                          (wires - 2) * r.minLength + // interior wires
+                          2 * r.minSpaceX;            // border wires
+  EXPECT_LE(minWidth, r.clipWidth);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicPerSeedAndForkIndependent) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  Rng c(5);
+  Rng fork = c.fork();
+  // The fork is a distinct deterministic stream.
+  Rng c2(5);
+  Rng fork2 = c2.fork();
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(fork.uniform(), fork2.uniform());
+}
+
+TEST(Rng, DistributionsRespectBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+    const int k = rng.uniformInt(-2, 2);
+    EXPECT_GE(k, -2);
+    EXPECT_LE(k, 2);
+  }
+  int trues = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (rng.bernoulli(0.3)) ++trues;
+  EXPECT_NEAR(trues / 1000.0, 0.3, 0.06);
+}
+
+// ---------------------------------------------------------- TrackGrid
+
+TEST(TrackGrid, RowAndTrackBands) {
+  const DesignRules r = euv7nmM2();
+  const TrackGrid g(Rect{0, 0, 192, 192}, r);
+  EXPECT_EQ(g.rowCount(), 12);
+  EXPECT_EQ(g.trackCount(), 6);
+  EXPECT_EQ(g.rowBand(0), (Rect{0, 0, 192, 16}));
+  EXPECT_EQ(g.trackBand(0), (Rect{0, 16, 192, 32}));
+  EXPECT_EQ(g.trackBand(5), (Rect{0, 176, 192, 192}));
+}
+
+TEST(TrackGrid, RowAtHandlesBordersAndOutside) {
+  const TrackGrid g(Rect{0, 0, 192, 192}, euv7nmM2());
+  EXPECT_EQ(g.rowAt(0.0), 0);
+  EXPECT_EQ(g.rowAt(16.0), 1);
+  EXPECT_EQ(g.rowAt(191.9), 11);
+  EXPECT_EQ(g.rowAt(192.0), 11);  // top border belongs to last row
+  EXPECT_EQ(g.rowAt(-1.0), -1);
+  EXPECT_EQ(g.rowAt(200.0), -1);
+}
+
+TEST(TrackGrid, TrackOfAcceptsOnlyWireBands) {
+  const TrackGrid g(Rect{0, 0, 192, 192}, euv7nmM2());
+  EXPECT_EQ(g.trackOf(Rect{0, 16, 50, 32}), 0);
+  EXPECT_EQ(g.trackOf(Rect{0, 80, 50, 96}), 2);
+  EXPECT_EQ(g.trackOf(Rect{0, 0, 50, 16}), -1);   // spacer row
+  EXPECT_EQ(g.trackOf(Rect{0, 16, 50, 48}), -1);  // two rows tall
+  EXPECT_EQ(g.trackOf(Rect{0, 18, 50, 34}), -1);  // off-lattice
+}
+
+TEST(TrackGrid, LatticeRowOfAcceptsAnyRow) {
+  const TrackGrid g(Rect{0, 0, 192, 192}, euv7nmM2());
+  EXPECT_EQ(g.latticeRowOf(Rect{0, 0, 50, 16}), 0);
+  EXPECT_EQ(g.latticeRowOf(Rect{0, 16, 50, 32}), 1);
+  EXPECT_EQ(g.latticeRowOf(Rect{0, 176, 50, 192}), 11);
+  EXPECT_EQ(g.latticeRowOf(Rect{0, 8, 50, 24}), -1);
+}
+
+TEST(TrackGrid, ThrowsOnBadConfiguration) {
+  DesignRules r = euv7nmM2();
+  r.pitch = 0.0;
+  EXPECT_THROW(TrackGrid(Rect{0, 0, 10, 10}, r), std::invalid_argument);
+  const TrackGrid g(Rect{0, 0, 192, 192}, euv7nmM2());
+  EXPECT_THROW(g.rowBand(-1), std::out_of_range);
+  EXPECT_THROW(g.rowBand(12), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dp

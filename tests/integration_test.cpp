@@ -1,0 +1,182 @@
+// Cross-module integration scenarios: the flows a downstream user would
+// actually run, end to end, including file interchange and determinism
+// guarantees.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "datagen/generator.hpp"
+#include "drc/geometry_rules.hpp"
+#include "io/gdsii.hpp"
+#include "io/layout_text.hpp"
+#include "models/topology_codec.hpp"
+#include "squish/extract.hpp"
+#include "squish/pad.hpp"
+#include "squish/reconstruct.hpp"
+#include "testutil.hpp"
+
+namespace dp {
+namespace {
+
+models::TcaeConfig tinyTcae() {
+  models::TcaeConfig c;
+  c.conv1Channels = 4;
+  c.conv2Channels = 8;
+  c.hidden = 32;
+  c.latentDim = 16;
+  c.trainSteps = 200;
+  c.batchSize = 8;
+  return c;
+}
+
+TEST(Integration, LibraryThroughGdsiiThroughPipeline) {
+  // Generate -> write GDSII -> read back -> expand -> materialize ->
+  // write generated clips -> read back -> every clip DRC-clean and its
+  // topology present in the generated unique set.
+  dp::Rng rng(51);
+  const DesignRules rules = euv7nmM2();
+  const auto original = datagen::generateLibrary(
+      datagen::directprintSpec(2), rules, 50, rng);
+
+  const std::string libPath = ::testing::TempDir() + "/it_lib.gds";
+  io::writeGdsiiFile(libPath, original);
+  const auto loaded = io::readGdsiiFile(libPath);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i)
+    EXPECT_EQ(loaded[i], original[i]);
+
+  core::PipelineConfig cfg;
+  cfg.tcae = tinyTcae();
+  cfg.sensitivity.maxTopologies = 8;
+  cfg.sensitivity.sweepSteps = 3;
+  cfg.flow.count = 300;
+  cfg.maxClips = 40;
+  const auto result = core::runPipeline(loaded, rules, cfg, rng);
+
+  const std::string genPath = ::testing::TempDir() + "/it_gen.gds";
+  io::writeGdsiiFile(genPath, result.materialized.clips);
+  const auto generated = io::readGdsiiFile(genPath);
+  ASSERT_EQ(generated.size(), result.materialized.clips.size());
+
+  const drc::GeometryChecker geom(rules);
+  for (const auto& clip : generated) {
+    EXPECT_TRUE(geom.isClean(clip)) << geom.check(clip).toString();
+    EXPECT_TRUE(
+        result.generation.unique.contains(squish::extract(clip).topo));
+  }
+  std::remove(libPath.c_str());
+  std::remove(genPath.c_str());
+}
+
+TEST(Integration, TextAndGdsiiFormatsAgree) {
+  dp::Rng rng(52);
+  const auto clips = datagen::generateLibrary(datagen::directprintSpec(3),
+                                              euv7nmM2(), 20, rng);
+  const std::string txt = ::testing::TempDir() + "/fmt.txt";
+  const std::string gds = ::testing::TempDir() + "/fmt.gds";
+  io::writeClipsFile(txt, clips);
+  io::writeGdsiiFile(gds, clips);
+  const auto fromTxt = io::readClipsFile(txt);
+  const auto fromGds = io::readGdsiiFile(gds);
+  ASSERT_EQ(fromTxt.size(), fromGds.size());
+  for (std::size_t i = 0; i < fromTxt.size(); ++i)
+    EXPECT_EQ(fromTxt[i], fromGds[i]);
+  std::remove(txt.c_str());
+  std::remove(gds.c_str());
+}
+
+TEST(Integration, PipelineIsDeterministicPerSeed) {
+  const DesignRules rules = euv7nmM2();
+  core::PipelineConfig cfg;
+  cfg.tcae = tinyTcae();
+  cfg.sensitivity.maxTopologies = 6;
+  cfg.sensitivity.sweepSteps = 3;
+  cfg.flow.count = 200;
+  cfg.maxClips = 20;
+
+  auto run = [&](std::uint64_t seed) {
+    dp::Rng rng(seed);
+    const auto clips = datagen::generateLibrary(
+        datagen::directprintSpec(1), rules, 40, rng);
+    return core::runPipeline(clips, rules, cfg, rng);
+  };
+  const auto a = run(99);
+  const auto b = run(99);
+  EXPECT_EQ(a.generation.generated, b.generation.generated);
+  EXPECT_EQ(a.generation.legal, b.generation.legal);
+  EXPECT_EQ(a.generation.unique.size(), b.generation.unique.size());
+  EXPECT_EQ(a.sensitivity, b.sensitivity);
+  EXPECT_EQ(a.materialized.clips.size(), b.materialized.clips.size());
+  for (std::size_t i = 0; i < a.materialized.clips.size(); ++i)
+    EXPECT_EQ(a.materialized.clips[i], b.materialized.clips[i]);
+
+  // (Different seeds generally diverge, but a heavily undertrained
+  // smoke-test TCAE can collapse two seeds onto the same tiny unique
+  // set, so only same-seed equality is asserted here.)
+}
+
+TEST(Integration, TcaeSerializationPreservesGenerationBehaviour) {
+  dp::Rng dataRng(53);
+  const auto clips = datagen::generateLibrary(datagen::directprintSpec(1),
+                                              euv7nmM2(), 60, dataRng);
+  const auto topologies = datagen::extractTopologies(clips);
+
+  dp::Rng trainRng(54);
+  models::Tcae original(tinyTcae(), trainRng);
+  original.train(topologies, trainRng);
+  const std::string path = ::testing::TempDir() + "/it_tcae.bin";
+  original.save(path);
+
+  dp::Rng freshRng(55);
+  models::Tcae restored(tinyTcae(), freshRng);
+  restored.load(path);
+
+  const drc::TopologyChecker checker;
+  const auto perturber =
+      core::SensitivityAwarePerturber::uniformNoise(16, 1.0);
+  core::FlowConfig fcfg;
+  fcfg.count = 200;
+  dp::Rng flowA(7), flowB(7);
+  const auto ra =
+      core::tcaeRandom(original, topologies, perturber, checker, fcfg,
+                       flowA);
+  const auto rb =
+      core::tcaeRandom(restored, topologies, perturber, checker, fcfg,
+                       flowB);
+  EXPECT_EQ(ra.legal, rb.legal);
+  EXPECT_EQ(ra.unique.size(), rb.unique.size());
+  std::remove(path.c_str());
+}
+
+TEST(Integration, GeometryBackendsAgreeOnGeneratedPatterns) {
+  // Both Eq. (10) backends must solve exactly the same set of generated
+  // patterns (feasibility is backend-independent).
+  dp::Rng rng(56);
+  const DesignRules rules = euv7nmM2();
+  const auto clips = datagen::generateLibrary(datagen::directprintSpec(4),
+                                              rules, 60, rng);
+  core::PatternLibrary lib;
+  for (const auto& t : datagen::extractTopologies(clips))
+    lib.add(squish::unpad(t));
+
+  const lp::GeometrySolver diff(rules,
+                                lp::GeometryBackend::kDifferenceConstraints);
+  const lp::GeometrySolver simplex(
+      rules, lp::GeometryBackend::kSimplexRandomVertex);
+  const drc::GeometryChecker geom(rules);
+  for (const auto& topo : lib.patterns()) {
+    dp::Rng r1(1), r2(1);
+    const auto a = diff.solve(topo, r1);
+    const auto b = simplex.solve(topo, r2);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a && b) {
+      EXPECT_TRUE(geom.isClean(squish::reconstruct(*a)));
+      EXPECT_TRUE(geom.isClean(squish::reconstruct(*b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dp

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/ascii_art.hpp"
+#include "io/csv.hpp"
+#include "io/gdsii.hpp"
+#include "io/heatmap.hpp"
+#include "io/layout_text.hpp"
+#include "io/table.hpp"
+#include "testutil.hpp"
+
+namespace dp::io {
+namespace {
+
+using dp::test::topo;
+
+TEST(AsciiArt, RenderTopologyMatchesToString) {
+  const auto t = topo({"#.", ".#"});
+  EXPECT_EQ(renderTopology(t), "#.\n.#\n");
+}
+
+TEST(AsciiArt, RenderTopologyRowAlignsColumns) {
+  const auto a = topo({"#.", ".#"});
+  const auto b = topo({"###"});
+  const std::string out = renderTopologyRow({a, b}, 2);
+  // Two lines; the single-row topology is blank-padded on the top line.
+  EXPECT_EQ(out, "#.     \n.#  ###\n");
+}
+
+TEST(AsciiArt, RenderTopologyRowEmpty) {
+  EXPECT_EQ(renderTopologyRow({}), "");
+}
+
+TEST(AsciiArt, RenderClipRasterizes) {
+  dp::Clip c(dp::Rect{0, 0, 16, 16});
+  c.addShape(dp::Rect{0, 0, 8, 8});
+  const std::string out = renderClip(c, 8.0);
+  EXPECT_EQ(out, "..\n#.\n");
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"b", "22222"});
+  const std::string s = t.toString();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("|-------|-------|"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, ValidatesColumns) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"a"});
+  EXPECT_THROW(t.addRow({"x", "y"}), std::invalid_argument);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter w({"a", "b"});
+  w.addRow({"plain", "has,comma"});
+  w.addRow({"has\"quote", "multi\nline"});
+  const std::string s = w.toString();
+  EXPECT_NE(s.find("plain,\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Csv, WriteFileRoundTrip) {
+  CsvWriter w({"x"});
+  w.addRow({"1"});
+  const std::string path = ::testing::TempDir() + "/t.csv";
+  w.writeFile(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::remove(path.c_str());
+}
+
+TEST(Heatmap, RendersLogScaledCells) {
+  const std::vector<std::vector<double>> counts{{0.0, 1.0},
+                                                {10.0, 1000.0}};
+  const std::string s = renderHeatmap(counts);
+  EXPECT_NE(s.find("cy ^"), std::string::npos);
+  EXPECT_NE(s.find("> cx"), std::string::npos);
+  EXPECT_NE(s.find('.'), std::string::npos);   // zero cell
+  EXPECT_NE(s.find('#'), std::string::npos);   // max cell
+}
+
+TEST(LayoutText, RoundTripsClips) {
+  dp::Clip a(dp::Rect{0, 0, 192, 192});
+  a.addShape(dp::Rect{0, 16, 100, 32});
+  a.addShape(dp::Rect{120, 48, 192, 64});
+  dp::Clip b(dp::Rect{10, 10, 20, 20});
+  std::ostringstream os;
+  writeClips(os, {a, b});
+  std::istringstream is(os.str());
+  const auto back = readClips(is);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], a);
+  EXPECT_EQ(back[1], b);
+}
+
+TEST(LayoutText, FileRoundTrip) {
+  dp::Clip a(dp::Rect{0, 0, 10, 10});
+  a.addShape(dp::Rect{1, 1, 5, 5});
+  const std::string path = ::testing::TempDir() + "/clips.txt";
+  writeClipsFile(path, {a});
+  const auto back = readClipsFile(path);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0], a);
+  std::remove(path.c_str());
+}
+
+TEST(LayoutText, RejectsMalformedInput) {
+  {
+    std::istringstream is("garbage 1 2 3");
+    EXPECT_THROW(readClips(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("rect 0 0 1 1");
+    EXPECT_THROW(readClips(is), std::runtime_error);  // rect before clip
+  }
+  {
+    std::istringstream is("frob 0 0 1 1\n");
+    EXPECT_THROW(readClips(is), std::runtime_error);
+  }
+  EXPECT_THROW(readClipsFile("/nonexistent/clips.txt"),
+               std::runtime_error);
+}
+
+TEST(Gdsii, RoundTripsClips) {
+  dp::Clip a(dp::Rect{0, 0, 192, 192});
+  a.addShape(dp::Rect{0, 16, 100, 32});
+  a.addShape(dp::Rect{120, 48, 192, 64});
+  dp::Clip b(dp::Rect{10, 10, 80, 90});
+  b.addShape(dp::Rect{20, 26, 60, 42});
+  std::ostringstream os(std::ios::binary);
+  writeGdsii(os, {a, b});
+  std::istringstream is(os.str(), std::ios::binary);
+  const auto back = readGdsii(is);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], a);
+  EXPECT_EQ(back[1], b);
+}
+
+TEST(Gdsii, EmptyLibraryIsValidStream) {
+  std::ostringstream os(std::ios::binary);
+  writeGdsii(os, {});
+  std::istringstream is(os.str(), std::ios::binary);
+  EXPECT_TRUE(readGdsii(is).empty());
+}
+
+TEST(Gdsii, FileRoundTripAndOptions) {
+  dp::Clip a(dp::Rect{0, 0, 64, 64});
+  a.addShape(dp::Rect{8, 16, 40, 32});
+  GdsiiOptions opts;
+  opts.layer = 7;
+  opts.windowLayer = 63;
+  const std::string path = ::testing::TempDir() + "/clips.gds";
+  writeGdsiiFile(path, {a}, opts);
+  const auto back = readGdsiiFile(path, opts);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0], a);
+  // Reading with mismatched layers loses the shapes but keeps windows
+  // only if windowLayer matches; with defaults it must throw (no window
+  // boundary found on layer 0).
+  EXPECT_THROW((void)readGdsiiFile(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Gdsii, SubNanometreUnitsPreserveCoordinates) {
+  dp::Clip a(dp::Rect{0, 0, 10.5, 10.5});
+  a.addShape(dp::Rect{0.5, 1.5, 4.5, 3.5});
+  GdsiiOptions opts;
+  opts.dbuPerNm = 2.0;  // 0.5 nm database unit
+  std::ostringstream os(std::ios::binary);
+  writeGdsii(os, {a}, opts);
+  std::istringstream is(os.str(), std::ios::binary);
+  const auto back = readGdsii(is, opts);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0], a);
+}
+
+TEST(Gdsii, RejectsTruncatedStream) {
+  dp::Clip a(dp::Rect{0, 0, 10, 10});
+  std::ostringstream os(std::ios::binary);
+  writeGdsii(os, {a});
+  const std::string full = os.str();
+  std::istringstream is(full.substr(0, full.size() - 6),
+                        std::ios::binary);
+  EXPECT_THROW((void)readGdsii(is), std::runtime_error);
+  EXPECT_THROW((void)readGdsiiFile("/nonexistent/x.gds"),
+               std::runtime_error);
+}
+
+TEST(LayoutText, IgnoresCommentsAndBlankLines) {
+  std::istringstream is("# header\n\nclip 0 0 5 5\n# mid\nrect 1 1 2 2\n");
+  const auto clips = readClips(is);
+  ASSERT_EQ(clips.size(), 1u);
+  EXPECT_EQ(clips[0].shapeCount(), 1u);
+}
+
+}  // namespace
+}  // namespace dp::io

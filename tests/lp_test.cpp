@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "datagen/generator.hpp"
+#include "drc/geometry_rules.hpp"
+#include "drc/topology_rules.hpp"
+#include "lp/diff_constraints.hpp"
+#include "lp/geometry_solver.hpp"
+#include "lp/simplex.hpp"
+#include "squish/reconstruct.hpp"
+#include "testutil.hpp"
+
+namespace dp::lp {
+namespace {
+
+using dp::test::topo;
+
+// -------------------------------------------------------------- Simplex
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), z = 36.
+  LinearProgram lp(2);
+  lp.setObjective({3, 5});
+  lp.addConstraint({1, 0}, Relation::kLessEqual, 4);
+  lp.addConstraint({0, 2}, Relation::kLessEqual, 12);
+  lp.addConstraint({3, 2}, Relation::kLessEqual, 18);
+  const LpResult r = lp.solve();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 36.0, 1e-6);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-6);
+  EXPECT_NEAR(r.x[1], 6.0, 1e-6);
+}
+
+TEST(Simplex, HandlesEqualityConstraints) {
+  // max x + y s.t. x + y = 5, x <= 3 -> z = 5.
+  LinearProgram lp(2);
+  lp.setObjective({1, 1});
+  lp.addConstraint({1, 1}, Relation::kEqual, 5);
+  lp.addConstraint({1, 0}, Relation::kLessEqual, 3);
+  const LpResult r = lp.solve();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 5.0, 1e-6);
+  EXPECT_NEAR(r.x[0] + r.x[1], 5.0, 1e-6);
+}
+
+TEST(Simplex, HandlesGreaterEqual) {
+  // min x (== max -x) s.t. x >= 7.
+  LinearProgram lp(1);
+  lp.setObjective({-1});
+  lp.addConstraint({1}, Relation::kGreaterEqual, 7);
+  const LpResult r = lp.solve();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 7.0, 1e-6);
+  EXPECT_NEAR(r.objective, -7.0, 1e-6);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LinearProgram lp(1);
+  lp.setObjective({1});
+  lp.addConstraint({1}, Relation::kLessEqual, 1);
+  lp.addConstraint({1}, Relation::kGreaterEqual, 2);
+  EXPECT_EQ(lp.solve().status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  LinearProgram lp(1);
+  lp.setObjective({1});
+  lp.addConstraint({-1}, Relation::kLessEqual, 0);  // x >= 0, no upper
+  EXPECT_EQ(lp.solve().status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsIsNormalized) {
+  // x <= -2 with x >= 0 is infeasible; -x <= -2 means x >= 2.
+  LinearProgram lp(1);
+  lp.setObjective({-1});
+  lp.addConstraint({-1}, Relation::kLessEqual, -2);
+  const LpResult r = lp.solve();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-6);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple constraints active at the optimum; Bland's rule must
+  // terminate.
+  LinearProgram lp(2);
+  lp.setObjective({1, 1});
+  lp.addConstraint({1, 0}, Relation::kLessEqual, 1);
+  lp.addConstraint({0, 1}, Relation::kLessEqual, 1);
+  lp.addConstraint({1, 1}, Relation::kLessEqual, 2);
+  lp.addConstraint({1, 1}, Relation::kLessEqual, 2);
+  const LpResult r = lp.solve();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-6);
+}
+
+TEST(Simplex, RangeSumConstraintBuilds) {
+  LinearProgram lp(4);
+  lp.setObjective({1, 1, 1, 1});
+  lp.addRangeSumConstraint(1, 2, Relation::kLessEqual, 3);
+  lp.addRangeSumConstraint(0, 3, Relation::kLessEqual, 10);
+  const LpResult r = lp.solve();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 10.0, 1e-6);
+  EXPECT_LE(r.x[1] + r.x[2], 3.0 + 1e-6);
+}
+
+TEST(Simplex, ValidatesArguments) {
+  EXPECT_THROW(LinearProgram(0), std::invalid_argument);
+  LinearProgram lp(2);
+  EXPECT_THROW(lp.setObjective({1}), std::invalid_argument);
+  EXPECT_THROW(lp.addConstraint({1}, Relation::kEqual, 0),
+               std::invalid_argument);
+  EXPECT_THROW(lp.addRangeSumConstraint(2, 1, Relation::kEqual, 0),
+               std::invalid_argument);
+  EXPECT_THROW(lp.addRangeSumConstraint(0, 5, Relation::kEqual, 0),
+               std::invalid_argument);
+}
+
+/// Property: on random feasible bounded LPs the reported solution
+/// satisfies every constraint.
+class SimplexProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexProperty, SolutionsAreFeasible) {
+  dp::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int iter = 0; iter < 20; ++iter) {
+    const int n = rng.uniformInt(2, 5);
+    const int m = rng.uniformInt(1, 6);
+    LinearProgram lp(static_cast<std::size_t>(n));
+    std::vector<double> c(static_cast<std::size_t>(n));
+    for (double& v : c) v = rng.uniform(-1, 1);
+    lp.setObjective(c);
+    std::vector<std::vector<double>> rows;
+    std::vector<double> rhs;
+    for (int k = 0; k < m; ++k) {
+      std::vector<double> a(static_cast<std::size_t>(n));
+      for (double& v : a) v = rng.uniform(0.1, 1.0);
+      const double b = rng.uniform(1.0, 10.0);
+      lp.addConstraint(a, Relation::kLessEqual, b);
+      rows.push_back(a);
+      rhs.push_back(b);
+    }
+    // All-positive coefficients with positive rhs: feasible (x = 0) and
+    // bounded above in every direction that matters when c <= 0; to
+    // guarantee boundedness add a box constraint.
+    lp.addRangeSumConstraint(0, static_cast<std::size_t>(n) - 1,
+                             Relation::kLessEqual, 50.0);
+    const LpResult r = lp.solve();
+    ASSERT_EQ(r.status, SolveStatus::kOptimal);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      double lhs = 0;
+      for (int j = 0; j < n; ++j)
+        lhs += rows[k][static_cast<std::size_t>(j)] *
+               r.x[static_cast<std::size_t>(j)];
+      EXPECT_LE(lhs, rhs[k] + 1e-6);
+    }
+    for (double x : r.x) EXPECT_GE(x, -1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------- DifferenceSystem
+
+TEST(DifferenceSystem, SolvesSimpleChain) {
+  DifferenceSystem sys(3);
+  sys.addLowerBound(1, 0, 2.0);  // x1 - x0 >= 2
+  sys.addLowerBound(2, 1, 3.0);  // x2 - x1 >= 3
+  const auto x = sys.solve();
+  ASSERT_TRUE(x.has_value());
+  EXPECT_GE((*x)[1] - (*x)[0], 2.0 - 1e-9);
+  EXPECT_GE((*x)[2] - (*x)[1], 3.0 - 1e-9);
+  EXPECT_DOUBLE_EQ((*x)[0], 0.0);  // shifted to x0 = 0
+}
+
+TEST(DifferenceSystem, HandlesEqualities) {
+  DifferenceSystem sys(2);
+  sys.addEquality(1, 0, 5.0);
+  const auto x = sys.solve();
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[1] - (*x)[0], 5.0, 1e-9);
+}
+
+TEST(DifferenceSystem, DetectsInfeasibleCycle) {
+  DifferenceSystem sys(2);
+  sys.addLowerBound(1, 0, 3.0);   // x1 - x0 >= 3
+  sys.addUpperBound(1, 0, 2.0);   // x1 - x0 <= 2
+  EXPECT_FALSE(sys.solve().has_value());
+}
+
+TEST(DifferenceSystem, UnconstrainedIsFeasible) {
+  DifferenceSystem sys(4);
+  EXPECT_TRUE(sys.solve().has_value());
+}
+
+TEST(DifferenceSystem, ValidatesIndices) {
+  DifferenceSystem sys(2);
+  EXPECT_THROW(sys.addUpperBound(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(DifferenceSystem(0), std::invalid_argument);
+}
+
+TEST(DifferenceSystem, MixedSystemMatchesExpectation) {
+  // x1-x0 >= 1, x2-x1 >= 1, x2-x0 == 5.
+  DifferenceSystem sys(3);
+  sys.addLowerBound(1, 0, 1.0);
+  sys.addLowerBound(2, 1, 1.0);
+  sys.addEquality(2, 0, 5.0);
+  const auto x = sys.solve();
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[2] - (*x)[0], 5.0, 1e-9);
+  EXPECT_GE((*x)[1] - (*x)[0], 1.0 - 1e-9);
+  EXPECT_GE((*x)[2] - (*x)[1], 1.0 - 1e-9);
+}
+
+// ------------------------------------------------------ GeometrySolver
+
+/// Verifies all Eq. (10) constraints on a solved pattern.
+void expectSatisfiesEq10(const squish::SquishPattern& p,
+                         const dp::DesignRules& rules) {
+  ASSERT_TRUE(p.isConsistent());
+  EXPECT_NEAR(p.width(), rules.clipWidth, 1e-6);
+  EXPECT_NEAR(p.height(), rules.clipHeight, 1e-6);
+  for (double d : p.dx) EXPECT_GE(d, rules.minSpaceX - 1e-6);
+  for (int r = 0; r < p.topo.rows(); ++r) {
+    const double expected = p.topo.rowHasShape(r) ? rules.rowHeight() : 0.0;
+    if (expected > 0.0) EXPECT_NEAR(p.dy[static_cast<std::size_t>(r)], expected, 1e-6);
+    else EXPECT_GE(p.dy[static_cast<std::size_t>(r)], rules.rowHeight() - 1e-6);
+  }
+}
+
+TEST(GeometrySolver, SolvesSimpleLegalTopology) {
+  dp::Rng rng(7);
+  const GeometrySolver solver(dp::euv7nmM2());
+  const auto p = solver.solve(topo({".....",  //
+                                    "#.#.#",  //
+                                    "....."}),
+                              rng);
+  ASSERT_TRUE(p.has_value());
+  expectSatisfiesEq10(*p, dp::euv7nmM2());
+  // Interior T2T runs respect t_min.
+  EXPECT_GE((*p).dx[1], dp::euv7nmM2().minT2T - 1e-6);
+  EXPECT_GE((*p).dx[3], dp::euv7nmM2().minT2T - 1e-6);
+  // The interior wire respects l_min.
+  EXPECT_GE((*p).dx[2], dp::euv7nmM2().minLength - 1e-6);
+}
+
+TEST(GeometrySolver, SimplexBackendAlsoSolves) {
+  dp::Rng rng(7);
+  const GeometrySolver solver(dp::euv7nmM2(),
+                              GeometryBackend::kSimplexRandomVertex);
+  const auto p = solver.solve(topo({".....",  //
+                                    "#.#.#",  //
+                                    "....."}),
+                              rng);
+  ASSERT_TRUE(p.has_value());
+  expectSatisfiesEq10(*p, dp::euv7nmM2());
+}
+
+TEST(GeometrySolver, RejectsEmptyTopology) {
+  dp::Rng rng(7);
+  const GeometrySolver solver(dp::euv7nmM2());
+  EXPECT_FALSE(solver.solve(squish::Topology(3, 3), rng).has_value());
+}
+
+TEST(GeometrySolver, RejectsTooManyRows) {
+  dp::Rng rng(7);
+  const GeometrySolver solver(dp::euv7nmM2());
+  // 13 alternating rows exceed the 12-row window.
+  squish::Topology t(13, 1);
+  for (int r = 1; r < 13; r += 2) t.set(r, 0, 1);
+  EXPECT_FALSE(solver.solve(t, rng).has_value());
+}
+
+TEST(GeometrySolver, RejectsSingleAllShapeRow) {
+  dp::Rng rng(7);
+  const GeometrySolver solver(dp::euv7nmM2());
+  // One all-shape row cannot fill the 192nm-high window with one 16nm
+  // wire band and no space rows.
+  EXPECT_FALSE(solver.solve(topo({"#"}), rng).has_value());
+}
+
+TEST(GeometrySolver, ReconstructedClipsPassGeometryDrc) {
+  dp::Rng rng(21);
+  const dp::DesignRules rules = dp::euv7nmM2();
+  const GeometrySolver solver(rules);
+  const drc::GeometryChecker checker(rules);
+  const auto p = solver.solve(topo({"#.#..",  //
+                                    ".....",  //
+                                    "..#.#",  //
+                                    "....."}),
+                              rng);
+  ASSERT_TRUE(p.has_value());
+  const dp::Clip clip = squish::reconstruct(*p);
+  EXPECT_TRUE(checker.isClean(clip)) << checker.check(clip).toString();
+}
+
+/// Property: every legal topology extracted from synthetic DRC-clean
+/// clips is solvable, and the solved clip passes geometry DRC — for
+/// both backends.
+class GeometrySolverProperty
+    : public ::testing::TestWithParam<std::tuple<int, GeometryBackend>> {};
+
+TEST_P(GeometrySolverProperty, LegalTopologiesMaterializeClean) {
+  const auto [seed, backend] = GetParam();
+  dp::Rng rng(static_cast<std::uint64_t>(seed));
+  const dp::DesignRules rules = dp::euv7nmM2();
+  const GeometrySolver solver(rules, backend);
+  const drc::GeometryChecker geomChecker(rules);
+  const drc::TopologyChecker topoChecker(
+      drc::TopologyRuleConfig::fromRules(rules));
+
+  const auto clips = datagen::generateLibrary(
+      datagen::directprintSpec(1 + seed % 5), rules, 30, rng);
+  int solved = 0;
+  for (const auto& t : datagen::extractTopologies(clips)) {
+    ASSERT_TRUE(topoChecker.isLegal(t)) << t.toString();
+    const auto p = solver.solve(t, rng);
+    ASSERT_TRUE(p.has_value()) << t.toString();
+    expectSatisfiesEq10(*p, rules);
+    const dp::Clip clip = squish::reconstruct(*p);
+    EXPECT_TRUE(geomChecker.isClean(clip))
+        << geomChecker.check(clip).toString();
+    ++solved;
+  }
+  EXPECT_GT(solved, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndBackends, GeometrySolverProperty,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 3, 4, 5),
+        ::testing::Values(GeometryBackend::kDifferenceConstraints,
+                          GeometryBackend::kSimplexRandomVertex)));
+
+TEST(GeometrySolver, BackendsAgreeOnFeasibility) {
+  dp::Rng rng(5);
+  const GeometrySolver diff(dp::euv7nmM2(),
+                            GeometryBackend::kDifferenceConstraints);
+  const GeometrySolver simplex(dp::euv7nmM2(),
+                               GeometryBackend::kSimplexRandomVertex);
+  const auto topos = {
+      topo({"#.#", "...", ".#."}),
+      topo({"#"}),
+      topo({"#.#.#.#.#.#.#"}),  // cx 13: dx systems may still be feasible
+  };
+  for (const auto& t : topos) {
+    dp::Rng r1 = rng.fork(), r2 = rng.fork();
+    EXPECT_EQ(diff.solve(t, r1).has_value(),
+              simplex.solve(t, r2).has_value())
+        << t.toString();
+  }
+}
+
+}  // namespace
+}  // namespace dp::lp

@@ -1,0 +1,310 @@
+// Cross-cutting invariants checked over randomized inputs — properties
+// the DESIGN.md architecture relies on but that no single unit test
+// pins down.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/pattern_library.hpp"
+#include "core/perturb.hpp"
+#include "drc/topology_rules.hpp"
+#include "lp/simplex.hpp"
+#include "models/batch.hpp"
+#include "squish/canonical.hpp"
+#include "squish/extract.hpp"
+#include "squish/hash.hpp"
+#include "squish/pad.hpp"
+#include "squish/reconstruct.hpp"
+#include "testutil.hpp"
+
+namespace dp {
+namespace {
+
+using squish::Topology;
+
+class PropertySeed : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam())};
+};
+
+// ------------------------------------------------ geometry / squish
+
+class AreaPreservation : public PropertySeed {
+ protected:
+  /// Random clip with pairwise DISJOINT shapes (Clip::shapeArea sums
+  /// rectangle areas, so the area identity only holds without overlap).
+  Clip disjointClip() {
+    Clip clip(Rect{0.0, 0.0, 100.0, 100.0});
+    for (int i = 0; i < 6; ++i) {
+      const double x0 = rng_.uniform(0.0, 90.0);
+      const double y0 = rng_.uniform(0.0, 90.0);
+      const Rect r{x0, y0, x0 + rng_.uniform(1.0, 30.0),
+                   y0 + rng_.uniform(1.0, 30.0)};
+      const Rect clipped = r.intersect(Rect{0, 0, 100, 100});
+      bool overlaps = false;
+      for (const Rect& s : clip.shapes())
+        if (s.overlaps(clipped)) overlaps = true;
+      if (!overlaps) clip.addShape(clipped);
+    }
+    clip.normalize();
+    return clip;
+  }
+};
+
+TEST_P(AreaPreservation, RoundTripPreservesShapeArea) {
+  for (int i = 0; i < 20; ++i) {
+    const Clip c = disjointClip();
+    const auto p = squish::extract(c);
+    const Clip back = squish::reconstruct(p);
+    EXPECT_NEAR(back.shapeArea(), c.shapeArea(), 1e-6);
+    EXPECT_NEAR(back.density(), c.density(), 1e-9);
+  }
+}
+
+TEST_P(AreaPreservation, DensityMatchesCellSum) {
+  for (int i = 0; i < 20; ++i) {
+    const Clip c = disjointClip();
+    const auto p = squish::extract(c);
+    double cellArea = 0.0;
+    for (int r = 0; r < p.topo.rows(); ++r)
+      for (int col = 0; col < p.topo.cols(); ++col)
+        if (p.topo.at(r, col))
+          cellArea += p.dy[static_cast<std::size_t>(r)] *
+                      p.dx[static_cast<std::size_t>(col)];
+    EXPECT_NEAR(cellArea, c.shapeArea(), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AreaPreservation,
+                         ::testing::Values(301, 302, 303));
+
+class NormalizeIdempotence : public PropertySeed {};
+
+TEST_P(NormalizeIdempotence, SecondNormalizeIsNoop) {
+  for (int i = 0; i < 30; ++i) {
+    Clip c = test::randomClip(rng_);
+    c.normalize();
+    Clip again = c;
+    again.normalize();
+    EXPECT_EQ(again, c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizeIdempotence,
+                         ::testing::Values(311, 312));
+
+class CanonicalIdempotence : public PropertySeed {};
+
+TEST_P(CanonicalIdempotence, CanonicalizeIsIdempotentAndCanonical) {
+  for (int i = 0; i < 40; ++i) {
+    Topology t(rng_.uniformInt(1, 16), rng_.uniformInt(1, 16));
+    for (int r = 0; r < t.rows(); ++r)
+      for (int c = 0; c < t.cols(); ++c)
+        t.set(r, c, rng_.bernoulli(0.35) ? 1 : 0);
+    const Topology canon = squish::canonicalize(t);
+    EXPECT_TRUE(squish::isCanonical(canon));
+    EXPECT_EQ(squish::canonicalize(canon), canon);
+    // Ones proportion may change but emptiness must not.
+    EXPECT_EQ(canon.onesCount() == 0, t.onesCount() == 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonicalIdempotence,
+                         ::testing::Values(321, 322, 323));
+
+// ------------------------------------------------------------- DRC
+
+class LegalityInvariance : public PropertySeed {};
+
+TEST_P(LegalityInvariance, LegalityIsCanonicalizationInvariant) {
+  const drc::TopologyChecker checker;
+  for (int i = 0; i < 40; ++i) {
+    Topology t(rng_.uniformInt(1, 10), rng_.uniformInt(1, 10));
+    for (int r = 0; r < t.rows(); ++r)
+      for (int c = 0; c < t.cols(); ++c)
+        t.set(r, c, rng_.bernoulli(0.3) ? 1 : 0);
+    EXPECT_EQ(checker.isLegal(t),
+              checker.isLegal(squish::canonicalize(t)));
+  }
+}
+
+TEST_P(LegalityInvariance, PaddingNeverFlipsLegalityOfUnpadded) {
+  // Legality of an unpadded topology equals legality of its padded form
+  // after unpadding — the identity convention used across the flows.
+  const drc::TopologyChecker checker;
+  for (int i = 0; i < 40; ++i) {
+    Topology t(rng_.uniformInt(1, 10), rng_.uniformInt(1, 10));
+    for (int r = 0; r < t.rows(); ++r)
+      for (int c = 0; c < t.cols(); ++c)
+        t.set(r, c, rng_.bernoulli(0.3) ? 1 : 0);
+    const Topology u = squish::unpad(t);
+    EXPECT_EQ(checker.isLegal(u),
+              checker.isLegal(squish::unpad(squish::padToNetwork(u))));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LegalityInvariance,
+                         ::testing::Values(331, 332, 333));
+
+// ------------------------------------------------------------ hashing
+
+TEST(HashProperty, NoCollisionsOverAllSmallTopologies) {
+  // Exhaustive: all topologies up to 3x3 (plus all 2x4/4x2) must hash
+  // uniquely — topology identity is keyed on these hashes.
+  std::set<std::uint64_t> seen;
+  long total = 0;
+  auto enumerate = [&](int rows, int cols) {
+    const int cells = rows * cols;
+    for (int mask = 0; mask < (1 << cells); ++mask) {
+      Topology t(rows, cols);
+      for (int b = 0; b < cells; ++b)
+        if (mask & (1 << b)) t.set(b / cols, b % cols, 1);
+      const auto h = squish::hashTopology(t);
+      EXPECT_TRUE(seen.insert(h).second)
+          << rows << "x" << cols << " mask " << mask;
+      ++total;
+    }
+  };
+  for (int r = 1; r <= 3; ++r)
+    for (int c = 1; c <= 3; ++c) enumerate(r, c);
+  enumerate(2, 4);
+  enumerate(4, 2);
+  EXPECT_GT(total, 1000);
+}
+
+// ----------------------------------------------------------- diversity
+
+TEST(DiversityProperty, BoundedByLogOfSupport) {
+  Rng rng(341);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<squish::Complexity> cs;
+    const int n = rng.uniformInt(1, 200);
+    for (int i = 0; i < n; ++i)
+      cs.push_back({rng.uniformInt(1, 6), rng.uniformInt(1, 6)});
+    std::set<std::pair<int, int>> support;
+    for (const auto& c : cs) support.insert({c.cx, c.cy});
+    const double h = core::shannonDiversity(cs);
+    EXPECT_GE(h, -1e-9);
+    EXPECT_LE(h, std::log2(static_cast<double>(support.size())) + 1e-9);
+  }
+}
+
+TEST(DiversityProperty, PermutationInvariant) {
+  std::vector<squish::Complexity> a{{1, 1}, {2, 2}, {1, 1}, {3, 3}};
+  std::vector<squish::Complexity> b{{3, 3}, {1, 1}, {1, 1}, {2, 2}};
+  EXPECT_DOUBLE_EQ(core::shannonDiversity(a), core::shannonDiversity(b));
+}
+
+// ------------------------------------------------------------- simplex
+
+class SimplexOptimality : public PropertySeed {};
+
+TEST_P(SimplexOptimality, BeatsGridSearchOnRandom2dLps) {
+  for (int iter = 0; iter < 15; ++iter) {
+    lp::LinearProgram prog(2);
+    const double c0 = rng_.uniform(-1, 2), c1 = rng_.uniform(-1, 2);
+    prog.setObjective({c0, c1});
+    std::vector<std::array<double, 3>> cons;
+    for (int k = 0; k < 4; ++k) {
+      const double a0 = rng_.uniform(0.1, 1), a1 = rng_.uniform(0.1, 1);
+      const double b = rng_.uniform(2, 8);
+      prog.addConstraint({a0, a1}, lp::Relation::kLessEqual, b);
+      cons.push_back({a0, a1, b});
+    }
+    const auto res = prog.solve();
+    ASSERT_EQ(res.status, lp::SolveStatus::kOptimal);
+    // Dense grid over the box [0,12]^2, keeping feasible points.
+    double best = 0.0;  // x = 0 is feasible
+    for (double x = 0; x <= 12.0; x += 0.125) {
+      for (double y = 0; y <= 12.0; y += 0.125) {
+        bool ok = true;
+        for (const auto& [a0, a1, b] : cons)
+          if (a0 * x + a1 * y > b) {
+            ok = false;
+            break;
+          }
+        if (ok) best = std::max(best, c0 * x + c1 * y);
+      }
+    }
+    EXPECT_GE(res.objective, best - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexOptimality,
+                         ::testing::Values(351, 352, 353));
+
+// ----------------------------------------------------------- sampling
+
+TEST(PerturberProperty, DeterministicGivenEqualRngs) {
+  const auto p = core::SensitivityAwarePerturber({0.5, 1.0, 2.0});
+  Rng a(77), b(77);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(p.sample(a), p.sample(b));
+  Rng c(78);
+  bool anyDiff = false;
+  for (int i = 0; i < 10; ++i)
+    if (p.sample(a) != p.sample(c)) anyDiff = true;
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(BatchProperty, GatherRowsHandles4dTensors) {
+  Rng rng(361);
+  const nn::Tensor data = nn::Tensor::randn({5, 2, 3, 3}, rng);
+  const nn::Tensor picked = models::gatherRows(data, {4, 0});
+  EXPECT_EQ(picked.shape(), (std::vector<int>{2, 2, 3, 3}));
+  for (int c = 0; c < 2; ++c)
+    for (int h = 0; h < 3; ++h)
+      for (int w = 0; w < 3; ++w) {
+        EXPECT_EQ(picked.at(0, c, h, w), data.at(4, c, h, w));
+        EXPECT_EQ(picked.at(1, c, h, w), data.at(0, c, h, w));
+      }
+}
+
+// ------------------------------------------------------ pattern library
+
+class LibraryProperty : public PropertySeed {};
+
+TEST_P(LibraryProperty, AddingDuplicatesNeverChangesMetrics) {
+  core::PatternLibrary lib;
+  std::vector<Topology> topos;
+  for (int i = 0; i < 30; ++i) {
+    Topology t(rng_.uniformInt(1, 6), rng_.uniformInt(1, 6));
+    for (int r = 0; r < t.rows(); ++r)
+      for (int c = 0; c < t.cols(); ++c)
+        t.set(r, c, rng_.bernoulli(0.4) ? 1 : 0);
+    topos.push_back(t);
+    lib.add(t);
+  }
+  const std::size_t size = lib.size();
+  const double h = lib.diversity();
+  for (const auto& t : topos) EXPECT_FALSE(lib.add(t));
+  EXPECT_EQ(lib.size(), size);
+  EXPECT_DOUBLE_EQ(lib.diversity(), h);
+}
+
+TEST_P(LibraryProperty, MergeIsIdempotentAndCommutativeInSize) {
+  core::PatternLibrary a, b;
+  for (int i = 0; i < 20; ++i) {
+    Topology t(rng_.uniformInt(1, 5), rng_.uniformInt(1, 5));
+    for (int r = 0; r < t.rows(); ++r)
+      for (int c = 0; c < t.cols(); ++c)
+        t.set(r, c, rng_.bernoulli(0.5) ? 1 : 0);
+    if (i % 2) a.add(t);
+    else b.add(t);
+  }
+  core::PatternLibrary ab = a;
+  ab.merge(b);
+  core::PatternLibrary ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.size(), ba.size());
+  const std::size_t s = ab.size();
+  ab.merge(b);
+  EXPECT_EQ(ab.size(), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LibraryProperty,
+                         ::testing::Values(371, 372, 373));
+
+}  // namespace
+}  // namespace dp

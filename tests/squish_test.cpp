@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include "squish/canonical.hpp"
+#include "squish/complexity.hpp"
+#include "squish/extract.hpp"
+#include "squish/hash.hpp"
+#include "squish/pad.hpp"
+#include "squish/reconstruct.hpp"
+#include "squish/squish_pattern.hpp"
+#include "testutil.hpp"
+
+namespace dp::squish {
+namespace {
+
+using dp::test::randomClip;
+using dp::test::topo;
+
+// ------------------------------------------------------------ Topology
+
+TEST(Topology, ConstructionAndAccess) {
+  Topology t(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.onesCount(), 0);
+  t.set(1, 2, 1);
+  EXPECT_EQ(t.at(1, 2), 1);
+  EXPECT_EQ(t.onesCount(), 1);
+  EXPECT_TRUE(t.rowHasShape(1));
+  EXPECT_FALSE(t.rowHasShape(0));
+  EXPECT_TRUE(t.colHasShape(2));
+  EXPECT_FALSE(t.colHasShape(0));
+}
+
+TEST(Topology, FromCellsNormalizesToBinary) {
+  const Topology t(2, 2, {0, 3, 7, 0});
+  EXPECT_EQ(t.at(0, 1), 1);
+  EXPECT_EQ(t.at(1, 0), 1);
+  EXPECT_EQ(t.onesCount(), 2);
+}
+
+TEST(Topology, ThrowsOnBadConstructionAndIndex) {
+  EXPECT_THROW(Topology(-1, 2), std::invalid_argument);
+  EXPECT_THROW(Topology(2, 2, {1, 0, 1}), std::invalid_argument);
+  Topology t(2, 2);
+  EXPECT_THROW(t.at(2, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, -1), std::out_of_range);
+}
+
+TEST(Topology, RowColEquality) {
+  const Topology t = topo({"##.",  //
+                           "##.",  //
+                           ".#."});
+  EXPECT_TRUE(t.rowsEqual(1, 2));
+  EXPECT_FALSE(t.rowsEqual(0, 1));
+  EXPECT_FALSE(t.colsEqual(0, 1));
+  EXPECT_FALSE(t.colsEqual(1, 2));
+}
+
+TEST(Topology, ToStringTopRowFirst) {
+  const Topology t = topo({"#.",  //
+                           ".#"});
+  EXPECT_EQ(t.toString(), "#.\n.#\n");
+}
+
+TEST(Topology, LiteralHelperBottomRowIsRowZero) {
+  const Topology t = topo({"#.",  //
+                           ".#"});
+  EXPECT_EQ(t.at(0, 1), 1);  // bottom-right
+  EXPECT_EQ(t.at(1, 0), 1);  // top-left
+}
+
+// ------------------------------------------------------------- Extract
+
+TEST(Extract, EmptyClipYieldsSingleSpaceCell) {
+  const dp::Clip c(dp::Rect{0, 0, 10, 10});
+  const SquishPattern p = extract(c);
+  EXPECT_EQ(p.topo.rows(), 1);
+  EXPECT_EQ(p.topo.cols(), 1);
+  EXPECT_EQ(p.topo.onesCount(), 0);
+  EXPECT_DOUBLE_EQ(p.width(), 10.0);
+  EXPECT_DOUBLE_EQ(p.height(), 10.0);
+}
+
+TEST(Extract, SingleCenteredShape) {
+  dp::Clip c(dp::Rect{0, 0, 10, 10});
+  c.addShape(dp::Rect{2, 4, 8, 6});
+  const SquishPattern p = extract(c);
+  EXPECT_EQ(p.topo.rows(), 3);
+  EXPECT_EQ(p.topo.cols(), 3);
+  EXPECT_EQ(p.topo.at(1, 1), 1);
+  EXPECT_EQ(p.topo.onesCount(), 1);
+  EXPECT_EQ(p.dx, (std::vector<double>{2, 6, 2}));
+  EXPECT_EQ(p.dy, (std::vector<double>{4, 2, 4}));
+}
+
+TEST(Extract, ShapeTouchingBorderAddsNoDuplicateLine) {
+  dp::Clip c(dp::Rect{0, 0, 10, 10});
+  c.addShape(dp::Rect{0, 0, 5, 5});
+  const SquishPattern p = extract(c);
+  EXPECT_EQ(p.topo.rows(), 2);
+  EXPECT_EQ(p.topo.cols(), 2);
+  EXPECT_EQ(p.topo.at(0, 0), 1);
+  EXPECT_EQ(p.topo.onesCount(), 1);
+}
+
+TEST(Extract, PaperFigure3StyleExample) {
+  // Two wires on distinct tracks with offset line ends: complexity must
+  // count every distinct scan line.
+  dp::Clip c(dp::Rect{0, 0, 64, 48});
+  c.addShape(dp::Rect{0, 8, 40, 16});
+  c.addShape(dp::Rect{24, 32, 64, 40});
+  const SquishPattern p = extract(c);
+  const auto cplx = complexityOfCanonical(p.topo);
+  EXPECT_EQ(cplx.cx, 3);  // lines at 0,24,40,64
+  EXPECT_EQ(cplx.cy, 5);  // lines at 0,8,16,32,40,48
+  EXPECT_TRUE(isCanonical(p.topo));
+}
+
+TEST(Extract, IsLosslessViaReconstruct) {
+  dp::Clip c(dp::Rect{0, 0, 100, 100});
+  c.addShape(dp::Rect{10, 20, 40, 30});
+  c.addShape(dp::Rect{50, 20, 90, 30});
+  c.addShape(dp::Rect{10, 60, 90, 70});
+  c.normalize();
+  const dp::Clip back = reconstruct(extract(c));
+  EXPECT_EQ(back, c);
+}
+
+/// Round-trip property over random (even degenerate/overlapping) clips:
+/// extraction of the reconstruction equals the canonical form of the
+/// original squish pattern. (Overlapping shapes can create scan lines
+/// that separate identical grid rows/columns; reconstruction merges the
+/// geometry into maximal rectangles, so exactly those redundant lines
+/// vanish — the canonicalized patterns must match.)
+class SquishRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SquishRoundTrip, ExtractReconstructExtractIsCanonical) {
+  dp::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 25; ++i) {
+    dp::Clip c = randomClip(rng);
+    c.normalize();
+    const SquishPattern p1 = canonicalize(extract(c));
+    const dp::Clip r1 = reconstruct(p1);
+    const SquishPattern p2 = extract(r1);
+    EXPECT_EQ(p1.topo, p2.topo);
+    ASSERT_EQ(p1.dx.size(), p2.dx.size());
+    ASSERT_EQ(p1.dy.size(), p2.dy.size());
+    for (std::size_t k = 0; k < p1.dx.size(); ++k)
+      EXPECT_NEAR(p1.dx[k], p2.dx[k], 1e-9);
+    for (std::size_t k = 0; k < p1.dy.size(); ++k)
+      EXPECT_NEAR(p1.dy[k], p2.dy[k], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SquishRoundTrip,
+                         ::testing::Range(100, 110));
+
+// ----------------------------------------------------------- Canonical
+
+TEST(Canonical, DetectsDuplicateRowsAndCols) {
+  EXPECT_TRUE(isCanonical(topo({"#.", ".#"})));
+  EXPECT_FALSE(isCanonical(topo({"#.", "#."})));
+  EXPECT_FALSE(isCanonical(topo({"##", ".."})));
+}
+
+TEST(Canonical, MergesDuplicateRows) {
+  const Topology t = topo({"#.",  //
+                           "#.",  //
+                           ".#"});
+  const Topology c = canonicalize(t);
+  EXPECT_EQ(c, topo({"#.", ".#"}));
+}
+
+TEST(Canonical, MergesDuplicateColsAfterRows) {
+  const Topology t = topo({"##..",  //
+                           "##..",  //
+                           "..##"});
+  const Topology c = canonicalize(t);
+  EXPECT_EQ(c, topo({"#.", ".#"}));
+  EXPECT_TRUE(isCanonical(c));
+}
+
+TEST(Canonical, IdempotentOnCanonicalInput) {
+  const Topology t = topo({"#.#", ".#."});
+  EXPECT_EQ(canonicalize(t), t);
+}
+
+TEST(Canonical, AllZeroCollapsesToSingleCell) {
+  const Topology c = canonicalize(Topology(5, 7));
+  EXPECT_EQ(c.rows(), 1);
+  EXPECT_EQ(c.cols(), 1);
+  EXPECT_EQ(c.onesCount(), 0);
+}
+
+TEST(Canonical, PatternVariantMergesDeltas) {
+  SquishPattern p;
+  // Rows bottom-to-top: ".#", "#.", "#." — the TOP two are identical,
+  // so their heights (2 and 5) merge.
+  p.topo = topo({"#.",  //
+                 "#.",  //
+                 ".#"});
+  p.dx = {3, 4};
+  p.dy = {1, 2, 5};
+  const SquishPattern c = canonicalize(p);
+  EXPECT_EQ(c.topo, topo({"#.", ".#"}));
+  EXPECT_EQ(c.dy, (std::vector<double>{1, 7}));
+  EXPECT_EQ(c.dx, (std::vector<double>{3, 4}));
+  EXPECT_DOUBLE_EQ(c.width(), p.width());
+  EXPECT_DOUBLE_EQ(c.height(), p.height());
+}
+
+TEST(Canonical, GeometryPreservedThroughReconstruction) {
+  // Canonicalizing a squish pattern must not change the layout it
+  // describes.
+  SquishPattern p;
+  p.topo = topo({"##..",  //
+                 "##..",  //
+                 "...."});
+  p.dx = {2, 3, 4, 5};
+  p.dy = {6, 1, 1};
+  const dp::Clip a = reconstruct(p);
+  const dp::Clip b = reconstruct(canonicalize(p));
+  EXPECT_EQ(a.shapes(), b.shapes());
+  EXPECT_EQ(a.window(), b.window());
+}
+
+// ----------------------------------------------------------------- Pad
+
+TEST(Pad, PadToAnchorsBottomLeft) {
+  const Topology t = topo({"#."});
+  const Topology p = padTo(t, 3, 4);
+  EXPECT_EQ(p.rows(), 3);
+  EXPECT_EQ(p.cols(), 4);
+  EXPECT_EQ(p.at(0, 0), 1);
+  EXPECT_EQ(p.onesCount(), 1);
+}
+
+TEST(Pad, PadToNetworkIs24) {
+  const Topology p = padToNetwork(topo({"#"}));
+  EXPECT_EQ(p.rows(), 24);
+  EXPECT_EQ(p.cols(), 24);
+}
+
+TEST(Pad, ThrowsWhenTooLarge) {
+  EXPECT_THROW(padTo(Topology(5, 5), 4, 8), std::invalid_argument);
+  EXPECT_THROW(padTo(Topology(30, 30), 24, 24), std::invalid_argument);
+}
+
+TEST(Pad, UnpadInvertsPadForShapeBoundedTopologies) {
+  const Topology t = topo({".#",  //
+                           "#."});
+  EXPECT_EQ(unpad(padTo(t, 10, 12)), t);
+}
+
+TEST(Pad, UnpadOfAllZeroIsUnitCell) {
+  const Topology u = unpad(Topology(6, 6));
+  EXPECT_EQ(u.rows(), 1);
+  EXPECT_EQ(u.cols(), 1);
+}
+
+/// Padding / canonicalization / unpadding interplay: stripping the
+/// padding after canonicalizing the padded matrix equals canonicalizing
+/// the stripped matrix — the invariant the generated-pattern identity
+/// convention relies on.
+class PadCanonicalProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PadCanonicalProperty, UnpadCommutesWithCanonicalize) {
+  dp::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int iter = 0; iter < 30; ++iter) {
+    Topology t(rng.uniformInt(1, 12), rng.uniformInt(1, 12));
+    for (int r = 0; r < t.rows(); ++r)
+      for (int c = 0; c < t.cols(); ++c)
+        t.set(r, c, rng.bernoulli(0.4) ? 1 : 0);
+    if (t.onesCount() == 0) continue;
+    const Topology viaPad = unpad(canonicalize(padToNetwork(t)));
+    const Topology direct = canonicalize(unpad(t));
+    EXPECT_EQ(viaPad, direct) << t.toString();
+    EXPECT_EQ(hashTopology(viaPad), hashTopology(direct));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PadCanonicalProperty,
+                         ::testing::Values(21, 22, 23));
+
+// ---------------------------------------------------------- Complexity
+
+TEST(Complexity, OfCanonicalIsDimensions) {
+  const auto c = complexityOfCanonical(topo({"#.", ".#"}));
+  EXPECT_EQ(c.cx, 2);
+  EXPECT_EQ(c.cy, 2);
+}
+
+TEST(Complexity, CanonicalizesFirst) {
+  const auto c = complexityOf(topo({"##..",  //
+                                    "##..",  //
+                                    "..##"}));
+  EXPECT_EQ(c.cx, 2);
+  EXPECT_EQ(c.cy, 2);
+}
+
+// ---------------------------------------------------------------- Hash
+
+TEST(Hash, EqualTopologiesHashEqual) {
+  const Topology a = topo({"#.", ".#"});
+  const Topology b = topo({"#.", ".#"});
+  EXPECT_EQ(hashTopology(a), hashTopology(b));
+}
+
+TEST(Hash, DifferentContentHashesDiffer) {
+  EXPECT_NE(hashTopology(topo({"#.", ".#"})),
+            hashTopology(topo({".#", "#."})));
+}
+
+TEST(Hash, DimensionsParticipate) {
+  // A 1x4 and a 4x1 all-shape topology have identical cell streams.
+  EXPECT_NE(hashTopology(Topology(1, 4, {1, 1, 1, 1})),
+            hashTopology(Topology(4, 1, {1, 1, 1, 1})));
+}
+
+TEST(Hash, CanonicalHashMergesEquivalents) {
+  EXPECT_EQ(hashCanonical(topo({"#.", "#."})),
+            hashCanonical(topo({"#."})));
+}
+
+// --------------------------------------------------------------- Storage
+
+TEST(Storage, PaperExampleIs29Point5Bytes) {
+  // Paper §III-A: 3x4 topology + 4+3 geometry values in a 64x64 clip:
+  // 1.5 bytes topology + 28 bytes vectors = 29.5 vs 512 bytes raster.
+  SquishPattern p;
+  p.topo = Topology(3, 4);
+  p.dx = {16, 16, 16, 16};
+  p.dy = {20, 20, 24};
+  EXPECT_DOUBLE_EQ(squishStorageBytes(p), 29.5);
+  EXPECT_DOUBLE_EQ(imageStorageBytes(64, 64), 512.0);
+}
+
+TEST(Storage, SquishBeatsRasterOnRealisticClips) {
+  dp::Clip c(dp::Rect{0, 0, 192, 192});
+  c.addShape(dp::Rect{0, 16, 100, 32});
+  c.addShape(dp::Rect{120, 16, 192, 32});
+  c.addShape(dp::Rect{30, 80, 150, 96});
+  const SquishPattern p = extract(c);
+  EXPECT_LT(squishStorageBytes(p), imageStorageBytes(192, 192));
+}
+
+// ------------------------------------------------------- SquishPattern
+
+TEST(SquishPattern, ConsistencyChecks) {
+  SquishPattern p;
+  p.topo = Topology(2, 2);
+  p.dx = {1, 2};
+  p.dy = {3, 4};
+  EXPECT_TRUE(p.isConsistent());
+  p.dx = {1};
+  EXPECT_FALSE(p.isConsistent());
+  p.dx = {1, 0};
+  EXPECT_FALSE(p.isConsistent());  // non-positive delta
+}
+
+TEST(SquishPattern, ScanLinesAccumulate) {
+  SquishPattern p;
+  p.topo = Topology(2, 3);
+  p.dx = {1, 2, 3};
+  p.dy = {4, 5};
+  p.x0 = 10;
+  p.y0 = 20;
+  EXPECT_EQ(p.xLines(), (std::vector<double>{10, 11, 13, 16}));
+  EXPECT_EQ(p.yLines(), (std::vector<double>{20, 24, 29}));
+}
+
+TEST(SquishPattern, ReconstructRejectsInconsistent) {
+  SquishPattern p;
+  p.topo = Topology(2, 2);
+  p.dx = {1};
+  p.dy = {1, 1};
+  EXPECT_THROW(reconstruct(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dp::squish

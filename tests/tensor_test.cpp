@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dp::nn {
+namespace {
+
+// --------------------------------------------------------------- Tensor
+
+TEST(Tensor, ConstructionZeroInitializes) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_EQ(t.dim(), 2);
+  EXPECT_EQ(t.size(0), 2);
+  EXPECT_EQ(t.size(1), 3);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FactoryHelpers) {
+  EXPECT_EQ(Tensor::full({2}, 3.0f)[1], 3.0f);
+  dp::Rng rng(1);
+  const Tensor r = Tensor::randn({1000}, rng, 2.0);
+  EXPECT_NEAR(r.mean(), 0.0, 0.25);
+  const Tensor u = Tensor::uniform({1000}, rng, -1.0, 1.0);
+  EXPECT_LE(u.absMax(), 1.0);
+}
+
+TEST(Tensor, IndexedAccess) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 5.0f;
+  EXPECT_EQ(t[5], 5.0f);
+  Tensor q({2, 3, 4, 5});
+  q.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(q[1 * 60 + 2 * 20 + 3 * 5 + 4], 7.0f);
+}
+
+TEST(Tensor, AccessValidation) {
+  Tensor t({2, 3});
+  EXPECT_THROW((void)t.at(0, 0, 0, 0), std::logic_error);
+  EXPECT_THROW((void)t.size(5), std::out_of_range);
+  Tensor q({1, 1, 2, 2});
+  EXPECT_THROW((void)q.at(0, 0), std::logic_error);
+}
+
+TEST(Tensor, ReshapedPreservesData) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 9.0f;
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 9.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a = Tensor::full({3}, 2.0f);
+  Tensor b = Tensor::full({3}, 3.0f);
+  a += b;
+  EXPECT_EQ(a[0], 5.0f);
+  a -= b;
+  EXPECT_EQ(a[1], 2.0f);
+  a *= 4.0f;
+  EXPECT_EQ(a[2], 8.0f);
+  EXPECT_THROW(a += Tensor({4}), std::invalid_argument);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4});
+  t[0] = 1;
+  t[1] = -5;
+  t[2] = 2;
+  t[3] = 2;
+  EXPECT_DOUBLE_EQ(t.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(t.absMax(), 5.0);
+  EXPECT_EQ(t.shapeString(), "(4)");
+}
+
+TEST(Tensor, NegativeDimensionThrows) {
+  EXPECT_THROW(Tensor({2, -1}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- GEMM
+
+/// Reference triple loop for arbitrary transposes.
+void refGemm(bool ta, bool tb, int m, int n, int k, float alpha,
+             const std::vector<float>& a, int lda,
+             const std::vector<float>& b, int ldb, float beta,
+             std::vector<float>& c, int ldc) {
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) {
+        const float av = ta ? a[static_cast<std::size_t>(p * lda + i)]
+                            : a[static_cast<std::size_t>(i * lda + p)];
+        const float bv = tb ? b[static_cast<std::size_t>(j * ldb + p)]
+                            : b[static_cast<std::size_t>(p * ldb + j)];
+        acc += static_cast<double>(av) * bv;
+      }
+      auto& cv = c[static_cast<std::size_t>(i * ldc + j)];
+      cv = static_cast<float>(alpha * acc + beta * cv);
+    }
+}
+
+class GemmTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, int>> {};
+
+TEST_P(GemmTest, MatchesReferenceImplementation) {
+  const auto [ta, tb, seed] = GetParam();
+  dp::Rng rng(static_cast<std::uint64_t>(seed));
+  for (int iter = 0; iter < 10; ++iter) {
+    const int m = rng.uniformInt(1, 8);
+    const int n = rng.uniformInt(1, 8);
+    const int k = rng.uniformInt(1, 8);
+    const int lda = ta ? m : k;
+    const int ldb = tb ? k : n;
+    std::vector<float> a(static_cast<std::size_t>((ta ? k : m) * lda));
+    std::vector<float> b(static_cast<std::size_t>((tb ? n : k) * ldb));
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+    for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+    for (auto& v : c) v = static_cast<float>(rng.uniform(-1, 1));
+    const float alpha = static_cast<float>(rng.uniform(-2, 2));
+    const float beta = static_cast<float>(rng.uniform(-2, 2));
+
+    std::vector<float> expected = c;
+    refGemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, expected, n);
+    gemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta,
+         c.data(), n);
+    for (std::size_t i = 0; i < c.size(); ++i)
+      EXPECT_NEAR(c[i], expected[i], 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposes, GemmTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Gemm, ZeroSizesAreNoops) {
+  std::vector<float> c(4, 1.0f);
+  gemm(false, false, 0, 0, 0, 1.0f, nullptr, 1, nullptr, 1, 1.0f, c.data(),
+       2);
+  EXPECT_EQ(c[0], 1.0f);
+}
+
+TEST(Gemm, BetaZeroOverwritesC) {
+  std::vector<float> a{1, 2}, b{3, 4}, c{99};
+  gemm(false, false, 1, 1, 2, 1.0f, a.data(), 2, b.data(), 1, 0.0f,
+       c.data(), 1);
+  EXPECT_NEAR(c[0], 11.0f, 1e-6);
+}
+
+// --------------------------------------------------------------- im2col
+
+TEST(Im2col, IdentityKernelCopiesImage) {
+  ConvGeom g{1, 3, 3, 1, 1, 0};
+  std::vector<float> img{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> cols(static_cast<std::size_t>(g.colRows() * g.colCols()));
+  im2col(g, img.data(), cols.data());
+  EXPECT_EQ(cols, img);
+}
+
+TEST(Im2col, GeometryDerivedQuantities) {
+  ConvGeom g{3, 24, 24, 3, 2, 1};
+  EXPECT_EQ(g.outHeight(), 12);
+  EXPECT_EQ(g.outWidth(), 12);
+  EXPECT_EQ(g.colRows(), 27);
+  EXPECT_EQ(g.colCols(), 144);
+}
+
+TEST(Im2col, PaddingYieldsZeros) {
+  ConvGeom g{1, 2, 2, 3, 1, 1};
+  std::vector<float> img{1, 2, 3, 4};
+  std::vector<float> cols(static_cast<std::size_t>(g.colRows() * g.colCols()));
+  im2col(g, img.data(), cols.data());
+  // kernel position (0,0) at output (0,0) reads image (-1,-1) -> 0.
+  EXPECT_EQ(cols[0], 0.0f);
+  // center kernel tap at output (0,0) reads image (0,0) -> 1.
+  const int centerRow = 4;  // kh=1, kw=1
+  EXPECT_EQ(cols[static_cast<std::size_t>(centerRow * g.colCols())], 1.0f);
+}
+
+/// Adjointness: <im2col(x), C> == <x, col2im(C)> for random x, C —
+/// the property conv/deconv backward correctness rests on.
+class Im2colAdjointTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Im2colAdjointTest, Im2colAndCol2imAreAdjoint) {
+  dp::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int iter = 0; iter < 10; ++iter) {
+    ConvGeom g;
+    g.channels = rng.uniformInt(1, 3);
+    g.height = rng.uniformInt(3, 8);
+    g.width = rng.uniformInt(3, 8);
+    g.kernel = rng.uniformInt(1, 3);
+    g.stride = rng.uniformInt(1, 2);
+    g.pad = rng.uniformInt(0, 1);
+    if (g.outHeight() <= 0 || g.outWidth() <= 0) continue;
+
+    const std::size_t imgN =
+        static_cast<std::size_t>(g.channels * g.height * g.width);
+    const std::size_t colN =
+        static_cast<std::size_t>(g.colRows() * g.colCols());
+    std::vector<float> x(imgN), c(colN), xc(colN), cx(imgN);
+    for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+    for (auto& v : c) v = static_cast<float>(rng.uniform(-1, 1));
+    im2col(g, x.data(), xc.data());
+    col2im(g, c.data(), cx.data());
+    double lhs = 0, rhs = 0;
+    for (std::size_t i = 0; i < colN; ++i) lhs += static_cast<double>(xc[i]) * c[i];
+    for (std::size_t i = 0; i < imgN; ++i) rhs += static_cast<double>(x[i]) * cx[i];
+    EXPECT_NEAR(lhs, rhs, 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Im2colAdjointTest,
+                         ::testing::Values(7, 8, 9, 10));
+
+}  // namespace
+}  // namespace dp::nn

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file testutil.hpp
+/// Shared helpers for the test suite: literal topology construction,
+/// random clip generation, and numeric gradient checking for layers.
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/clip.hpp"
+#include "nn/layer.hpp"
+#include "squish/topology.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dp::test {
+
+/// Builds a topology from rows written top-first, e.g.
+/// topo({"##.", "..#"}) — '#' = shape, anything else = space.
+/// (Row 0 of the result is the BOTTOM row, matching the library
+/// convention, so the last string becomes row 0.)
+inline squish::Topology topo(const std::vector<std::string>& rowsTopFirst) {
+  const int rows = static_cast<int>(rowsTopFirst.size());
+  const int cols = rows > 0 ? static_cast<int>(rowsTopFirst[0].size()) : 0;
+  squish::Topology t(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    const std::string& line = rowsTopFirst[static_cast<std::size_t>(rows - 1 - r)];
+    for (int c = 0; c < cols; ++c)
+      t.set(r, c, line[static_cast<std::size_t>(c)] == '#' ? 1 : 0);
+  }
+  return t;
+}
+
+/// A random rectilinear clip (shapes may overlap; not DRC-clean) for
+/// squish round-trip property tests.
+inline dp::Clip randomClip(dp::Rng& rng, int maxShapes = 6,
+                           double window = 100.0) {
+  dp::Clip clip(dp::Rect{0.0, 0.0, window, window});
+  const int n = rng.uniformInt(0, maxShapes);
+  for (int i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(0.0, window - 1.0);
+    const double y0 = rng.uniform(0.0, window - 1.0);
+    const double x1 = x0 + rng.uniform(1.0, window - x0);
+    const double y1 = y0 + rng.uniform(1.0, window - y0);
+    clip.addShape(dp::Rect{x0, y0, x1, y1});
+  }
+  return clip;
+}
+
+/// Central-difference gradient check for one layer: perturbs inputs and
+/// parameters and compares numeric dL/dx against backward()'s output,
+/// with L = sum(weights .* forward(x)) for a fixed random weighting.
+/// Returns the maximum absolute deviation observed.
+inline double gradCheck(nn::Layer& layer, const nn::Tensor& x,
+                        dp::Rng& rng, double eps = 1e-2) {
+  // Fixed upstream weighting makes L scalar and the upstream gradient
+  // constant (independent of the forward pass).
+  nn::Tensor y0 = layer.forward(x, /*training=*/true);
+  const nn::Tensor weights = nn::Tensor::randn(y0.shape(), rng);
+  auto lossOf = [&](const nn::Tensor& input) {
+    nn::Tensor y = layer.forward(input, /*training=*/true);
+    double l = 0.0;
+    for (std::size_t i = 0; i < y.numel(); ++i) l += weights[i] * y[i];
+    return l;
+  };
+
+  // Analytic gradients.
+  for (nn::Param* p : layer.params()) p->grad.zero();
+  (void)layer.forward(x, /*training=*/true);
+  const nn::Tensor dx = layer.backward(weights);
+
+  double worst = 0.0;
+  // Input gradient at a sample of coordinates.
+  const std::size_t checkN = std::min<std::size_t>(x.numel(), 24);
+  for (std::size_t k = 0; k < checkN; ++k) {
+    const std::size_t i =
+        x.numel() <= checkN
+            ? k
+            : static_cast<std::size_t>(
+                  rng.uniformInt(0, static_cast<int>(x.numel()) - 1));
+    nn::Tensor xp = x, xm = x;
+    xp[i] += static_cast<float>(eps);
+    xm[i] -= static_cast<float>(eps);
+    const double num = (lossOf(xp) - lossOf(xm)) / (2.0 * eps);
+    worst = std::max(worst, std::abs(num - dx[i]));
+  }
+
+  // Parameter gradients at a sample of coordinates. Re-run the
+  // analytic pass so caches match the unperturbed input.
+  for (nn::Param* p : layer.params()) p->grad.zero();
+  (void)layer.forward(x, /*training=*/true);
+  (void)layer.backward(weights);
+  for (nn::Param* p : layer.params()) {
+    const std::size_t pn = std::min<std::size_t>(p->value.numel(), 16);
+    for (std::size_t k = 0; k < pn; ++k) {
+      const std::size_t i =
+          p->value.numel() <= pn
+              ? k
+              : static_cast<std::size_t>(rng.uniformInt(
+                    0, static_cast<int>(p->value.numel()) - 1));
+      const float saved = p->value[i];
+      p->value[i] = saved + static_cast<float>(eps);
+      const double lp = lossOf(x);
+      p->value[i] = saved - static_cast<float>(eps);
+      const double lm = lossOf(x);
+      p->value[i] = saved;
+      const double num = (lp - lm) / (2.0 * eps);
+      worst = std::max(worst, std::abs(num - p->grad[i]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace dp::test
