@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_distributions.dir/fig10_distributions.cpp.o"
+  "CMakeFiles/fig10_distributions.dir/fig10_distributions.cpp.o.d"
+  "fig10_distributions"
+  "fig10_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

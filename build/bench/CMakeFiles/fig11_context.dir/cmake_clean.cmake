@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_context.dir/fig11_context.cpp.o"
+  "CMakeFiles/fig11_context.dir/fig11_context.cpp.o.d"
+  "fig11_context"
+  "fig11_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_samples.dir/fig1_samples.cpp.o"
+  "CMakeFiles/fig1_samples.dir/fig1_samples.cpp.o.d"
+  "fig1_samples"
+  "fig1_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_perturbation.cpp" "bench/CMakeFiles/fig9_perturbation.dir/fig9_perturbation.cpp.o" "gcc" "bench/CMakeFiles/fig9_perturbation.dir/fig9_perturbation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/dp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/dp_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/dp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/drc/CMakeFiles/dp_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/squish/CMakeFiles/dp_squish.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/dp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_perturbation.dir/fig9_perturbation.cpp.o"
+  "CMakeFiles/fig9_perturbation.dir/fig9_perturbation.cpp.o.d"
+  "fig9_perturbation"
+  "fig9_perturbation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

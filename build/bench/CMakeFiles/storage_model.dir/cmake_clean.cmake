@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_model.dir/storage_model.cpp.o"
+  "CMakeFiles/storage_model.dir/storage_model.cpp.o.d"
+  "storage_model"
+  "storage_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_statistics.dir/table2_statistics.cpp.o"
+  "CMakeFiles/table2_statistics.dir/table2_statistics.cpp.o.d"
+  "table2_statistics"
+  "table2_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

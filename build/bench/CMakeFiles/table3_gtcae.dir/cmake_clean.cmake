@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_gtcae.dir/table3_gtcae.cpp.o"
+  "CMakeFiles/table3_gtcae.dir/table3_gtcae.cpp.o.d"
+  "table3_gtcae"
+  "table3_gtcae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_gtcae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

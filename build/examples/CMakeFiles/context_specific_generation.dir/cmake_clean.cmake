@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_specific_generation.dir/context_specific_generation.cpp.o"
+  "CMakeFiles/context_specific_generation.dir/context_specific_generation.cpp.o.d"
+  "context_specific_generation"
+  "context_specific_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_specific_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

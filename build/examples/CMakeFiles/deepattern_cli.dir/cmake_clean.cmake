@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepattern_cli.dir/deepattern_cli.cpp.o"
+  "CMakeFiles/deepattern_cli.dir/deepattern_cli.cpp.o.d"
+  "deepattern_cli"
+  "deepattern_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepattern_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latent_space_explorer.dir/latent_space_explorer.cpp.o"
+  "CMakeFiles/latent_space_explorer.dir/latent_space_explorer.cpp.o.d"
+  "latent_space_explorer"
+  "latent_space_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latent_space_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_library_expansion.dir/pattern_library_expansion.cpp.o"
+  "CMakeFiles/pattern_library_expansion.dir/pattern_library_expansion.cpp.o.d"
+  "pattern_library_expansion"
+  "pattern_library_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_library_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/flows.cpp" "src/core/CMakeFiles/dp_core.dir/flows.cpp.o" "gcc" "src/core/CMakeFiles/dp_core.dir/flows.cpp.o.d"
+  "/root/repo/src/core/generation_result.cpp" "src/core/CMakeFiles/dp_core.dir/generation_result.cpp.o" "gcc" "src/core/CMakeFiles/dp_core.dir/generation_result.cpp.o.d"
+  "/root/repo/src/core/gtcae.cpp" "src/core/CMakeFiles/dp_core.dir/gtcae.cpp.o" "gcc" "src/core/CMakeFiles/dp_core.dir/gtcae.cpp.o.d"
+  "/root/repo/src/core/pattern_library.cpp" "src/core/CMakeFiles/dp_core.dir/pattern_library.cpp.o" "gcc" "src/core/CMakeFiles/dp_core.dir/pattern_library.cpp.o.d"
+  "/root/repo/src/core/perturb.cpp" "src/core/CMakeFiles/dp_core.dir/perturb.cpp.o" "gcc" "src/core/CMakeFiles/dp_core.dir/perturb.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/dp_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/dp_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/dp_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/dp_core.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/dp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/drc/CMakeFiles/dp_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/dp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/dp_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/squish/CMakeFiles/dp_squish.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/dp_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

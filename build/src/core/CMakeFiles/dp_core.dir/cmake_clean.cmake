@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_core.dir/flows.cpp.o"
+  "CMakeFiles/dp_core.dir/flows.cpp.o.d"
+  "CMakeFiles/dp_core.dir/generation_result.cpp.o"
+  "CMakeFiles/dp_core.dir/generation_result.cpp.o.d"
+  "CMakeFiles/dp_core.dir/gtcae.cpp.o"
+  "CMakeFiles/dp_core.dir/gtcae.cpp.o.d"
+  "CMakeFiles/dp_core.dir/pattern_library.cpp.o"
+  "CMakeFiles/dp_core.dir/pattern_library.cpp.o.d"
+  "CMakeFiles/dp_core.dir/perturb.cpp.o"
+  "CMakeFiles/dp_core.dir/perturb.cpp.o.d"
+  "CMakeFiles/dp_core.dir/pipeline.cpp.o"
+  "CMakeFiles/dp_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/dp_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/dp_core.dir/sensitivity.cpp.o.d"
+  "libdp_core.a"
+  "libdp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/generator.cpp" "src/datagen/CMakeFiles/dp_datagen.dir/generator.cpp.o" "gcc" "src/datagen/CMakeFiles/dp_datagen.dir/generator.cpp.o.d"
+  "/root/repo/src/datagen/library_spec.cpp" "src/datagen/CMakeFiles/dp_datagen.dir/library_spec.cpp.o" "gcc" "src/datagen/CMakeFiles/dp_datagen.dir/library_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/dp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/squish/CMakeFiles/dp_squish.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

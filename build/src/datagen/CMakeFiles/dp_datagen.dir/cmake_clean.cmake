@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_datagen.dir/generator.cpp.o"
+  "CMakeFiles/dp_datagen.dir/generator.cpp.o.d"
+  "CMakeFiles/dp_datagen.dir/library_spec.cpp.o"
+  "CMakeFiles/dp_datagen.dir/library_spec.cpp.o.d"
+  "libdp_datagen.a"
+  "libdp_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

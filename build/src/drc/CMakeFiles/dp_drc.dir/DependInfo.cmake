@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drc/geometry_rules.cpp" "src/drc/CMakeFiles/dp_drc.dir/geometry_rules.cpp.o" "gcc" "src/drc/CMakeFiles/dp_drc.dir/geometry_rules.cpp.o.d"
+  "/root/repo/src/drc/topology_rules.cpp" "src/drc/CMakeFiles/dp_drc.dir/topology_rules.cpp.o" "gcc" "src/drc/CMakeFiles/dp_drc.dir/topology_rules.cpp.o.d"
+  "/root/repo/src/drc/violation.cpp" "src/drc/CMakeFiles/dp_drc.dir/violation.cpp.o" "gcc" "src/drc/CMakeFiles/dp_drc.dir/violation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/dp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/squish/CMakeFiles/dp_squish.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

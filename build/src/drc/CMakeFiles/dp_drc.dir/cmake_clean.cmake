@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_drc.dir/geometry_rules.cpp.o"
+  "CMakeFiles/dp_drc.dir/geometry_rules.cpp.o.d"
+  "CMakeFiles/dp_drc.dir/topology_rules.cpp.o"
+  "CMakeFiles/dp_drc.dir/topology_rules.cpp.o.d"
+  "CMakeFiles/dp_drc.dir/violation.cpp.o"
+  "CMakeFiles/dp_drc.dir/violation.cpp.o.d"
+  "libdp_drc.a"
+  "libdp_drc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_drc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

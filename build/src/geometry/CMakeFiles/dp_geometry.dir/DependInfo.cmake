@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/clip.cpp" "src/geometry/CMakeFiles/dp_geometry.dir/clip.cpp.o" "gcc" "src/geometry/CMakeFiles/dp_geometry.dir/clip.cpp.o.d"
+  "/root/repo/src/geometry/rect.cpp" "src/geometry/CMakeFiles/dp_geometry.dir/rect.cpp.o" "gcc" "src/geometry/CMakeFiles/dp_geometry.dir/rect.cpp.o.d"
+  "/root/repo/src/geometry/track_grid.cpp" "src/geometry/CMakeFiles/dp_geometry.dir/track_grid.cpp.o" "gcc" "src/geometry/CMakeFiles/dp_geometry.dir/track_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_geometry.dir/clip.cpp.o"
+  "CMakeFiles/dp_geometry.dir/clip.cpp.o.d"
+  "CMakeFiles/dp_geometry.dir/rect.cpp.o"
+  "CMakeFiles/dp_geometry.dir/rect.cpp.o.d"
+  "CMakeFiles/dp_geometry.dir/track_grid.cpp.o"
+  "CMakeFiles/dp_geometry.dir/track_grid.cpp.o.d"
+  "libdp_geometry.a"
+  "libdp_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

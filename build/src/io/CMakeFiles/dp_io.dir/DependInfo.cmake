@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/ascii_art.cpp" "src/io/CMakeFiles/dp_io.dir/ascii_art.cpp.o" "gcc" "src/io/CMakeFiles/dp_io.dir/ascii_art.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/dp_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/dp_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/gdsii.cpp" "src/io/CMakeFiles/dp_io.dir/gdsii.cpp.o" "gcc" "src/io/CMakeFiles/dp_io.dir/gdsii.cpp.o.d"
+  "/root/repo/src/io/heatmap.cpp" "src/io/CMakeFiles/dp_io.dir/heatmap.cpp.o" "gcc" "src/io/CMakeFiles/dp_io.dir/heatmap.cpp.o.d"
+  "/root/repo/src/io/layout_text.cpp" "src/io/CMakeFiles/dp_io.dir/layout_text.cpp.o" "gcc" "src/io/CMakeFiles/dp_io.dir/layout_text.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/io/CMakeFiles/dp_io.dir/table.cpp.o" "gcc" "src/io/CMakeFiles/dp_io.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/dp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/squish/CMakeFiles/dp_squish.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_io.dir/ascii_art.cpp.o"
+  "CMakeFiles/dp_io.dir/ascii_art.cpp.o.d"
+  "CMakeFiles/dp_io.dir/csv.cpp.o"
+  "CMakeFiles/dp_io.dir/csv.cpp.o.d"
+  "CMakeFiles/dp_io.dir/gdsii.cpp.o"
+  "CMakeFiles/dp_io.dir/gdsii.cpp.o.d"
+  "CMakeFiles/dp_io.dir/heatmap.cpp.o"
+  "CMakeFiles/dp_io.dir/heatmap.cpp.o.d"
+  "CMakeFiles/dp_io.dir/layout_text.cpp.o"
+  "CMakeFiles/dp_io.dir/layout_text.cpp.o.d"
+  "CMakeFiles/dp_io.dir/table.cpp.o"
+  "CMakeFiles/dp_io.dir/table.cpp.o.d"
+  "libdp_io.a"
+  "libdp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/diff_constraints.cpp" "src/lp/CMakeFiles/dp_lp.dir/diff_constraints.cpp.o" "gcc" "src/lp/CMakeFiles/dp_lp.dir/diff_constraints.cpp.o.d"
+  "/root/repo/src/lp/geometry_solver.cpp" "src/lp/CMakeFiles/dp_lp.dir/geometry_solver.cpp.o" "gcc" "src/lp/CMakeFiles/dp_lp.dir/geometry_solver.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "src/lp/CMakeFiles/dp_lp.dir/simplex.cpp.o" "gcc" "src/lp/CMakeFiles/dp_lp.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/dp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/squish/CMakeFiles/dp_squish.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

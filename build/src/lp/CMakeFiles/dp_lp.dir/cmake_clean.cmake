@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_lp.dir/diff_constraints.cpp.o"
+  "CMakeFiles/dp_lp.dir/diff_constraints.cpp.o.d"
+  "CMakeFiles/dp_lp.dir/geometry_solver.cpp.o"
+  "CMakeFiles/dp_lp.dir/geometry_solver.cpp.o.d"
+  "CMakeFiles/dp_lp.dir/simplex.cpp.o"
+  "CMakeFiles/dp_lp.dir/simplex.cpp.o.d"
+  "libdp_lp.a"
+  "libdp_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

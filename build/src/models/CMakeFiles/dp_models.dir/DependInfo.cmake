@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/batch.cpp" "src/models/CMakeFiles/dp_models.dir/batch.cpp.o" "gcc" "src/models/CMakeFiles/dp_models.dir/batch.cpp.o.d"
+  "/root/repo/src/models/gan.cpp" "src/models/CMakeFiles/dp_models.dir/gan.cpp.o" "gcc" "src/models/CMakeFiles/dp_models.dir/gan.cpp.o.d"
+  "/root/repo/src/models/tcae.cpp" "src/models/CMakeFiles/dp_models.dir/tcae.cpp.o" "gcc" "src/models/CMakeFiles/dp_models.dir/tcae.cpp.o.d"
+  "/root/repo/src/models/topology_codec.cpp" "src/models/CMakeFiles/dp_models.dir/topology_codec.cpp.o" "gcc" "src/models/CMakeFiles/dp_models.dir/topology_codec.cpp.o.d"
+  "/root/repo/src/models/vae.cpp" "src/models/CMakeFiles/dp_models.dir/vae.cpp.o" "gcc" "src/models/CMakeFiles/dp_models.dir/vae.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/squish/CMakeFiles/dp_squish.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/dp_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

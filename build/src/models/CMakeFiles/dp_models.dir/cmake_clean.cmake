@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_models.dir/batch.cpp.o"
+  "CMakeFiles/dp_models.dir/batch.cpp.o.d"
+  "CMakeFiles/dp_models.dir/gan.cpp.o"
+  "CMakeFiles/dp_models.dir/gan.cpp.o.d"
+  "CMakeFiles/dp_models.dir/tcae.cpp.o"
+  "CMakeFiles/dp_models.dir/tcae.cpp.o.d"
+  "CMakeFiles/dp_models.dir/topology_codec.cpp.o"
+  "CMakeFiles/dp_models.dir/topology_codec.cpp.o.d"
+  "CMakeFiles/dp_models.dir/vae.cpp.o"
+  "CMakeFiles/dp_models.dir/vae.cpp.o.d"
+  "libdp_models.a"
+  "libdp_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

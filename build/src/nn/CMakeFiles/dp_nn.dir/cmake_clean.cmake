@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_nn.dir/activations.cpp.o"
+  "CMakeFiles/dp_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/dp_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/dp_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/dp_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/dp_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/dp_nn.dir/conv_transpose2d.cpp.o"
+  "CMakeFiles/dp_nn.dir/conv_transpose2d.cpp.o.d"
+  "CMakeFiles/dp_nn.dir/init.cpp.o"
+  "CMakeFiles/dp_nn.dir/init.cpp.o.d"
+  "CMakeFiles/dp_nn.dir/linear.cpp.o"
+  "CMakeFiles/dp_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/dp_nn.dir/loss.cpp.o"
+  "CMakeFiles/dp_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/dp_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/dp_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/dp_nn.dir/sequential.cpp.o"
+  "CMakeFiles/dp_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/dp_nn.dir/serialize.cpp.o"
+  "CMakeFiles/dp_nn.dir/serialize.cpp.o.d"
+  "libdp_nn.a"
+  "libdp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

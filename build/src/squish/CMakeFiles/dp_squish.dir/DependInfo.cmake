@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/squish/canonical.cpp" "src/squish/CMakeFiles/dp_squish.dir/canonical.cpp.o" "gcc" "src/squish/CMakeFiles/dp_squish.dir/canonical.cpp.o.d"
+  "/root/repo/src/squish/complexity.cpp" "src/squish/CMakeFiles/dp_squish.dir/complexity.cpp.o" "gcc" "src/squish/CMakeFiles/dp_squish.dir/complexity.cpp.o.d"
+  "/root/repo/src/squish/extract.cpp" "src/squish/CMakeFiles/dp_squish.dir/extract.cpp.o" "gcc" "src/squish/CMakeFiles/dp_squish.dir/extract.cpp.o.d"
+  "/root/repo/src/squish/hash.cpp" "src/squish/CMakeFiles/dp_squish.dir/hash.cpp.o" "gcc" "src/squish/CMakeFiles/dp_squish.dir/hash.cpp.o.d"
+  "/root/repo/src/squish/pad.cpp" "src/squish/CMakeFiles/dp_squish.dir/pad.cpp.o" "gcc" "src/squish/CMakeFiles/dp_squish.dir/pad.cpp.o.d"
+  "/root/repo/src/squish/reconstruct.cpp" "src/squish/CMakeFiles/dp_squish.dir/reconstruct.cpp.o" "gcc" "src/squish/CMakeFiles/dp_squish.dir/reconstruct.cpp.o.d"
+  "/root/repo/src/squish/squish_pattern.cpp" "src/squish/CMakeFiles/dp_squish.dir/squish_pattern.cpp.o" "gcc" "src/squish/CMakeFiles/dp_squish.dir/squish_pattern.cpp.o.d"
+  "/root/repo/src/squish/topology.cpp" "src/squish/CMakeFiles/dp_squish.dir/topology.cpp.o" "gcc" "src/squish/CMakeFiles/dp_squish.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/dp_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

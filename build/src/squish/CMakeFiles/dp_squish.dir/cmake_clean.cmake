@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_squish.dir/canonical.cpp.o"
+  "CMakeFiles/dp_squish.dir/canonical.cpp.o.d"
+  "CMakeFiles/dp_squish.dir/complexity.cpp.o"
+  "CMakeFiles/dp_squish.dir/complexity.cpp.o.d"
+  "CMakeFiles/dp_squish.dir/extract.cpp.o"
+  "CMakeFiles/dp_squish.dir/extract.cpp.o.d"
+  "CMakeFiles/dp_squish.dir/hash.cpp.o"
+  "CMakeFiles/dp_squish.dir/hash.cpp.o.d"
+  "CMakeFiles/dp_squish.dir/pad.cpp.o"
+  "CMakeFiles/dp_squish.dir/pad.cpp.o.d"
+  "CMakeFiles/dp_squish.dir/reconstruct.cpp.o"
+  "CMakeFiles/dp_squish.dir/reconstruct.cpp.o.d"
+  "CMakeFiles/dp_squish.dir/squish_pattern.cpp.o"
+  "CMakeFiles/dp_squish.dir/squish_pattern.cpp.o.d"
+  "CMakeFiles/dp_squish.dir/topology.cpp.o"
+  "CMakeFiles/dp_squish.dir/topology.cpp.o.d"
+  "libdp_squish.a"
+  "libdp_squish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_squish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/dp_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/dp_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/dp_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/dp_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/dp_tensor.dir/tensor.cpp.o.d"
+  "libdp_tensor.a"
+  "libdp_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

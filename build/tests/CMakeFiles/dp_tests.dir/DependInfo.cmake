@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/dp_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/dp_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/datagen_test.cpp" "tests/CMakeFiles/dp_tests.dir/datagen_test.cpp.o" "gcc" "tests/CMakeFiles/dp_tests.dir/datagen_test.cpp.o.d"
+  "/root/repo/tests/drc_test.cpp" "tests/CMakeFiles/dp_tests.dir/drc_test.cpp.o" "gcc" "tests/CMakeFiles/dp_tests.dir/drc_test.cpp.o.d"
+  "/root/repo/tests/geometry_test.cpp" "tests/CMakeFiles/dp_tests.dir/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/dp_tests.dir/geometry_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/dp_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/dp_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/io_test.cpp" "tests/CMakeFiles/dp_tests.dir/io_test.cpp.o" "gcc" "tests/CMakeFiles/dp_tests.dir/io_test.cpp.o.d"
+  "/root/repo/tests/lp_test.cpp" "tests/CMakeFiles/dp_tests.dir/lp_test.cpp.o" "gcc" "tests/CMakeFiles/dp_tests.dir/lp_test.cpp.o.d"
+  "/root/repo/tests/models_test.cpp" "tests/CMakeFiles/dp_tests.dir/models_test.cpp.o" "gcc" "tests/CMakeFiles/dp_tests.dir/models_test.cpp.o.d"
+  "/root/repo/tests/nn_test.cpp" "tests/CMakeFiles/dp_tests.dir/nn_test.cpp.o" "gcc" "tests/CMakeFiles/dp_tests.dir/nn_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/dp_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/dp_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/squish_test.cpp" "tests/CMakeFiles/dp_tests.dir/squish_test.cpp.o" "gcc" "tests/CMakeFiles/dp_tests.dir/squish_test.cpp.o.d"
+  "/root/repo/tests/tensor_test.cpp" "tests/CMakeFiles/dp_tests.dir/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/dp_tests.dir/tensor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/dp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/dp_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/dp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/drc/CMakeFiles/dp_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/squish/CMakeFiles/dp_squish.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/dp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_tests.dir/core_test.cpp.o"
+  "CMakeFiles/dp_tests.dir/core_test.cpp.o.d"
+  "CMakeFiles/dp_tests.dir/datagen_test.cpp.o"
+  "CMakeFiles/dp_tests.dir/datagen_test.cpp.o.d"
+  "CMakeFiles/dp_tests.dir/drc_test.cpp.o"
+  "CMakeFiles/dp_tests.dir/drc_test.cpp.o.d"
+  "CMakeFiles/dp_tests.dir/geometry_test.cpp.o"
+  "CMakeFiles/dp_tests.dir/geometry_test.cpp.o.d"
+  "CMakeFiles/dp_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/dp_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/dp_tests.dir/io_test.cpp.o"
+  "CMakeFiles/dp_tests.dir/io_test.cpp.o.d"
+  "CMakeFiles/dp_tests.dir/lp_test.cpp.o"
+  "CMakeFiles/dp_tests.dir/lp_test.cpp.o.d"
+  "CMakeFiles/dp_tests.dir/models_test.cpp.o"
+  "CMakeFiles/dp_tests.dir/models_test.cpp.o.d"
+  "CMakeFiles/dp_tests.dir/nn_test.cpp.o"
+  "CMakeFiles/dp_tests.dir/nn_test.cpp.o.d"
+  "CMakeFiles/dp_tests.dir/property_test.cpp.o"
+  "CMakeFiles/dp_tests.dir/property_test.cpp.o.d"
+  "CMakeFiles/dp_tests.dir/squish_test.cpp.o"
+  "CMakeFiles/dp_tests.dir/squish_test.cpp.o.d"
+  "CMakeFiles/dp_tests.dir/tensor_test.cpp.o"
+  "CMakeFiles/dp_tests.dir/tensor_test.cpp.o.d"
+  "dp_tests"
+  "dp_tests.pdb"
+  "dp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
