@@ -3,10 +3,24 @@
 // hashing, DRC checking, Eq. (10) solving with both backends, GEMM and
 // TCAE encode/decode throughput. These bound the end-to-end pattern
 // generation rate reported by the experiment harnesses.
+//
+// Thread scaling: the *Threads benchmarks re-run the hot kernels at a
+// pool size given by the benchmark argument. `micro_substrates
+// --speedup-json [--threads N]` skips google-benchmark entirely and
+// prints a serial-vs-N-thread speedup report for GEMM, Conv2d
+// forward/backward and massive generation as JSON.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "core/flows.hpp"
 #include "core/pattern_library.hpp"
+#include "nn/conv2d.hpp"
 #include "datagen/generator.hpp"
 #include "drc/geometry_rules.hpp"
 #include "drc/topology_rules.hpp"
@@ -157,6 +171,201 @@ void BM_TcaeEncodeDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_TcaeEncodeDecode)->Arg(1)->Arg(32)->Arg(128);
 
+// --- Thread-scaling benchmarks -------------------------------------
+// Each takes the pool size as the benchmark argument so `--speedup`
+// comparisons across thread counts come from one binary.
+
+void BM_GemmThreads(benchmark::State& state) {
+  dp::ThreadPool::setGlobalThreads(static_cast<int>(state.range(0)));
+  const int n = 256;
+  dp::Rng rng(1);
+  std::vector<float> a(static_cast<std::size_t>(n) * n);
+  std::vector<float> b(a.size()), c(a.size());
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    dp::nn::gemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n,
+                 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2L * n * n * n);
+  dp::ThreadPool::setGlobalThreads(dp::ThreadPool::defaultThreads());
+}
+BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Conv2dForwardThreads(benchmark::State& state) {
+  dp::ThreadPool::setGlobalThreads(static_cast<int>(state.range(0)));
+  dp::Rng rng(2);
+  dp::nn::Conv2d conv(8, 16, 3, 2, 1, rng);
+  dp::nn::Tensor x({64, 8, 24, 24});
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x, /*training=*/true));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  dp::ThreadPool::setGlobalThreads(dp::ThreadPool::defaultThreads());
+}
+BENCHMARK(BM_Conv2dForwardThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Conv2dBackwardThreads(benchmark::State& state) {
+  dp::ThreadPool::setGlobalThreads(static_cast<int>(state.range(0)));
+  dp::Rng rng(2);
+  dp::nn::Conv2d conv(8, 16, 3, 2, 1, rng);
+  dp::nn::Tensor x({64, 8, 24, 24});
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+  const dp::nn::Tensor y = conv.forward(x, /*training=*/true);
+  dp::nn::Tensor dy(y.shape());
+  for (std::size_t i = 0; i < dy.numel(); ++i)
+    dy.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.backward(dy));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  dp::ThreadPool::setGlobalThreads(dp::ThreadPool::defaultThreads());
+}
+BENCHMARK(BM_Conv2dBackwardThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_GenerationThreads(benchmark::State& state) {
+  dp::ThreadPool::setGlobalThreads(static_cast<int>(state.range(0)));
+  dp::Rng rng(7);
+  dp::models::Tcae tcae(dp::models::TcaeConfig{}, rng);
+  const dp::drc::TopologyChecker checker(
+      dp::drc::TopologyRuleConfig::fromRules(kRules));
+  const int batch = 128;
+  dp::nn::Tensor latents({batch, tcae.config().latentDim});
+  for (std::size_t i = 0; i < latents.numel(); ++i)
+    latents.data()[i] = static_cast<float>(rng.uniform(-2, 2));
+  for (auto _ : state) {
+    dp::core::GenerationResult result;
+    dp::core::accountActivationBatch(tcae.decode(latents), checker,
+                                     result);
+    benchmark::DoNotOptimize(result.generated);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  dp::ThreadPool::setGlobalThreads(dp::ThreadPool::defaultThreads());
+}
+BENCHMARK(BM_GenerationThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// --- Serial-vs-parallel speedup report (JSON) ----------------------
+
+/// Best-of-`reps` wall time of `fn()` in milliseconds.
+template <typename Fn>
+double bestMs(Fn&& fn, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct SpeedupRow {
+  const char* name;
+  double serialMs;
+  double parallelMs;
+};
+
+/// Times `fn` at 1 thread and at `threads` threads.
+template <typename Fn>
+SpeedupRow measure(const char* name, int threads, Fn&& fn) {
+  dp::ThreadPool::setGlobalThreads(1);
+  const double serial = bestMs(fn);
+  dp::ThreadPool::setGlobalThreads(threads);
+  const double parallel = bestMs(fn);
+  return {name, serial, parallel};
+}
+
+int runSpeedupJson(int threads) {
+  dp::Rng rng(11);
+
+  const int n = 256;
+  std::vector<float> a(static_cast<std::size_t>(n) * n);
+  std::vector<float> b(a.size()), c(a.size());
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+
+  dp::nn::Conv2d conv(8, 16, 3, 2, 1, rng);
+  dp::nn::Tensor x({64, 8, 24, 24});
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+  dp::nn::Tensor dy = conv.forward(x, /*training=*/true);
+  for (std::size_t i = 0; i < dy.numel(); ++i)
+    dy.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+
+  dp::models::Tcae tcae(dp::models::TcaeConfig{}, rng);
+  const dp::drc::TopologyChecker checker(
+      dp::drc::TopologyRuleConfig::fromRules(kRules));
+  dp::nn::Tensor latents({256, tcae.config().latentDim});
+  for (std::size_t i = 0; i < latents.numel(); ++i)
+    latents.data()[i] = static_cast<float>(rng.uniform(-2, 2));
+
+  const SpeedupRow rows[] = {
+      measure("gemm_256", threads,
+              [&] {
+                for (int r = 0; r < 8; ++r)
+                  dp::nn::gemm(false, false, n, n, n, 1.0f, a.data(), n,
+                               b.data(), n, 0.0f, c.data(), n);
+              }),
+      measure("conv2d_forward_b64", threads,
+              [&] {
+                for (int r = 0; r < 8; ++r)
+                  benchmark::DoNotOptimize(conv.forward(x, true));
+              }),
+      measure("conv2d_backward_b64", threads,
+              [&] {
+                for (int r = 0; r < 8; ++r)
+                  benchmark::DoNotOptimize(conv.backward(dy));
+              }),
+      measure("generation_decode_legal_b256", threads,
+              [&] {
+                dp::core::GenerationResult result;
+                dp::core::accountActivationBatch(tcae.decode(latents),
+                                                 checker, result);
+                benchmark::DoNotOptimize(result.generated);
+              }),
+  };
+
+  std::printf("{\n  \"threads\": %d,\n  \"benchmarks\": [\n", threads);
+  const std::size_t count = sizeof(rows) / sizeof(rows[0]);
+  for (std::size_t i = 0; i < count; ++i) {
+    const SpeedupRow& r = rows[i];
+    std::printf(
+        "    {\"name\": \"%s\", \"serial_ms\": %.3f, "
+        "\"parallel_ms\": %.3f, \"speedup\": %.3f}%s\n",
+        r.name, r.serialMs, r.parallelMs,
+        r.parallelMs > 0 ? r.serialMs / r.parallelMs : 0.0,
+        i + 1 < count ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool speedup = false;
+  int threads = dp::ThreadPool::defaultThreads();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--speedup-json") == 0) speedup = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      try {
+        threads = std::stoi(argv[i + 1]);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "error: --threads expects an integer, got '%s'\n",
+                     argv[i + 1]);
+        return 2;
+      }
+    }
+  }
+  if (speedup) return runSpeedupJson(threads);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include <map>
 #include <string>
 
+#include "common/thread_pool.hpp"
 #include "core/pipeline.hpp"
 #include "datagen/generator.hpp"
 #include "drc/geometry_rules.hpp"
@@ -75,7 +76,10 @@ int usage() {
       "  expand   --in FILE --count N [--steps T] [--seed S] --out FILE\n"
       "  check    --in FILE\n"
       "  stats    --in FILE\n"
-      "  render   --in FILE [--index I]\n";
+      "  render   --in FILE [--index I]\n"
+      "common flags:\n"
+      "  --threads N   worker threads (default: DP_THREADS env or all\n"
+      "                cores; 1 = fully serial, same results)\n";
   return 2;
 }
 
@@ -186,6 +190,15 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   const ArgMap args = parseArgs(argc, argv, 2);
+  if (args.count("threads")) {
+    try {
+      dp::ThreadPool::setGlobalThreads(std::stoi(args.at("threads")));
+    } catch (const std::exception&) {
+      std::cerr << "error: --threads expects an integer, got '"
+                << args.at("threads") << "'\n";
+      return 2;
+    }
+  }
   try {
     if (cmd == "generate") return cmdGenerate(args);
     if (cmd == "expand") return cmdExpand(args);

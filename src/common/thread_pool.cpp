@@ -1,0 +1,198 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace dp {
+
+namespace {
+
+/// Set while a thread (worker or caller) executes chunks of some batch;
+/// nested parallelFor calls observe it and run inline instead of
+/// re-entering the pool, which would deadlock a fully busy pool.
+thread_local bool tlsInsideChunk = false;
+
+/// One parallelFor invocation. Heap-allocated and shared between the
+/// caller and every worker that joins in, so a straggler worker can
+/// never observe the fields of a *later* batch through a reused slot.
+struct Batch {
+  const std::function<void(long, long)>* body = nullptr;
+  long n = 0;
+  long grain = 1;
+  long chunkCount = 0;
+  std::atomic<long> nextChunk{0};
+
+  std::mutex mutex;
+  std::condition_variable done;
+  long chunksLeft = 0;
+  std::exception_ptr firstError;
+};
+
+/// Claims and runs chunks of `b` until none are left. Returns after
+/// reporting this thread's completions; the batch is finished once
+/// chunksLeft reaches 0.
+void runChunks(Batch& b) {
+  tlsInsideChunk = true;
+  long finished = 0;
+  std::exception_ptr error;
+  for (;;) {
+    const long chunk = b.nextChunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= b.chunkCount) break;
+    const long begin = chunk * b.grain;
+    const long end = std::min(b.n, begin + b.grain);
+    try {
+      (*b.body)(begin, end);
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+    ++finished;
+  }
+  tlsInsideChunk = false;
+  if (finished > 0 || error) {
+    std::lock_guard<std::mutex> lock(b.mutex);
+    if (error && !b.firstError) b.firstError = error;
+    b.chunksLeft -= finished;
+    if (b.chunksLeft == 0) b.done.notify_all();
+  }
+}
+
+}  // namespace
+
+struct ThreadPool::State {
+  std::mutex mutex;
+  std::condition_variable wake;  ///< workers wait here for a batch
+  std::mutex callMutex;          ///< serializes concurrent parallelFor calls
+  std::shared_ptr<Batch> current;
+  std::uint64_t generation = 0;  ///< bumped per published batch
+  bool shuttingDown = false;
+};
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(threads < 1 ? 1 : threads), state_(std::make_unique<State>()) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->shuttingDown = true;
+  }
+  state_->wake.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop() {
+  State& s = *state_;
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(s.mutex);
+      s.wake.wait(lock,
+                  [&] { return s.shuttingDown || s.generation != seen; });
+      if (s.shuttingDown) return;
+      seen = s.generation;
+      batch = s.current;  // may already be gone — just wait again
+    }
+    if (batch) runChunks(*batch);
+  }
+}
+
+void ThreadPool::parallelFor(
+    long n, long grain, const std::function<void(long, long)>& body) {
+  if (n <= 0) return;
+  if (!body) throw std::invalid_argument("parallelFor: null body");
+  if (grain < 1) grain = 1;
+  const long chunkCount = (n + grain - 1) / grain;
+
+  // Serial lanes, nested calls, and single-chunk loops run inline —
+  // same chunk boundaries, ascending order, so results are identical.
+  if (threads_ == 1 || chunkCount == 1 || tlsInsideChunk) {
+    const bool nested = tlsInsideChunk;
+    tlsInsideChunk = true;
+    std::exception_ptr error;
+    for (long c = 0; c < chunkCount; ++c) {
+      try {
+        body(c * grain, std::min(n, (c + 1) * grain));
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    tlsInsideChunk = nested;
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  State& s = *state_;
+  std::lock_guard<std::mutex> callLock(s.callMutex);
+  auto batch = std::make_shared<Batch>();
+  batch->body = &body;
+  batch->n = n;
+  batch->grain = grain;
+  batch->chunkCount = chunkCount;
+  batch->chunksLeft = chunkCount;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.current = batch;
+    ++s.generation;
+  }
+  s.wake.notify_all();
+  runChunks(*batch);  // the caller is a lane too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->done.wait(lock, [&] { return batch->chunksLeft == 0; });
+    error = batch->firstError;
+  }
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.current == batch) s.current.reset();
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+namespace {
+
+std::mutex gGlobalMutex;
+std::unique_ptr<ThreadPool> gGlobalPool;
+
+}  // namespace
+
+int ThreadPool::defaultThreads() {
+  if (const char* env = std::getenv("DP_THREADS")) {
+    try {
+      const int n = std::stoi(env);
+      if (n >= 1) return n;
+    } catch (...) {
+      // fall through to hardware concurrency
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(gGlobalMutex);
+  if (!gGlobalPool)
+    gGlobalPool = std::make_unique<ThreadPool>(defaultThreads());
+  return *gGlobalPool;
+}
+
+void ThreadPool::setGlobalThreads(int threads) {
+  std::lock_guard<std::mutex> lock(gGlobalMutex);
+  gGlobalPool = std::make_unique<ThreadPool>(threads < 1 ? 1 : threads);
+}
+
+void parallelFor(long n, long grain,
+                 const std::function<void(long, long)>& body) {
+  ThreadPool::global().parallelFor(n, grain, body);
+}
+
+}  // namespace dp

@@ -3,23 +3,36 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "models/batch.hpp"
 #include "models/topology_codec.hpp"
 #include "squish/pad.hpp"
 
 namespace dp::core {
 
-namespace {
-
-/// Shared accounting: decode a batch tensor, check legality, record.
-void accountBatch(const nn::Tensor& activations,
-                  const drc::TopologyChecker& checker,
-                  GenerationResult& result,
-                  const nn::Tensor* perturbations = nullptr) {
-  const auto topologies = models::decodeGeneratedTopologies(activations);
+void accountActivationBatch(const nn::Tensor& activations,
+                            const drc::TopologyChecker& checker,
+                            GenerationResult& result,
+                            const nn::Tensor* perturbations) {
+  // Decode + legality are the per-sample hot path and independent
+  // across samples, so they run sample-parallel into index-ordered
+  // slots; the accounting below then replays the slots serially in
+  // ascending order, so the library insertion order (and therefore the
+  // whole result) is identical at any thread count.
+  const long n = activations.size(0);
+  std::vector<squish::Topology> topologies(static_cast<std::size_t>(n));
+  std::vector<char> legal(static_cast<std::size_t>(n), 0);
+  dp::parallelFor(n, 8, [&](long i0, long i1) {
+    for (long i = i0; i < i1; ++i) {
+      const auto k = static_cast<std::size_t>(i);
+      topologies[k] =
+          models::decodeGeneratedTopology(activations, static_cast<int>(i));
+      legal[k] = checker.isLegal(topologies[k]) ? 1 : 0;
+    }
+  });
   for (std::size_t i = 0; i < topologies.size(); ++i) {
     ++result.generated;
-    if (!checker.isLegal(topologies[i])) continue;
+    if (!legal[i]) continue;
     ++result.legal;
     result.unique.add(topologies[i]);
     if (perturbations) {
@@ -33,9 +46,7 @@ void accountBatch(const nn::Tensor& activations,
   }
 }
 
-}  // namespace
-
-GenerationResult tcaeRandom(models::Tcae& tcae,
+GenerationResult tcaeRandom(const models::Tcae& tcae,
                             const std::vector<squish::Topology>& existing,
                             const SensitivityAwarePerturber& perturber,
                             const drc::TopologyChecker& checker,
@@ -59,14 +70,14 @@ GenerationResult tcaeRandom(models::Tcae& tcae,
     const nn::Tensor noise = perturber.sampleBatch(b, rng);
     latents += noise;
     const nn::Tensor recon = tcae.decode(latents);
-    accountBatch(recon, checker, result,
-                 config.collectGoodVectors ? &noise : nullptr);
+    accountActivationBatch(recon, checker, result,
+                           config.collectGoodVectors ? &noise : nullptr);
     remaining -= b;
   }
   return result;
 }
 
-GenerationResult tcaeCombine(models::Tcae& tcae,
+GenerationResult tcaeCombine(const models::Tcae& tcae,
                              const std::vector<squish::Topology>& existing,
                              const drc::TopologyChecker& checker,
                              const CombineConfig& config, Rng& rng) {
@@ -104,7 +115,7 @@ GenerationResult tcaeCombine(models::Tcae& tcae,
               static_cast<float>(w * sourceLatents.at(src, c));
       }
     }
-    accountBatch(tcae.decode(latents), checker, result);
+    accountActivationBatch(tcae.decode(latents), checker, result);
     remaining -= b;
   }
   return result;
@@ -118,7 +129,7 @@ GenerationResult evaluateSampler(const TopologySampler& sampler,
   long remaining = count;
   while (remaining > 0) {
     const int b = static_cast<int>(std::min<long>(remaining, batchSize));
-    accountBatch(sampler(b, rng), checker, result);
+    accountActivationBatch(sampler(b, rng), checker, result);
     remaining -= b;
   }
   return result;
@@ -127,17 +138,27 @@ GenerationResult evaluateSampler(const TopologySampler& sampler,
 GenerationResult libraryResult(
     const std::vector<squish::Topology>& topologies,
     const drc::TopologyChecker& checker) {
+  // Trailing all-zero rows/columns are stripped so pattern identity
+  // matches the generated-pattern convention (the zero-padding of the
+  // network inputs makes right/top margins indistinguishable from
+  // padding; see models::decodeGeneratedTopology). The unpad + legality
+  // scan runs sample-parallel; accounting replays in ascending order.
+  const long n = static_cast<long>(topologies.size());
+  std::vector<squish::Topology> unpadded(static_cast<std::size_t>(n));
+  std::vector<char> legal(static_cast<std::size_t>(n), 0);
+  dp::parallelFor(n, 16, [&](long i0, long i1) {
+    for (long i = i0; i < i1; ++i) {
+      const auto k = static_cast<std::size_t>(i);
+      unpadded[k] = squish::unpad(topologies[k]);
+      legal[k] = checker.isLegal(unpadded[k]) ? 1 : 0;
+    }
+  });
   GenerationResult result;
-  for (const auto& raw : topologies) {
-    // Trailing all-zero rows/columns are stripped so pattern identity
-    // matches the generated-pattern convention (the zero-padding of the
-    // network inputs makes right/top margins indistinguishable from
-    // padding; see models::decodeGeneratedTopology).
-    const squish::Topology t = squish::unpad(raw);
+  for (std::size_t i = 0; i < unpadded.size(); ++i) {
     ++result.generated;
-    if (!checker.isLegal(t)) continue;
+    if (!legal[i]) continue;
     ++result.legal;
-    result.unique.add(t);
+    result.unique.add(unpadded[i]);
   }
   return result;
 }

@@ -30,12 +30,24 @@ struct FlowConfig {
                               ///< perturbed (paper uses 1000)
 };
 
+/// Decodes a batch of (N,1,S,S) activations, checks topology legality
+/// sample-parallel on the global thread pool, and folds the outcomes
+/// into `result` in ascending sample order — so accounting (including
+/// PatternLibrary insertion order) is identical at any thread count.
+/// When `perturbations` is non-null, row i is recorded in goodVectors
+/// for every legal sample i.
+void accountActivationBatch(const nn::Tensor& activations,
+                            const drc::TopologyChecker& checker,
+                            GenerationResult& result,
+                            const nn::Tensor* perturbations = nullptr);
+
 /// TCAE-Random: perturb latents of existing patterns with
 /// sensitivity-aware Gaussian noise and decode. goodVectors (if
 /// collected) holds the *perturbation* vectors that decoded legally —
 /// the training source of the G-TCAE GAN (§III-C2).
 [[nodiscard]] GenerationResult tcaeRandom(
-    models::Tcae& tcae, const std::vector<squish::Topology>& existing,
+    const models::Tcae& tcae,
+    const std::vector<squish::Topology>& existing,
     const SensitivityAwarePerturber& perturber,
     const drc::TopologyChecker& checker, const FlowConfig& config,
     Rng& rng);
@@ -50,7 +62,8 @@ struct CombineConfig {
 /// TCAE-Combine: decode random convex combinations (sum alpha_i = 1,
 /// alpha_i > 0) of existing-pattern latents.
 [[nodiscard]] GenerationResult tcaeCombine(
-    models::Tcae& tcae, const std::vector<squish::Topology>& existing,
+    const models::Tcae& tcae,
+    const std::vector<squish::Topology>& existing,
     const drc::TopologyChecker& checker, const CombineConfig& config,
     Rng& rng);
 

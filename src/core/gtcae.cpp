@@ -153,8 +153,10 @@ std::unique_ptr<VectorGuide> makeGuide(int dataDim,
   return std::make_unique<NormalizedGuide>(std::move(inner));
 }
 
-/// Decode-and-account loop shared by both G-TCAE flows.
-GenerationResult runGeneration(models::Tcae& tcae,
+/// Decode-and-account loop shared by both G-TCAE flows. Guide sampling
+/// stays serial (it consumes `rng`); the decode + legality accounting
+/// runs sample-parallel via accountActivationBatch.
+GenerationResult runGeneration(const models::Tcae& tcae,
                                const nn::Tensor* sourceLatents,
                                VectorGuide& guide,
                                const drc::TopologyChecker& checker,
@@ -170,14 +172,7 @@ GenerationResult runGeneration(models::Tcae& tcae,
           models::sampleIndices(sourceLatents->size(0), b, rng);
       latents += models::gatherRows(*sourceLatents, idx);
     }
-    const auto topologies =
-        models::decodeGeneratedTopologies(tcae.decode(latents));
-    for (const auto& t : topologies) {
-      ++result.generated;
-      if (!checker.isLegal(t)) continue;
-      ++result.legal;
-      result.unique.add(t);
-    }
+    accountActivationBatch(tcae.decode(latents), checker, result);
     remaining -= b;
   }
   return result;
@@ -185,7 +180,7 @@ GenerationResult runGeneration(models::Tcae& tcae,
 
 }  // namespace
 
-GenerationResult gtcaeMassive(models::Tcae& tcae,
+GenerationResult gtcaeMassive(const models::Tcae& tcae,
                               const std::vector<squish::Topology>& existing,
                               const nn::Tensor& goodPerturbations,
                               const drc::TopologyChecker& checker,
@@ -210,7 +205,8 @@ GenerationResult gtcaeMassive(models::Tcae& tcae,
 }
 
 std::vector<ContextGroupResult> gtcaeContextSpecific(
-    models::Tcae& tcae, const std::vector<squish::Topology>& existing,
+    const models::Tcae& tcae,
+    const std::vector<squish::Topology>& existing,
     const drc::TopologyChecker& checker,
     const std::vector<ContextBand>& bands, const GtcaeConfig& config,
     Rng& rng) {

@@ -38,7 +38,8 @@ struct GtcaeConfig {
 /// then decode guide-generated perturbations added to existing-pattern
 /// latents.
 [[nodiscard]] GenerationResult gtcaeMassive(
-    models::Tcae& tcae, const std::vector<squish::Topology>& existing,
+    const models::Tcae& tcae,
+    const std::vector<squish::Topology>& existing,
     const nn::Tensor& goodPerturbations,
     const drc::TopologyChecker& checker, const GtcaeConfig& config,
     Rng& rng);
@@ -63,7 +64,8 @@ struct ContextGroupResult {
 /// train the guide on the pure latent vectors of existing patterns in
 /// that band and decode guide-generated latents directly.
 [[nodiscard]] std::vector<ContextGroupResult> gtcaeContextSpecific(
-    models::Tcae& tcae, const std::vector<squish::Topology>& existing,
+    const models::Tcae& tcae,
+    const std::vector<squish::Topology>& existing,
     const drc::TopologyChecker& checker,
     const std::vector<ContextBand>& bands, const GtcaeConfig& config,
     Rng& rng);

@@ -1,7 +1,9 @@
 #include "core/pipeline.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "datagen/generator.hpp"
 #include "squish/reconstruct.hpp"
 
@@ -11,17 +13,45 @@ MaterializeResult materialize(const PatternLibrary& library,
                               const lp::GeometrySolver& solver,
                               const drc::GeometryChecker& geomChecker,
                               Rng& rng, long maxClips) {
+  const std::vector<squish::Topology> topos = library.patterns();
+  const long total = static_cast<long>(topos.size());
+  const long count =
+      maxClips >= 0 ? std::min<long>(maxClips, total) : total;
+
+  // One base seed is drawn from the caller's stream; task i derives its
+  // own Rng from it, so every solve sees the same stream regardless of
+  // thread count or scheduling. The solves run pattern-parallel into
+  // index-ordered slots; the gather below replays them in ascending
+  // order, keeping clip order deterministic.
+  const std::uint64_t baseSeed = rng.engine()();
+
+  struct Slot {
+    bool solved = false;
+    bool clean = false;
+    dp::Clip clip;
+  };
+  std::vector<Slot> slots(static_cast<std::size_t>(count));
+  dp::parallelFor(count, 1, [&](long i0, long i1) {
+    for (long i = i0; i < i1; ++i) {
+      Rng taskRng(dp::taskSeed(baseSeed, static_cast<std::uint64_t>(i)));
+      const auto pattern =
+          solver.solve(topos[static_cast<std::size_t>(i)], taskRng);
+      if (!pattern) continue;
+      Slot& slot = slots[static_cast<std::size_t>(i)];
+      slot.solved = true;
+      slot.clip = squish::reconstruct(*pattern);
+      slot.clean = geomChecker.isClean(slot.clip);
+    }
+  });
+
   MaterializeResult out;
-  for (const auto& topo : library.patterns()) {
-    if (maxClips >= 0 && out.attempted >= maxClips) break;
+  for (Slot& slot : slots) {
     ++out.attempted;
-    const auto pattern = solver.solve(topo, rng);
-    if (!pattern) continue;
+    if (!slot.solved) continue;
     ++out.solved;
-    dp::Clip clip = squish::reconstruct(*pattern);
-    if (!geomChecker.isClean(clip)) continue;
+    if (!slot.clean) continue;
     ++out.drcClean;
-    out.clips.push_back(std::move(clip));
+    out.clips.push_back(std::move(slot.clip));
   }
   return out;
 }

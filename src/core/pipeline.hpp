@@ -30,6 +30,9 @@ struct MaterializeResult {
 
 /// Solves Eq. (10) for every pattern in `library` (optionally capped at
 /// `maxClips`) and keeps the clips that pass the geometry checker.
+/// Solves run pattern-parallel on the global thread pool; pattern i
+/// gets its own Rng seeded `base ^ splitmix64(i)` (base drawn once from
+/// `rng`), so the result is identical at any thread count.
 [[nodiscard]] MaterializeResult materialize(
     const PatternLibrary& library, const lp::GeometrySolver& solver,
     const drc::GeometryChecker& geomChecker, Rng& rng,

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "models/topology_codec.hpp"
 
 namespace dp::core {
 
 std::vector<double> estimateSensitivity(
-    models::Tcae& tcae, const std::vector<squish::Topology>& topologies,
+    const models::Tcae& tcae,
+    const std::vector<squish::Topology>& topologies,
     const drc::TopologyChecker& checker, const SensitivityConfig& config) {
   if (topologies.empty())
     throw std::invalid_argument("estimateSensitivity: no topologies");
@@ -23,27 +25,34 @@ std::vector<double> estimateSensitivity(
       models::encodeTopologies(sample, tcae.config().inputSize));
   const int latentDim = latents.size(1);
 
+  // Each latent node's sweep is independent of every other node's, so
+  // the probes run node-parallel; node i only writes s[i], and decode()
+  // is stateless, so the result is identical at any thread count.
   std::vector<double> s(static_cast<std::size_t>(latentDim), 0.0);
-  for (int i = 0; i < latentDim; ++i) {
-    long invalid = 0;
-    long total = 0;
-    for (int k = 0; k < config.sweepSteps; ++k) {
-      const double lambda =
-          -config.range +
-          2.0 * config.range * k / (config.sweepSteps - 1);
-      nn::Tensor perturbed = latents;
-      for (int row = 0; row < n; ++row)
-        perturbed.at(row, i) += static_cast<float>(lambda);
-      const nn::Tensor recon = tcae.decode(perturbed);
-      for (const auto& topo : models::decodeGeneratedTopologies(recon)) {
-        if (!checker.isLegal(topo)) ++invalid;
-        ++total;
+  dp::parallelFor(latentDim, 1, [&](long i0, long i1) {
+    for (long i = i0; i < i1; ++i) {
+      long invalid = 0;
+      long total = 0;
+      for (int k = 0; k < config.sweepSteps; ++k) {
+        const double lambda =
+            -config.range +
+            2.0 * config.range * k / (config.sweepSteps - 1);
+        nn::Tensor perturbed = latents;
+        for (int row = 0; row < n; ++row)
+          perturbed.at(row, static_cast<int>(i)) +=
+              static_cast<float>(lambda);
+        const nn::Tensor recon = tcae.decode(perturbed);
+        for (const auto& topo : models::decodeGeneratedTopologies(recon)) {
+          if (!checker.isLegal(topo)) ++invalid;
+          ++total;
+        }
       }
+      s[static_cast<std::size_t>(i)] =
+          total > 0
+              ? static_cast<double>(invalid) / static_cast<double>(total)
+              : 0.0;
     }
-    s[static_cast<std::size_t>(i)] =
-        total > 0 ? static_cast<double>(invalid) / static_cast<double>(total)
-                  : 0.0;
-  }
+  });
   return s;
 }
 

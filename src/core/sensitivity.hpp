@@ -24,8 +24,11 @@ struct SensitivityConfig {
 
 /// Runs Algorithm 1: returns one sensitivity in [0, 1] per latent node.
 /// Deterministic: uses the first maxTopologies entries of `topologies`.
+/// The per-node probes run on the global thread pool; results are
+/// bit-identical at any thread count.
 [[nodiscard]] std::vector<double> estimateSensitivity(
-    models::Tcae& tcae, const std::vector<squish::Topology>& topologies,
+    const models::Tcae& tcae,
+    const std::vector<squish::Topology>& topologies,
     const drc::TopologyChecker& checker, const SensitivityConfig& config);
 
 }  // namespace dp::core

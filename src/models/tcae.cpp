@@ -53,15 +53,15 @@ Tcae::Tcae(TcaeConfig config, Rng& rng) : config_(config) {
   decoder_.emplace<nn::Sigmoid>();
 }
 
-Tensor Tcae::encode(const Tensor& topologies) {
-  return encoder_.forward(topologies, /*training=*/false);
+Tensor Tcae::encode(const Tensor& topologies) const {
+  return encoder_.infer(topologies);
 }
 
-Tensor Tcae::decode(const Tensor& latents) {
-  return decoder_.forward(latents, /*training=*/false);
+Tensor Tcae::decode(const Tensor& latents) const {
+  return decoder_.infer(latents);
 }
 
-Tensor Tcae::reconstruct(const Tensor& topologies) {
+Tensor Tcae::reconstruct(const Tensor& topologies) const {
   return decode(encode(topologies));
 }
 

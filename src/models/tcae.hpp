@@ -57,13 +57,15 @@ class Tcae {
   [[nodiscard]] const TcaeConfig& config() const { return config_; }
 
   /// Recognition unit f: (N,1,S,S) -> (N, latentDim) (Eq. 2).
-  [[nodiscard]] nn::Tensor encode(const nn::Tensor& topologies);
+  /// Stateless inference — safe to call concurrently on a shared model.
+  [[nodiscard]] nn::Tensor encode(const nn::Tensor& topologies) const;
 
   /// Generation unit g: (N, latentDim) -> (N,1,S,S) in [0,1] (Eq. 3).
-  [[nodiscard]] nn::Tensor decode(const nn::Tensor& latents);
+  /// Stateless inference — safe to call concurrently on a shared model.
+  [[nodiscard]] nn::Tensor decode(const nn::Tensor& latents) const;
 
   /// g(f(x)) — the identity map the model is trained for.
-  [[nodiscard]] nn::Tensor reconstruct(const nn::Tensor& topologies);
+  [[nodiscard]] nn::Tensor reconstruct(const nn::Tensor& topologies) const;
 
   /// Trains the identity mapping (Eq. 4) on the given topology set with
   /// mini-batch Adam and the paper's staircase lr decay. Deterministic

@@ -12,6 +12,13 @@ Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor ReLU::infer(const Tensor& x) const {
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i)
+    if (y[i] < 0.0f) y[i] = 0.0f;
+  return y;
+}
+
 Tensor ReLU::backward(const Tensor& gradOut) {
   requireSameShape(gradOut, input_, "ReLU::backward");
   Tensor dx = gradOut;
@@ -22,6 +29,13 @@ Tensor ReLU::backward(const Tensor& gradOut) {
 
 Tensor LeakyReLU::forward(const Tensor& x, bool /*training*/) {
   input_ = x;
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i)
+    if (y[i] < 0.0f) y[i] *= slope_;
+  return y;
+}
+
+Tensor LeakyReLU::infer(const Tensor& x) const {
   Tensor y = x;
   for (std::size_t i = 0; i < y.numel(); ++i)
     if (y[i] < 0.0f) y[i] *= slope_;
@@ -44,6 +58,13 @@ Tensor Sigmoid::forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor Sigmoid::infer(const Tensor& x) const {
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i)
+    y[i] = 1.0f / (1.0f + std::exp(-y[i]));
+  return y;
+}
+
 Tensor Sigmoid::backward(const Tensor& gradOut) {
   requireSameShape(gradOut, output_, "Sigmoid::backward");
   Tensor dx = gradOut;
@@ -56,6 +77,12 @@ Tensor Tanh::forward(const Tensor& x, bool /*training*/) {
   Tensor y = x;
   for (std::size_t i = 0; i < y.numel(); ++i) y[i] = std::tanh(y[i]);
   output_ = y;
+  return y;
+}
+
+Tensor Tanh::infer(const Tensor& x) const {
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i) y[i] = std::tanh(y[i]);
   return y;
 }
 

@@ -11,6 +11,7 @@ namespace dp::nn {
 class ReLU final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& gradOut) override;
   [[nodiscard]] std::string name() const override { return "relu"; }
 
@@ -22,6 +23,7 @@ class LeakyReLU final : public Layer {
  public:
   explicit LeakyReLU(float slope = 0.2f) : slope_(slope) {}
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& gradOut) override;
   [[nodiscard]] std::string name() const override { return "leaky_relu"; }
   [[nodiscard]] float slope() const { return slope_; }
@@ -34,6 +36,7 @@ class LeakyReLU final : public Layer {
 class Sigmoid final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& gradOut) override;
   [[nodiscard]] std::string name() const override { return "sigmoid"; }
 
@@ -44,6 +47,7 @@ class Sigmoid final : public Layer {
 class Tanh final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& gradOut) override;
   [[nodiscard]] std::string name() const override { return "tanh"; }
 

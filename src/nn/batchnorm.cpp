@@ -60,6 +60,22 @@ Tensor BatchNorm1d::forward(const Tensor& x, bool training) {
   return y;
 }
 
+Tensor BatchNorm1d::infer(const Tensor& x) const {
+  if (x.dim() != 2 || x.size(1) != features_)
+    throw std::invalid_argument("BatchNorm1d::infer: bad input " +
+                                x.shapeString());
+  const int n = x.size(0);
+  Tensor y({n, features_});
+  for (int j = 0; j < features_; ++j) {
+    const float is =
+        static_cast<float>(1.0 / std::sqrt(runningVar_[j] + eps_));
+    for (int i = 0; i < n; ++i)
+      y.at(i, j) = gamma_.value[j] * ((x.at(i, j) - runningMean_[j]) * is) +
+                   beta_.value[j];
+  }
+  return y;
+}
+
 Tensor BatchNorm1d::backward(const Tensor& gradOut) {
   const int n = xhat_.size(0);
   if (gradOut.dim() != 2 || gradOut.size(0) != n ||

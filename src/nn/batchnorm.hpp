@@ -15,6 +15,7 @@ class BatchNorm1d final : public Layer {
                        double eps = 1e-5);
 
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& gradOut) override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
   [[nodiscard]] std::string name() const override { return "batchnorm1d"; }

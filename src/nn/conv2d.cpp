@@ -1,11 +1,35 @@
 #include "nn/conv2d.hpp"
 
 #include <stdexcept>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
 
 namespace dp::nn {
+
+namespace {
+
+/// Convolves one sample: im2col into `cols`, GEMM with the weights and
+/// bias add into `y` (the sample's (outC, oh*ow) output plane).
+void convSample(const ConvGeom& geom, int outC, const float* weights,
+                const float* bias, const float* image, float* cols,
+                float* y) {
+  const int cr = geom.colRows();
+  const int cc = geom.colCols();
+  im2col(geom, image, cols);
+  // y_s (outC, cc) = W (outC, cr) * cols (cr, cc)
+  gemm(false, false, outC, cc, cr, 1.0f, weights, cr, cols, cc, 0.0f, y,
+       cc);
+  for (int c = 0; c < outC; ++c) {
+    float* plane = y + static_cast<std::size_t>(c) * cc;
+    const float b = bias[c];
+    for (int i = 0; i < cc; ++i) plane[i] += b;
+  }
+}
+
+}  // namespace
 
 Conv2d::Conv2d(int inChannels, int outChannels, int kernel, int stride,
                int pad, Rng& rng, double weightDecay)
@@ -40,19 +64,43 @@ Tensor Conv2d::forward(const Tensor& x, bool /*training*/) {
   const std::size_t planeIn =
       static_cast<std::size_t>(inC_) * geom_.height * geom_.width;
   const std::size_t planeOut = static_cast<std::size_t>(outC_) * oh * ow;
-  for (int s = 0; s < n; ++s) {
-    float* cols = cols_.data() + static_cast<std::size_t>(s) * cr * cc;
-    im2col(geom_, x.data() + s * planeIn, cols);
-    // y_s (outC, cc) = W (outC, cr) * cols (cr, cc)
-    gemm(false, false, outC_, cc, cr, 1.0f, weight_.value.data(), cr, cols,
-         cc, 0.0f, y.data() + s * planeOut, cc);
-  }
-  for (int s = 0; s < n; ++s)
-    for (int c = 0; c < outC_; ++c) {
-      float* plane = y.data() + s * planeOut + static_cast<std::size_t>(c) * oh * ow;
-      const float b = bias_.value[c];
-      for (int i = 0; i < oh * ow; ++i) plane[i] += b;
+  // Every sample owns its slice of cols_ and y: race-free by layout.
+  dp::parallelFor(n, 1, [&](long s0, long s1) {
+    for (long s = s0; s < s1; ++s) {
+      convSample(geom_, outC_, weight_.value.data(), bias_.value.data(),
+                 x.data() + static_cast<std::size_t>(s) * planeIn,
+                 cols_.data() + static_cast<std::size_t>(s) * cr * cc,
+                 y.data() + static_cast<std::size_t>(s) * planeOut);
     }
+  });
+  return y;
+}
+
+Tensor Conv2d::infer(const Tensor& x) const {
+  if (x.dim() != 4 || x.size(1) != inC_)
+    throw std::invalid_argument("Conv2d::infer: bad input " +
+                                x.shapeString());
+  const int n = x.size(0);
+  const ConvGeom geom{inC_, x.size(2), x.size(3), kernel_, stride_, pad_};
+  const int oh = geom.outHeight();
+  const int ow = geom.outWidth();
+  if (oh <= 0 || ow <= 0)
+    throw std::invalid_argument("Conv2d::infer: input too small");
+  const int cr = geom.colRows();
+  const int cc = geom.colCols();
+  Tensor y({n, outC_, oh, ow});
+  const std::size_t planeIn =
+      static_cast<std::size_t>(inC_) * geom.height * geom.width;
+  const std::size_t planeOut = static_cast<std::size_t>(outC_) * oh * ow;
+  dp::parallelFor(n, 1, [&](long s0, long s1) {
+    std::vector<float> cols(static_cast<std::size_t>(cr) * cc);
+    for (long s = s0; s < s1; ++s) {
+      convSample(geom, outC_, weight_.value.data(), bias_.value.data(),
+                 x.data() + static_cast<std::size_t>(s) * planeIn,
+                 cols.data(),
+                 y.data() + static_cast<std::size_t>(s) * planeOut);
+    }
+  });
   return y;
 }
 
@@ -68,27 +116,45 @@ Tensor Conv2d::backward(const Tensor& gradOut) {
   const int cr = geom_.colRows();
   const int cc = geom_.colCols();
   Tensor dx(input_.shape());
-  std::vector<float> dcols(static_cast<std::size_t>(cr) * cc);
   const std::size_t planeIn =
       static_cast<std::size_t>(inC_) * geom_.height * geom_.width;
   const std::size_t planeOut = static_cast<std::size_t>(outC_) * oh * ow;
 
-  for (int s = 0; s < n; ++s) {
-    const float* dy = gradOut.data() + s * planeOut;
-    const float* cols = cols_.data() + static_cast<std::size_t>(s) * cr * cc;
-    // dW (outC, cr) += dy (outC, cc) * cols^T (cc, cr)
-    gemm(false, true, outC_, cr, cc, 1.0f, dy, cc, cols, cc, 1.0f,
-         weight_.grad.data(), cr);
-    // dcols (cr, cc) = W^T (cr, outC) * dy (outC, cc)
-    gemm(true, false, cr, cc, outC_, 1.0f, weight_.value.data(), cr, dy, cc,
-         0.0f, dcols.data(), cc);
-    col2im(geom_, dcols.data(), dx.data() + s * planeIn);
-    for (int c = 0; c < outC_; ++c) {
-      const float* plane = dy + static_cast<std::size_t>(c) * oh * ow;
-      float acc = 0.0f;
-      for (int i = 0; i < oh * ow; ++i) acc += plane[i];
-      bias_.grad[c] += acc;
+  // Per-sample gradient buffers, reduced below in ascending sample
+  // order — the same accumulation sequence as a serial loop, so weight
+  // gradients are bit-identical at any thread count.
+  const std::size_t wN = weight_.grad.numel();
+  std::vector<float> dw(static_cast<std::size_t>(n) * wN, 0.0f);
+  std::vector<float> db(static_cast<std::size_t>(n) * outC_, 0.0f);
+
+  dp::parallelFor(n, 1, [&](long s0, long s1) {
+    std::vector<float> dcols(static_cast<std::size_t>(cr) * cc);
+    for (long s = s0; s < s1; ++s) {
+      const float* dy = gradOut.data() + static_cast<std::size_t>(s) * planeOut;
+      const float* cols =
+          cols_.data() + static_cast<std::size_t>(s) * cr * cc;
+      // dW_s (outC, cr) = dy (outC, cc) * cols^T (cc, cr)
+      gemm(false, true, outC_, cr, cc, 1.0f, dy, cc, cols, cc, 0.0f,
+           dw.data() + static_cast<std::size_t>(s) * wN, cr);
+      // dcols (cr, cc) = W^T (cr, outC) * dy (outC, cc)
+      gemm(true, false, cr, cc, outC_, 1.0f, weight_.value.data(), cr, dy,
+           cc, 0.0f, dcols.data(), cc);
+      col2im(geom_, dcols.data(),
+             dx.data() + static_cast<std::size_t>(s) * planeIn);
+      for (int c = 0; c < outC_; ++c) {
+        const float* plane = dy + static_cast<std::size_t>(c) * oh * ow;
+        float acc = 0.0f;
+        for (int i = 0; i < oh * ow; ++i) acc += plane[i];
+        db[static_cast<std::size_t>(s) * outC_ + c] = acc;
+      }
     }
+  });
+
+  for (int s = 0; s < n; ++s) {
+    const float* dws = dw.data() + static_cast<std::size_t>(s) * wN;
+    for (std::size_t e = 0; e < wN; ++e) weight_.grad[e] += dws[e];
+    for (int c = 0; c < outC_; ++c)
+      bias_.grad[c] += db[static_cast<std::size_t>(s) * outC_ + c];
   }
   return dx;
 }

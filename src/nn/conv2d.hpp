@@ -3,6 +3,9 @@
 /// \file conv2d.hpp
 /// 2-D convolution layer over (N,C,H,W) batches, implemented as
 /// im2col + GEMM. Square kernels; configurable stride and zero padding.
+/// Forward/backward parallelize over the batch dimension; the gradient
+/// reduction runs in ascending sample order, so training results are
+/// bit-identical at every DP_THREADS setting.
 
 #include "common/rng.hpp"
 #include "nn/layer.hpp"
@@ -16,6 +19,7 @@ class Conv2d final : public Layer {
          Rng& rng, double weightDecay = 0.0);
 
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& gradOut) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   [[nodiscard]] std::string name() const override { return "conv2d"; }

@@ -19,6 +19,7 @@ class ConvTranspose2d final : public Layer {
                   int pad, Rng& rng, double weightDecay = 0.0);
 
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& gradOut) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   [[nodiscard]] std::string name() const override {

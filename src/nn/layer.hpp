@@ -36,6 +36,12 @@ class Layer {
   /// (batch-norm statistics). Caches activations for backward().
   virtual Tensor forward(const Tensor& x, bool training) = 0;
 
+  /// Inference-only counterpart of forward(x, /*training=*/false): same
+  /// output, but touches no cached state, so a shared layer (or model)
+  /// can run infer() from many threads at once. The parallel generation
+  /// and sensitivity flows rely on this.
+  [[nodiscard]] virtual Tensor infer(const Tensor& x) const = 0;
+
   /// Given dL/d(output), accumulates parameter gradients and returns
   /// dL/d(input). Must be called after a matching forward().
   virtual Tensor backward(const Tensor& gradOut) = 0;

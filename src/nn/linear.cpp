@@ -33,6 +33,20 @@ Tensor Linear::forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
+Tensor Linear::infer(const Tensor& x) const {
+  if (x.dim() != 2 || x.size(1) != in_)
+    throw std::invalid_argument("Linear::infer: expected (N," +
+                                std::to_string(in_) + "), got " +
+                                x.shapeString());
+  const int n = x.size(0);
+  Tensor y({n, out_});
+  gemm(false, true, n, out_, in_, 1.0f, x.data(), in_,
+       weight_.value.data(), in_, 0.0f, y.data(), out_);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < out_; ++j) y.at(i, j) += bias_.value[j];
+  return y;
+}
+
 Tensor Linear::backward(const Tensor& gradOut) {
   const int n = input_.size(0);
   if (gradOut.dim() != 2 || gradOut.size(0) != n || gradOut.size(1) != out_)

@@ -14,6 +14,7 @@ class Linear final : public Layer {
   Linear(int inFeatures, int outFeatures, Rng& rng, double weightDecay = 0.0);
 
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& gradOut) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   [[nodiscard]] std::string name() const override { return "linear"; }

@@ -20,6 +20,12 @@ class Flatten final : public Layer {
     for (int d = 1; d < x.dim(); ++d) features *= x.size(d);
     return x.reshaped({x.size(0), features});
   }
+  Tensor infer(const Tensor& x) const override {
+    if (x.dim() < 2) throw std::invalid_argument("Flatten: need >= 2-D");
+    int features = 1;
+    for (int d = 1; d < x.dim(); ++d) features *= x.size(d);
+    return x.reshaped({x.size(0), features});
+  }
   Tensor backward(const Tensor& gradOut) override {
     return gradOut.reshaped(inShape_);
   }
@@ -36,6 +42,9 @@ class Reshape final : public Layer {
   Tensor forward(const Tensor& x, bool training) override {
     (void)training;
     inShape_ = x.shape();
+    return x.reshaped({x.size(0), c_, h_, w_});
+  }
+  Tensor infer(const Tensor& x) const override {
     return x.reshaped({x.size(0), c_, h_, w_});
   }
   Tensor backward(const Tensor& gradOut) override {

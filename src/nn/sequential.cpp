@@ -16,6 +16,12 @@ Tensor Sequential::forward(const Tensor& x, bool training) {
   return h;
 }
 
+Tensor Sequential::infer(const Tensor& x) const {
+  Tensor h = x;
+  for (const auto& l : layers_) h = l->infer(h);
+  return h;
+}
+
 Tensor Sequential::backward(const Tensor& gradOut) {
   Tensor g = gradOut;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)

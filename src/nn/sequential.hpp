@@ -30,6 +30,7 @@ class Sequential final : public Layer {
   [[nodiscard]] Layer& layer(std::size_t i) { return *layers_[i]; }
 
   Tensor forward(const Tensor& x, bool training) override;
+  Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& gradOut) override;
   std::vector<Param*> params() override;
   [[nodiscard]] std::string name() const override { return "sequential"; }

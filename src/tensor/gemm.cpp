@@ -1,15 +1,89 @@
 #include "tensor/gemm.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "common/thread_pool.hpp"
 
 namespace dp::nn {
 
 namespace {
 
+/// Column-panel width for the no-transpose kernel: a (k x kJBlock) panel
+/// of B is streamed repeatedly while it is hot in cache instead of the
+/// whole (k x n) matrix.
+constexpr int kJBlock = 256;
+
+/// Target number of multiply-adds per parallel chunk. Row panels are
+/// sized so small products stay on the calling thread while large ones
+/// split into enough chunks to keep every lane busy. The panel size is a
+/// function of the problem shape only — never of the thread count — so
+/// chunk boundaries (and therefore results) are identical at any
+/// DP_THREADS setting.
+constexpr long kFlopsPerChunk = 64 * 1024;
+
 inline void scaleC(int m, int n, float beta, float* c, int ldc) {
   if (beta == 1.0f) return;
   for (int i = 0; i < m; ++i)
     for (int j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+}
+
+/// Rows [r0, r1) of C for every transpose combination. Per output
+/// element the accumulation order is ascending p in all four branches,
+/// so any row partition produces bit-identical results.
+void gemmRows(bool transA, bool transB, int r0, int r1, int n, int k,
+              float alpha, const float* a, int lda, const float* b, int ldb,
+              float* c, int ldc) {
+  if (!transA && !transB) {
+    // C[i][j] += A[i][p] * B[p][j] — ipj order streams B and C rows,
+    // with B processed in cache-sized column panels.
+    for (int j0 = 0; j0 < n; j0 += kJBlock) {
+      const int j1 = std::min(n, j0 + kJBlock);
+      for (int i = r0; i < r1; ++i) {
+        float* crow = c + static_cast<long>(i) * ldc;
+        const float* arow = a + static_cast<long>(i) * lda;
+        for (int p = 0; p < k; ++p) {
+          const float av = alpha * arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b + static_cast<long>(p) * ldb;
+          for (int j = j0; j < j1; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  } else if (transA && !transB) {
+    // A stored KxM: A^T[i][p] = A[p][i].
+    for (int p = 0; p < k; ++p) {
+      const float* arow = a + static_cast<long>(p) * lda;
+      const float* brow = b + static_cast<long>(p) * ldb;
+      for (int i = r0; i < r1; ++i) {
+        const float av = alpha * arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c + static_cast<long>(i) * ldc;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!transA && transB) {
+    // B stored NxK: dot products of A rows with B rows.
+    for (int i = r0; i < r1; ++i) {
+      const float* arow = a + static_cast<long>(i) * lda;
+      float* crow = c + static_cast<long>(i) * ldc;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b + static_cast<long>(j) * ldb;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += alpha * acc;
+      }
+    }
+  } else {
+    for (int i = r0; i < r1; ++i) {
+      float* crow = c + static_cast<long>(i) * ldc;
+      for (int j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += a[p * lda + i] * b[j * ldb + p];
+        crow[j] += alpha * acc;
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -21,52 +95,15 @@ void gemm(bool transA, bool transB, int m, int n, int k, float alpha,
   scaleC(m, n, beta, c, ldc);
   if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
 
-  if (!transA && !transB) {
-    // C[i][j] += A[i][p] * B[p][j] — ipj order streams B and C rows.
-    for (int i = 0; i < m; ++i) {
-      float* crow = c + static_cast<long>(i) * ldc;
-      const float* arow = a + static_cast<long>(i) * lda;
-      for (int p = 0; p < k; ++p) {
-        const float av = alpha * arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = b + static_cast<long>(p) * ldb;
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  } else if (transA && !transB) {
-    // A stored KxM: A^T[i][p] = A[p][i].
-    for (int p = 0; p < k; ++p) {
-      const float* arow = a + static_cast<long>(p) * lda;
-      const float* brow = b + static_cast<long>(p) * ldb;
-      for (int i = 0; i < m; ++i) {
-        const float av = alpha * arow[i];
-        if (av == 0.0f) continue;
-        float* crow = c + static_cast<long>(i) * ldc;
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  } else if (!transA && transB) {
-    // B stored NxK: dot products of A rows with B rows.
-    for (int i = 0; i < m; ++i) {
-      const float* arow = a + static_cast<long>(i) * lda;
-      float* crow = c + static_cast<long>(i) * ldc;
-      for (int j = 0; j < n; ++j) {
-        const float* brow = b + static_cast<long>(j) * ldb;
-        float acc = 0.0f;
-        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] += alpha * acc;
-      }
-    }
-  } else {
-    for (int i = 0; i < m; ++i) {
-      float* crow = c + static_cast<long>(i) * ldc;
-      for (int j = 0; j < n; ++j) {
-        float acc = 0.0f;
-        for (int p = 0; p < k; ++p) acc += a[p * lda + i] * b[j * ldb + p];
-        crow[j] += alpha * acc;
-      }
-    }
-  }
+  // Row panels go to the pool: each panel owns its C rows outright, so
+  // the decomposition is race-free and deterministic by construction.
+  const long rowFlops = static_cast<long>(n) * k;
+  const long grain =
+      std::max(1L, kFlopsPerChunk / std::max(1L, rowFlops));
+  dp::parallelFor(m, grain, [&](long r0, long r1) {
+    gemmRows(transA, transB, static_cast<int>(r0), static_cast<int>(r1), n,
+             k, alpha, a, lda, b, ldb, c, ldc);
+  });
 }
 
 }  // namespace dp::nn

@@ -4,9 +4,10 @@
 /// Single-precision general matrix multiply used by every dense and
 /// convolutional layer. Row-major, with optional transposition of either
 /// operand:  C = alpha * op(A) * op(B) + beta * C.
-/// Loop orders are chosen for cache-friendly access in the common
-/// no-transpose case; matrices in this project are at most a few
-/// thousand elements per side, so no further blocking is required.
+/// Large products are blocked into cache-tiled row panels dispatched to
+/// the global dp::ThreadPool. Each output element accumulates in
+/// ascending-p order regardless of the partition, so the result is
+/// bit-identical at every DP_THREADS setting (including 1).
 
 namespace dp::nn {
 

@@ -60,6 +60,16 @@ TEST(GradCheck, ConvTranspose2dStride1) {
   EXPECT_LT(gradCheck(layer, x, rng), kGradTol);
 }
 
+TEST(GradCheck, ConvTranspose2dStride3) {
+  // Stride 3 with no padding: output pixels come from non-overlapping
+  // kernel placements, a different col2im scatter pattern than the
+  // overlapping stride-2 case above.
+  dp::Rng rng(12);
+  ConvTranspose2d layer(2, 3, 3, 3, 0, rng);
+  const Tensor x = Tensor::randn({2, 2, 3, 3}, rng);
+  EXPECT_LT(gradCheck(layer, x, rng), kGradTol);
+}
+
 TEST(GradCheck, Activations) {
   dp::Rng rng(6);
   // Keep inputs away from 0: finite differences straddling the ReLU /
@@ -92,6 +102,19 @@ TEST(GradCheck, BatchNorm1d) {
   EXPECT_LT(gradCheck(layer, x, rng), 1e-1);
 }
 
+TEST(GradCheck, BatchNorm1dTrainingInsideNetwork) {
+  // Training mode inside a composite: the batch statistics couple every
+  // sample, so dL/dx flows through the mean/variance terms as well as
+  // the straight-through path.
+  dp::Rng rng(13);
+  Sequential net;
+  net.emplace<Linear>(6, 5, rng);
+  net.emplace<BatchNorm1d>(5);
+  net.emplace<Tanh>();
+  const Tensor x = Tensor::randn({8, 6}, rng);
+  EXPECT_LT(gradCheck(net, x, rng), 1e-1);
+}
+
 TEST(GradCheck, SequentialComposite) {
   dp::Rng rng(8);
   Sequential net;
@@ -100,7 +123,10 @@ TEST(GradCheck, SequentialComposite) {
   net.emplace<Linear>(8, 3, rng);
   net.emplace<Tanh>();
   const Tensor x = Tensor::randn({3, 6}, rng);
-  EXPECT_LT(gradCheck(net, x, rng), kGradTol);
+  // Looser bound than single layers: hidden pre-activations can land
+  // within eps of the ReLU kink, where central differences disagree
+  // with the one-sided analytic gradient.
+  EXPECT_LT(gradCheck(net, x, rng), 1e-1);
 }
 
 TEST(GradCheck, ConvDeconvComposite) {
@@ -257,9 +283,9 @@ TEST(Reshape, FlattenAndReshapeRoundTrip) {
   const Tensor flat = flatten.forward(x, false);
   EXPECT_EQ(flat.shape(), (std::vector<int>{5, 24}));
   const Tensor back = reshape.forward(flat, false);
-  EXPECT_EQ(back, x);
+  dp::test::expectTensorsBitEqual(back, x);
   // Gradients pass through unchanged.
-  EXPECT_EQ(flatten.backward(flat), x);
+  dp::test::expectTensorsBitEqual(flatten.backward(flat), x);
 }
 
 TEST(Sequential, ParamAggregationAndCount) {
@@ -421,7 +447,7 @@ TEST(Serialize, RoundTripsParameters) {
   saveParams(a.params(), path);
   loadParams(b.params(), path);
   const Tensor x = Tensor::randn({2, 4}, rng);
-  EXPECT_EQ(a.forward(x, false), b.forward(x, false));
+  dp::test::expectTensorsBitEqual(a.forward(x, false), b.forward(x, false));
   std::remove(path.c_str());
 }
 

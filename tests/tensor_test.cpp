@@ -148,7 +148,8 @@ TEST(Gemm, BetaZeroOverwritesC) {
   std::vector<float> a{1, 2}, b{3, 4}, c{99};
   gemm(false, false, 1, 1, 2, 1.0f, a.data(), 2, b.data(), 1, 0.0f,
        c.data(), 1);
-  EXPECT_NEAR(c[0], 11.0f, 1e-6);
+  // Small-integer dot product is exact in float — no tolerance needed.
+  EXPECT_EQ(c[0], 11.0f);
 }
 
 // --------------------------------------------------------------- im2col

@@ -2,20 +2,108 @@
 
 /// \file testutil.hpp
 /// Shared helpers for the test suite: literal topology construction,
-/// random clip generation, and numeric gradient checking for layers.
+/// random clip generation, numeric gradient checking for layers,
+/// thread-count scoping and bit-exact tensor comparison.
+
+#include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
+#include <numeric>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "geometry/clip.hpp"
 #include "nn/layer.hpp"
 #include "squish/topology.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dp::test {
+
+/// RAII guard that pins both the DP_THREADS environment variable and
+/// the global thread pool to `threads` for the guard's lifetime, then
+/// restores the previous environment and re-derives the pool size from
+/// it. Lets a test exercise specific pool sizes without leaking the
+/// setting into later tests.
+class ScopedDpThreads {
+ public:
+  explicit ScopedDpThreads(int threads) {
+    if (const char* old = std::getenv("DP_THREADS")) {
+      hadOld_ = true;
+      old_ = old;
+    }
+    ::setenv("DP_THREADS", std::to_string(threads).c_str(), 1);
+    ThreadPool::setGlobalThreads(threads);
+  }
+  ~ScopedDpThreads() {
+    if (hadOld_)
+      ::setenv("DP_THREADS", old_.c_str(), 1);
+    else
+      ::unsetenv("DP_THREADS");
+    ThreadPool::setGlobalThreads(ThreadPool::defaultThreads());
+  }
+  ScopedDpThreads(const ScopedDpThreads&) = delete;
+  ScopedDpThreads& operator=(const ScopedDpThreads&) = delete;
+
+ private:
+  bool hadOld_ = false;
+  std::string old_;
+};
+
+/// Bit-exact tensor comparison: same shape and every float identical at
+/// the bit level (so +0.0 vs -0.0 or differently-rounded results fail,
+/// unlike operator==). On mismatch, reports the first differing flat
+/// index with both values and bit patterns.
+inline ::testing::AssertionResult tensorsBitEqual(const nn::Tensor& a,
+                                                  const nn::Tensor& b) {
+  if (a.shape() != b.shape())
+    return ::testing::AssertionFailure()
+           << "shape mismatch: " << a.shapeString() << " vs "
+           << b.shapeString();
+  if (std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0)
+    return ::testing::AssertionSuccess();
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    std::uint32_t ba, bb;
+    std::memcpy(&ba, &a.data()[i], sizeof(ba));
+    std::memcpy(&bb, &b.data()[i], sizeof(bb));
+    if (ba != bb)
+      return ::testing::AssertionFailure()
+             << "first mismatch at flat index " << i << ": " << a[i]
+             << " (0x" << std::hex << ba << ") vs " << b[i] << " (0x"
+             << bb << ")";
+  }
+  return ::testing::AssertionFailure() << "memcmp mismatch";  // unreachable
+}
+
+/// EXPECT-style wrapper around tensorsBitEqual.
+inline void expectTensorsBitEqual(const nn::Tensor& a,
+                                  const nn::Tensor& b) {
+  EXPECT_TRUE(tensorsBitEqual(a, b));
+}
+
+/// `count` distinct indices drawn uniformly from [0, total) by partial
+/// Fisher–Yates — sampling *without* replacement, so a gradient check
+/// never verifies the same coordinate twice while silently skipping
+/// others.
+inline std::vector<std::size_t> sampleDistinct(std::size_t total,
+                                               std::size_t count,
+                                               dp::Rng& rng) {
+  std::vector<std::size_t> idx(total);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t k = 0; k < count && k + 1 < total; ++k) {
+    const auto j =
+        k + static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<int>(total - 1 - k)));
+    std::swap(idx[k], idx[j]);
+  }
+  idx.resize(count);
+  return idx;
+}
 
 /// Builds a topology from rows written top-first, e.g.
 /// topo({"##.", "..#"}) — '#' = shape, anything else = space.
@@ -72,14 +160,11 @@ inline double gradCheck(nn::Layer& layer, const nn::Tensor& x,
   const nn::Tensor dx = layer.backward(weights);
 
   double worst = 0.0;
-  // Input gradient at a sample of coordinates.
+  // Input gradient at a sample of distinct coordinates.
   const std::size_t checkN = std::min<std::size_t>(x.numel(), 24);
+  const auto xIdx = sampleDistinct(x.numel(), checkN, rng);
   for (std::size_t k = 0; k < checkN; ++k) {
-    const std::size_t i =
-        x.numel() <= checkN
-            ? k
-            : static_cast<std::size_t>(
-                  rng.uniformInt(0, static_cast<int>(x.numel()) - 1));
+    const std::size_t i = xIdx[k];
     nn::Tensor xp = x, xm = x;
     xp[i] += static_cast<float>(eps);
     xm[i] -= static_cast<float>(eps);
@@ -94,12 +179,9 @@ inline double gradCheck(nn::Layer& layer, const nn::Tensor& x,
   (void)layer.backward(weights);
   for (nn::Param* p : layer.params()) {
     const std::size_t pn = std::min<std::size_t>(p->value.numel(), 16);
+    const auto pIdx = sampleDistinct(p->value.numel(), pn, rng);
     for (std::size_t k = 0; k < pn; ++k) {
-      const std::size_t i =
-          p->value.numel() <= pn
-              ? k
-              : static_cast<std::size_t>(rng.uniformInt(
-                    0, static_cast<int>(p->value.numel()) - 1));
+      const std::size_t i = pIdx[k];
       const float saved = p->value[i];
       p->value[i] = saved + static_cast<float>(eps);
       const double lp = lossOf(x);
