@@ -1,0 +1,270 @@
+// serve_load — closed-loop load generator for the pattern-generation
+// service. Trains a small bundle in-process, starts the server on an
+// ephemeral port, and drives it with N concurrent HTTP clients, each
+// issuing a fixed number of seeded generate requests over real
+// sockets. Reports throughput, latency quantiles, and batch occupancy,
+// and cross-checks the server's /metrics counters against the clients'
+// own totals (a mismatch exits non-zero, so CI can run this as a
+// smoke test).
+//
+//   serve_load --clients 8 --requests 4 --count 64 --steps 300 \
+//              --clips 60 [--latency-json out.json]
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "io/json.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+struct HttpReply {
+  int status = 0;
+  std::string body;
+};
+
+/// One-shot HTTP exchange (Connection: close) against 127.0.0.1:port.
+HttpReply httpCall(int port, const std::string& method,
+                   const std::string& path, const std::string& body) {
+  HttpReply reply;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reply;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return reply;
+  }
+  std::string req = method + " " + path + " HTTP/1.1\r\n";
+  req += "Host: 127.0.0.1\r\nConnection: close\r\n";
+  req += "Content-Type: application/json\r\n";
+  req += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  req += body;
+  std::size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n =
+        ::send(fd, req.data() + sent, req.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return reply;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof chunk, 0)) > 0)
+    raw.append(chunk, static_cast<std::size_t>(n));
+  ::close(fd);
+  if (raw.rfind("HTTP/1.1 ", 0) == 0)
+    reply.status = std::atoi(raw.c_str() + 9);
+  const std::size_t split = raw.find("\r\n\r\n");
+  if (split != std::string::npos) reply.body = raw.substr(split + 4);
+  return reply;
+}
+
+double quantileOf(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/// Pulls a single counter value out of a Prometheus text page.
+double metricValue(const std::string& page, const std::string& needle) {
+  const std::size_t pos = page.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  const std::size_t eol = page.find('\n', pos);
+  const std::string line = page.substr(pos, eol - pos);
+  const std::size_t space = line.rfind(' ');
+  return std::atof(line.c_str() + space + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dp::bench::Args args(argc, argv);
+  const int clients = static_cast<int>(args.getLong("clients", 8));
+  const int requestsPer = static_cast<int>(args.getLong("requests", 4));
+  const long count = args.getLong("count", 64);
+  const long steps = args.getLong("steps", 300);
+  const int clips = static_cast<int>(args.getLong("clips", 60));
+  const auto seed =
+      static_cast<std::uint64_t>(args.getLong("seed", 2019));
+
+  dp::bench::printHeader(
+      "serve_load: closed-loop serving benchmark",
+      {{"clients", std::to_string(clients)},
+       {"requests/client", std::to_string(requestsPer)},
+       {"count/request", std::to_string(count)},
+       {"tcae-steps", std::to_string(steps)},
+       {"clips", std::to_string(clips)},
+       {"seed", std::to_string(seed)}});
+
+  // Train a small bundle in-process.
+  dp::Rng rng(seed);
+  dp::serve::BundleSpec spec;
+  spec.name = "bench";
+  spec.tcae.trainSteps = steps;
+  spec.sourcePoolSize = 64;
+  dp::serve::BundleBuildConfig build;
+  const auto data =
+      dp::bench::loadBenchmark(1, spec.rules, clips, rng);
+  const auto bundle =
+      dp::serve::buildBundle(spec, build, data.topologies, rng);
+
+  dp::serve::PatternServer::Config config;
+  config.batcher.queueCapacity =
+      static_cast<int>(args.getLong("queue", 256));
+  config.batcher.maxActive =
+      static_cast<int>(args.getLong("active", 16));
+  config.batcher.decodeBatch =
+      static_cast<int>(args.getLong("batch", 128));
+  dp::serve::PatternServer server(config);
+  server.registry().add(bundle);
+  server.start();
+  const int port = server.port();
+  std::cout << "serving on 127.0.0.1:" << port << "\n";
+
+  std::atomic<long> ok{0};
+  std::atomic<long> retried{0};
+  std::atomic<long> errors{0};
+  std::atomic<long> generatedTotal{0};
+  std::mutex latMutex;
+  std::vector<double> latencies;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < requestsPer; ++r) {
+        dp::io::Json body = dp::io::Json::object();
+        body.set("bundle", "bench");
+        body.set("count", count);
+        body.set("seed",
+                 std::to_string(seed + 1000 * c + static_cast<unsigned>(r)));
+        const std::string payload = body.dump();
+        for (int attempt = 0;; ++attempt) {
+          const auto start = std::chrono::steady_clock::now();
+          const HttpReply reply =
+              httpCall(port, "POST", "/generate", payload);
+          if (reply.status == 429 && attempt < 50) {
+            ++retried;
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            continue;
+          }
+          if (reply.status != 200) {
+            ++errors;
+            std::cerr << "request failed: status " << reply.status << " "
+                      << reply.body.substr(0, 120) << "\n";
+            break;
+          }
+          const auto elapsed = std::chrono::steady_clock::now() - start;
+          const double ms =
+              std::chrono::duration<double, std::milli>(elapsed).count();
+          try {
+            const dp::io::Json res = dp::io::Json::parse(reply.body);
+            generatedTotal += res.at("generated").asLong();
+          } catch (const std::exception& e) {
+            ++errors;
+            std::cerr << "bad response body: " << e.what() << "\n";
+            break;
+          }
+          ++ok;
+          std::lock_guard<std::mutex> lock(latMutex);
+          latencies.push_back(ms);
+          break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto total = std::chrono::steady_clock::now() - t0;
+  const double totalSec =
+      std::chrono::duration<double>(total).count();
+
+  // Cross-check the server's own accounting before shutdown.
+  const HttpReply metrics = httpCall(port, "GET", "/metrics", "");
+  const double served = metricValue(
+      metrics.body, "dp_requests_total{route=\"/generate\",status=\"200\"}");
+  const double occCount = metricValue(metrics.body,
+                                      "dp_batch_occupancy_count");
+  const double occSum = metricValue(metrics.body, "dp_batch_occupancy_sum");
+  const double bundleGenerated =
+      metricValue(metrics.body, "dp_bundle_generated_total{bundle=\"bench\"}");
+  server.stop();
+
+  const double meanOccupancy = occCount > 0 ? occSum / occCount : 0.0;
+  const double p50 = quantileOf(latencies, 0.5);
+  const double p99 = quantileOf(latencies, 0.99);
+  std::cout << "\nrequests ok        : " << ok.load() << "\n";
+  std::cout << "requests retried   : " << retried.load() << "\n";
+  std::cout << "requests errored   : " << errors.load() << "\n";
+  std::cout << "throughput         : "
+            << static_cast<double>(ok.load()) / totalSec << " req/s\n";
+  std::cout << "latency p50 / p99  : " << p50 << " / " << p99 << " ms\n";
+  std::cout << "mean batch occupancy: " << meanOccupancy << "\n";
+  std::cout << "server 200s        : " << served << "\n";
+  std::cout << "server generated   : " << bundleGenerated << "\n";
+
+  bool failed = false;
+  if (errors.load() > 0) {
+    std::cerr << "FAIL: errored requests\n";
+    failed = true;
+  }
+  if (static_cast<long>(served) != ok.load()) {
+    std::cerr << "FAIL: /metrics 200-count " << served
+              << " != client count " << ok.load() << "\n";
+    failed = true;
+  }
+  if (static_cast<long>(bundleGenerated) != generatedTotal.load()) {
+    std::cerr << "FAIL: /metrics generated " << bundleGenerated
+              << " != client total " << generatedTotal.load() << "\n";
+    failed = true;
+  }
+
+  if (args.has("latency-json")) {
+    // Args stores the value; re-parse argv to find it.
+    std::string path;
+    for (int i = 1; i + 1 < argc; ++i)
+      if (std::string(argv[i]) == "--latency-json") path = argv[i + 1];
+    if (!path.empty()) {
+      dp::io::Json out = dp::io::Json::object();
+      out.set("clients", static_cast<long>(clients));
+      out.set("requestsOk", ok.load());
+      out.set("requestsErrored", errors.load());
+      out.set("throughputRps",
+              static_cast<double>(ok.load()) / totalSec);
+      out.set("p50Ms", p50);
+      out.set("p99Ms", p99);
+      out.set("meanBatchOccupancy", meanOccupancy);
+      dp::io::Json lat = dp::io::Json::array();
+      for (const double ms : latencies) lat.push(dp::io::Json(ms));
+      out.set("latenciesMs", std::move(lat));
+      std::ofstream file(path);
+      file << out.dump() << "\n";
+      std::cout << "wrote latency report to " << path << "\n";
+    }
+  }
+  return failed ? 1 : 0;
+}

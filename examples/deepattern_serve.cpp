@@ -1,0 +1,167 @@
+// deepattern_serve — the batched pattern-generation service.
+//
+//   deepattern_serve build --spec directprint1 --clips 200 --steps 1500 \
+//                          --name directprint1 --out bundles/directprint1 \
+//                          [--guide gan|vae] [--seed S]
+//   deepattern_serve serve --bundles bundles [--host 127.0.0.1] \
+//                          [--port 8080] [--queue 64] [--batch 128] \
+//                          [--threads N]
+//
+// `build` trains a complete model bundle (TCAE + sensitivity + source
+// latents + optional guide) from a synthetic benchmark library and
+// writes the bundle directory. `serve` loads every bundle under
+// --bundles and exposes POST /generate, GET /healthz, GET /bundles and
+// GET /metrics. See the README quickstart for a sample curl session.
+
+#include <csignal>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "datagen/generator.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using ArgMap = std::map<std::string, std::string>;
+
+ArgMap parseArgs(int argc, char** argv, int first) {
+  ArgMap args;
+  for (int i = first; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) continue;
+    a = a.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
+      args[a] = argv[++i];
+    else
+      args[a] = "1";
+  }
+  return args;
+}
+
+std::string get(const ArgMap& args, const std::string& key,
+                const std::string& def) {
+  const auto it = args.find(key);
+  return it == args.end() ? def : it->second;
+}
+
+int usage() {
+  std::cout <<
+      "usage: deepattern_serve <command> [--flags]\n"
+      "  build --spec directprint1..5 --out DIR [--name NAME]\n"
+      "        [--clips N] [--steps T] [--guide gan|vae] [--seed S]\n"
+      "  serve --bundles DIR [--host H] [--port P] [--queue N]\n"
+      "        [--active N] [--batch N] [--threads N]\n";
+  return 2;
+}
+
+volatile std::sig_atomic_t gStop = 0;
+void onSignal(int) { gStop = 1; }
+
+int runBuild(const ArgMap& args) {
+  const std::string out = get(args, "out", "");
+  if (out.empty()) return usage();
+  const std::string specName = get(args, "spec", "directprint1");
+  int specIndex = 1;
+  if (specName.rfind("directprint", 0) == 0)
+    specIndex = std::atoi(specName.c_str() + 11);
+  if (specIndex < 1 || specIndex > 5) {
+    std::cerr << "unknown spec " << specName << "\n";
+    return 2;
+  }
+
+  dp::serve::BundleSpec spec;
+  spec.name = get(args, "name", specName);
+  spec.version = get(args, "version", "1");
+  spec.tcae.trainSteps = std::atol(get(args, "steps", "1500").c_str());
+  const std::string guide = get(args, "guide", "");
+  if (guide == "gan" || guide == "vae") {
+    dp::core::GuideConfig gc;
+    gc.kind = guide == "gan" ? dp::core::GuideConfig::Kind::kGan
+                             : dp::core::GuideConfig::Kind::kVae;
+    spec.guide = gc;
+  } else if (!guide.empty()) {
+    std::cerr << "unknown guide " << guide << "\n";
+    return 2;
+  }
+
+  dp::Rng rng(std::strtoull(get(args, "seed", "7").c_str(), nullptr, 10));
+  const int clips = std::atoi(get(args, "clips", "200").c_str());
+  std::cout << "generating " << clips << " training clips (" << specName
+            << ")...\n";
+  const auto library = dp::datagen::generateLibrary(
+      dp::datagen::directprintSpec(specIndex), spec.rules, clips, rng);
+  const auto topologies = dp::datagen::extractTopologies(library);
+
+  dp::serve::BundleBuildConfig build;
+  build.guideCollect.count =
+      std::atol(get(args, "collect", "4000").c_str());
+  std::cout << "training bundle '" << spec.name << "' ("
+            << spec.tcae.trainSteps << " TCAE steps"
+            << (spec.guide ? ", guided" : "") << ")...\n";
+  const auto bundle =
+      dp::serve::buildBundle(spec, build, topologies, rng);
+  bundle->save(out);
+  std::cout << "wrote bundle to " << out << "\n";
+  return 0;
+}
+
+int runServe(const ArgMap& args) {
+  dp::serve::PatternServer::Config config;
+  config.http.host = get(args, "host", "127.0.0.1");
+  config.http.port = std::atoi(get(args, "port", "8080").c_str());
+  config.batcher.queueCapacity =
+      std::atoi(get(args, "queue", "64").c_str());
+  config.batcher.maxActive = std::atoi(get(args, "active", "8").c_str());
+  config.batcher.decodeBatch =
+      std::atoi(get(args, "batch", "128").c_str());
+
+  dp::serve::PatternServer server(config);
+  const std::string bundles = get(args, "bundles", "");
+  if (bundles.empty()) return usage();
+  const int loaded = server.registry().loadDirectory(bundles);
+  if (loaded == 0) {
+    std::cerr << "no bundles found under " << bundles << "\n";
+    return 1;
+  }
+  for (const auto& bundle : server.registry().list())
+    std::cout << "loaded bundle '" << bundle->name() << "' v"
+              << bundle->version() << " (pool "
+              << bundle->sourceLatents().size(0)
+              << (bundle->guide() ? ", guided" : "") << ")\n";
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  server.start();
+  std::cout << "serving on " << config.http.host << ":" << server.port()
+            << " — POST /generate, GET /healthz /bundles /metrics\n";
+  while (!gStop) {
+    timespec ts{0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  std::cout << "draining...\n";
+  server.stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const ArgMap args = parseArgs(argc, argv, 2);
+  if (const std::string threads = get(args, "threads", "");
+      !threads.empty())
+    dp::ThreadPool::setGlobalThreads(std::atoi(threads.c_str()));
+  try {
+    if (command == "build") return runBuild(args);
+    if (command == "serve") return runServe(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "common/thread_pool.hpp"
 #include "models/batch.hpp"
@@ -46,6 +47,139 @@ void accountActivationBatch(const nn::Tensor& activations,
   }
 }
 
+nn::Tensor encodeSourceLatents(
+    const models::Tcae& tcae,
+    const std::vector<squish::Topology>& existing, int poolSize) {
+  if (existing.empty())
+    throw std::invalid_argument("encodeSourceLatents: empty library");
+  if (poolSize <= 0)
+    throw std::invalid_argument("encodeSourceLatents: poolSize must be > 0");
+  const int pool =
+      std::min<int>(static_cast<int>(existing.size()), poolSize);
+  const std::vector<squish::Topology> sources(existing.begin(),
+                                              existing.begin() + pool);
+  return tcae.encode(
+      models::encodeTopologies(sources, tcae.config().inputSize));
+}
+
+namespace {
+
+void checkPlanArgs(const char* flow, const nn::Tensor& sourceLatents,
+                   long count, int batchSize) {
+  if (sourceLatents.dim() != 2 || sourceLatents.size(0) == 0)
+    throw std::invalid_argument(std::string(flow) +
+                                ": need (pool, latentDim) source latents");
+  if (count <= 0)
+    throw std::invalid_argument(std::string(flow) + ": count must be > 0");
+  if (batchSize <= 0)
+    throw std::invalid_argument(std::string(flow) +
+                                ": batchSize must be > 0");
+}
+
+void copyRows(nn::Tensor& dst, long dstRow, const nn::Tensor& src) {
+  const int n = src.size(0);
+  const int d = src.size(1);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < d; ++j)
+      dst.at(static_cast<int>(dstRow) + i, j) = src.at(i, j);
+}
+
+[[nodiscard]] nn::Tensor sliceRows(const nn::Tensor& src, long begin,
+                                   int n) {
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] =
+      static_cast<int>(begin) + i;
+  return models::gatherRows(src, idx);
+}
+
+}  // namespace
+
+LatentPlan planRandomLatents(const nn::Tensor& sourceLatents,
+                             const SensitivityAwarePerturber& perturber,
+                             long count, int batchSize, Rng& rng) {
+  checkPlanArgs("planRandomLatents", sourceLatents, count, batchSize);
+  const int pool = sourceLatents.size(0);
+  const int latentDim = sourceLatents.size(1);
+  LatentPlan plan;
+  plan.latents = nn::Tensor({static_cast<int>(count), latentDim});
+  plan.noise = nn::Tensor({static_cast<int>(count), latentDim});
+  long offset = 0;
+  while (offset < count) {
+    const int b =
+        static_cast<int>(std::min<long>(count - offset, batchSize));
+    const auto idx = models::sampleIndices(pool, b, rng);
+    nn::Tensor latents = models::gatherRows(sourceLatents, idx);
+    const nn::Tensor noise = perturber.sampleBatch(b, rng);
+    latents += noise;
+    copyRows(plan.latents, offset, latents);
+    copyRows(plan.noise, offset, noise);
+    offset += b;
+  }
+  return plan;
+}
+
+LatentPlan planCombineLatents(const nn::Tensor& sourceLatents, long count,
+                              int batchSize, int arity, Rng& rng) {
+  checkPlanArgs("planCombineLatents", sourceLatents, count, batchSize);
+  if (arity < 2)
+    throw std::invalid_argument("planCombineLatents: arity must be >= 2");
+  const int pool = sourceLatents.size(0);
+  const int latentDim = sourceLatents.size(1);
+  LatentPlan plan;
+  plan.latents = nn::Tensor({static_cast<int>(count), latentDim});
+  long offset = 0;
+  while (offset < count) {
+    const int b =
+        static_cast<int>(std::min<long>(count - offset, batchSize));
+    for (int row = 0; row < b; ++row) {
+      // Random convex weights: uniform draws normalized to sum 1.
+      std::vector<double> alpha(static_cast<std::size_t>(arity));
+      double total = 0.0;
+      for (double& a : alpha) {
+        a = rng.uniform(1e-3, 1.0);
+        total += a;
+      }
+      for (int k = 0; k < arity; ++k) {
+        const int src = rng.uniformInt(0, pool - 1);
+        const double w = alpha[static_cast<std::size_t>(k)] / total;
+        for (int c = 0; c < latentDim; ++c)
+          plan.latents.at(static_cast<int>(offset) + row, c) +=
+              static_cast<float>(w * sourceLatents.at(src, c));
+      }
+    }
+    offset += b;
+  }
+  return plan;
+}
+
+GenerationResult decodeLatentsAndAccount(
+    const models::Tcae& tcae, const nn::Tensor& latents,
+    const nn::Tensor* perturbations, const drc::TopologyChecker& checker,
+    int batchSize) {
+  if (batchSize <= 0)
+    throw std::invalid_argument(
+        "decodeLatentsAndAccount: batchSize must be > 0");
+  if (perturbations && perturbations->size(0) != latents.size(0))
+    throw std::invalid_argument(
+        "decodeLatentsAndAccount: perturbation row count mismatch");
+  GenerationResult result;
+  const long count = latents.size(0);
+  long offset = 0;
+  while (offset < count) {
+    const int b =
+        static_cast<int>(std::min<long>(count - offset, batchSize));
+    const nn::Tensor batch = sliceRows(latents, offset, b);
+    if (perturbations) {
+      const nn::Tensor noise = sliceRows(*perturbations, offset, b);
+      accountActivationBatch(tcae.decode(batch), checker, result, &noise);
+    } else {
+      accountActivationBatch(tcae.decode(batch), checker, result);
+    }
+    offset += b;
+  }
+  return result;
+}
+
 GenerationResult tcaeRandom(const models::Tcae& tcae,
                             const std::vector<squish::Topology>& existing,
                             const SensitivityAwarePerturber& perturber,
@@ -53,28 +187,13 @@ GenerationResult tcaeRandom(const models::Tcae& tcae,
                             const FlowConfig& config, Rng& rng) {
   if (existing.empty())
     throw std::invalid_argument("tcaeRandom: empty existing library");
-  const int pool = std::min<int>(static_cast<int>(existing.size()),
-                                 config.sourcePoolSize);
-  const std::vector<squish::Topology> sources(existing.begin(),
-                                              existing.begin() + pool);
-  const nn::Tensor sourceLatents = tcae.encode(
-      models::encodeTopologies(sources, tcae.config().inputSize));
-
-  GenerationResult result;
-  long remaining = config.count;
-  while (remaining > 0) {
-    const int b = static_cast<int>(
-        std::min<long>(remaining, config.batchSize));
-    const auto idx = models::sampleIndices(pool, b, rng);
-    nn::Tensor latents = models::gatherRows(sourceLatents, idx);
-    const nn::Tensor noise = perturber.sampleBatch(b, rng);
-    latents += noise;
-    const nn::Tensor recon = tcae.decode(latents);
-    accountActivationBatch(recon, checker, result,
-                           config.collectGoodVectors ? &noise : nullptr);
-    remaining -= b;
-  }
-  return result;
+  const nn::Tensor sourceLatents =
+      encodeSourceLatents(tcae, existing, config.sourcePoolSize);
+  const LatentPlan plan = planRandomLatents(
+      sourceLatents, perturber, config.count, config.batchSize, rng);
+  return decodeLatentsAndAccount(
+      tcae, plan.latents, config.collectGoodVectors ? &plan.noise : nullptr,
+      checker, config.batchSize);
 }
 
 GenerationResult tcaeCombine(const models::Tcae& tcae,
@@ -85,40 +204,12 @@ GenerationResult tcaeCombine(const models::Tcae& tcae,
     throw std::invalid_argument("tcaeCombine: empty existing library");
   if (config.arity < 2)
     throw std::invalid_argument("tcaeCombine: arity must be >= 2");
-  const int pool = std::min<int>(static_cast<int>(existing.size()),
-                                 config.poolSize);
-  const std::vector<squish::Topology> sources(existing.begin(),
-                                              existing.begin() + pool);
-  const nn::Tensor sourceLatents = tcae.encode(
-      models::encodeTopologies(sources, tcae.config().inputSize));
-  const int latentDim = sourceLatents.size(1);
-
-  GenerationResult result;
-  long remaining = config.count;
-  while (remaining > 0) {
-    const int b = static_cast<int>(
-        std::min<long>(remaining, config.batchSize));
-    nn::Tensor latents({b, latentDim});
-    for (int row = 0; row < b; ++row) {
-      // Random convex weights: uniform draws normalized to sum 1.
-      std::vector<double> alpha(static_cast<std::size_t>(config.arity));
-      double total = 0.0;
-      for (double& a : alpha) {
-        a = rng.uniform(1e-3, 1.0);
-        total += a;
-      }
-      for (int k = 0; k < config.arity; ++k) {
-        const int src = rng.uniformInt(0, pool - 1);
-        const double w = alpha[static_cast<std::size_t>(k)] / total;
-        for (int c = 0; c < latentDim; ++c)
-          latents.at(row, c) +=
-              static_cast<float>(w * sourceLatents.at(src, c));
-      }
-    }
-    accountActivationBatch(tcae.decode(latents), checker, result);
-    remaining -= b;
-  }
-  return result;
+  const nn::Tensor sourceLatents =
+      encodeSourceLatents(tcae, existing, config.poolSize);
+  const LatentPlan plan = planCombineLatents(
+      sourceLatents, config.count, config.batchSize, config.arity, rng);
+  return decodeLatentsAndAccount(tcae, plan.latents, nullptr, checker,
+                                 config.batchSize);
 }
 
 GenerationResult evaluateSampler(const TopologySampler& sampler,

@@ -41,6 +41,51 @@ void accountActivationBatch(const nn::Tensor& activations,
                             GenerationResult& result,
                             const nn::Tensor* perturbations = nullptr);
 
+/// Encodes the first min(poolSize, existing.size()) topologies into the
+/// TCAE latent space — the source pool every latent flow perturbs or
+/// combines. Serving bundles persist this tensor so requests never
+/// re-encode.
+[[nodiscard]] nn::Tensor encodeSourceLatents(
+    const models::Tcae& tcae,
+    const std::vector<squish::Topology>& existing, int poolSize);
+
+/// A fully-drawn latent plan: every random draw of a generation run,
+/// materialized up front. Plans exist so the serving pipeline can
+/// consume the RNG on the request thread (fixing the seeded stream)
+/// and then decode the rows in whatever batch coalescing the server
+/// finds — per-sample decode is row-independent, so any split of
+/// `latents` yields the same patterns as the in-process flows.
+struct LatentPlan {
+  nn::Tensor latents;  ///< (count, latentDim) rows to decode
+  nn::Tensor noise;    ///< matching perturbation rows; empty for flows
+                       ///< that have none (combine)
+};
+
+/// Draws the TCAE-Random plan. Consumes `rng` exactly like tcaeRandom:
+/// per batch of `batchSize`, source-row indices then the perturbation
+/// batch.
+[[nodiscard]] LatentPlan planRandomLatents(
+    const nn::Tensor& sourceLatents,
+    const SensitivityAwarePerturber& perturber, long count, int batchSize,
+    Rng& rng);
+
+/// Draws the TCAE-Combine plan (convex combinations of source latents).
+/// Consumes `rng` exactly like tcaeCombine: per row, `arity` uniform
+/// weights then `arity` source indices.
+[[nodiscard]] LatentPlan planCombineLatents(const nn::Tensor& sourceLatents,
+                                            long count, int batchSize,
+                                            int arity, Rng& rng);
+
+/// Decodes `latents` in batches of `batchSize` and runs the legality/
+/// uniqueness accounting. When `perturbations` is non-null its rows
+/// (matched 1:1 with `latents`) are recorded for legal samples. This is
+/// the decode half of every latent flow — the serve batcher calls it on
+/// coalesced row ranges and reproduces the in-process result.
+[[nodiscard]] GenerationResult decodeLatentsAndAccount(
+    const models::Tcae& tcae, const nn::Tensor& latents,
+    const nn::Tensor* perturbations, const drc::TopologyChecker& checker,
+    int batchSize);
+
 /// TCAE-Random: perturb latents of existing patterns with
 /// sensitivity-aware Gaussian noise and decode. goodVectors (if
 /// collected) holds the *perturbation* vectors that decoded legally —

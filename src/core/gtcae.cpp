@@ -1,5 +1,7 @@
 #include "core/gtcae.hpp"
 
+#include "core/guide.hpp"
+
 #include <algorithm>
 #include <memory>
 #include <stdexcept>
@@ -16,141 +18,19 @@ namespace dp::core {
 
 namespace {
 
-/// Uniform interface over the two guide models: train on an (N, D)
-/// vector set, then sample (n, D) vectors.
-class VectorGuide {
- public:
-  virtual ~VectorGuide() = default;
-  virtual void train(const nn::Tensor& data, Rng& rng) = 0;
-  [[nodiscard]] virtual nn::Tensor sample(int n, Rng& rng) = 0;
-};
-
-class GanGuide final : public VectorGuide {
- public:
-  GanGuide(int dataDim, const GtcaeConfig& config, Rng& rng)
-      : gan_(models::makeMlpGan(dataDim, rng, config.ganZDim,
-                                config.ganHidden)),
-        config_(config.gan) {}
-
-  void train(const nn::Tensor& data, Rng& rng) override {
-    gan_.train(data, config_, rng);
-  }
-  nn::Tensor sample(int n, Rng& rng) override { return gan_.sample(n, rng); }
-
- private:
-  models::Gan gan_;
-  models::GanConfig config_;
-};
-
-class VaeGuide final : public VectorGuide {
- public:
-  VaeGuide(int dataDim, const GtcaeConfig& config, Rng& rng)
-      : vae_(makeConfig(dataDim, config), rng) {}
-
-  void train(const nn::Tensor& data, Rng& rng) override {
-    vae_.train(data, rng);
-  }
-  nn::Tensor sample(int n, Rng& rng) override { return vae_.sample(n, rng); }
-
- private:
-  static models::VaeConfig makeConfig(int dataDim,
-                                      const GtcaeConfig& config) {
-    models::VaeConfig vc;
-    vc.backbone = models::VaeConfig::Backbone::kVector;
-    vc.inputDim = dataDim;
-    vc.latentDim = config.vaeLatentDim;
-    vc.hidden = config.ganHidden;
-    vc.trainSteps = config.vaeTrainSteps;
-    return vc;
-  }
-  models::Vae vae_;
-};
-
-/// Per-dimension first/second-moment statistics of an (N, D) tensor.
-struct Moments {
-  std::vector<double> mean;
-  std::vector<double> std;
-};
-
-Moments momentsOf(const nn::Tensor& data) {
-  const int n = data.size(0);
-  const int d = data.size(1);
-  Moments m;
-  m.mean.assign(static_cast<std::size_t>(d), 0.0);
-  m.std.assign(static_cast<std::size_t>(d), 1.0);
-  for (int j = 0; j < d; ++j) {
-    double mean = 0.0;
-    for (int i = 0; i < n; ++i) mean += data.at(i, j);
-    mean /= n;
-    double var = 0.0;
-    for (int i = 0; i < n; ++i) {
-      const double diff = data.at(i, j) - mean;
-      var += diff * diff;
-    }
-    var /= std::max(n - 1, 1);
-    m.mean[static_cast<std::size_t>(j)] = mean;
-    m.std[static_cast<std::size_t>(j)] =
-        std::sqrt(var) > 1e-6 ? std::sqrt(var) : 1.0;
-  }
-  return m;
-}
-
-/// Standardizes the training vectors per dimension before handing them
-/// to the inner guide, and calibrates the inverse transform against the
-/// guide's *own* sample moments. Encoder latents have arbitrary
-/// per-dimension scales, so standardization is what lets a GAN/VAE with
-/// batch-normalized hidden layers fit them; and VAE priors are known to
-/// under-disperse relative to the data (posterior/prior mismatch), so
-/// matching the first two sample moments to the data keeps the decoded
-/// pattern spread faithful for both guide types.
-class NormalizedGuide final : public VectorGuide {
- public:
-  explicit NormalizedGuide(std::unique_ptr<VectorGuide> inner)
-      : inner_(std::move(inner)) {}
-
-  void train(const nn::Tensor& data, Rng& rng) override {
-    data_ = momentsOf(data);
-    const int n = data.size(0);
-    const int d = data.size(1);
-    nn::Tensor normalized({n, d});
-    for (int i = 0; i < n; ++i)
-      for (int j = 0; j < d; ++j)
-        normalized.at(i, j) = static_cast<float>(
-            (data.at(i, j) - data_.mean[static_cast<std::size_t>(j)]) /
-            data_.std[static_cast<std::size_t>(j)]);
-    inner_->train(normalized, rng);
-    // Calibration: measure what the trained guide actually emits.
-    const nn::Tensor probe = inner_->sample(512, rng);
-    guide_ = momentsOf(probe);
-  }
-
-  nn::Tensor sample(int n, Rng& rng) override {
-    nn::Tensor out = inner_->sample(n, rng);
-    for (int i = 0; i < n; ++i)
-      for (int j = 0; j < out.size(1); ++j) {
-        const auto k = static_cast<std::size_t>(j);
-        const double unit = (out.at(i, j) - guide_.mean[k]) / guide_.std[k];
-        out.at(i, j) =
-            static_cast<float>(unit * data_.std[k] + data_.mean[k]);
-      }
-    return out;
-  }
-
- private:
-  std::unique_ptr<VectorGuide> inner_;
-  Moments data_;
-  Moments guide_;
-};
-
-std::unique_ptr<VectorGuide> makeGuide(int dataDim,
-                                       const GtcaeConfig& config,
-                                       Rng& rng) {
-  std::unique_ptr<VectorGuide> inner;
-  if (config.guide == GtcaeConfig::Guide::kGan)
-    inner = std::make_unique<GanGuide>(dataDim, config, rng);
-  else
-    inner = std::make_unique<VaeGuide>(dataDim, config, rng);
-  return std::make_unique<NormalizedGuide>(std::move(inner));
+[[nodiscard]] core::GuideConfig guideConfigFor(int dataDim,
+                                               const GtcaeConfig& config) {
+  GuideConfig gc;
+  gc.kind = config.guide == GtcaeConfig::Guide::kGan
+                ? GuideConfig::Kind::kGan
+                : GuideConfig::Kind::kVae;
+  gc.dataDim = dataDim;
+  gc.zDim = config.ganZDim;
+  gc.hidden = config.ganHidden;
+  gc.gan = config.gan;
+  gc.vaeLatentDim = config.vaeLatentDim;
+  gc.vaeTrainSteps = config.vaeTrainSteps;
+  return gc;
 }
 
 /// Decode-and-account loop shared by both G-TCAE flows. Guide sampling
@@ -158,7 +38,7 @@ std::unique_ptr<VectorGuide> makeGuide(int dataDim,
 /// runs sample-parallel via accountActivationBatch.
 GenerationResult runGeneration(const models::Tcae& tcae,
                                const nn::Tensor* sourceLatents,
-                               VectorGuide& guide,
+                               const GuideModel& guide,
                                const drc::TopologyChecker& checker,
                                const FlowConfig& flow, Rng& rng) {
   GenerationResult result;
@@ -198,9 +78,9 @@ GenerationResult gtcaeMassive(const models::Tcae& tcae,
   const nn::Tensor sourceLatents = tcae.encode(
       models::encodeTopologies(sources, tcae.config().inputSize));
 
-  auto guide = makeGuide(goodPerturbations.size(1), config, rng);
-  guide->train(goodPerturbations, rng);
-  return runGeneration(tcae, &sourceLatents, *guide, checker, config.flow,
+  GuideModel guide(guideConfigFor(goodPerturbations.size(1), config), rng);
+  guide.train(goodPerturbations, rng);
+  return runGeneration(tcae, &sourceLatents, guide, checker, config.flow,
                        rng);
 }
 
@@ -230,11 +110,11 @@ std::vector<ContextGroupResult> gtcaeContextSpecific(
     group.trainingCount = static_cast<long>(members.size());
     if (members.size() >= 2) {
       const nn::Tensor bandLatents = models::gatherRows(latents, members);
-      auto guide = makeGuide(bandLatents.size(1), config, rng);
-      guide->train(bandLatents, rng);
+      GuideModel guide(guideConfigFor(bandLatents.size(1), config), rng);
+      guide.train(bandLatents, rng);
       // Context mode: the recognition unit is discarded; the guide
       // produces pure latent vectors for the generation unit.
-      group.result = runGeneration(tcae, nullptr, *guide, checker,
+      group.result = runGeneration(tcae, nullptr, guide, checker,
                                    config.flow, rng);
       group.avgCx = group.result.unique.meanCx();
       group.avgCy = group.result.unique.meanCy();

@@ -1,0 +1,156 @@
+#include "core/guide.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "models/batch.hpp"
+#include "nn/serialize.hpp"
+
+namespace dp::core {
+
+Moments momentsOf(const nn::Tensor& data) {
+  const int n = data.size(0);
+  const int d = data.size(1);
+  Moments m;
+  m.mean.assign(static_cast<std::size_t>(d), 0.0);
+  m.std.assign(static_cast<std::size_t>(d), 1.0);
+  for (int j = 0; j < d; ++j) {
+    double mean = 0.0;
+    for (int i = 0; i < n; ++i) mean += data.at(i, j);
+    mean /= n;
+    double var = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double diff = data.at(i, j) - mean;
+      var += diff * diff;
+    }
+    var /= std::max(n - 1, 1);
+    m.mean[static_cast<std::size_t>(j)] = mean;
+    m.std[static_cast<std::size_t>(j)] =
+        std::sqrt(var) > 1e-6 ? std::sqrt(var) : 1.0;
+  }
+  return m;
+}
+
+GuideModel::GuideModel(const GuideConfig& config, Rng& rng)
+    : config_(config) {
+  if (config_.dataDim <= 0)
+    throw std::invalid_argument("GuideModel: dataDim must be positive");
+  if (config_.kind == GuideConfig::Kind::kGan) {
+    gan_ = std::make_unique<models::Gan>(models::makeMlpGan(
+        config_.dataDim, rng, config_.zDim, config_.hidden));
+  } else {
+    models::VaeConfig vc;
+    vc.backbone = models::VaeConfig::Backbone::kVector;
+    vc.inputDim = config_.dataDim;
+    vc.latentDim = config_.vaeLatentDim;
+    vc.hidden = config_.hidden;
+    vc.trainSteps = config_.vaeTrainSteps;
+    vae_ = std::make_unique<models::Vae>(vc, rng);
+  }
+  // Identity transform until train() or setMoments() calibrates it.
+  data_.mean.assign(static_cast<std::size_t>(config_.dataDim), 0.0);
+  data_.std.assign(static_cast<std::size_t>(config_.dataDim), 1.0);
+  guide_ = data_;
+}
+
+void GuideModel::train(const nn::Tensor& data, Rng& rng) {
+  if (data.dim() != 2 || data.size(0) == 0)
+    throw std::invalid_argument("GuideModel::train: need (N, D) data");
+  if (data.size(1) != config_.dataDim)
+    throw std::invalid_argument("GuideModel::train: data dim mismatch");
+  data_ = momentsOf(data);
+  const int n = data.size(0);
+  const int d = data.size(1);
+  nn::Tensor normalized({n, d});
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < d; ++j)
+      normalized.at(i, j) = static_cast<float>(
+          (data.at(i, j) - data_.mean[static_cast<std::size_t>(j)]) /
+          data_.std[static_cast<std::size_t>(j)]);
+  if (gan_)
+    gan_->train(normalized, config_.gan, rng);
+  else
+    vae_->train(normalized, rng);
+  // Calibration: measure what the trained guide actually emits.
+  const nn::Tensor probe = sampleInner(512, rng);
+  guide_ = momentsOf(probe);
+}
+
+nn::Tensor GuideModel::sampleInner(int n, Rng& rng) const {
+  return gan_ ? gan_->sampleInfer(n, rng) : vae_->sampleInfer(n, rng);
+}
+
+nn::Tensor GuideModel::sample(int n, Rng& rng) const {
+  nn::Tensor out = sampleInner(n, rng);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < out.size(1); ++j) {
+      const auto k = static_cast<std::size_t>(j);
+      const double unit = (out.at(i, j) - guide_.mean[k]) / guide_.std[k];
+      out.at(i, j) =
+          static_cast<float>(unit * data_.std[k] + data_.mean[k]);
+    }
+  return out;
+}
+
+void GuideModel::setMoments(Moments data, Moments guide) {
+  const auto dim = static_cast<std::size_t>(config_.dataDim);
+  if (data.mean.size() != dim || data.std.size() != dim ||
+      guide.mean.size() != dim || guide.std.size() != dim)
+    throw std::invalid_argument("GuideModel::setMoments: dim mismatch");
+  data_ = std::move(data);
+  guide_ = std::move(guide);
+}
+
+std::vector<nn::Tensor*> GuideModel::checkpointTensors() {
+  std::vector<nn::Tensor*> tensors;
+  const auto collect = [&](nn::Sequential& net) {
+    for (nn::Param* p : net.params()) tensors.push_back(&p->value);
+    for (nn::Tensor* t : net.state()) tensors.push_back(t);
+  };
+  if (gan_) {
+    collect(gan_->generator());
+    collect(gan_->discriminator());
+  } else {
+    for (nn::Param* p : vae_->params()) tensors.push_back(&p->value);
+  }
+  return tensors;
+}
+
+void GuideModel::save(const std::string& path) {
+  std::vector<nn::Tensor*> tensors = checkpointTensors();
+  nn::saveTensors(
+      std::vector<const nn::Tensor*>(tensors.begin(), tensors.end()), path);
+}
+
+void GuideModel::load(const std::string& path) {
+  nn::loadTensors(checkpointTensors(), path);
+}
+
+nn::Tensor planGuidedLatents(const GuideModel& guide,
+                             const nn::Tensor* sourceLatents, long count,
+                             int batchSize, Rng& rng) {
+  if (count <= 0)
+    throw std::invalid_argument("planGuidedLatents: count must be > 0");
+  if (batchSize <= 0)
+    throw std::invalid_argument("planGuidedLatents: batchSize must be > 0");
+  const int d = guide.config().dataDim;
+  nn::Tensor latents({static_cast<int>(count), d});
+  long offset = 0;
+  while (offset < count) {
+    const int b =
+        static_cast<int>(std::min<long>(count - offset, batchSize));
+    nn::Tensor batch = guide.sample(b, rng);
+    if (sourceLatents) {
+      const auto idx = models::sampleIndices(sourceLatents->size(0), b, rng);
+      batch += models::gatherRows(*sourceLatents, idx);
+    }
+    for (int i = 0; i < b; ++i)
+      for (int j = 0; j < d; ++j)
+        latents.at(static_cast<int>(offset) + i, j) = batch.at(i, j);
+    offset += b;
+  }
+  return latents;
+}
+
+}  // namespace dp::core

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file guide.hpp
+/// The latent-space guide of the G-TCAE architecture (paper §III-C):
+/// a small generative model — the paper's MLP GAN, or a vector VAE for
+/// the V-TCAE case study — trained on latent-space vectors, driving
+/// the TCAE generation unit. Extracted from the gtcae flows so a
+/// trained guide can be checkpointed into serving bundles and sampled
+/// concurrently through the const infer() paths.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "models/gan.hpp"
+#include "models/vae.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dp::core {
+
+/// Per-dimension first/second-moment statistics of an (N, D) tensor.
+struct Moments {
+  std::vector<double> mean;
+  std::vector<double> std;
+};
+
+[[nodiscard]] Moments momentsOf(const nn::Tensor& data);
+
+/// Guide architecture + training hyper-parameters.
+struct GuideConfig {
+  enum class Kind { kGan, kVae };
+
+  Kind kind = Kind::kGan;
+  int dataDim = 32;          ///< dimension of the guided vectors
+  int zDim = 16;             ///< GAN noise dimension
+  int hidden = 64;           ///< hidden width of either guide
+  models::GanConfig gan;     ///< GAN training parameters
+  int vaeLatentDim = 16;     ///< VAE bottleneck (V-TCAE)
+  long vaeTrainSteps = 1500;
+};
+
+/// A guide model with per-dimension normalization. Training vectors
+/// are standardized per dimension before being handed to the inner
+/// GAN/VAE, and the inverse transform is calibrated against the
+/// guide's *own* sample moments: encoder latents have arbitrary
+/// per-dimension scales, so standardization is what lets a guide with
+/// batch-normalized hidden layers fit them; and VAE priors are known
+/// to under-disperse relative to the data (posterior/prior mismatch),
+/// so matching the first two sample moments to the data keeps the
+/// decoded pattern spread faithful for both guide types.
+///
+/// After train() (or load + setMoments) the model is immutable through
+/// sample() — stateless infer() paths only, safe to share across
+/// threads.
+class GuideModel {
+ public:
+  GuideModel(const GuideConfig& config, Rng& rng);
+
+  [[nodiscard]] const GuideConfig& config() const { return config_; }
+
+  /// Standardizes `data` (N, dataDim), trains the inner guide, and
+  /// calibrates the denormalization moments.
+  void train(const nn::Tensor& data, Rng& rng);
+
+  /// Draws n denormalized vectors (n, dataDim). Const / thread-safe.
+  [[nodiscard]] nn::Tensor sample(int n, Rng& rng) const;
+
+  /// Normalization state, for checkpointing.
+  [[nodiscard]] const Moments& dataMoments() const { return data_; }
+  [[nodiscard]] const Moments& guideMoments() const { return guide_; }
+  void setMoments(Moments data, Moments guide);
+
+  /// Inner-network parameters + state via nn::saveTensors/loadTensors.
+  /// The moments are NOT part of this file — persist them alongside
+  /// (the bundle manifest does) and restore via setMoments().
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+ private:
+  [[nodiscard]] nn::Tensor sampleInner(int n, Rng& rng) const;
+  [[nodiscard]] std::vector<nn::Tensor*> checkpointTensors();
+
+  GuideConfig config_;
+  // Exactly one of the two is engaged, per config_.kind.
+  std::unique_ptr<models::Gan> gan_;
+  std::unique_ptr<models::Vae> vae_;
+  Moments data_;
+  Moments guide_;
+};
+
+/// Latent plan of a guided generation run: the full (count, dataDim)
+/// latent tensor the serving pipeline decodes in arbitrary batch
+/// splits. Consumes `rng` exactly like the in-process G-TCAE flows
+/// (per batch of `batchSize`: guide sample, then source-row indices),
+/// so a seeded serve request reproduces the core flow bit-for-bit.
+/// `sourceLatents` may be null (context mode: pure guide latents).
+[[nodiscard]] nn::Tensor planGuidedLatents(const GuideModel& guide,
+                                           const nn::Tensor* sourceLatents,
+                                           long count, int batchSize,
+                                           Rng& rng);
+
+}  // namespace dp::core

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal dependency-free JSON value type with a strict parser and a
+/// compact writer. Backs the serving front end (request/response
+/// bodies, bundle manifests) and the machine-readable benchmark
+/// reports. Objects preserve insertion order so emitted documents are
+/// deterministic.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dp::io {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double d) : type_(Type::kNumber), number_(d) {}
+  Json(int i) : type_(Type::kNumber), number_(i) {}
+  Json(long l) : type_(Type::kNumber), number_(static_cast<double>(l)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  /// Strict parse of a complete JSON document (rejects trailing
+  /// garbage). Throws std::runtime_error with a byte offset on error.
+  [[nodiscard]] static Json parse(const std::string& text);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool isNull() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool isBool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool isNumber() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool isString() const { return type_ == Type::kString; }
+  [[nodiscard]] bool isArray() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool isObject() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  [[nodiscard]] bool asBool() const;
+  [[nodiscard]] double asDouble() const;
+  [[nodiscard]] long asLong() const;
+  /// Accepts either a JSON number or a decimal string — 64-bit seeds
+  /// exceed the double-exact integer range, so clients may send them
+  /// as strings.
+  [[nodiscard]] std::uint64_t asUint64() const;
+  [[nodiscard]] const std::string& asString() const;
+
+  // Array interface.
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const Json& at(std::size_t i) const;
+  Json& push(Json v);
+
+  // Object interface.
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Throws std::runtime_error when the key is absent.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  /// Null-object fallback lookup: returns a shared null when absent.
+  [[nodiscard]] const Json& get(const std::string& key) const;
+  Json& set(const std::string& key, Json v);
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const;
+
+  /// Compact single-line serialization (RFC 8259 escapes).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace dp::io

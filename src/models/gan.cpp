@@ -12,6 +12,7 @@
 #include "nn/optimizer.hpp"
 #include "nn/reshape.hpp"
 #include "nn/schedule.hpp"
+#include "nn/serialize.hpp"
 
 namespace dp::models {
 
@@ -29,6 +30,38 @@ Tensor Gan::sample(int n, Rng& rng) {
   shape.insert(shape.begin(), n);
   const Tensor z = Tensor::randn(shape, rng);
   return gen_.forward(z, /*training=*/false);
+}
+
+Tensor Gan::sampleInfer(int n, Rng& rng) const {
+  std::vector<int> shape = zShape_;
+  shape.insert(shape.begin(), n);
+  const Tensor z = Tensor::randn(shape, rng);
+  return gen_.infer(z);
+}
+
+std::vector<nn::Param*> Gan::params() {
+  std::vector<nn::Param*> all = gen_.params();
+  for (nn::Param* p : disc_.params()) all.push_back(p);
+  return all;
+}
+
+void Gan::save(const std::string& path) {
+  // Params + batch-norm running statistics: the generator's infer path
+  // normalizes with the running stats, so a checkpoint without them
+  // would not reproduce sampling.
+  std::vector<const nn::Tensor*> tensors;
+  for (nn::Param* p : params()) tensors.push_back(&p->value);
+  for (nn::Tensor* t : gen_.state()) tensors.push_back(t);
+  for (nn::Tensor* t : disc_.state()) tensors.push_back(t);
+  nn::saveTensors(tensors, path);
+}
+
+void Gan::load(const std::string& path) {
+  std::vector<nn::Tensor*> tensors;
+  for (nn::Param* p : params()) tensors.push_back(&p->value);
+  for (nn::Tensor* t : gen_.state()) tensors.push_back(t);
+  for (nn::Tensor* t : disc_.state()) tensors.push_back(t);
+  nn::loadTensors(tensors, path);
 }
 
 GanStats Gan::train(const Tensor& data, const GanConfig& config, Rng& rng) {

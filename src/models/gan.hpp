@@ -10,6 +10,7 @@
 ///  - makeDcgan: the DCGAN baseline of Table II that generates 24x24
 ///    topologies directly (and, per the paper, mostly fails to).
 
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -45,12 +46,27 @@ class Gan {
   /// Draws n samples: z ~ N(0,1), returns G(z) (first dim n).
   [[nodiscard]] nn::Tensor sample(int n, Rng& rng);
 
+  /// sample() through the stateless infer() path — safe to call
+  /// concurrently on a shared, already-trained model.
+  [[nodiscard]] nn::Tensor sampleInfer(int n, Rng& rng) const;
+
   /// Alternating D/G updates on `data` (first dim = samples), exactly
   /// the procedure of Goodfellow et al. as the paper prescribes.
   GanStats train(const nn::Tensor& data, const GanConfig& config, Rng& rng);
 
   [[nodiscard]] nn::Sequential& generator() { return gen_; }
   [[nodiscard]] nn::Sequential& discriminator() { return disc_; }
+  [[nodiscard]] const std::vector<int>& zShape() const { return zShape_; }
+
+  /// Generator + discriminator parameters, in a stable order.
+  [[nodiscard]] std::vector<nn::Param*> params();
+
+  /// Checkpointing (parity with Tcae::save/load): both networks'
+  /// parameters plus batch-norm running statistics, via
+  /// nn::saveTensors/loadTensors. The loading Gan must be built with
+  /// the same architecture.
+  void save(const std::string& path);
+  void load(const std::string& path);
 
  private:
   nn::Sequential gen_;

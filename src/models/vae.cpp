@@ -10,6 +10,7 @@
 #include "nn/loss.hpp"
 #include "nn/reshape.hpp"
 #include "nn/schedule.hpp"
+#include "nn/serialize.hpp"
 
 namespace dp::models {
 
@@ -76,9 +77,16 @@ Tensor Vae::decode(const Tensor& z) {
   return decoder_.forward(z, /*training=*/false);
 }
 
+Tensor Vae::decodeInfer(const Tensor& z) const { return decoder_.infer(z); }
+
 Tensor Vae::sample(int n, Rng& rng) {
   const Tensor z = Tensor::randn({n, config_.latentDim}, rng);
   return decode(z);
+}
+
+Tensor Vae::sampleInfer(int n, Rng& rng) const {
+  const Tensor z = Tensor::randn({n, config_.latentDim}, rng);
+  return decodeInfer(z);
 }
 
 double Vae::trainStep(const Tensor& batch, nn::Optimizer& opt, Rng& rng) {
@@ -143,6 +151,22 @@ std::vector<nn::Param*> Vae::params() {
   for (nn::Param* p : logVarHead_.params()) all.push_back(p);
   for (nn::Param* p : decoder_.params()) all.push_back(p);
   return all;
+}
+
+void Vae::save(const std::string& path) {
+  std::vector<const nn::Tensor*> tensors;
+  for (nn::Param* p : params()) tensors.push_back(&p->value);
+  for (nn::Tensor* t : encBase_.state()) tensors.push_back(t);
+  for (nn::Tensor* t : decoder_.state()) tensors.push_back(t);
+  nn::saveTensors(tensors, path);
+}
+
+void Vae::load(const std::string& path) {
+  std::vector<nn::Tensor*> tensors;
+  for (nn::Param* p : params()) tensors.push_back(&p->value);
+  for (nn::Tensor* t : encBase_.state()) tensors.push_back(t);
+  for (nn::Tensor* t : decoder_.state()) tensors.push_back(t);
+  nn::loadTensors(tensors, path);
 }
 
 }  // namespace dp::models

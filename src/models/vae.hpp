@@ -62,14 +62,28 @@ class Vae {
   /// Decode latent codes to data space (inference mode).
   [[nodiscard]] nn::Tensor decode(const nn::Tensor& z);
 
+  /// decode() through the stateless infer() path — safe to call
+  /// concurrently on a shared, already-trained model.
+  [[nodiscard]] nn::Tensor decodeInfer(const nn::Tensor& z) const;
+
   /// Draws n samples from the prior z ~ N(0,1) through the decoder.
   [[nodiscard]] nn::Tensor sample(int n, Rng& rng);
+
+  /// sample() through the stateless infer() path.
+  [[nodiscard]] nn::Tensor sampleInfer(int n, Rng& rng) const;
 
   /// Trains on `data` (first dim = samples) with the ELBO objective
   /// (reconstruction MSE + klWeight * KL). Returns final total loss.
   double train(const nn::Tensor& data, Rng& rng);
 
   [[nodiscard]] std::vector<nn::Param*> params();
+
+  /// Checkpointing (parity with Tcae::save/load): all parameters plus
+  /// any batch-norm running statistics, via nn::saveTensors/
+  /// loadTensors. The loading Vae must be built with the same
+  /// architecture.
+  void save(const std::string& path);
+  void load(const std::string& path);
 
  private:
   /// One optimization step; returns the total loss.

@@ -18,6 +18,9 @@ class BatchNorm1d final : public Layer {
   Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& gradOut) override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> state() override {
+    return {&runningMean_, &runningVar_};
+  }
   [[nodiscard]] std::string name() const override { return "batchnorm1d"; }
 
   [[nodiscard]] const Tensor& runningMean() const { return runningMean_; }

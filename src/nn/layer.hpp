@@ -49,6 +49,11 @@ class Layer {
   /// Trainable parameters (empty for activations and reshapes).
   virtual std::vector<Param*> params() { return {}; }
 
+  /// Persistent non-trainable state that checkpoints must carry to
+  /// reproduce inference (batch-norm running statistics). Empty for
+  /// stateless layers; backward caches do NOT belong here.
+  virtual std::vector<Tensor*> state() { return {}; }
+
   /// Short human-readable layer name for diagnostics.
   [[nodiscard]] virtual std::string name() const = 0;
 };

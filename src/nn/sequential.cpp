@@ -36,6 +36,13 @@ std::vector<Param*> Sequential::params() {
   return out;
 }
 
+std::vector<Tensor*> Sequential::state() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_)
+    for (Tensor* t : l->state()) out.push_back(t);
+  return out;
+}
+
 std::size_t Sequential::parameterCount() {
   std::size_t n = 0;
   for (Param* p : params()) n += p->value.numel();

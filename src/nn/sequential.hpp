@@ -33,6 +33,7 @@ class Sequential final : public Layer {
   Tensor infer(const Tensor& x) const override;
   Tensor backward(const Tensor& gradOut) override;
   std::vector<Param*> params() override;
+  std::vector<Tensor*> state() override;
   [[nodiscard]] std::string name() const override { return "sequential"; }
 
   /// Total number of trainable scalars.

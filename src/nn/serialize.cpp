@@ -7,56 +7,185 @@
 namespace dp::nn {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x44505031;  // "DPP1"
+
+constexpr std::uint32_t kMagic = 0x44505031;       // "DPP1"
+constexpr std::uint32_t kTensorMagic = 0x44505431;  // "DPT1"
+constexpr std::uint32_t kMaxDims = 4;
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("nn::load: " + what + ": " + path);
+}
+
+std::string shapeString(const std::vector<int>& shape) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(shape[i]);
+  }
+  return s + ")";
+}
+
+/// Reads one tensor header (rank + dims) and validates it against the
+/// expected shape; `label` names the parameter in error messages.
+std::vector<int> readShape(std::ifstream& in, const std::string& label,
+                           const std::string& path) {
+  std::uint32_t dims = 0;
+  in.read(reinterpret_cast<char*>(&dims), sizeof dims);
+  if (!in) fail(label + ": truncated before shape", path);
+  if (dims == 0 || dims > kMaxDims)
+    fail(label + ": invalid rank " + std::to_string(dims), path);
+  std::vector<int> shape(dims);
+  for (std::uint32_t d = 0; d < dims; ++d) {
+    std::int32_t s = 0;
+    in.read(reinterpret_cast<char*>(&s), sizeof s);
+    if (!in) fail(label + ": truncated inside shape", path);
+    if (s <= 0)
+      fail(label + ": invalid dimension " + std::to_string(s), path);
+    shape[d] = s;
+  }
+  return shape;
+}
+
+void readData(std::ifstream& in, float* dst, std::size_t numel,
+              const std::string& label, const std::string& path) {
+  const auto bytes = static_cast<std::streamsize>(numel * sizeof(float));
+  in.read(reinterpret_cast<char*>(dst), bytes);
+  if (!in || in.gcount() != bytes)
+    fail(label + ": truncated (expected " + std::to_string(numel) +
+             " floats, file ended after " +
+             std::to_string(in.gcount() / sizeof(float)) + ")",
+         path);
+}
+
+void requireEof(std::ifstream& in, const std::string& path) {
+  in.peek();
+  if (!in.eof())
+    fail("file larger than expected (trailing bytes after last tensor)",
+         path);
+}
+
+}  // namespace
+
+void saveTensors(const std::vector<const Tensor*>& tensors,
+                 const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("saveTensors: cannot open " + path);
+  const std::uint32_t magic = kMagic;
+  const std::uint32_t count = static_cast<std::uint32_t>(tensors.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const Tensor* t : tensors) {
+    const std::uint32_t dims = static_cast<std::uint32_t>(t->dim());
+    out.write(reinterpret_cast<const char*>(&dims), sizeof dims);
+    for (int d = 0; d < t->dim(); ++d) {
+      const std::int32_t s = t->size(d);
+      out.write(reinterpret_cast<const char*>(&s), sizeof s);
+    }
+    out.write(reinterpret_cast<const char*>(t->data()),
+              static_cast<std::streamsize>(t->numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("saveTensors: write failed: " + path);
+}
+
+void loadTensors(const std::vector<Tensor*>& tensors,
+                 const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open", path);
+  std::uint32_t magic = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in || magic != kMagic) fail("bad file header", path);
+  if (count != tensors.size())
+    fail("tensor count mismatch (file has " + std::to_string(count) +
+             ", model has " + std::to_string(tensors.size()) + ")",
+         path);
+
+  // Every tensor is loaded into a staging buffer and validated
+  // element-for-element against the model's shape before anything is
+  // committed, so a mismatch mid-file never leaves the model half
+  // loaded with earlier tensors overwritten.
+  std::vector<Tensor> staged;
+  staged.reserve(tensors.size());
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    const Tensor* dst = tensors[i];
+    const std::string label =
+        "parameter " + std::to_string(i) + "/" + std::to_string(count);
+    const std::vector<int> shape = readShape(in, label, path);
+    if (shape != dst->shape())
+      fail(label + ": shape mismatch (file has " + shapeString(shape) +
+               ", model expects " + shapeString(dst->shape()) + ")",
+           path);
+    std::size_t numel = 1;
+    for (const int s : shape) numel *= static_cast<std::size_t>(s);
+    if (numel != dst->numel())
+      fail(label + ": element count mismatch (file has " +
+               std::to_string(numel) + ", model expects " +
+               std::to_string(dst->numel()) + ")",
+           path);
+    Tensor t(shape);
+    readData(in, t.data(), numel, label, path);
+    staged.push_back(std::move(t));
+  }
+  requireEof(in, path);
+  for (std::size_t i = 0; i < tensors.size(); ++i)
+    *tensors[i] = std::move(staged[i]);
 }
 
 void saveParams(const std::vector<Param*>& params,
                 const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("saveParams: cannot open " + path);
-  const std::uint32_t magic = kMagic;
-  const std::uint32_t count = static_cast<std::uint32_t>(params.size());
-  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
-  out.write(reinterpret_cast<const char*>(&count), sizeof count);
-  for (const Param* p : params) {
-    const std::uint32_t dims = static_cast<std::uint32_t>(p->value.dim());
-    out.write(reinterpret_cast<const char*>(&dims), sizeof dims);
-    for (int d = 0; d < p->value.dim(); ++d) {
-      const std::int32_t s = p->value.size(d);
-      out.write(reinterpret_cast<const char*>(&s), sizeof s);
-    }
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
-  }
-  if (!out) throw std::runtime_error("saveParams: write failed: " + path);
+  std::vector<const Tensor*> tensors;
+  tensors.reserve(params.size());
+  for (const Param* p : params) tensors.push_back(&p->value);
+  saveTensors(tensors, path);
 }
 
 void loadParams(const std::vector<Param*>& params,
                 const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("loadParams: cannot open " + path);
-  std::uint32_t magic = 0, count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
-  in.read(reinterpret_cast<char*>(&count), sizeof count);
-  if (!in || magic != kMagic)
-    throw std::runtime_error("loadParams: bad file header: " + path);
-  if (count != params.size())
-    throw std::runtime_error("loadParams: parameter count mismatch");
-  for (Param* p : params) {
-    std::uint32_t dims = 0;
-    in.read(reinterpret_cast<char*>(&dims), sizeof dims);
-    if (!in || dims != static_cast<std::uint32_t>(p->value.dim()))
-      throw std::runtime_error("loadParams: rank mismatch");
-    for (int d = 0; d < p->value.dim(); ++d) {
-      std::int32_t s = 0;
-      in.read(reinterpret_cast<char*>(&s), sizeof s);
-      if (!in || s != p->value.size(d))
-        throw std::runtime_error("loadParams: shape mismatch");
-    }
-    in.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
-    if (!in) throw std::runtime_error("loadParams: truncated file");
+  std::vector<Tensor*> tensors;
+  tensors.reserve(params.size());
+  for (Param* p : params) tensors.push_back(&p->value);
+  loadTensors(tensors, path);
+}
+
+void saveTensor(const Tensor& t, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("saveTensor: cannot open " + path);
+  const std::uint32_t magic = kTensorMagic;
+  const std::uint32_t dims = static_cast<std::uint32_t>(t.dim());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&dims), sizeof dims);
+  for (int d = 0; d < t.dim(); ++d) {
+    const std::int32_t s = t.size(d);
+    out.write(reinterpret_cast<const char*>(&s), sizeof s);
   }
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!out) throw std::runtime_error("saveTensor: write failed: " + path);
+}
+
+Tensor loadTensor(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open", path);
+  std::uint32_t magic = 0, dims = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  if (!in || magic != kTensorMagic) fail("bad tensor header", path);
+  in.read(reinterpret_cast<char*>(&dims), sizeof dims);
+  if (!in || dims == 0 || dims > kMaxDims)
+    fail("tensor: invalid rank " + std::to_string(dims), path);
+  std::vector<int> shape(dims);
+  std::size_t numel = 1;
+  for (std::uint32_t d = 0; d < dims; ++d) {
+    std::int32_t s = 0;
+    in.read(reinterpret_cast<char*>(&s), sizeof s);
+    if (!in) fail("tensor: truncated inside shape", path);
+    if (s <= 0) fail("tensor: invalid dimension " + std::to_string(s), path);
+    shape[d] = s;
+    numel *= static_cast<std::size_t>(s);
+  }
+  Tensor t(shape);
+  readData(in, t.data(), numel, "tensor", path);
+  requireEof(in, path);
+  return t;
 }
 
 }  // namespace dp::nn

@@ -1,8 +1,9 @@
 #pragma once
 
 /// \file serialize.hpp
-/// Binary (de)serialization of parameter sets, so trained models can be
-/// cached between runs of the experiment harnesses.
+/// Binary (de)serialization of parameter sets and single tensors, so
+/// trained models can be cached between runs and packaged into serving
+/// bundles.
 
 #include <string>
 #include <vector>
@@ -11,13 +12,36 @@
 
 namespace dp::nn {
 
-/// Writes all parameter values (shapes + float data) to `path`.
-/// Throws std::runtime_error on I/O failure.
+/// Writes a tensor list (shapes + float data) to `path`. The parameter
+/// checkpoint format: model checkpoints are the model's params()
+/// values followed by its state() buffers (batch-norm running
+/// statistics), in traversal order.
+void saveTensors(const std::vector<const Tensor*>& tensors,
+                 const std::string& path);
+
+/// Loads a tensor list saved by saveTensors. The destination list must
+/// have identical shapes in identical order. Every failure mode throws
+/// std::runtime_error with a message naming the offending tensor:
+/// count/rank/shape/element-count mismatch against the model,
+/// truncation inside a tensor's shape or data, and trailing bytes
+/// after the last tensor (an oversized file never silently misloads).
+/// Nothing is committed to `tensors` unless the whole file validates.
+void loadTensors(const std::vector<Tensor*>& tensors,
+                 const std::string& path);
+
+/// saveTensors over parameter values only (no layer state). Retained
+/// for state-free models; models with batch normalization should save
+/// params() + state() via saveTensors.
 void saveParams(const std::vector<Param*>& params, const std::string& path);
 
-/// Loads parameter values saved by saveParams. The parameter list must
-/// have identical shapes in identical order; throws std::runtime_error
-/// otherwise or on I/O failure.
+/// loadTensors into parameter values only.
 void loadParams(const std::vector<Param*>& params, const std::string& path);
+
+/// Writes one tensor (shape + float data) to `path`.
+void saveTensor(const Tensor& t, const std::string& path);
+
+/// Loads a tensor saved by saveTensor, with the same
+/// truncation/trailing-byte validation as loadParams.
+[[nodiscard]] Tensor loadTensor(const std::string& path);
 
 }  // namespace dp::nn

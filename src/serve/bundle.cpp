@@ -1,0 +1,278 @@
+#include "serve/bundle.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/generation_result.hpp"
+#include "io/json.hpp"
+#include "nn/serialize.hpp"
+
+namespace dp::serve {
+
+namespace fs = std::filesystem;
+using dp::io::Json;
+
+namespace {
+
+Json momentsJson(const std::vector<double>& values) {
+  Json arr = Json::array();
+  for (const double v : values) arr.push(Json(v));
+  return arr;
+}
+
+std::vector<double> momentsFromJson(const Json& arr) {
+  std::vector<double> out;
+  out.reserve(arr.size());
+  for (std::size_t i = 0; i < arr.size(); ++i)
+    out.push_back(arr.at(i).asDouble());
+  return out;
+}
+
+Json manifestJson(const Bundle& bundle) {
+  const BundleSpec& spec = bundle.spec();
+  Json m = Json::object();
+  m.set("format", "dp-bundle-1");
+  m.set("name", spec.name);
+  m.set("version", spec.version);
+
+  Json rules = Json::object();
+  rules.set("pitch", spec.rules.pitch);
+  rules.set("minT2T", spec.rules.minT2T);
+  rules.set("minLength", spec.rules.minLength);
+  rules.set("minSpaceX", spec.rules.minSpaceX);
+  rules.set("clipWidth", spec.rules.clipWidth);
+  rules.set("clipHeight", spec.rules.clipHeight);
+  rules.set("maxCx", spec.rules.maxCx);
+  rules.set("maxCy", spec.rules.maxCy);
+  m.set("rules", std::move(rules));
+
+  Json tcae = Json::object();
+  tcae.set("inputSize", spec.tcae.inputSize);
+  tcae.set("latentDim", spec.tcae.latentDim);
+  tcae.set("conv1Channels", spec.tcae.conv1Channels);
+  tcae.set("conv2Channels", spec.tcae.conv2Channels);
+  tcae.set("hidden", spec.tcae.hidden);
+  m.set("tcae", std::move(tcae));
+
+  m.set("perturbScale", spec.perturbScale);
+  m.set("sourcePoolSize", spec.sourcePoolSize);
+  m.set("sensitivity", momentsJson(bundle.sensitivity()));
+
+  if (const core::GuideModel* guide = bundle.guide()) {
+    Json g = Json::object();
+    g.set("kind", guide->config().kind == core::GuideConfig::Kind::kGan
+                      ? "gan"
+                      : "vae");
+    g.set("zDim", guide->config().zDim);
+    g.set("hidden", guide->config().hidden);
+    g.set("vaeLatentDim", guide->config().vaeLatentDim);
+    g.set("dataMean", momentsJson(guide->dataMoments().mean));
+    g.set("dataStd", momentsJson(guide->dataMoments().std));
+    g.set("guideMean", momentsJson(guide->guideMoments().mean));
+    g.set("guideStd", momentsJson(guide->guideMoments().std));
+    m.set("guide", std::move(g));
+  } else {
+    m.set("guide", Json());
+  }
+  return m;
+}
+
+BundleSpec specFromManifest(const Json& m) {
+  if (m.get("format").isString() &&
+      m.at("format").asString() != "dp-bundle-1")
+    throw std::runtime_error("loadBundle: unsupported format " +
+                             m.at("format").asString());
+  BundleSpec spec;
+  spec.name = m.at("name").asString();
+  spec.version = m.at("version").asString();
+
+  const Json& rules = m.at("rules");
+  spec.rules.pitch = rules.at("pitch").asDouble();
+  spec.rules.minT2T = rules.at("minT2T").asDouble();
+  spec.rules.minLength = rules.at("minLength").asDouble();
+  spec.rules.minSpaceX = rules.at("minSpaceX").asDouble();
+  spec.rules.clipWidth = rules.at("clipWidth").asDouble();
+  spec.rules.clipHeight = rules.at("clipHeight").asDouble();
+  spec.rules.maxCx = static_cast<int>(rules.at("maxCx").asLong());
+  spec.rules.maxCy = static_cast<int>(rules.at("maxCy").asLong());
+
+  const Json& tcae = m.at("tcae");
+  spec.tcae.inputSize = static_cast<int>(tcae.at("inputSize").asLong());
+  spec.tcae.latentDim = static_cast<int>(tcae.at("latentDim").asLong());
+  spec.tcae.conv1Channels =
+      static_cast<int>(tcae.at("conv1Channels").asLong());
+  spec.tcae.conv2Channels =
+      static_cast<int>(tcae.at("conv2Channels").asLong());
+  spec.tcae.hidden = static_cast<int>(tcae.at("hidden").asLong());
+
+  spec.perturbScale = m.at("perturbScale").asDouble();
+  spec.sourcePoolSize =
+      static_cast<int>(m.at("sourcePoolSize").asLong());
+
+  const Json& guide = m.at("guide");
+  if (!guide.isNull()) {
+    core::GuideConfig gc;
+    gc.kind = guide.at("kind").asString() == "gan"
+                  ? core::GuideConfig::Kind::kGan
+                  : core::GuideConfig::Kind::kVae;
+    gc.dataDim = spec.tcae.latentDim;
+    gc.zDim = static_cast<int>(guide.at("zDim").asLong());
+    gc.hidden = static_cast<int>(guide.at("hidden").asLong());
+    gc.vaeLatentDim =
+        static_cast<int>(guide.at("vaeLatentDim").asLong());
+    spec.guide = gc;
+  }
+  return spec;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+Bundle::Bundle(BundleSpec spec, Rng& initRng)
+    : spec_(std::move(spec)),
+      tcae_(spec_.tcae, initRng),
+      checker_(drc::TopologyRuleConfig::fromRules(spec_.rules)),
+      solver_(spec_.rules),
+      geomChecker_(spec_.rules) {
+  if (spec_.guide) {
+    core::GuideConfig gc = *spec_.guide;
+    gc.dataDim = spec_.tcae.latentDim;  // guides act on TCAE latents
+    spec_.guide = gc;
+    guide_.emplace(gc, initRng);
+  }
+}
+
+void Bundle::setSensitivity(std::vector<double> sensitivity) {
+  if (static_cast<int>(sensitivity.size()) != spec_.tcae.latentDim)
+    throw std::invalid_argument(
+        "Bundle::setSensitivity: expected one entry per latent node");
+  sensitivity_ = std::move(sensitivity);
+  perturber_.emplace(sensitivity_, spec_.perturbScale);
+}
+
+const core::SensitivityAwarePerturber& Bundle::perturber() const {
+  if (!perturber_)
+    throw std::logic_error("Bundle: sensitivity not set");
+  return *perturber_;
+}
+
+void Bundle::setSourceLatents(nn::Tensor latents) {
+  if (latents.dim() != 2 || latents.size(1) != spec_.tcae.latentDim)
+    throw std::invalid_argument(
+        "Bundle::setSourceLatents: expected (pool, latentDim)");
+  sourceLatents_ = std::move(latents);
+}
+
+void Bundle::save(const std::string& dir) const {
+  fs::create_directories(dir);
+  {
+    std::ofstream out(dir + "/manifest.json", std::ios::binary);
+    if (!out)
+      throw std::runtime_error("Bundle::save: cannot write manifest in " +
+                               dir);
+    out << manifestJson(*this).dump() << "\n";
+  }
+  // save/load are non-const on the models (they hand out Param
+  // pointers); serialization itself only reads.
+  auto& self = const_cast<Bundle&>(*this);
+  self.tcae_.save(dir + "/tcae.bin");
+  nn::saveTensor(sourceLatents_, dir + "/latents.bin");
+  if (guide_) self.guide_->save(dir + "/guide.bin");
+}
+
+std::shared_ptr<const Bundle> buildBundle(
+    const BundleSpec& spec, const BundleBuildConfig& config,
+    const std::vector<squish::Topology>& topologies, Rng& rng) {
+  if (topologies.empty())
+    throw std::invalid_argument("buildBundle: empty topology library");
+  auto bundle = std::make_shared<Bundle>(spec, rng);
+  bundle->tcae().train(topologies, rng);
+  bundle->setSensitivity(core::estimateSensitivity(
+      bundle->tcae(), topologies, bundle->checker(), config.sensitivity));
+  bundle->setSourceLatents(core::encodeSourceLatents(
+      bundle->tcae(), topologies, spec.sourcePoolSize));
+  if (core::GuideModel* guide = bundle->guide()) {
+    core::FlowConfig collect = config.guideCollect;
+    collect.collectGoodVectors = true;
+    const core::GenerationResult seedRun = core::tcaeRandom(
+        bundle->tcae(), topologies, bundle->perturber(), bundle->checker(),
+        collect, rng);
+    if (seedRun.goodVectors.empty())
+      throw std::runtime_error(
+          "buildBundle: collection run produced no legal vectors to train "
+          "the guide");
+    guide->train(core::vectorsToTensor(seedRun.goodVectors), rng);
+  }
+  return bundle;
+}
+
+std::shared_ptr<const Bundle> loadBundle(const std::string& dir) {
+  const Json manifest = Json::parse(readFile(dir + "/manifest.json"));
+  BundleSpec spec = specFromManifest(manifest);
+  Rng initRng(0);  // architecture init only; load overwrites weights
+  auto bundle = std::make_shared<Bundle>(std::move(spec), initRng);
+
+  std::vector<double> sensitivity =
+      momentsFromJson(manifest.at("sensitivity"));
+  bundle->setSensitivity(std::move(sensitivity));
+  bundle->tcae().load(dir + "/tcae.bin");
+  bundle->setSourceLatents(nn::loadTensor(dir + "/latents.bin"));
+  if (core::GuideModel* guide = bundle->guide()) {
+    guide->load(dir + "/guide.bin");
+    const Json& g = manifest.at("guide");
+    core::Moments data;
+    data.mean = momentsFromJson(g.at("dataMean"));
+    data.std = momentsFromJson(g.at("dataStd"));
+    core::Moments guideMoments;
+    guideMoments.mean = momentsFromJson(g.at("guideMean"));
+    guideMoments.std = momentsFromJson(g.at("guideStd"));
+    guide->setMoments(std::move(data), std::move(guideMoments));
+  }
+  return bundle;
+}
+
+void BundleRegistry::add(std::shared_ptr<const Bundle> bundle) {
+  if (!bundle) throw std::invalid_argument("BundleRegistry: null bundle");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& existing : bundles_)
+    if (existing->name() == bundle->name()) {
+      existing = std::move(bundle);  // replace: latest version wins
+      return;
+    }
+  bundles_.push_back(std::move(bundle));
+}
+
+std::shared_ptr<const Bundle> BundleRegistry::find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& bundle : bundles_)
+    if (bundle->name() == name) return bundle;
+  return nullptr;
+}
+
+std::vector<std::shared_ptr<const Bundle>> BundleRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bundles_;
+}
+
+int BundleRegistry::loadDirectory(const std::string& root) {
+  int loaded = 0;
+  for (const auto& entry : fs::directory_iterator(root)) {
+    if (!entry.is_directory()) continue;
+    if (!fs::exists(entry.path() / "manifest.json")) continue;
+    add(loadBundle(entry.path().string()));
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace dp::serve

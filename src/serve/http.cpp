@@ -1,0 +1,273 @@
+#include "serve/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace dp::serve {
+
+namespace {
+
+std::string toLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+const char* statusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+bool sendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parseHttpHead(const std::string& raw, HttpRequest& out,
+                   std::size_t& bodyStart) {
+  const std::size_t headEnd = raw.find("\r\n\r\n");
+  if (headEnd == std::string::npos) return false;
+  bodyStart = headEnd + 4;
+
+  const std::size_t lineEnd = raw.find("\r\n");
+  const std::string requestLine = raw.substr(0, lineEnd);
+  const std::size_t sp1 = requestLine.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : requestLine.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
+  out.method = requestLine.substr(0, sp1);
+  std::string target = requestLine.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = requestLine.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) return false;
+  const std::size_t qpos = target.find('?');
+  if (qpos != std::string::npos) {
+    out.query = target.substr(qpos + 1);
+    target.resize(qpos);
+  }
+  if (target.empty() || target[0] != '/') return false;
+  out.target = target;
+
+  std::size_t pos = lineEnd + 2;
+  while (pos < headEnd) {
+    std::size_t next = raw.find("\r\n", pos);
+    if (next == std::string::npos || next > headEnd) next = headEnd;
+    const std::string line = raw.substr(pos, next - pos);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) return false;
+    out.headers[toLower(trim(line.substr(0, colon)))] =
+        trim(line.substr(colon + 1));
+    pos = next + 2;
+  }
+  return true;
+}
+
+HttpServer::HttpServer(Config config, HttpHandler handler)
+    : config_(std::move(config)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  if (running_.load()) return;
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd_ < 0)
+    throw std::runtime_error("HttpServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw std::runtime_error("HttpServer: bad host " + config_.host);
+  }
+  if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int err = errno;
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw std::runtime_error(std::string("HttpServer: bind failed: ") +
+                             std::strerror(err));
+  }
+  if (::listen(listenFd_, 64) < 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw std::runtime_error("HttpServer: listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void HttpServer::acceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    timeval tv{};
+    tv.tv_sec = config_.recvTimeoutSec;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    trackConnection(fd);
+    std::lock_guard<std::mutex> lock(connMutex_);
+    connThreads_.emplace_back([this, fd] { serveConnection(fd); });
+  }
+}
+
+void HttpServer::trackConnection(int fd) {
+  std::lock_guard<std::mutex> lock(connMutex_);
+  connFds_.push_back(fd);
+}
+
+void HttpServer::untrackConnection(int fd) {
+  std::lock_guard<std::mutex> lock(connMutex_);
+  connFds_.erase(std::remove(connFds_.begin(), connFds_.end(), fd),
+                 connFds_.end());
+}
+
+void HttpServer::serveConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool keepAlive = true;
+  while (keepAlive && running_.load(std::memory_order_acquire)) {
+    // Read until a complete head is buffered.
+    HttpRequest req;
+    std::size_t bodyStart = 0;
+    while (!parseHttpHead(buffer, req, bodyStart)) {
+      if (buffer.size() > config_.maxBodyBytes) {
+        keepAlive = false;
+        break;
+      }
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        keepAlive = false;
+        break;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (!keepAlive) break;
+
+    std::size_t contentLength = 0;
+    if (const auto it = req.headers.find("content-length");
+        it != req.headers.end()) {
+      try {
+        contentLength = static_cast<std::size_t>(std::stoull(it->second));
+      } catch (const std::exception&) {
+        break;
+      }
+    }
+    HttpResponse res;
+    if (contentLength > config_.maxBodyBytes) {
+      res.status = 413;
+      res.body = "{\"error\":\"body too large\"}";
+      buffer.clear();
+      keepAlive = false;
+    } else {
+      while (buffer.size() < bodyStart + contentLength) {
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n <= 0) {
+          keepAlive = false;
+          break;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+      }
+      if (!keepAlive && buffer.size() < bodyStart + contentLength) break;
+      req.body = buffer.substr(bodyStart, contentLength);
+      buffer.erase(0, bodyStart + contentLength);
+
+      if (const auto it = req.headers.find("connection");
+          it != req.headers.end() && toLower(it->second) == "close")
+        keepAlive = false;
+      try {
+        res = handler_(req);
+      } catch (const std::exception& e) {
+        res.status = 500;
+        res.body = std::string("{\"error\":\"") + e.what() + "\"}";
+      }
+    }
+
+    std::string head = "HTTP/1.1 " + std::to_string(res.status) + " " +
+                       statusText(res.status) + "\r\n";
+    head += "Content-Type: " + res.contentType + "\r\n";
+    head += "Content-Length: " + std::to_string(res.body.size()) + "\r\n";
+    for (const auto& [name, value] : res.extraHeaders)
+      head += name + ": " + value + "\r\n";
+    head += keepAlive ? "Connection: keep-alive\r\n"
+                      : "Connection: close\r\n";
+    head += "\r\n";
+    if (!sendAll(fd, head) || !sendAll(fd, res.body)) break;
+  }
+  untrackConnection(fd);
+  ::close(fd);
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) {
+    if (acceptThread_.joinable()) acceptThread_.join();
+    return;
+  }
+  if (listenFd_ >= 0) {
+    ::shutdown(listenFd_, SHUT_RDWR);
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  if (acceptThread_.joinable()) acceptThread_.join();
+  {
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (const int fd : connFds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(connMutex_);
+    threads.swap(connThreads_);
+  }
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
+}
+
+}  // namespace dp::serve

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file http.hpp
+/// Minimal dependency-free HTTP/1.1 server over POSIX sockets: enough
+/// protocol to run the pattern-generation service (request line,
+/// headers, Content-Length bodies, keep-alive) and nothing more.
+/// One thread per connection — the generate handler blocks on the
+/// batcher future, so connection concurrency is the natural model.
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dp::serve {
+
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ...
+  std::string target;   ///< path, query string stripped
+  std::string query;    ///< raw query string ("" when absent)
+  std::map<std::string, std::string> headers;  ///< lower-cased names
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string contentType = "application/json";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extraHeaders;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    int port = 0;  ///< 0 = ephemeral; port() reports the bound port
+    std::size_t maxBodyBytes = 1 << 20;
+    int recvTimeoutSec = 30;
+  };
+
+  HttpServer(Config config, HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop. Throws
+  /// std::runtime_error on bind/listen failure.
+  void start();
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] int port() const { return port_; }
+
+  /// True between start() and stop().
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Stops accepting, shuts down open connections, joins all threads.
+  /// Idempotent.
+  void stop();
+
+ private:
+  void acceptLoop();
+  void serveConnection(int fd);
+  void trackConnection(int fd);
+  void untrackConnection(int fd);
+
+  Config config_;
+  HttpHandler handler_;
+  int listenFd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread acceptThread_;
+  std::mutex connMutex_;
+  std::vector<int> connFds_;
+  std::vector<std::thread> connThreads_;
+  std::vector<std::thread> finishedThreads_;
+};
+
+/// Parses one HTTP/1.1 request from `raw` (which must contain the full
+/// head; `bodyStart` receives the offset past the blank line). Returns
+/// false on malformed input. Exposed for tests.
+[[nodiscard]] bool parseHttpHead(const std::string& raw, HttpRequest& out,
+                                 std::size_t& bodyStart);
+
+}  // namespace dp::serve

@@ -1,0 +1,198 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dp::serve {
+
+namespace {
+
+/// Prometheus label-safe float formatting ("+Inf" for infinity).
+std::string num(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds_(std::move(upperBounds)), buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram: bounds must be sorted");
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+double Histogram::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  const auto cts = counts();
+  std::uint64_t total = 0;
+  for (const auto c : cts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < cts.size(); ++i) {
+    cumulative += cts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i == cts.size() - 1)  // +Inf bucket: report its lower edge
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    const double hi = bounds_[i];
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const auto inBucket = static_cast<double>(cts[i]);
+    const double below = static_cast<double>(cumulative) - inBucket;
+    if (inBucket <= 0.0) return hi;
+    return lo + (hi - lo) * ((rank - below) / inBucket);
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+Metrics::Metrics()
+    : batchOccupancy_({1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
+      latencyMs_({1,    2,    5,     10,    25,    50,   100,  250,
+                  500,  1000, 2500,  5000,  10000, 30000}) {}
+
+void Metrics::countRequest(const std::string& route, int status) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++requests_[{route, status}];
+}
+
+void Metrics::recordBundle(const std::string& bundle,
+                           const BundleStats& delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BundleStats& s = bundles_[bundle];
+  s.requests += delta.requests;
+  s.generated += delta.generated;
+  s.legal += delta.legal;
+  s.unique += delta.unique;
+  s.solved += delta.solved;
+  s.drcClean += delta.drcClean;
+}
+
+std::uint64_t Metrics::requestsTotal() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, count] : requests_) total += count;
+  return total;
+}
+
+std::uint64_t Metrics::errorsTotal() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, count] : requests_)
+    if (key.second >= 400) total += count;
+  return total;
+}
+
+std::string Metrics::renderPrometheus() const {
+  std::string out;
+  out.reserve(4096);
+  const auto line = [&out](const std::string& s) {
+    out += s;
+    out += '\n';
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    line("# HELP dp_requests_total HTTP requests by route and status.");
+    line("# TYPE dp_requests_total counter");
+    for (const auto& [key, count] : requests_)
+      line("dp_requests_total{route=\"" + key.first + "\",status=\"" +
+           std::to_string(key.second) + "\"} " + std::to_string(count));
+
+    line("# HELP dp_bundle_requests_total Generate requests per bundle.");
+    line("# TYPE dp_bundle_requests_total counter");
+    const auto bundleCounter = [&](const std::string& name,
+                                   std::uint64_t BundleStats::*field) {
+      for (const auto& [bundle, stats] : bundles_)
+        line(name + "{bundle=\"" + bundle + "\"} " +
+             std::to_string(stats.*field));
+    };
+    bundleCounter("dp_bundle_requests_total", &BundleStats::requests);
+    line("# HELP dp_bundle_generated_total Topologies decoded per bundle.");
+    line("# TYPE dp_bundle_generated_total counter");
+    bundleCounter("dp_bundle_generated_total", &BundleStats::generated);
+    line("# HELP dp_bundle_legal_total Legal topologies per bundle.");
+    line("# TYPE dp_bundle_legal_total counter");
+    bundleCounter("dp_bundle_legal_total", &BundleStats::legal);
+    line("# HELP dp_bundle_unique_total Unique legal patterns per bundle.");
+    line("# TYPE dp_bundle_unique_total counter");
+    bundleCounter("dp_bundle_unique_total", &BundleStats::unique);
+    line("# HELP dp_bundle_solved_total Materialized Eq.10 solves.");
+    line("# TYPE dp_bundle_solved_total counter");
+    bundleCounter("dp_bundle_solved_total", &BundleStats::solved);
+    line("# HELP dp_bundle_drc_clean_total DRC-clean materialized clips.");
+    line("# TYPE dp_bundle_drc_clean_total counter");
+    bundleCounter("dp_bundle_drc_clean_total", &BundleStats::drcClean);
+    line("# HELP dp_bundle_drc_clean_fraction DRC-clean / solved clips.");
+    line("# TYPE dp_bundle_drc_clean_fraction gauge");
+    for (const auto& [bundle, stats] : bundles_) {
+      const double frac =
+          stats.solved > 0 ? static_cast<double>(stats.drcClean) /
+                                 static_cast<double>(stats.solved)
+                           : 0.0;
+      line("dp_bundle_drc_clean_fraction{bundle=\"" + bundle + "\"} " +
+           num(frac));
+    }
+  }
+
+  line("# HELP dp_queue_depth Pending generate requests.");
+  line("# TYPE dp_queue_depth gauge");
+  line("dp_queue_depth " + std::to_string(queueDepth()));
+
+  const auto histogram = [&](const std::string& name, const Histogram& h,
+                             const std::string& help) {
+    line("# HELP " + name + " " + help);
+    line("# TYPE " + name + " histogram");
+    const auto cts = h.counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      cumulative += cts[i];
+      line(name + "_bucket{le=\"" + num(h.bounds()[i]) + "\"} " +
+           std::to_string(cumulative));
+    }
+    cumulative += cts.back();
+    line(name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative));
+    line(name + "_sum " + num(h.sum()));
+    line(name + "_count " + std::to_string(h.count()));
+  };
+  histogram("dp_batch_occupancy", batchOccupancy_,
+            "Requests served per coalesced decode batch.");
+  histogram("dp_request_latency_ms", latencyMs_,
+            "Generate request latency, milliseconds.");
+
+  line("# HELP dp_request_latency_ms_p50 Median generate latency (ms).");
+  line("# TYPE dp_request_latency_ms_p50 gauge");
+  line("dp_request_latency_ms_p50 " + num(latencyMs_.quantile(0.5)));
+  line("# HELP dp_request_latency_ms_p99 p99 generate latency (ms).");
+  line("# TYPE dp_request_latency_ms_p99 gauge");
+  line("dp_request_latency_ms_p99 " + num(latencyMs_.quantile(0.99)));
+  return out;
+}
+
+}  // namespace dp::serve

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Serving metrics with Prometheus text exposition (§ "Metrics" of
+/// DESIGN.md §8): request/error counters per route and status, a
+/// batch-occupancy histogram (how many requests each coalesced decode
+/// served), queue depth, request latency quantiles, and per-bundle
+/// generation quality counters (DRC-clean fraction). All hot-path
+/// updates are lock-free atomics or a short mutex on a small map.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dp::serve {
+
+/// Fixed-bucket histogram (cumulative-bucket semantics like Prometheus:
+/// bucket i counts observations <= bounds[i], plus a +Inf bucket).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upperBounds);
+
+  void observe(double value);
+
+  [[nodiscard]] const std::vector<double>& bounds() const {
+    return bounds_;
+  }
+  /// Per-bucket (non-cumulative) counts, including the +Inf bucket as
+  /// the last entry.
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double mean() const;
+
+  /// Quantile estimate by linear interpolation inside the bucket that
+  /// crosses rank q*count (the Prometheus histogram_quantile rule).
+  /// Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // size bounds+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Per-bundle generation quality counters.
+struct BundleStats {
+  std::uint64_t requests = 0;
+  std::uint64_t generated = 0;
+  std::uint64_t legal = 0;
+  std::uint64_t unique = 0;
+  std::uint64_t solved = 0;
+  std::uint64_t drcClean = 0;
+};
+
+class Metrics {
+ public:
+  Metrics();
+
+  void countRequest(const std::string& route, int status);
+  void recordBundle(const std::string& bundle, const BundleStats& delta);
+
+  void setQueueDepth(long depth) {
+    queueDepth_.store(depth, std::memory_order_relaxed);
+  }
+  [[nodiscard]] long queueDepth() const {
+    return queueDepth_.load(std::memory_order_relaxed);
+  }
+
+  Histogram& batchOccupancy() { return batchOccupancy_; }
+  Histogram& latencyMs() { return latencyMs_; }
+  [[nodiscard]] const Histogram& batchOccupancy() const {
+    return batchOccupancy_;
+  }
+  [[nodiscard]] const Histogram& latencyMs() const { return latencyMs_; }
+
+  [[nodiscard]] std::uint64_t requestsTotal() const;
+  [[nodiscard]] std::uint64_t errorsTotal() const;
+
+  /// Prometheus text exposition format (version 0.0.4).
+  [[nodiscard]] std::string renderPrometheus() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::string, int>, std::uint64_t> requests_;
+  std::map<std::string, BundleStats> bundles_;
+  std::atomic<long> queueDepth_{0};
+  Histogram batchOccupancy_;
+  Histogram latencyMs_;
+};
+
+}  // namespace dp::serve

@@ -1,0 +1,189 @@
+#include "serve/server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "io/json.hpp"
+
+namespace dp::serve {
+
+using dp::io::Json;
+
+GenerateRequest parseGenerateRequest(const std::string& body) {
+  GenerateRequest req;
+  if (body.empty()) return req;
+  const Json j = Json::parse(body);
+  if (!j.isObject())
+    throw std::runtime_error("generate request must be a JSON object");
+  if (j.has("bundle")) req.bundle = j.at("bundle").asString();
+  if (j.has("flow")) req.flow = j.at("flow").asString();
+  if (j.has("count")) req.count = j.at("count").asLong();
+  if (j.has("batchSize"))
+    req.batchSize = static_cast<int>(j.at("batchSize").asLong());
+  if (j.has("arity")) req.arity = static_cast<int>(j.at("arity").asLong());
+  if (j.has("seed")) req.seed = j.at("seed").asUint64();
+  if (j.has("materialize")) req.materialize = j.at("materialize").asBool();
+  if (j.has("maxClips")) req.maxClips = j.at("maxClips").asLong();
+  if (j.has("minCx")) req.minCx = static_cast<int>(j.at("minCx").asLong());
+  if (j.has("maxCx")) req.maxCx = static_cast<int>(j.at("maxCx").asLong());
+  if (j.has("minCy")) req.minCy = static_cast<int>(j.at("minCy").asLong());
+  if (j.has("maxCy")) req.maxCy = static_cast<int>(j.at("maxCy").asLong());
+  return req;
+}
+
+std::string generateResponseJson(const GenerateResponse& res) {
+  Json j = Json::object();
+  j.set("bundle", res.bundle);
+  j.set("version", res.version);
+  j.set("flow", res.flow);
+  j.set("seed", std::to_string(res.seed));
+  j.set("generated", res.generated);
+  j.set("legal", res.legal);
+  j.set("unique", res.uniqueTotal);
+  j.set("uniqueInWindow", res.uniqueInWindow);
+  j.set("diversity", res.diversity);
+  j.set("meanCx", res.meanCx);
+  j.set("meanCy", res.meanCy);
+  Json hashes = Json::array();
+  for (const std::uint64_t h : res.patternHashes)
+    hashes.push(std::to_string(h));
+  j.set("patternHashes", std::move(hashes));
+  if (res.attempted > 0 || res.solved > 0) {
+    Json mat = Json::object();
+    mat.set("attempted", res.attempted);
+    mat.set("solved", res.solved);
+    mat.set("drcClean", res.drcClean);
+    j.set("materialize", std::move(mat));
+  }
+  j.set("latencyMs", res.latencyMs);
+  j.set("decodeBatches", res.decodeBatches);
+  return j.dump();
+}
+
+PatternServer::PatternServer(Config config)
+    : config_(std::move(config)),
+      batcher_(registry_, metrics_, config_.batcher),
+      http_(config_.http,
+            [this](const HttpRequest& req) { return handle(req); }) {}
+
+PatternServer::~PatternServer() { stop(); }
+
+void PatternServer::start() { http_.start(); }
+
+void PatternServer::stop() {
+  batcher_.stop();
+  http_.stop();
+}
+
+HttpResponse PatternServer::handle(const HttpRequest& request) {
+  HttpResponse res;
+  if (request.target == "/healthz") {
+    if (request.method != "GET") {
+      res.status = 405;
+      res.body = "{\"error\":\"method not allowed\"}";
+    } else {
+      Json j = Json::object();
+      j.set("status", batcher_.running() ? "ok" : "draining");
+      j.set("bundles", static_cast<long>(registry_.list().size()));
+      res.body = j.dump();
+    }
+  } else if (request.target == "/bundles") {
+    if (request.method != "GET") {
+      res.status = 405;
+      res.body = "{\"error\":\"method not allowed\"}";
+    } else {
+      res = handleBundles();
+    }
+  } else if (request.target == "/metrics") {
+    if (request.method != "GET") {
+      res.status = 405;
+      res.body = "{\"error\":\"method not allowed\"}";
+    } else {
+      res.contentType = "text/plain; version=0.0.4";
+      res.body = metrics_.renderPrometheus();
+    }
+  } else if (request.target == "/generate") {
+    if (request.method != "POST") {
+      res.status = 405;
+      res.body = "{\"error\":\"method not allowed\"}";
+    } else {
+      res = handleGenerate(request);
+    }
+  } else {
+    res.status = 404;
+    res.body = "{\"error\":\"no such route\"}";
+  }
+  metrics_.countRequest(request.target, res.status);
+  return res;
+}
+
+HttpResponse PatternServer::handleBundles() const {
+  Json j = Json::object();
+  Json arr = Json::array();
+  for (const auto& bundle : registry_.list()) {
+    Json b = Json::object();
+    b.set("name", bundle->name());
+    b.set("version", bundle->version());
+    b.set("latentDim", bundle->spec().tcae.latentDim);
+    b.set("inputSize", bundle->spec().tcae.inputSize);
+    b.set("sourcePool", bundle->sourceLatents().size(0));
+    if (const core::GuideModel* guide = bundle->guide())
+      b.set("guide",
+            guide->config().kind == core::GuideConfig::Kind::kGan
+                ? "gan"
+                : "vae");
+    else
+      b.set("guide", Json());
+    b.set("maxCx", bundle->spec().rules.maxCx);
+    b.set("maxCy", bundle->spec().rules.maxCy);
+    arr.push(std::move(b));
+  }
+  j.set("bundles", std::move(arr));
+  HttpResponse res;
+  res.body = j.dump();
+  return res;
+}
+
+HttpResponse PatternServer::handleGenerate(const HttpRequest& request) {
+  HttpResponse res;
+  GenerateRequest req;
+  try {
+    req = parseGenerateRequest(request.body);
+  } catch (const std::exception& e) {
+    res.status = 400;
+    Json err = Json::object();
+    err.set("error", e.what());
+    res.body = err.dump();
+    return res;
+  }
+  SubmitResult submitted = batcher_.submit(req);
+  switch (submitted.status) {
+    case SubmitResult::Status::kAccepted:
+      break;
+    case SubmitResult::Status::kQueueFull:
+      res.status = 429;
+      res.extraHeaders.emplace_back("Retry-After", "1");
+      res.body = "{\"error\":\"" + submitted.error + "\"}";
+      return res;
+    case SubmitResult::Status::kShuttingDown:
+      res.status = 503;
+      res.body = "{\"error\":\"" + submitted.error + "\"}";
+      return res;
+    case SubmitResult::Status::kInvalid:
+      res.status = 400;
+      res.body = "{\"error\":\"" + submitted.error + "\"}";
+      return res;
+  }
+  try {
+    const GenerateResponse generated = submitted.future.get();
+    res.body = generateResponseJson(generated);
+  } catch (const std::exception& e) {
+    res.status = 500;
+    Json err = Json::object();
+    err.set("error", e.what());
+    res.body = err.dump();
+  }
+  return res;
+}
+
+}  // namespace dp::serve

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file server.hpp
+/// The pattern-generation service: bundle registry + micro-batching
+/// pipeline + HTTP front end. Routes:
+///   POST /generate  JSON generate request -> generation summary
+///   GET  /healthz   liveness
+///   GET  /bundles   loaded bundle inventory
+///   GET  /metrics   Prometheus text exposition
+/// handle() is exposed directly so tests and in-process clients can
+/// exercise the full request path without sockets.
+
+#include <string>
+
+#include "serve/batcher.hpp"
+#include "serve/bundle.hpp"
+#include "serve/http.hpp"
+#include "serve/metrics.hpp"
+
+namespace dp::serve {
+
+/// Parses a POST /generate JSON body. Throws std::runtime_error on
+/// malformed JSON or wrong field types; unknown fields are ignored.
+[[nodiscard]] GenerateRequest parseGenerateRequest(const std::string& body);
+
+/// Serializes a generate response to its JSON body (hashes and the
+/// seed as decimal strings: they exceed double-exact integer range).
+[[nodiscard]] std::string generateResponseJson(const GenerateResponse& res);
+
+class PatternServer {
+ public:
+  struct Config {
+    HttpServer::Config http;
+    Batcher::Config batcher;
+  };
+
+  explicit PatternServer(Config config = {});
+  ~PatternServer();
+
+  [[nodiscard]] BundleRegistry& registry() { return registry_; }
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+  [[nodiscard]] Batcher& batcher() { return batcher_; }
+
+  /// Starts the HTTP listener (the batcher runs from construction).
+  void start();
+  [[nodiscard]] int port() const { return http_.port(); }
+
+  /// Drains the batcher, then stops the HTTP server. Idempotent.
+  void stop();
+
+  /// Full request routing path, socket-free (used by the HTTP layer
+  /// and by in-process clients/tests alike).
+  [[nodiscard]] HttpResponse handle(const HttpRequest& request);
+
+ private:
+  [[nodiscard]] HttpResponse handleGenerate(const HttpRequest& request);
+  [[nodiscard]] HttpResponse handleBundles() const;
+
+  Config config_;
+  BundleRegistry registry_;
+  Metrics metrics_;
+  Batcher batcher_;
+  HttpServer http_;
+};
+
+}  // namespace dp::serve
