@@ -1,0 +1,365 @@
+// Kernel-layer benchmark: GFLOP/s of the packed GEMM at every dispatch
+// target over TCAE-shaped and square problems, plus the im2col-free
+// direct conv path, against an embedded copy of the pre-kernel-layer
+// scalar GEMM as the historical baseline.
+//
+//   kernel_bench [--json FILE] [--reps N] [--threads N]
+//   kernel_bench --check bench/baselines/kernels.json [--max-regress R]
+//
+// --json writes the machine-readable report (BENCH_kernels.json in CI,
+// uploaded as an artifact). --check re-measures every entry named in a
+// checked-in baseline file and exits non-zero if any regresses by more
+// than R (default 0.2) below its recorded GFLOP/s — the CI perf gate.
+// Measurements default to a single thread so numbers are comparable
+// across hosts with different core counts.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "io/json.hpp"
+#include "tensor/conv_direct.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+
+namespace {
+
+/// The pre-kernel-layer GEMM (scalar ipj loops with a column-panel
+/// block), kept verbatim as the fixed reference point every report
+/// cites: "speedup_vs_baseline" is measured against this.
+void baselineGemm(bool transA, bool transB, int m, int n, int k,
+                  float alpha, const float* a, int lda, const float* b,
+                  int ldb, float beta, float* c, int ldc) {
+  constexpr int kJBlock = 256;
+  if (beta != 1.0f)
+    for (int i = 0; i < m; ++i)
+      for (int j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+  if (!transA && !transB) {
+    for (int j0 = 0; j0 < n; j0 += kJBlock) {
+      const int j1 = std::min(n, j0 + kJBlock);
+      for (int i = 0; i < m; ++i) {
+        float* crow = c + static_cast<long>(i) * ldc;
+        const float* arow = a + static_cast<long>(i) * lda;
+        for (int p = 0; p < k; ++p) {
+          const float av = alpha * arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b + static_cast<long>(p) * ldb;
+          for (int j = j0; j < j1; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  } else if (transA && !transB) {
+    for (int p = 0; p < k; ++p) {
+      const float* arow = a + static_cast<long>(p) * lda;
+      const float* brow = b + static_cast<long>(p) * ldb;
+      for (int i = 0; i < m; ++i) {
+        const float av = alpha * arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c + static_cast<long>(i) * ldc;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!transA && transB) {
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<long>(i) * lda;
+      float* crow = c + static_cast<long>(i) * ldc;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b + static_cast<long>(j) * ldb;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += alpha * acc;
+      }
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      float* crow = c + static_cast<long>(i) * ldc;
+      for (int j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += a[p * lda + i] * b[j * ldb + p];
+        crow[j] += alpha * acc;
+      }
+    }
+  }
+}
+
+struct Shape {
+  const char* name;
+  int m, n, k;
+  bool transA, transB;
+};
+
+/// TCAE-shaped problems (encoder conv GEMMs, decoder linear, deconv
+/// adjoint — TcaeConfig defaults) and square sweeps.
+const Shape kShapes[] = {
+    {"tcae_conv1_fwd", 8, 144, 9, false, false},
+    {"tcae_conv2_fwd", 16, 36, 72, false, false},
+    {"tcae_linear_dec", 64, 576, 96, false, true},
+    {"tcae_deconv1_fwd", 128, 144, 16, true, false},
+    {"square_64", 64, 64, 64, false, false},
+    {"square_128", 128, 128, 128, false, false},
+    {"square_256", 256, 256, 256, false, false},
+    {"square_512", 512, 512, 512, false, false},
+};
+
+volatile float gSink;  // defeats dead-code elimination
+
+/// Best-of-`reps` throughput of `fn` (one invocation = `flops` FLOPs),
+/// auto-scaling the inner iteration count so each sample runs >= ~30ms.
+template <typename Fn>
+double bestGflops(double flops, int reps, Fn&& fn) {
+  long iters = 1;
+  for (;;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (long i = 0; i < iters; ++i) fn();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (ms >= 30.0 || iters >= (1L << 24)) break;
+    iters = ms <= 1.0 ? iters * 16
+                      : static_cast<long>(iters * (40.0 / ms)) + 1;
+  }
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (long i = 0; i < iters; ++i) fn();
+    const double sec = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    best = std::max(best, flops * iters / sec / 1e9);
+  }
+  return best;
+}
+
+struct GemmBuffers {
+  std::vector<float> a, b, c;
+};
+
+GemmBuffers makeBuffers(const Shape& s, dp::Rng& rng) {
+  GemmBuffers buf;
+  buf.a.resize(static_cast<std::size_t>(s.m) * s.k);
+  buf.b.resize(static_cast<std::size_t>(s.k) * s.n);
+  buf.c.resize(static_cast<std::size_t>(s.m) * s.n);
+  for (auto& v : buf.a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : buf.b) v = static_cast<float>(rng.uniform(-1, 1));
+  return buf;
+}
+
+dp::io::Json measureEntry(const Shape& s, int reps, double* scalarOut) {
+  dp::Rng rng(2019);
+  GemmBuffers buf = makeBuffers(s, rng);
+  const int lda = s.transA ? s.m : s.k;
+  const int ldb = s.transB ? s.k : s.n;
+  const double flops = 2.0 * s.m * s.n * s.k;
+
+  auto entry = dp::io::Json::object();
+  entry.set("name", s.name);
+  entry.set("m", s.m).set("n", s.n).set("k", s.k);
+  entry.set("transA", s.transA).set("transB", s.transB);
+
+  const double base = bestGflops(flops, reps, [&] {
+    baselineGemm(s.transA, s.transB, s.m, s.n, s.k, 1.0f, buf.a.data(), lda,
+                 buf.b.data(), ldb, 0.0f, buf.c.data(), s.n);
+    gSink = buf.c[0];
+  });
+  entry.set("baseline_gflops", base);
+
+  double scalar = 0.0;
+  auto targets = dp::io::Json::object();
+  for (const dp::KernelTarget t : dp::nn::supportedKernelTargets()) {
+    dp::nn::setGemmKernelTarget(t);
+    const double gf = bestGflops(flops, reps, [&] {
+      dp::nn::gemm(s.transA, s.transB, s.m, s.n, s.k, 1.0f, buf.a.data(),
+                   lda, buf.b.data(), ldb, 0.0f, buf.c.data(), s.n);
+      gSink = buf.c[0];
+    });
+    if (t == dp::KernelTarget::kScalar) scalar = gf;
+    auto tj = dp::io::Json::object();
+    tj.set("gflops", gf);
+    tj.set("speedup_vs_scalar", scalar > 0 ? gf / scalar : 0.0);
+    tj.set("speedup_vs_baseline", base > 0 ? gf / base : 0.0);
+    targets.set(dp::kernelTargetName(t), std::move(tj));
+  }
+  entry.set("targets", std::move(targets));
+  if (scalarOut) *scalarOut = scalar;
+  return entry;
+}
+
+/// Direct-vs-im2col conv on the dominant TCAE encoder shape.
+dp::io::Json measureConvEntry(int reps) {
+  const dp::nn::ConvGeom g{1, 24, 24, 3, 2, 1};
+  const int outC = 8;
+  dp::Rng rng(7);
+  std::vector<float> image(static_cast<std::size_t>(g.height) * g.width);
+  std::vector<float> w(static_cast<std::size_t>(outC) * g.colRows());
+  std::vector<float> bias(outC);
+  std::vector<float> cols(static_cast<std::size_t>(g.colRows()) *
+                          g.colCols());
+  std::vector<float> y(static_cast<std::size_t>(outC) * g.colCols());
+  for (auto& v : image) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-1, 1));
+  const double flops = 2.0 * outC * g.colCols() * g.colRows();
+
+  const double viaIm2col = bestGflops(flops, reps, [&] {
+    dp::nn::im2col(g, image.data(), cols.data());
+    dp::nn::gemm(false, false, outC, g.colCols(), g.colRows(), 1.0f,
+                 w.data(), g.colRows(), cols.data(), g.colCols(), 0.0f,
+                 y.data(), g.colCols());
+    gSink = y[0];
+  });
+  const double direct = bestGflops(flops, reps, [&] {
+    dp::nn::convDirect(g, outC, w.data(), bias.data(), image.data(),
+                       y.data());
+    gSink = y[0];
+  });
+
+  auto entry = dp::io::Json::object();
+  entry.set("name", "conv_direct_1x24x24_k3s2");
+  entry.set("im2col_gemm_gflops", viaIm2col);
+  entry.set("direct_gflops", direct);
+  entry.set("speedup", viaIm2col > 0 ? direct / viaIm2col : 0.0);
+  return entry;
+}
+
+int runCheck(const dp::io::Json& report, const std::string& baselinePath,
+             double maxRegress) {
+  std::ifstream in(baselinePath);
+  if (!in) {
+    std::fprintf(stderr, "kernel_bench: cannot open baseline '%s'\n",
+                 baselinePath.c_str());
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const dp::io::Json baseline = dp::io::Json::parse(ss.str());
+
+  int failures = 0;
+  const auto& entries = baseline.at("entries");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& want = entries.at(i);
+    const std::string name = want.at("name").asString();
+    const std::string target = want.at("target").asString();
+    const double wantGf = want.at("gflops").asDouble();
+    double gotGf = -1.0;
+    for (std::size_t e = 0; e < report.at("entries").size(); ++e) {
+      const auto& got = report.at("entries").at(e);
+      if (got.at("name").asString() != name) continue;
+      if (!got.at("targets").has(target)) {
+        std::printf("SKIP  %s/%s: target not supported on this host\n",
+                    name.c_str(), target.c_str());
+        gotGf = 0.0;
+        break;
+      }
+      gotGf = got.at("targets").at(target).at("gflops").asDouble();
+      break;
+    }
+    if (gotGf < 0.0) {
+      std::fprintf(stderr, "FAIL  %s/%s: not measured by this binary\n",
+                   name.c_str(), target.c_str());
+      ++failures;
+      continue;
+    }
+    if (gotGf == 0.0) continue;  // unsupported target, skipped above
+    const double floor = wantGf * (1.0 - maxRegress);
+    const bool ok = gotGf >= floor;
+    std::printf("%s  %s/%s: %.2f GFLOP/s (baseline %.2f, floor %.2f)\n",
+                ok ? "OK  " : "FAIL", name.c_str(), target.c_str(), gotGf,
+                wantGf, floor);
+    if (!ok) ++failures;
+  }
+  if (failures) {
+    std::fprintf(stderr, "kernel_bench: %d perf regression(s) > %.0f%%\n",
+                 failures, maxRegress * 100.0);
+    return 1;
+  }
+  std::printf("kernel_bench: all baseline entries within %.0f%%\n",
+              maxRegress * 100.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonPath;
+  std::string checkPath;
+  double maxRegress = 0.2;
+  int reps = 3;
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "kernel_bench: %s expects a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--json") == 0) jsonPath = need("--json");
+    else if (std::strcmp(argv[i], "--check") == 0) checkPath = need("--check");
+    else if (std::strcmp(argv[i], "--max-regress") == 0)
+      maxRegress = std::stod(need("--max-regress"));
+    else if (std::strcmp(argv[i], "--reps") == 0)
+      reps = std::stoi(need("--reps"));
+    else if (std::strcmp(argv[i], "--threads") == 0)
+      threads = std::stoi(need("--threads"));
+    else {
+      std::fprintf(stderr,
+                   "usage: kernel_bench [--json FILE] [--check BASELINE "
+                   "[--max-regress R]] [--reps N] [--threads N]\n");
+      return 2;
+    }
+  }
+
+  dp::ThreadPool::setGlobalThreads(threads);
+  auto report = dp::io::Json::object();
+  report.set("threads", threads);
+  auto targetNames = dp::io::Json::array();
+  for (const dp::KernelTarget t : dp::nn::supportedKernelTargets())
+    targetNames.push(dp::kernelTargetName(t));
+  report.set("supported_targets", std::move(targetNames));
+
+  auto entries = dp::io::Json::array();
+  for (const Shape& s : kShapes) {
+    double scalar = 0.0;
+    auto entry = measureEntry(s, reps, &scalar);
+    std::printf("%-18s", s.name);
+    const auto& targets = entry.at("targets");
+    std::printf("  baseline %7.2f", entry.at("baseline_gflops").asDouble());
+    for (const auto& [tname, tj] : targets.members())
+      std::printf("  %s %7.2f (%.2fx)", tname.c_str(),
+                  tj.at("gflops").asDouble(),
+                  tj.at("speedup_vs_baseline").asDouble());
+    std::printf(" GFLOP/s\n");
+    entries.push(std::move(entry));
+  }
+  report.set("entries", std::move(entries));
+
+  auto conv = measureConvEntry(reps);
+  std::printf("%-18s  im2col+gemm %7.2f  direct %7.2f (%.2fx) GFLOP/s\n",
+              conv.at("name").asString().c_str(),
+              conv.at("im2col_gemm_gflops").asDouble(),
+              conv.at("direct_gflops").asDouble(),
+              conv.at("speedup").asDouble());
+  auto convEntries = dp::io::Json::array();
+  convEntries.push(std::move(conv));
+  report.set("conv_entries", std::move(convEntries));
+
+  if (!jsonPath.empty()) {
+    std::ofstream out(jsonPath);
+    out << report.dump() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "kernel_bench: cannot write '%s'\n",
+                   jsonPath.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", jsonPath.c_str());
+  }
+  if (!checkPath.empty()) return runCheck(report, checkPath, maxRegress);
+  return 0;
+}

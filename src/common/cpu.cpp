@@ -1,0 +1,49 @@
+#include "common/cpu.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dp {
+
+const char* kernelTargetName(KernelTarget t) {
+  switch (t) {
+    case KernelTarget::kScalar:
+      return "scalar";
+    case KernelTarget::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool cpuSupports(KernelTarget t) {
+  if (t == KernelTarget::kScalar) return true;
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+KernelTarget chooseKernelTarget(bool avx2Compiled) {
+  const bool avx2Usable = avx2Compiled && cpuSupports(KernelTarget::kAvx2);
+  if (const char* env = std::getenv("DP_KERNEL"); env && *env) {
+    if (std::strcmp(env, "scalar") == 0) return KernelTarget::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      if (avx2Usable) return KernelTarget::kAvx2;
+      std::fprintf(stderr,
+                   "dp: DP_KERNEL=avx2 requested but %s; using scalar\n",
+                   avx2Compiled ? "the CPU lacks AVX2/FMA"
+                                : "the build has no AVX2 kernel");
+      return KernelTarget::kScalar;
+    }
+    std::fprintf(stderr,
+                 "dp: DP_KERNEL='%s' not recognized (scalar|avx2); "
+                 "auto-selecting\n",
+                 env);
+  }
+  return avx2Usable ? KernelTarget::kAvx2 : KernelTarget::kScalar;
+}
+
+}  // namespace dp

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file cpu.hpp
+/// Runtime CPU feature detection backing the tensor kernel dispatch.
+/// The kernel layer compiles one translation unit per ISA target (see
+/// src/tensor/gemm_*.cpp) and picks the best supported one once at
+/// startup; everything outside those TUs stays portable baseline code.
+
+namespace dp {
+
+/// ISA targets the kernel layer can dispatch to. Order is ascending
+/// preference: the highest supported target wins.
+enum class KernelTarget {
+  kScalar = 0,  ///< portable C++, no ISA extensions assumed
+  kAvx2 = 1,    ///< AVX2 + FMA (x86-64)
+};
+
+/// Human-readable target name ("scalar", "avx2") for logs and reports.
+[[nodiscard]] const char* kernelTargetName(KernelTarget t);
+
+/// True when the *running* CPU can execute `t`. Scalar is always
+/// supported; AVX2 requires both the avx2 and fma feature bits.
+[[nodiscard]] bool cpuSupports(KernelTarget t);
+
+/// Target selection policy: DP_KERNEL=scalar|avx2 if set (falling back
+/// to scalar with a warning when the CPU or the build lacks the
+/// requested target), else the best target that is both compiled in
+/// and supported by the CPU. `avx2Compiled` tells the policy whether
+/// the AVX2 translation unit was built with AVX2 code generation.
+[[nodiscard]] KernelTarget chooseKernelTarget(bool avx2Compiled);
+
+}  // namespace dp

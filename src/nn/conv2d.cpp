@@ -5,6 +5,7 @@
 
 #include "common/thread_pool.hpp"
 #include "nn/init.hpp"
+#include "tensor/conv_direct.hpp"
 #include "tensor/gemm.hpp"
 
 namespace dp::nn {
@@ -92,6 +93,20 @@ Tensor Conv2d::infer(const Tensor& x) const {
   const std::size_t planeIn =
       static_cast<std::size_t>(inC_) * geom.height * geom.width;
   const std::size_t planeOut = static_cast<std::size_t>(outC_) * oh * ow;
+  // Single-channel inputs (the TCAE squish-topology shape) skip im2col
+  // on the inference path: no cols scratch is needed here because
+  // infer() never backpropagates. forward() keeps the im2col route —
+  // backward() consumes the stored column matrix for dW.
+  if (convDirectApplicable(geom)) {
+    dp::parallelFor(n, 1, [&](long s0, long s1) {
+      for (long s = s0; s < s1; ++s) {
+        convDirect(geom, outC_, weight_.value.data(), bias_.value.data(),
+                   x.data() + static_cast<std::size_t>(s) * planeIn,
+                   y.data() + static_cast<std::size_t>(s) * planeOut);
+      }
+    });
+    return y;
+  }
   dp::parallelFor(n, 1, [&](long s0, long s1) {
     std::vector<float> cols(static_cast<std::size_t>(cr) * cc);
     for (long s = s0; s < s1; ++s) {

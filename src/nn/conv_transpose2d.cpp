@@ -11,8 +11,10 @@ namespace dp::nn {
 
 namespace {
 
-/// Deconvolves one sample: GEMM with the weights into `cols`, col2im
-/// and bias add into `y` (the sample's (outC, oh*ow) output plane).
+/// Deconvolves one sample: GEMM (packed kernel layer, transA path —
+/// transposition is absorbed by the A-panel packing) with the weights
+/// into `cols`, col2im and bias add into `y` (the sample's (outC,
+/// oh*ow) output plane).
 void deconvSample(const ConvGeom& geom, int inC, const float* weights,
                   const float* bias, const float* x, float* cols,
                   float* y) {

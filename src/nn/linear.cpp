@@ -25,11 +25,14 @@ Tensor Linear::forward(const Tensor& x, bool /*training*/) {
   input_ = x;
   const int n = x.size(0);
   Tensor y({n, out_});
-  // y = x (N,in) * W^T (in,out)
+  // y = x (N,in) * W^T (in,out) via the packed kernel layer.
   gemm(false, true, n, out_, in_, 1.0f, x.data(), in_,
        weight_.value.data(), in_, 0.0f, y.data(), out_);
-  for (int i = 0; i < n; ++i)
-    for (int j = 0; j < out_; ++j) y.at(i, j) += bias_.value[j];
+  const float* b = bias_.value.data();
+  for (int i = 0; i < n; ++i) {
+    float* row = y.data() + static_cast<std::size_t>(i) * out_;
+    for (int j = 0; j < out_; ++j) row[j] += b[j];
+  }
   return y;
 }
 
@@ -42,8 +45,11 @@ Tensor Linear::infer(const Tensor& x) const {
   Tensor y({n, out_});
   gemm(false, true, n, out_, in_, 1.0f, x.data(), in_,
        weight_.value.data(), in_, 0.0f, y.data(), out_);
-  for (int i = 0; i < n; ++i)
-    for (int j = 0; j < out_; ++j) y.at(i, j) += bias_.value[j];
+  const float* b = bias_.value.data();
+  for (int i = 0; i < n; ++i) {
+    float* row = y.data() + static_cast<std::size_t>(i) * out_;
+    for (int j = 0; j < out_; ++j) row[j] += b[j];
+  }
   return y;
 }
 

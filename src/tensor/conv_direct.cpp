@@ -1,0 +1,128 @@
+#include "tensor/conv_direct.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/cpu.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/gemm_kernels.hpp"
+
+namespace dp::nn {
+
+namespace {
+
+/// Scratch reused across calls (one live use per thread: callers run
+/// convDirect serially within a parallelFor chunk).
+std::vector<float>& phaseBuffer() {
+  thread_local std::vector<float> buf;
+  return buf;
+}
+std::vector<float>& accBuffer() {
+  thread_local std::vector<float> buf;
+  return buf;
+}
+
+/// Floor-divide t by s (s > 0) and the matching non-negative remainder.
+int floorDiv(int t, int s) {
+  const int q = ((t % s) + s) % s;
+  return (t - q) / s;
+}
+
+constexpr int kColAlign = 8;  // accumulator row stride, in floats
+
+}  // namespace
+
+bool convDirectApplicable(const ConvGeom& g) { return g.channels == 1; }
+
+// Im2col-free direct convolution for single-channel inputs (the squish
+// topology planes dominating TCAE inference).
+//
+// The image is de-interleaved into `stride` phase rows per input row
+// (phase q holds image[r][x*s+q], contiguous in x) with explicit zero
+// margins covering the padding halo. A tap (kh, kw) then contributes
+//   w[oc][kh][kw] * phase[oy*s + kh - pad][q][ox + off]
+// to out[oc][oy][ox] with (q, off) constant per tap — i.e. each of the
+// K*K taps is one full-plane strided FMA sweep over every output
+// channel at once (ConvTap, dispatched on gemmKernelTarget()). The
+// zero margins mean no boundary trimming: every sweep covers the full
+// padded plane, so the inner loops are uniform and vector-width
+// aligned (the accumulator row stride is padded to kColAlign).
+//
+// Determinism: the im2col route materializes exactly these zeros in
+// its column buffer, and its GEMM accumulates taps per element in
+// ascending p = kh*K + kw order. The direct path applies taps in the
+// same ascending order into a zeroed accumulator, so per output
+// element the float operation sequence is identical to im2col+GEMM on
+// the same kernel target: bit-exact for the scalar target, and on
+// AVX2 both routes contract with FMA (they may differ from each other
+// in the last ulps; each is individually bit-deterministic, since tap
+// geometry depends on shape alone — never on DP_THREADS).
+void convDirect(const ConvGeom& g, int outC, const float* weights,
+                const float* bias, const float* image, float* y) {
+  const int oh = g.outHeight();
+  const int ow = g.outWidth();
+  const int K = g.kernel;
+  const int s = g.stride;
+  const int H = g.height;
+  const int W = g.width;
+  const int phaseLen = (W + s - 1) / s;
+  const int accCols = (ow + kColAlign - 1) / kColAlign * kColAlign;
+
+  // Margins: tap offsets span [offMin, offMax] columns in phase space
+  // and [-pad, K-1-pad] rows in image space.
+  const int offMin = floorDiv(-g.pad, s);
+  const int offMax = floorDiv(K - 1 - g.pad, s);
+  const int mLeft = std::max(0, -offMin);
+  const int mRight = std::max(0, accCols - 1 + offMax - (phaseLen - 1));
+  const int padTop = g.pad;
+  const int padBot = std::max(0, (oh - 1) * s + K - 1 - g.pad - (H - 1));
+  const int phaseLenP = mLeft + phaseLen + mRight;
+  const long rowStride = static_cast<long>(s) * phaseLenP;
+
+  std::vector<float>& ph = phaseBuffer();
+  ph.assign(static_cast<std::size_t>(padTop + H + padBot) * rowStride, 0.0f);
+  for (int r = 0; r < H; ++r) {
+    const float* src = image + static_cast<long>(r) * W;
+    for (int q = 0; q < s; ++q) {
+      float* dst = ph.data() + (padTop + r) * rowStride +
+                   static_cast<long>(q) * phaseLenP + mLeft;
+      const int len = (W - q + s - 1) / s;
+      for (int k = 0; k < len; ++k) dst[k] = src[q + k * s];
+    }
+  }
+
+  const long planeStride = static_cast<long>(oh) * accCols;
+  std::vector<float>& acc = accBuffer();
+  acc.assign(static_cast<std::size_t>(outC) * planeStride, 0.0f);
+
+  const detail::ConvTap tap = (gemmKernelTarget() == KernelTarget::kAvx2)
+                                  ? detail::convTapAvx2
+                                  : detail::convTapScalar;
+
+  for (int kh = 0; kh < K; ++kh) {
+    for (int kw = 0; kw < K; ++kw) {
+      const int t = kw - g.pad;
+      const int off = floorDiv(t, s);
+      const int q = t - off * s;
+      const float* src = ph.data() +
+                         static_cast<long>(padTop + kh - g.pad) * rowStride +
+                         static_cast<long>(q) * phaseLenP + mLeft + off;
+      tap(outC, oh, accCols, weights + kh * K + kw,
+          static_cast<long>(K) * K, src, s * rowStride, acc.data(),
+          planeStride, accCols);
+    }
+  }
+
+  for (int oc = 0; oc < outC; ++oc) {
+    const float b = bias[oc];
+    const float* aplane = acc.data() + oc * planeStride;
+    float* out = y + static_cast<long>(oc) * oh * ow;
+    for (int oy = 0; oy < oh; ++oy) {
+      const float* arow = aplane + static_cast<long>(oy) * accCols;
+      float* orow = out + static_cast<long>(oy) * ow;
+      for (int ox = 0; ox < ow; ++ox) orow[ox] = arow[ox] + b;
+    }
+  }
+}
+
+}  // namespace dp::nn

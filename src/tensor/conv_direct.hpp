@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file conv_direct.hpp
+/// im2col-free direct convolution for single-channel inputs — the
+/// squish-topology shape (1, 24, 24) that dominates TCAE encode. The
+/// im2col+GEMM route materializes a (K*K, OH*OW) column matrix per
+/// sample just to multiply it once; for C == 1 the kernel taps can be
+/// applied straight to the image rows instead, which removes the
+/// scratch traffic entirely on the inference hot path.
+///
+/// Accumulation order per output element is ascending (kh, kw) — the
+/// same ascending-p order as the GEMM route — and padding taps
+/// contribute exactly the same +0.0f terms the im2col column buffer
+/// materializes, so on the scalar dispatch target the result is
+/// bit-identical to im2col+gemm. On the AVX2 target both routes
+/// contract with FMA and may differ from each other in the last ulps;
+/// each target is individually bit-deterministic (tap geometry and
+/// path selection depend only on the layer shape, never on
+/// DP_THREADS).
+
+#include "tensor/im2col.hpp"
+
+namespace dp::nn {
+
+/// True when convDirect handles this geometry (single input channel).
+[[nodiscard]] bool convDirectApplicable(const ConvGeom& g);
+
+/// y (outC, OH*OW) = conv(image (1, H, W), weights (outC, K*K)) + bias.
+/// Requires convDirectApplicable(g). `y` is fully overwritten.
+void convDirect(const ConvGeom& g, int outC, const float* weights,
+                const float* bias, const float* image, float* y);
+
+}  // namespace dp::nn

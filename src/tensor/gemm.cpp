@@ -1,92 +1,142 @@
 #include "tensor/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/thread_pool.hpp"
+#include "tensor/gemm_kernels.hpp"
 
 namespace dp::nn {
 
 namespace {
 
-/// Column-panel width for the no-transpose kernel: a (k x kJBlock) panel
-/// of B is streamed repeatedly while it is hot in cache instead of the
-/// whole (k x n) matrix.
-constexpr int kJBlock = 256;
+using detail::kKC;
+using detail::kMR;
+using detail::kNR;
 
-/// Target number of multiply-adds per parallel chunk. Row panels are
-/// sized so small products stay on the calling thread while large ones
-/// split into enough chunks to keep every lane busy. The panel size is a
-/// function of the problem shape only — never of the thread count — so
-/// chunk boundaries (and therefore results) are identical at any
-/// DP_THREADS setting.
-constexpr long kFlopsPerChunk = 64 * 1024;
+/// Target multiply-adds per parallel row-panel chunk. Sized so packing
+/// (O(m*k + k*n) moves) amortizes against compute and small products
+/// stay on the calling thread. A function of the problem shape only —
+/// never of the thread count — so chunk boundaries (and results) are
+/// identical at any DP_THREADS setting.
+constexpr long kFlopsPerChunk = 4L << 20;
 
-inline void scaleC(int m, int n, float beta, float* c, int ldc) {
-  if (beta == 1.0f) return;
-  for (int i = 0; i < m; ++i)
-    for (int j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+std::atomic<KernelTarget>& targetSlot() {
+  static std::atomic<KernelTarget> slot{
+      dp::chooseKernelTarget(detail::avx2KernelCompiled())};
+  return slot;
 }
 
-/// Rows [r0, r1) of C for every transpose combination. Per output
-/// element the accumulation order is ascending p in all four branches,
-/// so any row partition produces bit-identical results.
-void gemmRows(bool transA, bool transB, int r0, int r1, int n, int k,
-              float alpha, const float* a, int lda, const float* b, int ldb,
-              float* c, int ldc) {
-  if (!transA && !transB) {
-    // C[i][j] += A[i][p] * B[p][j] — ipj order streams B and C rows,
-    // with B processed in cache-sized column panels.
-    for (int j0 = 0; j0 < n; j0 += kJBlock) {
-      const int j1 = std::min(n, j0 + kJBlock);
-      for (int i = r0; i < r1; ++i) {
-        float* crow = c + static_cast<long>(i) * ldc;
-        const float* arow = a + static_cast<long>(i) * lda;
-        for (int p = 0; p < k; ++p) {
-          const float av = alpha * arow[p];
-          if (av == 0.0f) continue;
-          const float* brow = b + static_cast<long>(p) * ldb;
-          for (int j = j0; j < j1; ++j) crow[j] += av * brow[j];
-        }
+detail::MicroKernel kernelFor(KernelTarget t) {
+  return t == KernelTarget::kAvx2 ? detail::microKernelAvx2
+                                  : detail::microKernelScalar;
+}
+
+/// Per-thread pack scratch, reused across calls to keep the per-sample
+/// conv GEMMs allocation-free on the hot path. Safe because nested
+/// parallelFor calls run strictly inline: a buffer is never observed
+/// mid-use by another loop on the same thread.
+std::vector<float>& apackBuffer() {
+  thread_local std::vector<float> buf;
+  return buf;
+}
+std::vector<float>& bpackBuffer() {
+  thread_local std::vector<float> buf;
+  return buf;
+}
+
+/// beta-scaling of C ahead of accumulation. beta == 0 is an explicit
+/// store-zero path (BLAS semantics): it must clobber NaN/Inf or
+/// uninitialized C instead of multiplying with it.
+void scaleC(int m, int n, float beta, float* c, int ldc) {
+  if (beta == 1.0f) return;
+  if (beta == 0.0f) {
+    for (int i = 0; i < m; ++i)
+      std::memset(c + static_cast<long>(i) * ldc, 0,
+                  sizeof(float) * static_cast<std::size_t>(n));
+    return;
+  }
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<long>(i) * ldc;
+    for (int j = 0; j < n; ++j) crow[j] *= beta;
+  }
+}
+
+/// Packs op(B)[p0..p0+kc) x [0..n) into kNR-wide column panels, zero-
+/// padded to full width: panel jp holds bpack[p*kNR + j] =
+/// op(B)[p0+p][jp*kNR + j]. Layout within the full buffer: p-blocks
+/// outermost (block pb starts at p0 * numJP * kNR), then panels, then
+/// rows.
+void packB(bool transB, int n, int p0, int kc, const float* b, int ldb,
+           int jp0, int jp1, float* bpack) {
+  const long panel = static_cast<long>(kc) * kNR;
+  for (int jp = jp0; jp < jp1; ++jp) {
+    float* dst = bpack + jp * panel;
+    const int j0 = jp * kNR;
+    const int nr = std::min(kNR, n - j0);
+    if (!transB) {
+      for (int p = 0; p < kc; ++p) {
+        const float* src = b + static_cast<long>(p0 + p) * ldb + j0;
+        float* row = dst + static_cast<long>(p) * kNR;
+        for (int j = 0; j < nr; ++j) row[j] = src[j];
+        for (int j = nr; j < kNR; ++j) row[j] = 0.0f;
       }
-    }
-  } else if (transA && !transB) {
-    // A stored KxM: A^T[i][p] = A[p][i].
-    for (int p = 0; p < k; ++p) {
-      const float* arow = a + static_cast<long>(p) * lda;
-      const float* brow = b + static_cast<long>(p) * ldb;
-      for (int i = r0; i < r1; ++i) {
-        const float av = alpha * arow[i];
-        if (av == 0.0f) continue;
-        float* crow = c + static_cast<long>(i) * ldc;
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  } else if (!transA && transB) {
-    // B stored NxK: dot products of A rows with B rows.
-    for (int i = r0; i < r1; ++i) {
-      const float* arow = a + static_cast<long>(i) * lda;
-      float* crow = c + static_cast<long>(i) * ldc;
-      for (int j = 0; j < n; ++j) {
-        const float* brow = b + static_cast<long>(j) * ldb;
-        float acc = 0.0f;
-        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] += alpha * acc;
-      }
-    }
-  } else {
-    for (int i = r0; i < r1; ++i) {
-      float* crow = c + static_cast<long>(i) * ldc;
-      for (int j = 0; j < n; ++j) {
-        float acc = 0.0f;
-        for (int p = 0; p < k; ++p) acc += a[p * lda + i] * b[j * ldb + p];
-        crow[j] += alpha * acc;
+    } else {
+      for (int p = 0; p < kc; ++p) {
+        float* row = dst + static_cast<long>(p) * kNR;
+        for (int j = 0; j < nr; ++j)
+          row[j] = b[static_cast<long>(j0 + j) * ldb + (p0 + p)];
+        for (int j = nr; j < kNR; ++j) row[j] = 0.0f;
       }
     }
   }
 }
 
+/// Packs op(A)[i0..i0+mr) x [p0..p0+kc) into one kMR-wide row panel,
+/// zero-padded: apack[p*kMR + i] = op(A)[i0+i][p0+p].
+void packA(bool transA, int p0, int kc, int i0, int mr, const float* a,
+           int lda, float* apack) {
+  if (!transA) {
+    for (int i = 0; i < mr; ++i) {
+      const float* src = a + static_cast<long>(i0 + i) * lda + p0;
+      for (int p = 0; p < kc; ++p) apack[static_cast<long>(p) * kMR + i] = src[p];
+    }
+  } else {
+    for (int p = 0; p < kc; ++p) {
+      const float* src = a + static_cast<long>(p0 + p) * lda + i0;
+      float* dst = apack + static_cast<long>(p) * kMR;
+      for (int i = 0; i < mr; ++i) dst[i] = src[i];
+    }
+  }
+  for (int p = 0; p < kc; ++p) {
+    float* dst = apack + static_cast<long>(p) * kMR;
+    for (int i = mr; i < kMR; ++i) dst[i] = 0.0f;
+  }
+}
+
 }  // namespace
+
+KernelTarget gemmKernelTarget() {
+  return targetSlot().load(std::memory_order_relaxed);
+}
+
+void setGemmKernelTarget(KernelTarget t) {
+  if (t == KernelTarget::kAvx2 &&
+      !(detail::avx2KernelCompiled() && dp::cpuSupports(t)))
+    throw std::invalid_argument(
+        "setGemmKernelTarget: avx2 kernel unavailable on this build/CPU");
+  targetSlot().store(t, std::memory_order_relaxed);
+}
+
+std::vector<KernelTarget> supportedKernelTargets() {
+  std::vector<KernelTarget> targets{KernelTarget::kScalar};
+  if (detail::avx2KernelCompiled() &&
+      dp::cpuSupports(KernelTarget::kAvx2))
+    targets.push_back(KernelTarget::kAvx2);
+  return targets;
+}
 
 void gemm(bool transA, bool transB, int m, int n, int k, float alpha,
           const float* a, int lda, const float* b, int ldb, float beta,
@@ -95,14 +145,52 @@ void gemm(bool transA, bool transB, int m, int n, int k, float alpha,
   scaleC(m, n, beta, c, ldc);
   if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
 
+  const detail::MicroKernel kernel = kernelFor(gemmKernelTarget());
+  const int numJP = (n + kNR - 1) / kNR;
+
+  // Pack all of op(B) once up front; row-panel chunks then share the
+  // read-only packed panels. Panel boundaries depend on (n, k) only.
+  std::vector<float>& bpack = bpackBuffer();
+  bpack.resize(static_cast<std::size_t>(numJP) * kNR * k);
+  {
+    const long jpGrain =
+        std::max(1L, kFlopsPerChunk / (static_cast<long>(k) * kNR));
+    dp::parallelFor(numJP, jpGrain, [&](long jp0, long jp1) {
+      for (int p0 = 0; p0 < k; p0 += kKC) {
+        const int kc = std::min(kKC, k - p0);
+        packB(transB, n, p0, kc, b, ldb, static_cast<int>(jp0),
+              static_cast<int>(jp1),
+              bpack.data() + static_cast<long>(p0) * numJP * kNR);
+      }
+    });
+  }
+
   // Row panels go to the pool: each panel owns its C rows outright, so
   // the decomposition is race-free and deterministic by construction.
   const long rowFlops = static_cast<long>(n) * k;
-  const long grain =
-      std::max(1L, kFlopsPerChunk / std::max(1L, rowFlops));
+  long grain = std::max(static_cast<long>(kMR),
+                        kFlopsPerChunk / std::max(1L, rowFlops));
+  grain = (grain + kMR - 1) / kMR * kMR;
+  const float* bpackData = bpack.data();
   dp::parallelFor(m, grain, [&](long r0, long r1) {
-    gemmRows(transA, transB, static_cast<int>(r0), static_cast<int>(r1), n,
-             k, alpha, a, lda, b, ldb, c, ldc);
+    std::vector<float>& apack = apackBuffer();
+    apack.resize(static_cast<std::size_t>(kMR) * std::min(k, kKC));
+    for (int p0 = 0; p0 < k; p0 += kKC) {
+      const int kc = std::min(kKC, k - p0);
+      const float* bblock =
+          bpackData + static_cast<long>(p0) * numJP * kNR;
+      for (long i0 = r0; i0 < r1; i0 += kMR) {
+        const int mr = static_cast<int>(std::min<long>(kMR, r1 - i0));
+        packA(transA, p0, kc, static_cast<int>(i0), mr, a, lda,
+              apack.data());
+        for (int jp = 0; jp < numJP; ++jp) {
+          const int nr = std::min(kNR, n - jp * kNR);
+          kernel(kc, apack.data(),
+                 bblock + static_cast<long>(jp) * kc * kNR, alpha,
+                 c + i0 * ldc + static_cast<long>(jp) * kNR, ldc, mr, nr);
+        }
+      }
+    }
   });
 }
 

@@ -2,20 +2,50 @@
 
 /// \file gemm.hpp
 /// Single-precision general matrix multiply used by every dense and
-/// convolutional layer. Row-major, with optional transposition of either
-/// operand:  C = alpha * op(A) * op(B) + beta * C.
-/// Large products are blocked into cache-tiled row panels dispatched to
-/// the global dp::ThreadPool. Each output element accumulates in
-/// ascending-p order regardless of the partition, so the result is
-/// bit-identical at every DP_THREADS setting (including 1).
+/// convolutional layer. Row-major, with optional transposition of
+/// either operand:  C = alpha * op(A) * op(B) + beta * C.
+///
+/// Implementation: packed cache-blocked kernels (BLIS-style MC/KC/NC
+/// tiling with a 6x16 register micro-tile) behind a runtime ISA
+/// dispatch — scalar everywhere, AVX2+FMA on x86-64 CPUs that have it,
+/// selected once at startup and overridable with DP_KERNEL=scalar|avx2
+/// for debugging. Both operands are packed into contiguous panels, so
+/// all four transpose combinations run the same inner kernel.
+///
+/// Determinism contract: row-panel boundaries and K-blocking are pure
+/// functions of the problem shape, and every kernel accumulates each
+/// output element in ascending-p order, so for a fixed target results
+/// are bit-identical at every DP_THREADS setting (including 1). The
+/// scalar and AVX2 targets may differ from each other in the last ulps
+/// (FMA contraction) — pin the target when comparing across machines.
+
+#include <vector>
+
+#include "common/cpu.hpp"
 
 namespace dp::nn {
 
 /// C (MxN) = alpha * op(A) (MxK) * op(B) (KxN) + beta * C.
 /// lda/ldb/ldc are the row strides of the *stored* matrices (A is MxK
-/// when !transA, KxM when transA; similarly for B).
+/// when !transA, KxM when transA; similarly for B). beta == 0 stores
+/// zero explicitly (BLAS semantics): C may hold NaN/Inf or be
+/// uninitialized and is still fully overwritten.
 void gemm(bool transA, bool transB, int m, int n, int k, float alpha,
           const float* a, int lda, const float* b, int ldb, float beta,
           float* c, int ldc);
+
+/// The dispatch target all gemm/conv kernels currently use. Chosen
+/// once at startup (DP_KERNEL override, else best supported).
+[[nodiscard]] KernelTarget gemmKernelTarget();
+
+/// Re-pins the dispatch target (tests, benchmarks, debugging). Throws
+/// std::invalid_argument if `t` is not compiled in or not supported by
+/// the running CPU. Must not be called while kernels are executing.
+void setGemmKernelTarget(KernelTarget t);
+
+/// Targets usable in this process (always contains kScalar; contains
+/// kAvx2 when the AVX2 TU was built and the CPU supports it), in
+/// ascending preference order.
+[[nodiscard]] std::vector<KernelTarget> supportedKernelTargets();
 
 }  // namespace dp::nn

@@ -1,0 +1,120 @@
+// AVX2+FMA micro-kernel. This is the only translation unit built with
+// -mavx2 -mfma (see src/tensor/CMakeLists.txt); it must never be
+// called unless dp::cpuSupports(KernelTarget::kAvx2), which the
+// dispatcher in gemm.cpp guarantees. When the toolchain or the
+// architecture cannot generate AVX2 code the TU degrades to a stub and
+// avx2KernelCompiled() reports false.
+
+#include "tensor/gemm_kernels.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace dp::nn::detail {
+
+bool avx2KernelCompiled() { return true; }
+
+// 6x16 register tile: 12 ymm accumulators + 2 B lanes + 1 broadcast
+// fit the 16 architectural ymm registers. Per output element the FMA
+// chain accumulates in ascending-p order, so the result is a pure
+// function of the (shape-derived) blocking — never of DP_THREADS.
+void microKernelAvx2(int kc, const float* apanel, const float* bpanel,
+                     float alpha, float* c, int ldc, int mr, int nr) {
+  __m256 acc0[kMR];
+  __m256 acc1[kMR];
+  for (int i = 0; i < kMR; ++i) {
+    acc0[i] = _mm256_setzero_ps();
+    acc1[i] = _mm256_setzero_ps();
+  }
+  for (int p = 0; p < kc; ++p) {
+    const float* a = apanel + static_cast<long>(p) * kMR;
+    const float* b = bpanel + static_cast<long>(p) * kNR;
+    const __m256 b0 = _mm256_loadu_ps(b);
+    const __m256 b1 = _mm256_loadu_ps(b + 8);
+    for (int i = 0; i < kMR; ++i) {
+      const __m256 av = _mm256_broadcast_ss(a + i);
+      acc0[i] = _mm256_fmadd_ps(av, b0, acc0[i]);
+      acc1[i] = _mm256_fmadd_ps(av, b1, acc1[i]);
+    }
+  }
+  const __m256 va = _mm256_set1_ps(alpha);
+  if (mr == kMR && nr == kNR) {
+    for (int i = 0; i < kMR; ++i) {
+      float* crow = c + static_cast<long>(i) * ldc;
+      _mm256_storeu_ps(crow,
+                       _mm256_fmadd_ps(va, acc0[i], _mm256_loadu_ps(crow)));
+      _mm256_storeu_ps(
+          crow + 8, _mm256_fmadd_ps(va, acc1[i], _mm256_loadu_ps(crow + 8)));
+    }
+    return;
+  }
+  // Edge tile: spill the full tile and store only the valid window.
+  // Which elements take this path depends on (m, n) alone, so it does
+  // not break per-target determinism.
+  alignas(32) float tile[kMR][kNR];
+  for (int i = 0; i < kMR; ++i) {
+    _mm256_store_ps(tile[i], acc0[i]);
+    _mm256_store_ps(tile[i] + 8, acc1[i]);
+  }
+  for (int i = 0; i < mr; ++i) {
+    float* crow = c + static_cast<long>(i) * ldc;
+    for (int j = 0; j < nr; ++j) crow[j] += alpha * tile[i][j];
+  }
+}
+
+// Row-major sweep with the source row vector kept live across the
+// channel loop: one src load feeds nc FMAs. The caller pads the
+// accumulator row stride to a vector multiple, so the scalar tail is
+// normally dead; it uses scalar FMA so every column sees exactly one
+// fused product regardless of lane position.
+void convTapAvx2(int nc, int rows, int cols, const float* w, long wStride,
+                 const float* x, long ldx, float* y, long planeStride,
+                 long ldy) {
+  const int vcols = cols & ~7;
+  for (int r = 0; r < rows; ++r) {
+    const float* src = x + r * ldx;
+    float* dstRow = y + r * ldy;
+    for (int j = 0; j < vcols; j += 8) {
+      const __m256 xv = _mm256_loadu_ps(src + j);
+      for (int oc = 0; oc < nc; ++oc) {
+        float* dst = dstRow + oc * planeStride + j;
+        _mm256_storeu_ps(
+            dst, _mm256_fmadd_ps(_mm256_set1_ps(w[oc * wStride]), xv,
+                                 _mm256_loadu_ps(dst)));
+      }
+    }
+    for (int j = vcols; j < cols; ++j) {
+      const float xs = src[j];
+      for (int oc = 0; oc < nc; ++oc) {
+        float* dst = dstRow + oc * planeStride + j;
+        *dst = __builtin_fmaf(w[oc * wStride], xs, *dst);
+      }
+    }
+  }
+}
+
+}  // namespace dp::nn::detail
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace dp::nn::detail {
+
+bool avx2KernelCompiled() { return false; }
+
+void microKernelAvx2(int kc, const float* apanel, const float* bpanel,
+                     float alpha, float* c, int ldc, int mr, int nr) {
+  // Unreachable by construction (the dispatcher never selects a target
+  // that is not compiled in); keep a correct fallback anyway.
+  microKernelScalar(kc, apanel, bpanel, alpha, c, ldc, mr, nr);
+}
+
+void convTapAvx2(int nc, int rows, int cols, const float* w, long wStride,
+                 const float* x, long ldx, float* y, long planeStride,
+                 long ldy) {
+  convTapScalar(nc, rows, cols, w, wStride, x, ldx, y, planeStride, ldy);
+}
+
+}  // namespace dp::nn::detail
+
+#endif

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file gemm_kernels.hpp
+/// Internal contract between the blocked GEMM driver (gemm.cpp) and the
+/// per-ISA micro-kernel translation units (gemm_scalar.cpp,
+/// gemm_avx2.cpp). Not installed; include only from src/tensor.
+///
+/// The driver packs operands into fixed-layout panels and the
+/// micro-kernel computes one register tile:
+///
+///   acc(kMR x kNR)  = sum_p apanel[p*kMR + i] * bpanel[p*kNR + j]
+///   C[i][j]        += alpha * acc[i][j]   for i < mr, j < nr
+///
+/// Panels are always zero-padded to the full kMR/kNR width, so the
+/// kernel runs the same full-tile loop for edges and only the final
+/// store is masked by (mr, nr). Per output element the accumulation
+/// order over p is ascending in every kernel, which is what makes
+/// results independent of the row partition (and therefore of
+/// DP_THREADS). Scalar and AVX2 kernels may differ from each other in
+/// the last ulps (FMA contraction); each target is individually
+/// deterministic.
+
+namespace dp::nn::detail {
+
+/// Register-tile height (rows of C per micro-kernel call).
+inline constexpr int kMR = 6;
+/// Register-tile width (columns of C per micro-kernel call); two
+/// 8-float AVX2 lanes.
+inline constexpr int kNR = 16;
+/// K-dimension cache block: one kMR x kKC A-panel (~6 KiB) plus the
+/// streamed kKC x kNR B-panel (~16 KiB) stay L1/L2 resident.
+inline constexpr int kKC = 256;
+
+/// One register tile; see the file comment for the exact contract.
+using MicroKernel = void (*)(int kc, const float* apanel,
+                             const float* bpanel, float alpha, float* c,
+                             int ldc, int mr, int nr);
+
+void microKernelScalar(int kc, const float* apanel, const float* bpanel,
+                       float alpha, float* c, int ldc, int mr, int nr);
+void microKernelAvx2(int kc, const float* apanel, const float* bpanel,
+                     float alpha, float* c, int ldc, int mr, int nr);
+
+/// Direct-conv tap kernel: one kernel tap applied across every output
+/// channel's accumulator plane,
+///   y[oc*planeStride + r*ldy + j] += w[oc*wStride] * x[r*ldx + j]
+/// for oc < nc, r < rows, j < cols. Each accumulator element receives
+/// exactly one product per call, so applying the K*K taps in ascending
+/// (kh, kw) order reproduces the im2col+GEMM route's ascending-p
+/// accumulation per element.
+using ConvTap = void (*)(int nc, int rows, int cols, const float* w,
+                         long wStride, const float* x, long ldx, float* y,
+                         long planeStride, long ldy);
+
+void convTapScalar(int nc, int rows, int cols, const float* w, long wStride,
+                   const float* x, long ldx, float* y, long planeStride,
+                   long ldy);
+void convTapAvx2(int nc, int rows, int cols, const float* w, long wStride,
+                 const float* x, long ldx, float* y, long planeStride,
+                 long ldy);
+
+/// True when gemm_avx2.cpp was compiled with AVX2+FMA code generation
+/// (the build confines -mavx2 -mfma to that TU; on non-x86 builds the
+/// TU degrades to a stub and this returns false).
+[[nodiscard]] bool avx2KernelCompiled();
+
+}  // namespace dp::nn::detail

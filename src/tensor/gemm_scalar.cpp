@@ -1,0 +1,41 @@
+#include "tensor/gemm_kernels.hpp"
+
+namespace dp::nn::detail {
+
+// Portable reference micro-kernel. The row loop is outermost so one
+// kNR-wide accumulator row lives in registers across the whole p loop
+// (the B panel is small enough to re-stream from L1 per row), which
+// lets the baseline ISA vectorize the j loop. Each acc[j] is an
+// independent ascending-p chain, so vectorizing across j preserves the
+// per-element accumulation order exactly — and padded rows (i >= mr)
+// are simply skipped, since no output depends on them.
+void microKernelScalar(int kc, const float* apanel, const float* bpanel,
+                       float alpha, float* c, int ldc, int mr, int nr) {
+  for (int i = 0; i < mr; ++i) {
+    float acc[kNR] = {};
+    const float* a = apanel + i;
+    for (int p = 0; p < kc; ++p) {
+      const float av = a[static_cast<long>(p) * kMR];
+      const float* b = bpanel + static_cast<long>(p) * kNR;
+      for (int j = 0; j < kNR; ++j) acc[j] += av * b[j];
+    }
+    float* crow = c + static_cast<long>(i) * ldc;
+    for (int j = 0; j < nr; ++j) crow[j] += alpha * acc[j];
+  }
+}
+
+void convTapScalar(int nc, int rows, int cols, const float* w, long wStride,
+                   const float* x, long ldx, float* y, long planeStride,
+                   long ldy) {
+  for (int oc = 0; oc < nc; ++oc) {
+    const float wv = w[oc * wStride];
+    float* plane = y + oc * planeStride;
+    for (int r = 0; r < rows; ++r) {
+      const float* __restrict src = x + r * ldx;
+      float* __restrict dst = plane + r * ldy;
+      for (int j = 0; j < cols; ++j) dst[j] += wv * src[j];
+    }
+  }
+}
+
+}  // namespace dp::nn::detail
