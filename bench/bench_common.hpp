@@ -40,7 +40,10 @@ class Args {
       } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[a] = argv[++i];
       } else {
-        values_[a] = "1";  // boolean flag
+        // Explicit std::string: assigning the literal via operator=
+        // (const char*) trips a gcc 12 -Wrestrict false positive
+        // (GCC PR105329) under -O3 -Werror.
+        values_[a] = std::string("1");  // boolean flag
       }
     }
   }

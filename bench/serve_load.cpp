@@ -7,7 +7,7 @@
 // own totals (a mismatch exits non-zero, so CI can run this as a
 // smoke test).
 //
-//   serve_load --clients 8 --requests 4 --count 64 --steps 300 \
+//   serve_load --clients 8 --requests 4 --count 64 --steps 300
 //              --clips 60 [--latency-json out.json]
 
 #include <arpa/inet.h>
@@ -21,12 +21,12 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/sync.hpp"
 #include "io/json.hpp"
 #include "serve/server.hpp"
 
@@ -149,7 +149,7 @@ int main(int argc, char** argv) {
   std::atomic<long> retried{0};
   std::atomic<long> errors{0};
   std::atomic<long> generatedTotal{0};
-  std::mutex latMutex;
+  dp::Mutex latMutex;
   std::vector<double> latencies;
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -191,7 +191,7 @@ int main(int argc, char** argv) {
             break;
           }
           ++ok;
-          std::lock_guard<std::mutex> lock(latMutex);
+          dp::LockGuard lock(latMutex);
           latencies.push_back(ms);
           break;
         }

@@ -1,7 +1,7 @@
 // deepattern_cli — command-line front end to the whole library.
 //
 //   deepattern_cli generate --spec directprint1 --count 500 --out lib.gds
-//   deepattern_cli expand   --in lib.gds --count 20000 --steps 3000 \
+//   deepattern_cli expand   --in lib.gds --count 20000 --steps 3000
 //                           --out generated.gds
 //   deepattern_cli check    --in generated.gds
 //   deepattern_cli stats    --in generated.gds
@@ -39,7 +39,9 @@ ArgMap parseArgs(int argc, char** argv, int first) {
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
       args[a] = argv[++i];
     else
-      args[a] = "1";
+      // Explicit std::string: the const char* assignment path trips a
+      // gcc 12 -Wrestrict false positive (GCC PR105329) under -O3.
+      args[a] = std::string("1");
   }
   return args;
 }

@@ -1,10 +1,10 @@
 // deepattern_serve — the batched pattern-generation service.
 //
-//   deepattern_serve build --spec directprint1 --clips 200 --steps 1500 \
-//                          --name directprint1 --out bundles/directprint1 \
+//   deepattern_serve build --spec directprint1 --clips 200 --steps 1500
+//                          --name directprint1 --out bundles/directprint1
 //                          [--guide gan|vae] [--seed S]
-//   deepattern_serve serve --bundles bundles [--host 127.0.0.1] \
-//                          [--port 8080] [--queue 64] [--batch 128] \
+//   deepattern_serve serve --bundles bundles [--host 127.0.0.1]
+//                          [--port 8080] [--queue 64] [--batch 128]
 //                          [--threads N]
 //
 // `build` trains a complete model bundle (TCAE + sensitivity + source
@@ -37,7 +37,9 @@ ArgMap parseArgs(int argc, char** argv, int first) {
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
       args[a] = argv[++i];
     else
-      args[a] = "1";
+      // Explicit std::string: the const char* assignment path trips a
+      // gcc 12 -Wrestrict false positive (GCC PR105329) under -O3.
+      args[a] = std::string("1");
   }
   return args;
 }

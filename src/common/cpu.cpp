@@ -28,6 +28,8 @@ bool cpuSupports(KernelTarget t) {
 
 KernelTarget chooseKernelTarget(bool avx2Compiled) {
   const bool avx2Usable = avx2Compiled && cpuSupports(KernelTarget::kAvx2);
+  // Read-only getenv on a startup path; no concurrent setenv in this process.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("DP_KERNEL"); env && *env) {
     if (std::strcmp(env, "scalar") == 0) return KernelTarget::kScalar;
     if (std::strcmp(env, "avx2") == 0) {

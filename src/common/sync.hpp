@@ -1,0 +1,155 @@
+#pragma once
+
+/// \file sync.hpp
+/// Synchronization primitives carrying Clang thread-safety capability
+/// annotations — the compile-time leg of the repo's determinism and
+/// race-freedom contract (DESIGN.md §10). Every mutex in the codebase
+/// is a dp::Mutex and every guarded field is tagged DP_GUARDED_BY, so
+/// `clang++ -Wthread-safety -Werror=thread-safety-analysis` (CMake
+/// option DP_THREAD_SAFETY, CI job `static-analysis`) rejects any code
+/// path that touches shared state without holding its lock — before a
+/// TSan run ever gets the chance to observe the race at runtime.
+///
+/// Off-Clang the macros expand to nothing and the wrappers are
+/// zero-cost shims over the std primitives, so gcc builds are
+/// unaffected.
+///
+/// Conventions enforced here (and by tools/dp_lint.py rule DP002):
+///  - raw std::mutex / std::lock_guard / std::unique_lock /
+///    std::condition_variable appear ONLY in this header;
+///  - condition waits are written as explicit `while (!cond) cv.wait`
+///    loops in the annotated function body — CondVar deliberately has
+///    no predicate overload, because the analysis cannot see through a
+///    predicate lambda into the guarded fields it reads.
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Capability annotation macros (no-ops outside Clang).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && !defined(SWIG)
+#define DP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DP_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define DP_CAPABILITY(x) DP_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires in its constructor and releases in
+/// its destructor.
+#define DP_SCOPED_CAPABILITY DP_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define DP_GUARDED_BY(x) DP_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee may only be accessed while holding `x`.
+#define DP_PT_GUARDED_BY(x) DP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the listed capabilities.
+#define DP_REQUIRES(...) \
+  DP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define DP_ACQUIRE(...) \
+  DP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define DP_RELEASE(...) \
+  DP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define DP_TRY_ACQUIRE(result, ...) \
+  DP_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock guard).
+#define DP_EXCLUDES(...) DP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define DP_RETURN_CAPABILITY(x) DP_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use
+/// needs a comment explaining why the analysis cannot see the
+/// invariant.
+#define DP_NO_THREAD_SAFETY_ANALYSIS \
+  DP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dp {
+
+class UniqueLock;
+
+/// std::mutex with the "mutex" capability. Prefer the RAII guards;
+/// lock()/unlock() exist for the rare hand-over-hand pattern.
+class DP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DP_ACQUIRE() { raw_.lock(); }
+  void unlock() DP_RELEASE() { raw_.unlock(); }
+  [[nodiscard]] bool tryLock() DP_TRY_ACQUIRE(true) {
+    return raw_.try_lock();
+  }
+
+ private:
+  friend class UniqueLock;
+  std::mutex raw_;
+};
+
+/// RAII scope lock (std::lock_guard equivalent).
+class DP_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) DP_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() DP_RELEASE() { mutex_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// RAII scope lock that a CondVar can release and reacquire while
+/// waiting (std::unique_lock equivalent; always holds the lock from
+/// the analysis' point of view, which is exactly the semantics a
+/// condition-wait loop needs).
+class DP_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) DP_ACQUIRE(mutex)
+      : lock_(mutex.raw_) {}
+  ~UniqueLock() DP_RELEASE() {}  // member std::unique_lock unlocks
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable over dp::Mutex. Only the plain wait() is
+/// offered: write the predicate as an explicit loop in the annotated
+/// caller so the analysis checks the guarded reads it makes.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, sleeps, and reacquires before
+  /// returning. Spurious wakeups happen; loop on the predicate.
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  void notifyOne() noexcept { cv_.notify_one(); }
+  void notifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dp

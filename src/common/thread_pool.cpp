@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
-#include <mutex>
 #include <stdexcept>
 #include <string>
+
+#include "common/sync.hpp"
 
 namespace dp {
 
@@ -21,16 +21,18 @@ thread_local bool tlsInsideChunk = false;
 /// caller and every worker that joins in, so a straggler worker can
 /// never observe the fields of a *later* batch through a reused slot.
 struct Batch {
+  // Immutable after publication (written before the release under
+  // State::mutex, read-only afterwards) — not guarded.
   const std::function<void(long, long)>* body = nullptr;
   long n = 0;
   long grain = 1;
   long chunkCount = 0;
   std::atomic<long> nextChunk{0};
 
-  std::mutex mutex;
-  std::condition_variable done;
-  long chunksLeft = 0;
-  std::exception_ptr firstError;
+  Mutex mutex;
+  CondVar done;  ///< signalled when chunksLeft reaches 0
+  long chunksLeft DP_GUARDED_BY(mutex) = 0;
+  std::exception_ptr firstError DP_GUARDED_BY(mutex);
 };
 
 /// Claims and runs chunks of `b` until none are left. Returns after
@@ -54,22 +56,23 @@ void runChunks(Batch& b) {
   }
   tlsInsideChunk = false;
   if (finished > 0 || error) {
-    std::lock_guard<std::mutex> lock(b.mutex);
+    LockGuard lock(b.mutex);
     if (error && !b.firstError) b.firstError = error;
     b.chunksLeft -= finished;
-    if (b.chunksLeft == 0) b.done.notify_all();
+    if (b.chunksLeft == 0) b.done.notifyAll();
   }
 }
 
 }  // namespace
 
 struct ThreadPool::State {
-  std::mutex mutex;
-  std::condition_variable wake;  ///< workers wait here for a batch
-  std::mutex callMutex;          ///< serializes concurrent parallelFor calls
-  std::shared_ptr<Batch> current;
-  std::uint64_t generation = 0;  ///< bumped per published batch
-  bool shuttingDown = false;
+  Mutex mutex;
+  CondVar wake;     ///< workers wait here for a batch
+  Mutex callMutex;  ///< serializes concurrent parallelFor calls
+  std::shared_ptr<Batch> current DP_GUARDED_BY(mutex);
+  /// Bumped per published batch.
+  std::uint64_t generation DP_GUARDED_BY(mutex) = 0;
+  bool shuttingDown DP_GUARDED_BY(mutex) = false;
 };
 
 ThreadPool::ThreadPool(int threads)
@@ -81,10 +84,10 @@ ThreadPool::ThreadPool(int threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    LockGuard lock(state_->mutex);
     state_->shuttingDown = true;
   }
-  state_->wake.notify_all();
+  state_->wake.notifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -94,9 +97,8 @@ void ThreadPool::workerLoop() {
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lock(s.mutex);
-      s.wake.wait(lock,
-                  [&] { return s.shuttingDown || s.generation != seen; });
+      UniqueLock lock(s.mutex);
+      while (!s.shuttingDown && s.generation == seen) s.wake.wait(lock);
       if (s.shuttingDown) return;
       seen = s.generation;
       batch = s.current;  // may already be gone — just wait again
@@ -131,28 +133,31 @@ void ThreadPool::parallelFor(
   }
 
   State& s = *state_;
-  std::lock_guard<std::mutex> callLock(s.callMutex);
+  LockGuard callLock(s.callMutex);
   auto batch = std::make_shared<Batch>();
   batch->body = &body;
   batch->n = n;
   batch->grain = grain;
   batch->chunkCount = chunkCount;
-  batch->chunksLeft = chunkCount;
   {
-    std::lock_guard<std::mutex> lock(s.mutex);
+    LockGuard lock(batch->mutex);
+    batch->chunksLeft = chunkCount;
+  }
+  {
+    LockGuard lock(s.mutex);
     s.current = batch;
     ++s.generation;
   }
-  s.wake.notify_all();
+  s.wake.notifyAll();
   runChunks(*batch);  // the caller is a lane too
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(batch->mutex);
-    batch->done.wait(lock, [&] { return batch->chunksLeft == 0; });
+    UniqueLock lock(batch->mutex);
+    while (batch->chunksLeft != 0) batch->done.wait(lock);
     error = batch->firstError;
   }
   {
-    std::lock_guard<std::mutex> lock(s.mutex);
+    LockGuard lock(s.mutex);
     if (s.current == batch) s.current.reset();
   }
   if (error) std::rethrow_exception(error);
@@ -160,12 +165,14 @@ void ThreadPool::parallelFor(
 
 namespace {
 
-std::mutex gGlobalMutex;
-std::unique_ptr<ThreadPool> gGlobalPool;
+Mutex gGlobalMutex;
+std::unique_ptr<ThreadPool> gGlobalPool DP_GUARDED_BY(gGlobalMutex);
 
 }  // namespace
 
 int ThreadPool::defaultThreads() {
+  // Read-only getenv on a startup path; no concurrent setenv in this process.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("DP_THREADS")) {
     try {
       const int n = std::stoi(env);
@@ -179,14 +186,14 @@ int ThreadPool::defaultThreads() {
 }
 
 ThreadPool& ThreadPool::global() {
-  std::lock_guard<std::mutex> lock(gGlobalMutex);
+  LockGuard lock(gGlobalMutex);
   if (!gGlobalPool)
     gGlobalPool = std::make_unique<ThreadPool>(defaultThreads());
   return *gGlobalPool;
 }
 
 void ThreadPool::setGlobalThreads(int threads) {
-  std::lock_guard<std::mutex> lock(gGlobalMutex);
+  LockGuard lock(gGlobalMutex);
   gGlobalPool = std::make_unique<ThreadPool>(threads < 1 ? 1 : threads);
 }
 

@@ -8,7 +8,7 @@
 /// topologies (paper §III-D).
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "squish/complexity.hpp"
@@ -32,7 +32,10 @@ class PatternLibrary {
   /// True when the canonical form of `t` is already present.
   [[nodiscard]] bool contains(const squish::Topology& t) const;
 
-  /// All stored canonical topologies (unspecified order).
+  /// All stored canonical topologies, enumerated in ascending canonical
+  /// hash order (ties broken by insertion order within a collision
+  /// bucket) — platform-independent, so downstream outputs that list
+  /// patterns are bit-stable across standard libraries and hosts.
   [[nodiscard]] std::vector<squish::Topology> patterns() const;
 
   /// Complexities of all stored patterns.
@@ -53,8 +56,11 @@ class PatternLibrary {
   void merge(const PatternLibrary& other);
 
  private:
-  std::unordered_map<std::uint64_t, std::vector<squish::Topology>>
-      patterns_;  // hash -> exact-collision bucket
+  // hash -> exact-collision bucket. An ordered map, NOT unordered_map:
+  // patterns() / merge() iterate it, and their enumeration order feeds
+  // generation outputs (pattern hash lists, materialization order), so
+  // it must not depend on the standard library's hash-table layout.
+  std::map<std::uint64_t, std::vector<squish::Topology>> patterns_;
   std::vector<squish::Complexity> complexities_;
 };
 

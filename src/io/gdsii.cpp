@@ -197,7 +197,11 @@ void writeGdsiiFile(const std::string& path,
 std::vector<dp::Clip> readGdsii(std::istream& in,
                                 const GdsiiOptions& options) {
   std::vector<dp::Clip> clips;
-  std::optional<dp::Rect> window;
+  // A plain flag + value instead of std::optional<Rect>: gcc's
+  // -Wmaybe-uninitialized cannot prove the optional payload initialized
+  // across the has-value throw above the dereference and fails -Werror.
+  bool haveWindow = false;
+  dp::Rect window{};
   std::vector<dp::Rect> shapes;
   bool inStruct = false, inBoundary = false;
   std::int16_t layer = -1;
@@ -208,13 +212,13 @@ std::vector<dp::Clip> readGdsii(std::istream& in,
     switch (rec.type) {
       case kBgnStr:
         inStruct = true;
-        window.reset();
+        haveWindow = false;
         shapes.clear();
         break;
       case kEndStr: {
-        if (!window)
+        if (!haveWindow)
           throw std::runtime_error("gdsii: structure without window layer");
-        dp::Clip clip(*window);
+        dp::Clip clip(window);
         for (const dp::Rect& r : shapes) clip.addShape(r);
         clips.push_back(std::move(clip));
         inStruct = false;
@@ -251,10 +255,12 @@ std::vector<dp::Clip> readGdsii(std::istream& in,
       }
       case kEndEl:
         if (inBoundary && box && inStruct) {
-          if (layer == options.windowLayer)
+          if (layer == options.windowLayer) {
             window = *box;
-          else if (layer == options.layer)
+            haveWindow = true;
+          } else if (layer == options.layer) {
             shapes.push_back(*box);
+          }
           // other layers: ignored
         }
         inBoundary = false;

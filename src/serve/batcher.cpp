@@ -37,7 +37,7 @@ Batcher::Batcher(BundleRegistry& registry, Metrics& metrics, Config config)
 Batcher::~Batcher() { stop(); }
 
 bool Batcher::running() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return started_ && !stopping_;
 }
 
@@ -100,7 +100,7 @@ SubmitResult Batcher::submit(const GenerateRequest& request) {
   out.future = job->promise.get_future();
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     if (stopping_ || !started_) {
       out.status = SubmitResult::Status::kShuttingDown;
       out.error = "server is shutting down";
@@ -114,7 +114,7 @@ SubmitResult Batcher::submit(const GenerateRequest& request) {
     pending_.push_back(std::move(job));
     metrics_.setQueueDepth(static_cast<long>(pending_.size()));
   }
-  cv_.notify_one();
+  cv_.notifyOne();
   out.status = SubmitResult::Status::kAccepted;
   return out;
 }
@@ -122,10 +122,9 @@ SubmitResult Batcher::submit(const GenerateRequest& request) {
 void Batcher::workerLoop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] {
-        return stopping_ || !pending_.empty() || !active_.empty();
-      });
+      UniqueLock lock(mutex_);
+      while (!stopping_ && pending_.empty() && active_.empty())
+        cv_.wait(lock);
       if (pending_.empty() && active_.empty() && stopping_) return;
       while (!pending_.empty() &&
              static_cast<int>(active_.size()) < config_.maxActive) {
@@ -288,13 +287,13 @@ void Batcher::finalize(Job& job) {
 
 void Batcher::stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     if (!started_) return;
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.notifyAll();
   if (worker_.joinable()) worker_.join();
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   started_ = false;
 }
 

@@ -17,16 +17,15 @@
 /// requests are coalesced — and at any DP_THREADS.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "serve/bundle.hpp"
 #include "serve/metrics.hpp"
 
@@ -93,12 +92,13 @@ class Batcher {
 
   /// Validates, plans the request's latents (on the calling thread),
   /// and enqueues it. Never blocks on a full queue.
-  [[nodiscard]] SubmitResult submit(const GenerateRequest& request);
+  [[nodiscard]] SubmitResult submit(const GenerateRequest& request)
+      DP_EXCLUDES(mutex_);
 
   /// Drains accepted requests, then joins the worker. Idempotent.
-  void stop();
+  void stop() DP_EXCLUDES(mutex_);
 
-  [[nodiscard]] bool running() const;
+  [[nodiscard]] bool running() const DP_EXCLUDES(mutex_);
   [[nodiscard]] const Config& config() const { return config_; }
 
  private:
@@ -114,7 +114,7 @@ class Batcher {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void workerLoop();
+  void workerLoop() DP_EXCLUDES(mutex_);
   void runBatch();
   void finalize(Job& job);
 
@@ -122,11 +122,11 @@ class Batcher {
   Metrics& metrics_;
   Config config_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::unique_ptr<Job>> pending_;
-  bool stopping_ = false;
-  bool started_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;  ///< wakes the worker on submit/stop
+  std::deque<std::unique_ptr<Job>> pending_ DP_GUARDED_BY(mutex_);
+  bool stopping_ DP_GUARDED_BY(mutex_) = false;
+  bool started_ DP_GUARDED_BY(mutex_) = false;
 
   // Worker-private (no lock needed): jobs being coalesced.
   std::deque<std::unique_ptr<Job>> active_;

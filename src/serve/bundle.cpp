@@ -242,7 +242,7 @@ std::shared_ptr<const Bundle> loadBundle(const std::string& dir) {
 
 void BundleRegistry::add(std::shared_ptr<const Bundle> bundle) {
   if (!bundle) throw std::invalid_argument("BundleRegistry: null bundle");
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (auto& existing : bundles_)
     if (existing->name() == bundle->name()) {
       existing = std::move(bundle);  // replace: latest version wins
@@ -253,14 +253,14 @@ void BundleRegistry::add(std::shared_ptr<const Bundle> bundle) {
 
 std::shared_ptr<const Bundle> BundleRegistry::find(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (const auto& bundle : bundles_)
     if (bundle->name() == name) return bundle;
   return nullptr;
 }
 
 std::vector<std::shared_ptr<const Bundle>> BundleRegistry::list() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return bundles_;
 }
 

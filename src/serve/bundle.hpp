@@ -19,12 +19,12 @@
 /// paths only, so one instance is shared across all request threads.
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 #include "core/flows.hpp"
 #include "core/guide.hpp"
 #include "core/perturb.hpp"
@@ -134,18 +134,20 @@ struct BundleBuildConfig {
 /// front end.
 class BundleRegistry {
  public:
-  void add(std::shared_ptr<const Bundle> bundle);
+  void add(std::shared_ptr<const Bundle> bundle) DP_EXCLUDES(mutex_);
   [[nodiscard]] std::shared_ptr<const Bundle> find(
-      const std::string& name) const;
-  [[nodiscard]] std::vector<std::shared_ptr<const Bundle>> list() const;
+      const std::string& name) const DP_EXCLUDES(mutex_);
+  [[nodiscard]] std::vector<std::shared_ptr<const Bundle>> list() const
+      DP_EXCLUDES(mutex_);
 
   /// Loads every immediate subdirectory of `root` that contains a
   /// manifest.json. Returns the number of bundles loaded.
   int loadDirectory(const std::string& root);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::shared_ptr<const Bundle>> bundles_;
+  mutable Mutex mutex_;
+  std::vector<std::shared_ptr<const Bundle>> bundles_
+      DP_GUARDED_BY(mutex_);
 };
 
 }  // namespace dp::serve

@@ -105,45 +105,48 @@ HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::start() {
   if (running_.load()) return;
-  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listenFd_ < 0)
-    throw std::runtime_error("HttpServer: socket() failed");
+  // Set the socket up through a local fd; listenFd_ is published only
+  // once the socket is fully listening, so the accept thread (and a
+  // concurrent stop()) never observe a half-configured descriptor.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("HttpServer: socket() failed");
   const int one = 1;
-  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
   if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listenFd_);
-    listenFd_ = -1;
+    ::close(fd);
     throw std::runtime_error("HttpServer: bad host " + config_.host);
   }
-  if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-      0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
     const int err = errno;
-    ::close(listenFd_);
-    listenFd_ = -1;
-    throw std::runtime_error(std::string("HttpServer: bind failed: ") +
-                             std::strerror(err));
+    ::close(fd);
+    // Errno formatting on a cold error path; no concurrent strerror callers.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    const char* msg = std::strerror(err);
+    throw std::runtime_error(std::string("HttpServer: bind failed: ") + msg);
   }
-  if (::listen(listenFd_, 64) < 0) {
-    ::close(listenFd_);
-    listenFd_ = -1;
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
     throw std::runtime_error("HttpServer: listen failed");
   }
   sockaddr_in bound{};
   socklen_t len = sizeof bound;
-  ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
   port_ = ntohs(bound.sin_port);
 
+  listenFd_.store(fd, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   acceptThread_ = std::thread([this] { acceptLoop(); });
 }
 
 void HttpServer::acceptLoop() {
   while (running_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    const int lfd = listenFd_.load(std::memory_order_acquire);
+    if (lfd < 0) break;
+    const int fd = ::accept(lfd, nullptr, nullptr);
     if (fd < 0) {
       if (!running_.load(std::memory_order_acquire)) break;
       continue;
@@ -154,18 +157,18 @@ void HttpServer::acceptLoop() {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     trackConnection(fd);
-    std::lock_guard<std::mutex> lock(connMutex_);
+    LockGuard lock(connMutex_);
     connThreads_.emplace_back([this, fd] { serveConnection(fd); });
   }
 }
 
 void HttpServer::trackConnection(int fd) {
-  std::lock_guard<std::mutex> lock(connMutex_);
+  LockGuard lock(connMutex_);
   connFds_.push_back(fd);
 }
 
 void HttpServer::untrackConnection(int fd) {
-  std::lock_guard<std::mutex> lock(connMutex_);
+  LockGuard lock(connMutex_);
   connFds_.erase(std::remove(connFds_.begin(), connFds_.end(), fd),
                  connFds_.end());
 }
@@ -251,19 +254,22 @@ void HttpServer::stop() {
     if (acceptThread_.joinable()) acceptThread_.join();
     return;
   }
-  if (listenFd_ >= 0) {
-    ::shutdown(listenFd_, SHUT_RDWR);
-    ::close(listenFd_);
-    listenFd_ = -1;
-  }
+  // Retire the listen socket in three ordered steps: publish -1 (the
+  // accept loop stops touching it), shutdown() (unblocks an accept()
+  // already parked on it), and close() only after the accept thread
+  // has joined — closing earlier could race a concurrent accept() with
+  // kernel fd reuse.
+  const int fd = listenFd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
   if (acceptThread_.joinable()) acceptThread_.join();
+  if (fd >= 0) ::close(fd);
   {
-    std::lock_guard<std::mutex> lock(connMutex_);
+    LockGuard lock(connMutex_);
     for (const int fd : connFds_) ::shutdown(fd, SHUT_RDWR);
   }
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(connMutex_);
+    LockGuard lock(connMutex_);
     threads.swap(connThreads_);
   }
   for (std::thread& t : threads)

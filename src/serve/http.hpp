@@ -10,11 +10,12 @@
 #include <atomic>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace dp::serve {
 
@@ -67,21 +68,23 @@ class HttpServer {
   void stop();
 
  private:
-  void acceptLoop();
+  void acceptLoop() DP_EXCLUDES(connMutex_);
   void serveConnection(int fd);
-  void trackConnection(int fd);
-  void untrackConnection(int fd);
+  void trackConnection(int fd) DP_EXCLUDES(connMutex_);
+  void untrackConnection(int fd) DP_EXCLUDES(connMutex_);
 
   Config config_;
   HttpHandler handler_;
-  int listenFd_ = -1;
+  // Written by start()/stop(), read by the accept thread each
+  // iteration: must be atomic (stop() publishes -1 before shutdown()
+  // unblocks the accept call, so the loop never touches a closed fd).
+  std::atomic<int> listenFd_{-1};
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::thread acceptThread_;
-  std::mutex connMutex_;
-  std::vector<int> connFds_;
-  std::vector<std::thread> connThreads_;
-  std::vector<std::thread> finishedThreads_;
+  Mutex connMutex_;
+  std::vector<int> connFds_ DP_GUARDED_BY(connMutex_);
+  std::vector<std::thread> connThreads_ DP_GUARDED_BY(connMutex_);
 };
 
 /// Parses one HTTP/1.1 request from `raw` (which must contain the full

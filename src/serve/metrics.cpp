@@ -78,13 +78,13 @@ Metrics::Metrics()
                   500,  1000, 2500,  5000,  10000, 30000}) {}
 
 void Metrics::countRequest(const std::string& route, int status) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   ++requests_[{route, status}];
 }
 
 void Metrics::recordBundle(const std::string& bundle,
                            const BundleStats& delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   BundleStats& s = bundles_[bundle];
   s.requests += delta.requests;
   s.generated += delta.generated;
@@ -95,14 +95,14 @@ void Metrics::recordBundle(const std::string& bundle,
 }
 
 std::uint64_t Metrics::requestsTotal() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [key, count] : requests_) total += count;
   return total;
 }
 
 std::uint64_t Metrics::errorsTotal() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [key, count] : requests_)
     if (key.second >= 400) total += count;
@@ -117,48 +117,57 @@ std::string Metrics::renderPrometheus() const {
     out += '\n';
   };
 
+  // Snapshot the guarded maps, then render without the lock: keeps the
+  // critical section tiny and keeps every guarded access inside this
+  // annotated function body (the render lambdas below capture only the
+  // local copies, which the thread-safety analysis cannot check).
+  std::map<std::pair<std::string, int>, std::uint64_t> requests;
+  std::map<std::string, BundleStats> bundles;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    line("# HELP dp_requests_total HTTP requests by route and status.");
-    line("# TYPE dp_requests_total counter");
-    for (const auto& [key, count] : requests_)
-      line("dp_requests_total{route=\"" + key.first + "\",status=\"" +
-           std::to_string(key.second) + "\"} " + std::to_string(count));
+    LockGuard lock(mutex_);
+    requests = requests_;
+    bundles = bundles_;
+  }
 
-    line("# HELP dp_bundle_requests_total Generate requests per bundle.");
-    line("# TYPE dp_bundle_requests_total counter");
-    const auto bundleCounter = [&](const std::string& name,
-                                   std::uint64_t BundleStats::*field) {
-      for (const auto& [bundle, stats] : bundles_)
-        line(name + "{bundle=\"" + bundle + "\"} " +
-             std::to_string(stats.*field));
-    };
-    bundleCounter("dp_bundle_requests_total", &BundleStats::requests);
-    line("# HELP dp_bundle_generated_total Topologies decoded per bundle.");
-    line("# TYPE dp_bundle_generated_total counter");
-    bundleCounter("dp_bundle_generated_total", &BundleStats::generated);
-    line("# HELP dp_bundle_legal_total Legal topologies per bundle.");
-    line("# TYPE dp_bundle_legal_total counter");
-    bundleCounter("dp_bundle_legal_total", &BundleStats::legal);
-    line("# HELP dp_bundle_unique_total Unique legal patterns per bundle.");
-    line("# TYPE dp_bundle_unique_total counter");
-    bundleCounter("dp_bundle_unique_total", &BundleStats::unique);
-    line("# HELP dp_bundle_solved_total Materialized Eq.10 solves.");
-    line("# TYPE dp_bundle_solved_total counter");
-    bundleCounter("dp_bundle_solved_total", &BundleStats::solved);
-    line("# HELP dp_bundle_drc_clean_total DRC-clean materialized clips.");
-    line("# TYPE dp_bundle_drc_clean_total counter");
-    bundleCounter("dp_bundle_drc_clean_total", &BundleStats::drcClean);
-    line("# HELP dp_bundle_drc_clean_fraction DRC-clean / solved clips.");
-    line("# TYPE dp_bundle_drc_clean_fraction gauge");
-    for (const auto& [bundle, stats] : bundles_) {
-      const double frac =
-          stats.solved > 0 ? static_cast<double>(stats.drcClean) /
-                                 static_cast<double>(stats.solved)
-                           : 0.0;
-      line("dp_bundle_drc_clean_fraction{bundle=\"" + bundle + "\"} " +
-           num(frac));
-    }
+  line("# HELP dp_requests_total HTTP requests by route and status.");
+  line("# TYPE dp_requests_total counter");
+  for (const auto& [key, count] : requests)
+    line("dp_requests_total{route=\"" + key.first + "\",status=\"" +
+         std::to_string(key.second) + "\"} " + std::to_string(count));
+
+  line("# HELP dp_bundle_requests_total Generate requests per bundle.");
+  line("# TYPE dp_bundle_requests_total counter");
+  const auto bundleCounter = [&](const std::string& name,
+                                 std::uint64_t BundleStats::*field) {
+    for (const auto& [bundle, stats] : bundles)
+      line(name + "{bundle=\"" + bundle + "\"} " +
+           std::to_string(stats.*field));
+  };
+  bundleCounter("dp_bundle_requests_total", &BundleStats::requests);
+  line("# HELP dp_bundle_generated_total Topologies decoded per bundle.");
+  line("# TYPE dp_bundle_generated_total counter");
+  bundleCounter("dp_bundle_generated_total", &BundleStats::generated);
+  line("# HELP dp_bundle_legal_total Legal topologies per bundle.");
+  line("# TYPE dp_bundle_legal_total counter");
+  bundleCounter("dp_bundle_legal_total", &BundleStats::legal);
+  line("# HELP dp_bundle_unique_total Unique legal patterns per bundle.");
+  line("# TYPE dp_bundle_unique_total counter");
+  bundleCounter("dp_bundle_unique_total", &BundleStats::unique);
+  line("# HELP dp_bundle_solved_total Materialized Eq.10 solves.");
+  line("# TYPE dp_bundle_solved_total counter");
+  bundleCounter("dp_bundle_solved_total", &BundleStats::solved);
+  line("# HELP dp_bundle_drc_clean_total DRC-clean materialized clips.");
+  line("# TYPE dp_bundle_drc_clean_total counter");
+  bundleCounter("dp_bundle_drc_clean_total", &BundleStats::drcClean);
+  line("# HELP dp_bundle_drc_clean_fraction DRC-clean / solved clips.");
+  line("# TYPE dp_bundle_drc_clean_fraction gauge");
+  for (const auto& [bundle, stats] : bundles) {
+    const double frac =
+        stats.solved > 0 ? static_cast<double>(stats.drcClean) /
+                               static_cast<double>(stats.solved)
+                         : 0.0;
+    line("dp_bundle_drc_clean_fraction{bundle=\"" + bundle + "\"} " +
+         num(frac));
   }
 
   line("# HELP dp_queue_depth Pending generate requests.");

@@ -11,9 +11,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace dp::serve {
 
@@ -63,8 +64,10 @@ class Metrics {
  public:
   Metrics();
 
-  void countRequest(const std::string& route, int status);
-  void recordBundle(const std::string& bundle, const BundleStats& delta);
+  void countRequest(const std::string& route, int status)
+      DP_EXCLUDES(mutex_);
+  void recordBundle(const std::string& bundle, const BundleStats& delta)
+      DP_EXCLUDES(mutex_);
 
   void setQueueDepth(long depth) {
     queueDepth_.store(depth, std::memory_order_relaxed);
@@ -80,16 +83,18 @@ class Metrics {
   }
   [[nodiscard]] const Histogram& latencyMs() const { return latencyMs_; }
 
-  [[nodiscard]] std::uint64_t requestsTotal() const;
-  [[nodiscard]] std::uint64_t errorsTotal() const;
+  [[nodiscard]] std::uint64_t requestsTotal() const DP_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t errorsTotal() const DP_EXCLUDES(mutex_);
 
   /// Prometheus text exposition format (version 0.0.4).
-  [[nodiscard]] std::string renderPrometheus() const;
+  [[nodiscard]] std::string renderPrometheus() const
+      DP_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::pair<std::string, int>, std::uint64_t> requests_;
-  std::map<std::string, BundleStats> bundles_;
+  mutable Mutex mutex_;
+  std::map<std::pair<std::string, int>, std::uint64_t> requests_
+      DP_GUARDED_BY(mutex_);
+  std::map<std::string, BundleStats> bundles_ DP_GUARDED_BY(mutex_);
   std::atomic<long> queueDepth_{0};
   Histogram batchOccupancy_;
   Histogram latencyMs_;

@@ -1,0 +1,14 @@
+// dp-lint fixture: the same intrinsics are fine inside a *_avx2.cpp
+// translation unit (the dispatch-gated home for ISA-specific code).
+// dp-lint-path: src/tensor/fake_kernel_avx2.cpp
+// dp-lint-expect: none
+#include <immintrin.h>
+
+float horizontalAdd(const float* p) {
+  __m256 v = _mm256_loadu_ps(p);
+  float lanes[8];
+  _mm256_storeu_ps(lanes, v);
+  float s = 0.0F;
+  for (float lane : lanes) s += lane;
+  return s;
+}

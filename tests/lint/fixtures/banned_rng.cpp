@@ -1,0 +1,20 @@
+// dp-lint fixture: every banned randomness source in src/ scope.
+// dp-lint-path: src/fake/banned_rng.cpp
+// dp-lint-expect: DP001 DP001 DP001 DP001 DP001
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int unseededDraw() { return std::rand(); }
+
+void wallClockSeed() {
+  std::srand(42);
+  srand(static_cast<unsigned>(time(nullptr)));
+}
+
+unsigned entropySeed() {
+  std::random_device rd;  // nondeterministic: banned in src/
+  return rd();
+}
+
+// Mentioning std::rand or time( in a comment must NOT fire.

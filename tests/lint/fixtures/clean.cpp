@@ -1,0 +1,26 @@
+// dp-lint fixture: idiomatic repo code — dp::Rng for randomness,
+// dp::Mutex wrappers for locking, ordered containers for enumeration.
+// Must produce no findings.
+// dp-lint-path: src/fake/clean.cpp
+// dp-lint-expect: none
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/sync.hpp"
+
+struct Registry {
+  mutable dp::Mutex mutex;
+  std::map<std::uint64_t, std::string> byHash DP_GUARDED_BY(mutex);
+
+  std::size_t size() const {
+    dp::LockGuard lock(mutex);
+    return byHash.size();
+  }
+};
+
+int draw(std::uint64_t seed) {
+  dp::Rng rng(seed);
+  return rng.uniformInt(0, 255);
+}

@@ -1,0 +1,19 @@
+// dp-lint fixture: raw standard sync primitives outside sync.hpp.
+// Five findings: the lock_guard line carries two (the guard template
+// and its std::mutex argument).
+// dp-lint-path: src/fake/raw_sync.cpp
+// dp-lint-expect: DP002 DP002 DP002 DP002 DP002
+#include <condition_variable>
+#include <mutex>
+
+std::mutex gMutex;
+std::condition_variable gCv;
+
+void locked() {
+  std::lock_guard<std::mutex> lock(gMutex);
+}
+
+void waiting() {
+  std::unique_lock lock(gMutex);
+  gCv.wait(lock);
+}

@@ -1,0 +1,14 @@
+// dp-lint fixture: AVX2 surface leaking out of a *_avx2.cpp TU — the
+// include, the vector type, and both intrinsic calls each fire.
+// dp-lint-path: src/fake/stray_intrinsics.cpp
+// dp-lint-expect: DP005 DP005 DP005 DP005
+#include <immintrin.h>
+
+float horizontalAdd(const float* p) {
+  __m256 v = _mm256_loadu_ps(p);
+  float lanes[8];
+  _mm256_storeu_ps(lanes, v);
+  float s = 0.0F;
+  for (float lane : lanes) s += lane;
+  return s;
+}

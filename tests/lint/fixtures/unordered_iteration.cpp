@@ -1,0 +1,33 @@
+// dp-lint fixture: unordered-container iteration in src/ scope. Two
+// violations (range-for and explicit begin()); the justified loop and
+// the point lookup are clean.
+// dp-lint-path: src/fake/unordered_iteration.cpp
+// dp-lint-expect: DP004 DP004
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Index {
+  std::unordered_map<std::uint64_t, std::string> byHash_;
+  std::unordered_set<std::uint64_t> seen_;
+
+  int enumerate() const {
+    int n = 0;
+    for (const auto& [hash, name] : byHash_) n += name.empty() ? 0 : 1;
+    return n;
+  }
+
+  bool anySeen() const { return seen_.begin() != seen_.end(); }
+
+  // Order-insensitive reduction: justified, must not fire.
+  std::size_t total() const {
+    std::size_t sum = 0;
+    // dp-lint: ordered
+    for (const auto& [hash, name] : byHash_) sum += name.size();
+    return sum;
+  }
+
+  // Point lookup, not iteration: clean.
+  bool contains(std::uint64_t h) const { return byHash_.count(h) > 0; }
+};

@@ -9,12 +9,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/thread_pool.hpp"
 #include "core/flows.hpp"
 #include "core/pipeline.hpp"
@@ -72,10 +72,10 @@ TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
 TEST(ThreadPool, ChunkBoundariesIndependentOfThreadCount) {
   auto chunksAt = [](int threads) {
     ThreadPool pool(threads);
-    std::mutex m;
+    dp::Mutex m;
     std::set<std::pair<long, long>> chunks;
     pool.parallelFor(103, 10, [&](long b, long e) {
-      const std::lock_guard<std::mutex> lock(m);
+      const dp::LockGuard lock(m);
       chunks.emplace(b, e);
     });
     return chunks;

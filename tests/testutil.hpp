@@ -32,19 +32,26 @@ namespace dp::test {
 /// setting into later tests.
 class ScopedDpThreads {
  public:
+  // getenv/setenv are concurrency-mt-unsafe, but gtest runs tests in a
+  // single thread and nothing else mutates the environment.
   explicit ScopedDpThreads(int threads) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* old = std::getenv("DP_THREADS")) {
       hadOld_ = true;
       old_ = old;
     }
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     ::setenv("DP_THREADS", std::to_string(threads).c_str(), 1);
     ThreadPool::setGlobalThreads(threads);
   }
   ~ScopedDpThreads() {
-    if (hadOld_)
+    if (hadOld_) {
+      // NOLINTNEXTLINE(concurrency-mt-unsafe)
       ::setenv("DP_THREADS", old_.c_str(), 1);
-    else
+    } else {
+      // NOLINTNEXTLINE(concurrency-mt-unsafe)
       ::unsetenv("DP_THREADS");
+    }
     ThreadPool::setGlobalThreads(ThreadPool::defaultThreads());
   }
   ScopedDpThreads(const ScopedDpThreads&) = delete;

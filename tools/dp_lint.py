@@ -1,0 +1,395 @@
+#!/usr/bin/env python3
+"""dp-lint — repo-invariant linter for the DeePattern codebase.
+
+Enforces the project rules that generic tools (clang-tidy, the Clang
+thread-safety analysis) cannot express, because they are contracts of
+THIS repo rather than of C++:
+
+  DP001 banned-rng          src/ must draw randomness from dp::Rng only.
+                            std::rand/srand, std::random_device and
+                            time()-style seeding break seeded bit-exact
+                            reproducibility.
+  DP002 raw-sync            std::mutex / std::lock_guard /
+                            std::unique_lock / std::condition_variable
+                            and friends may appear only in
+                            src/common/sync.hpp. Everything else uses
+                            the dp::Mutex wrappers so the Clang
+                            thread-safety analysis sees every lock.
+  DP003 banned-flags        -march=native and -ffast-math must never
+                            reappear in the build: the first breaks the
+                            one-binary-any-host dispatch contract, the
+                            second breaks bit-exact float determinism.
+  DP004 unordered-iteration Iterating a std::unordered_* container in
+                            src/ is hash-table-layout-dependent and
+                            therefore platform-dependent. Output-
+                            affecting paths must iterate ordered
+                            containers; a deliberate order-insensitive
+                            iteration is allowed with a
+                            `// dp-lint: ordered` justification on the
+                            same line or the line above.
+  DP005 avx2-confinement    AVX2 intrinsics (and <immintrin.h>) are
+                            allowed only in *_avx2.cpp translation
+                            units, which are the only TUs built with
+                            -mavx2 and only entered behind the runtime
+                            cpuid dispatch.
+
+Usage:
+  dp_lint.py [--root DIR]     scan the repository (default: cwd)
+  dp_lint.py --self-test      run the rule engine against the fixture
+                              files in tests/lint/fixtures and verify
+                              each detects exactly what its
+                              `// dp-lint-expect:` header declares
+
+Exit status 0 when clean, 1 on any finding (or self-test mismatch).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+SOURCE_EXTS = (".cpp", ".hpp", ".h", ".cc")
+# Fixture files deliberately violate the rules; never scan them as repo
+# code.
+EXCLUDED = ("tests/lint/fixtures",)
+
+ESCAPE_ORDERED = "dp-lint: ordered"
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure so findings keep real line numbers. Escape-hatch comments
+    are matched against the ORIGINAL text, not this stripped view."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def has_escape(raw_lines: list[str], line: int, escape: str) -> bool:
+    """True when `escape` appears on `line` (1-based) or the line
+    above it in the original (unstripped) file."""
+    for ln in (line, line - 1):
+        if 1 <= ln <= len(raw_lines) and escape in raw_lines[ln - 1]:
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Rules. Each takes (relpath, raw text, stripped text) and yields
+# Findings. `relpath` uses forward slashes relative to the repo root.
+# --------------------------------------------------------------------------
+
+RE_BANNED_RNG = re.compile(
+    r"\bstd::rand\b|\bstd::srand\b|(?<![\w:])srand\s*\(|"
+    r"\bstd::random_device\b|\bstd::time\s*\(|(?<![\w:.>])time\s*\("
+)
+
+
+def rule_banned_rng(relpath: str, raw: str, stripped: str):
+    if not relpath.startswith("src/"):
+        return
+    for m in RE_BANNED_RNG.finditer(stripped):
+        yield Finding(
+            relpath, line_of(stripped, m.start()), "DP001",
+            f"banned RNG/seed source `{m.group(0).strip()}` — src/ must "
+            "use dp::Rng with an explicit seed",
+        )
+
+
+RE_RAW_SYNC = re.compile(
+    r"\bstd::(mutex|recursive_mutex|recursive_timed_mutex|timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b"
+)
+
+
+def rule_raw_sync(relpath: str, raw: str, stripped: str):
+    if relpath == "src/common/sync.hpp":
+        return  # the one place the std primitives are allowed
+    for m in RE_RAW_SYNC.finditer(stripped):
+        yield Finding(
+            relpath, line_of(stripped, m.start()), "DP002",
+            f"raw `{m.group(0)}` — use dp::Mutex/LockGuard/UniqueLock/"
+            "CondVar from common/sync.hpp so the thread-safety analysis "
+            "sees the lock",
+        )
+
+
+RE_BANNED_FLAGS = re.compile(r"-march=native|-ffast-math")
+
+
+def rule_banned_flags(relpath: str, raw: str, stripped: str):
+    base = os.path.basename(relpath)
+    if base != "CMakeLists.txt" and not base.endswith(".cmake"):
+        return
+    for i, line in enumerate(raw.splitlines(), start=1):
+        for m in RE_BANNED_FLAGS.finditer(line):
+            yield Finding(
+                relpath, i, "DP003",
+                f"banned compiler flag `{m.group(0)}` — breaks the "
+                "portable-dispatch / bit-determinism contract",
+            )
+
+
+RE_UNORDERED_DECL = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<"
+)
+
+
+def _unordered_names(stripped: str) -> set[str]:
+    """Identifiers declared with a std::unordered_* type in this file
+    (handles multi-line declarations and nested template arguments)."""
+    names = set()
+    for m in RE_UNORDERED_DECL.finditer(stripped):
+        depth, i = 1, m.end()
+        while i < len(stripped) and depth > 0:
+            if stripped[i] == "<":
+                depth += 1
+            elif stripped[i] == ">":
+                depth -= 1
+            i += 1
+        ident = re.match(r"\s*&?\s*(\w+)\s*[;={(,)]", stripped[i:])
+        if ident:
+            names.add(ident.group(1))
+    return names
+
+
+def rule_unordered_iteration(relpath: str, raw: str, stripped: str):
+    if not relpath.startswith("src/"):
+        return
+    names = _unordered_names(stripped)
+    if not names:
+        return
+    raw_lines = raw.splitlines()
+    # Range-for over a declared unordered container, or explicit
+    # begin()-family iteration on one.
+    patterns = [
+        re.compile(r"for\s*\([^;)]*?:\s*(\w+)\s*\)"),
+        re.compile(r"\b(\w+)\s*\.\s*(?:c?r?begin)\s*\("),
+    ]
+    for pat in patterns:
+        for m in pat.finditer(stripped):
+            name = m.group(1)
+            if name not in names:
+                continue
+            line = line_of(stripped, m.start())
+            if has_escape(raw_lines, line, ESCAPE_ORDERED):
+                continue
+            yield Finding(
+                relpath, line, "DP004",
+                f"iteration over unordered container `{name}` — "
+                "enumeration order is platform-dependent; use an ordered "
+                "container or justify with `// dp-lint: ordered`",
+            )
+
+
+RE_AVX2 = re.compile(r"\b_mm\d*_\w+\s*\(|\b__m(?:128|256|512)i?d?\b|immintrin\.h")
+
+
+def rule_avx2_confinement(relpath: str, raw: str, stripped: str):
+    if os.path.basename(relpath).endswith("_avx2.cpp"):
+        return
+    # `#include <immintrin.h>` survives stripping (angle brackets are
+    # code); the quoted-include form is blanked as a string literal, so
+    # it gets its own raw-text scan below.
+    for m in RE_AVX2.finditer(stripped):
+        yield Finding(
+            relpath, line_of(stripped, m.start()), "DP005",
+            f"AVX2/SSE intrinsic surface `{m.group(0).strip()}` outside "
+            "a *_avx2.cpp TU — ISA-specific code must stay behind the "
+            "runtime dispatch boundary",
+        )
+    for i, line in enumerate(raw.splitlines(), start=1):
+        if re.search(r'#\s*include\s*"[^"]*immintrin\.h"', line):
+            yield Finding(
+                relpath, i, "DP005",
+                "immintrin.h include outside a *_avx2.cpp TU",
+            )
+
+
+RULES = [
+    rule_banned_rng,
+    rule_raw_sync,
+    rule_banned_flags,
+    rule_unordered_iteration,
+    rule_avx2_confinement,
+]
+
+
+def lint_text(relpath: str, raw: str) -> list[Finding]:
+    stripped = strip_comments_and_strings(raw)
+    findings: list[Finding] = []
+    for rule in RULES:
+        findings.extend(rule(relpath, raw, stripped))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def iter_repo_files(root: str):
+    for top in SCAN_DIRS:
+        base = os.path.join(root, top)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            rel = os.path.relpath(dirpath, root).replace(os.sep, "/")
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not any(f"{rel}/{d}".startswith(e) for e in EXCLUDED)
+            )
+            for name in sorted(filenames):
+                relpath = f"{rel}/{name}"
+                if any(relpath.startswith(e) for e in EXCLUDED):
+                    continue
+                if name.endswith(SOURCE_EXTS) or name == "CMakeLists.txt" \
+                        or name.endswith(".cmake"):
+                    yield relpath
+    # The top-level build file is outside SCAN_DIRS but carries the
+    # flag invariants.
+    if os.path.isfile(os.path.join(root, "CMakeLists.txt")):
+        yield "CMakeLists.txt"
+
+
+def scan_repo(root: str) -> int:
+    findings: list[Finding] = []
+    for relpath in iter_repo_files(root):
+        with open(os.path.join(root, relpath), encoding="utf-8") as fh:
+            raw = fh.read()
+        findings.extend(lint_text(relpath, raw))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"dp-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("dp-lint: clean")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Self-test over the fixture corpus.
+# --------------------------------------------------------------------------
+
+RE_EXPECT = re.compile(r"//\s*dp-lint-expect:\s*(.*)")
+RE_PATH = re.compile(r"//\s*dp-lint-path:\s*(\S+)")
+
+
+def self_test(root: str) -> int:
+    fixture_dir = os.path.join(root, "tests", "lint", "fixtures")
+    if not os.path.isdir(fixture_dir):
+        print(f"dp-lint: no fixture dir at {fixture_dir}", file=sys.stderr)
+        return 1
+    failures = 0
+    names = sorted(os.listdir(fixture_dir))
+    for name in names:
+        path = os.path.join(fixture_dir, name)
+        if not os.path.isfile(path):
+            continue
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+        mpath = RE_PATH.search(raw)
+        mexpect = RE_EXPECT.search(raw)
+        if not mpath or not mexpect:
+            print(f"FAIL {name}: missing dp-lint-path / dp-lint-expect "
+                  "header")
+            failures += 1
+            continue
+        expected = sorted(mexpect.group(1).split())
+        if expected == ["none"]:
+            expected = []
+        got = sorted(f.rule for f in lint_text(mpath.group(1), raw))
+        if got == expected:
+            print(f"ok   {name}: {' '.join(got) or 'clean'}")
+        else:
+            print(f"FAIL {name}: expected [{' '.join(expected)}] "
+                  f"got [{' '.join(got)}]")
+            for f in lint_text(mpath.group(1), raw):
+                print(f"       {f}")
+            failures += 1
+    if failures:
+        print(f"dp-lint self-test: {failures} fixture(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"dp-lint self-test: {len(names)} fixture(s) ok")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the rule engine against the fixtures")
+    args = ap.parse_args()
+    root = os.path.abspath(args.root)
+    if args.self_test:
+        return self_test(root)
+    return scan_repo(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
