@@ -9,6 +9,13 @@
 //
 //   serve_load --clients 8 --requests 4 --count 64 --steps 300
 //              --clips 60 [--latency-json out.json]
+//
+// Chaos mode: when DP_FAULTS is set in the environment (see
+// src/common/fault.hpp) the injected faults make individual exchanges
+// fail by design, so clients additionally retry dropped connections
+// (status 0) and sheds (503), and the exact client-vs-server counter
+// cross-checks relax to inequalities — a send-side fault can lose a
+// response the server already counted as a 200.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -18,6 +25,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -35,6 +43,7 @@ namespace {
 struct HttpReply {
   int status = 0;
   std::string body;
+  bool complete = false;  // body length matches the Content-Length header
 };
 
 /// One-shot HTTP exchange (Connection: close) against 127.0.0.1:port.
@@ -75,7 +84,14 @@ HttpReply httpCall(int port, const std::string& method,
   if (raw.rfind("HTTP/1.1 ", 0) == 0)
     reply.status = std::atoi(raw.c_str() + 9);
   const std::size_t split = raw.find("\r\n\r\n");
-  if (split != std::string::npos) reply.body = raw.substr(split + 4);
+  if (split != std::string::npos) {
+    reply.body = raw.substr(split + 4);
+    const std::size_t cl = raw.find("Content-Length: ");
+    if (cl != std::string::npos && cl < split)
+      reply.complete =
+          reply.body.size() ==
+          static_cast<std::size_t>(std::atol(raw.c_str() + cl + 16));
+  }
   return reply;
 }
 
@@ -110,6 +126,8 @@ int main(int argc, char** argv) {
   const int clips = static_cast<int>(args.getLong("clips", 60));
   const auto seed =
       static_cast<std::uint64_t>(args.getLong("seed", 2019));
+  const char* faultSpec = std::getenv("DP_FAULTS");
+  const bool chaos = faultSpec != nullptr && faultSpec[0] != '\0';
 
   dp::bench::printHeader(
       "serve_load: closed-loop serving benchmark",
@@ -118,7 +136,8 @@ int main(int argc, char** argv) {
        {"count/request", std::to_string(count)},
        {"tcae-steps", std::to_string(steps)},
        {"clips", std::to_string(clips)},
-       {"seed", std::to_string(seed)}});
+       {"seed", std::to_string(seed)},
+       {"chaos", chaos ? faultSpec : "off"}});
 
   // Train a small bundle in-process.
   dp::Rng rng(seed);
@@ -168,7 +187,10 @@ int main(int argc, char** argv) {
           const auto start = std::chrono::steady_clock::now();
           const HttpReply reply =
               httpCall(port, "POST", "/generate", payload);
-          if (reply.status == 429 && attempt < 50) {
+          const bool retryable =
+              reply.status == 429 ||
+              (chaos && (reply.status == 0 || reply.status == 503));
+          if (retryable && attempt < 50) {
             ++retried;
             std::this_thread::sleep_for(std::chrono::milliseconds(50));
             continue;
@@ -186,6 +208,12 @@ int main(int argc, char** argv) {
             const dp::io::Json res = dp::io::Json::parse(reply.body);
             generatedTotal += res.at("generated").asLong();
           } catch (const std::exception& e) {
+            // An injected send fault can cut a 200 short mid-body.
+            if (chaos && attempt < 50) {
+              ++retried;
+              std::this_thread::sleep_for(std::chrono::milliseconds(20));
+              continue;
+            }
             ++errors;
             std::cerr << "bad response body: " << e.what() << "\n";
             break;
@@ -203,8 +231,19 @@ int main(int argc, char** argv) {
   const double totalSec =
       std::chrono::duration<double>(total).count();
 
-  // Cross-check the server's own accounting before shutdown.
-  const HttpReply metrics = httpCall(port, "GET", "/metrics", "");
+  // Cross-check the server's own accounting before shutdown. Under
+  // chaos the metrics exchange itself can hit an injected fault (drop
+  // the connection or truncate the page mid-body), so retry until a
+  // complete page arrives.
+  const auto metricsComplete = [](const HttpReply& r) {
+    return r.status == 200 && r.complete;
+  };
+  HttpReply metrics = httpCall(port, "GET", "/metrics", "");
+  for (int attempt = 0; chaos && !metricsComplete(metrics) && attempt < 50;
+       ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    metrics = httpCall(port, "GET", "/metrics", "");
+  }
   const double served = metricValue(
       metrics.body, "dp_requests_total{route=\"/generate\",status=\"200\"}");
   const double occCount = metricValue(metrics.body,
@@ -232,15 +271,31 @@ int main(int argc, char** argv) {
     std::cerr << "FAIL: errored requests\n";
     failed = true;
   }
-  if (static_cast<long>(served) != ok.load()) {
-    std::cerr << "FAIL: /metrics 200-count " << served
-              << " != client count " << ok.load() << "\n";
-    failed = true;
-  }
-  if (static_cast<long>(bundleGenerated) != generatedTotal.load()) {
-    std::cerr << "FAIL: /metrics generated " << bundleGenerated
-              << " != client total " << generatedTotal.load() << "\n";
-    failed = true;
+  if (chaos) {
+    // Send-side faults can drop a response the server already counted,
+    // so the server may legitimately have seen more 200s than the
+    // clients did — but never fewer.
+    if (static_cast<long>(served) < ok.load()) {
+      std::cerr << "FAIL: /metrics 200-count " << served
+                << " < client count " << ok.load() << "\n";
+      failed = true;
+    }
+    if (static_cast<long>(bundleGenerated) < generatedTotal.load()) {
+      std::cerr << "FAIL: /metrics generated " << bundleGenerated
+                << " < client total " << generatedTotal.load() << "\n";
+      failed = true;
+    }
+  } else {
+    if (static_cast<long>(served) != ok.load()) {
+      std::cerr << "FAIL: /metrics 200-count " << served
+                << " != client count " << ok.load() << "\n";
+      failed = true;
+    }
+    if (static_cast<long>(bundleGenerated) != generatedTotal.load()) {
+      std::cerr << "FAIL: /metrics generated " << bundleGenerated
+                << " != client total " << generatedTotal.load() << "\n";
+      failed = true;
+    }
   }
 
   if (args.has("latency-json")) {

@@ -5,13 +5,18 @@
 //                          [--guide gan|vae] [--seed S]
 //   deepattern_serve serve --bundles bundles [--host 127.0.0.1]
 //                          [--port 8080] [--queue 64] [--batch 128]
-//                          [--threads N]
+//                          [--threads N] [--send-timeout S]
 //
 // `build` trains a complete model bundle (TCAE + sensitivity + source
 // latents + optional guide) from a synthetic benchmark library and
 // writes the bundle directory. `serve` loads every bundle under
 // --bundles and exposes POST /generate, GET /healthz, GET /bundles and
-// GET /metrics. See the README quickstart for a sample curl session.
+// GET /metrics. A partially corrupt bundle root starts the server in
+// the `degraded` health state with the readable bundles, rather than
+// refusing to start; it refuses only when nothing loads. Setting
+// DP_FAULTS=<site>:<seed>:<rate>[,...] arms deterministic fault
+// injection (src/common/fault.hpp) — armed sites are echoed at
+// startup. See the README quickstart for a sample curl session.
 
 #include <csignal>
 #include <cstdlib>
@@ -20,6 +25,9 @@
 #include <map>
 #include <string>
 
+#include <vector>
+
+#include "common/fault.hpp"
 #include "common/thread_pool.hpp"
 #include "datagen/generator.hpp"
 #include "serve/server.hpp"
@@ -56,7 +64,8 @@ int usage() {
       "  build --spec directprint1..5 --out DIR [--name NAME]\n"
       "        [--clips N] [--steps T] [--guide gan|vae] [--seed S]\n"
       "  serve --bundles DIR [--host H] [--port P] [--queue N]\n"
-      "        [--active N] [--batch N] [--threads N]\n";
+      "        [--active N] [--batch N] [--threads N]\n"
+      "        [--send-timeout S] [--recv-timeout S]\n";
   return 2;
 }
 
@@ -120,13 +129,20 @@ int runServe(const ArgMap& args) {
   config.batcher.maxActive = std::atoi(get(args, "active", "8").c_str());
   config.batcher.decodeBatch =
       std::atoi(get(args, "batch", "128").c_str());
+  if (const std::string t = get(args, "send-timeout", ""); !t.empty())
+    config.http.sendTimeoutSec = std::atoi(t.c_str());
+  if (const std::string t = get(args, "recv-timeout", ""); !t.empty())
+    config.http.recvTimeoutSec = std::atoi(t.c_str());
 
   dp::serve::PatternServer server(config);
   const std::string bundles = get(args, "bundles", "");
   if (bundles.empty()) return usage();
-  const int loaded = server.registry().loadDirectory(bundles);
+  std::vector<std::string> loadErrors;
+  const int loaded = server.loadBundles(bundles, &loadErrors);
+  for (const auto& err : loadErrors)
+    std::cerr << "bundle skipped: " << err << "\n";
   if (loaded == 0) {
-    std::cerr << "no bundles found under " << bundles << "\n";
+    std::cerr << "no loadable bundles under " << bundles << "\n";
     return 1;
   }
   for (const auto& bundle : server.registry().list())
@@ -140,6 +156,14 @@ int runServe(const ArgMap& args) {
   server.start();
   std::cout << "serving on " << config.http.host << ":" << server.port()
             << " — POST /generate, GET /healthz /bundles /metrics\n";
+  std::cout << "health: "
+            << dp::serve::PatternServer::healthName(server.health())
+            << "\n";
+  if (dp::faults::anyArmed()) {
+    const char* spec = std::getenv("DP_FAULTS");
+    std::cout << "fault injection armed: " << (spec ? spec : "(programmatic)")
+              << "\n";
+  }
   while (!gStop) {
     timespec ts{0, 100 * 1000 * 1000};
     nanosleep(&ts, nullptr);

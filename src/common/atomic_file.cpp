@@ -1,0 +1,165 @@
+#include "common/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/fault.hpp"
+
+namespace dp {
+
+namespace {
+
+const std::array<std::uint32_t, 256>& crcTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1U) ? 0xedb88320U ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+[[noreturn]] void fail(const std::string& what, const std::string& path,
+                       int err) {
+  // Errno formatting on a cold error path; no concurrent strerror
+  // callers matter for the message text.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* msg = std::strerror(err);
+  throw std::runtime_error("AtomicFileWriter: " + what + ": " + path +
+                           ": " + msg);
+}
+
+/// Full write() loop with EINTR retry.
+bool writeAll(int fd, const char* data, std::size_t bytes) {
+  std::size_t done = 0;
+  while (done < bytes) {
+    const ssize_t n = ::write(fd, data + done, bytes - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// fsync the directory containing `path` so the rename itself is
+/// durable. Best-effort: some filesystems reject directory fsync.
+void fsyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::uint32_t crc32Update(std::uint32_t crc, const void* data,
+                          std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& table = crcTable();
+  crc ^= 0xffffffffU;
+  for (std::size_t i = 0; i < bytes; ++i)
+    crc = table[(crc ^ p[i]) & 0xffU] ^ (crc >> 8);
+  return crc ^ 0xffffffffU;
+}
+
+std::uint32_t crc32(std::string_view data) {
+  return crc32Update(0, data.data(), data.size());
+}
+
+std::uint32_t crc32File(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail("cannot open for checksum", path, errno);
+  std::uint32_t crc = 0;
+  char chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      fail("read failed during checksum", path, err);
+    }
+    if (n == 0) break;
+    crc = crc32Update(crc, chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return crc;
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)) {}
+
+AtomicFileWriter::~AtomicFileWriter() = default;
+
+void AtomicFileWriter::append(const void* data, std::size_t bytes) {
+  buffer_.append(static_cast<const char*>(data), bytes);
+}
+
+void AtomicFileWriter::append(std::string_view text) {
+  buffer_.append(text);
+}
+
+std::uint32_t AtomicFileWriter::commit() {
+  if (committed_)
+    throw std::logic_error("AtomicFileWriter: double commit: " + path_);
+  committed_ = true;
+
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp =
+      path_ + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+
+  static FaultSite writeFault("io.atomic.write");
+  static FaultSite fsyncFault("io.atomic.fsync");
+  static FaultSite renameFault("io.atomic.rename");
+
+  const int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail("cannot open temp file", tmp, errno);
+  const auto cleanupAndFail = [&fd, &tmp](const std::string& what,
+                                          int err) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail(what, tmp, err);
+  };
+  if (writeFault.shouldFail()) cleanupAndFail("injected write fault", EIO);
+  if (!writeAll(fd, buffer_.data(), buffer_.size()))
+    cleanupAndFail("write failed", errno);
+  if (fsyncFault.shouldFail()) cleanupAndFail("injected fsync fault", EIO);
+  if (::fsync(fd) < 0) cleanupAndFail("fsync failed", errno);
+  if (::close(fd) < 0) {
+    ::unlink(tmp.c_str());
+    fail("close failed", tmp, errno);
+  }
+  if (renameFault.shouldFail()) {
+    ::unlink(tmp.c_str());
+    fail("injected rename fault", path_, EIO);
+  }
+  if (::rename(tmp.c_str(), path_.c_str()) < 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail("rename failed", path_, err);
+  }
+  fsyncParentDir(path_);
+  return crc32(buffer_);
+}
+
+}  // namespace dp

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file atomic_file.hpp
+/// Crash-safe file replacement and CRC32 content checksums — the
+/// durability half of the robustness substrate (DESIGN.md §11). Every
+/// checkpoint-shaped write in the repo (nn tensors, bundle manifests)
+/// goes through AtomicFileWriter: the payload is staged in memory,
+/// written to a sibling temp file, fsync'd, and atomically renamed
+/// onto the destination (then the parent directory is fsync'd), so a
+/// crash at any instant leaves either the complete old file or the
+/// complete new file — never a torn mix. tools/dp_lint.py rule DP006
+/// bans raw std::ofstream writes in the checkpoint-bearing modules.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dp {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG convention).
+[[nodiscard]] std::uint32_t crc32Update(std::uint32_t crc,
+                                        const void* data,
+                                        std::size_t bytes);
+[[nodiscard]] std::uint32_t crc32(std::string_view data);
+
+/// Streaming CRC-32 of a file's contents. Throws std::runtime_error
+/// when the file cannot be read.
+[[nodiscard]] std::uint32_t crc32File(const std::string& path);
+
+/// Stages a file payload in memory and commits it with
+/// write-temp + fsync + atomic-rename semantics. If the writer is
+/// destroyed without commit() (e.g. an exception unwinds past it), the
+/// temp file is removed and the destination is untouched.
+///
+/// Fault sites (see common/fault.hpp): io.atomic.write,
+/// io.atomic.fsync, io.atomic.rename.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  void append(const void* data, std::size_t bytes);
+  void append(std::string_view text);
+
+  /// Durably publishes the staged payload to path(). Throws
+  /// std::runtime_error on any I/O failure (the destination is left in
+  /// its previous state). Returns the CRC-32 of the written payload.
+  /// Calling commit() twice is an error.
+  std::uint32_t commit();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::string path_;
+  std::string buffer_;
+  bool committed_ = false;
+};
+
+}  // namespace dp

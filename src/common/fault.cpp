@@ -1,0 +1,239 @@
+#include "common/fault.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/sync.hpp"
+
+namespace dp {
+
+namespace {
+
+/// splitmix64: one multiply-xor-shift chain per draw. The N-th
+/// decision at a site hashes (seed + N), so it is independent of every
+/// other draw and of which thread made the call.
+std::uint64_t splitmix64(std::uint64_t x) {
+  std::uint64_t z = x + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kAlwaysFire = ~0ULL;
+
+}  // namespace
+
+/// Shared per-site state. Entries are created on first arm() or
+/// FaultSite construction and never destroyed (the registry owns them
+/// for the process lifetime), so raw State* handles stay valid.
+struct FaultSite::State {
+  std::string name;
+  // Fire when splitmix64(seed + call) < threshold; 0 = disarmed,
+  // kAlwaysFire = unconditional.
+  std::atomic<std::uint64_t> threshold{0};
+  std::atomic<std::uint64_t> seed{0};
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> fires{0};
+};
+
+namespace {
+
+/// Global site registry. armedCount is the disabled-path gate: when it
+/// is zero every shouldFail() returns false after one relaxed load,
+/// without touching the map or any per-site state.
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry reg;
+    return reg;
+  }
+
+  FaultSite::State* resolve(const std::string& name)
+      DP_EXCLUDES(mutex_) {
+    loadEnvOnce();
+    LockGuard lock(mutex_);
+    return &stateLocked(name);
+  }
+
+  void arm(const std::string& name, std::uint64_t seed, double rate)
+      DP_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
+    FaultSite::State& s = stateLocked(name);
+    const bool wasArmed = s.threshold.load(std::memory_order_relaxed) != 0;
+    std::uint64_t threshold = 0;
+    if (rate >= 1.0) {
+      threshold = kAlwaysFire;
+    } else if (rate > 0.0) {
+      threshold = static_cast<std::uint64_t>(
+          rate * 18446744073709551616.0);  // rate * 2^64
+    }
+    s.seed.store(seed, std::memory_order_relaxed);
+    // Re-arming replays the sequence from call 0.
+    s.calls.store(0, std::memory_order_relaxed);
+    s.fires.store(0, std::memory_order_relaxed);
+    s.threshold.store(threshold, std::memory_order_release);
+    const bool isArmed = threshold != 0;
+    if (isArmed && !wasArmed)
+      armedCount_.fetch_add(1, std::memory_order_release);
+    else if (!isArmed && wasArmed)
+      armedCount_.fetch_sub(1, std::memory_order_release);
+  }
+
+  void disarmAll() DP_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
+    for (const auto& site : sites_)
+      site->threshold.store(0, std::memory_order_release);
+    armedCount_.store(0, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool anyArmed() const {
+    return armedCount_.load(std::memory_order_acquire) > 0;
+  }
+
+  [[nodiscard]] bool fastDisabled() const {
+    return armedCount_.load(std::memory_order_relaxed) == 0;
+  }
+
+  [[nodiscard]] std::map<std::string, FaultCounters> counters()
+      DP_EXCLUDES(mutex_) {
+    LockGuard lock(mutex_);
+    std::map<std::string, FaultCounters> out;
+    for (const auto& site : sites_) {
+      FaultCounters c;
+      c.calls = site->calls.load(std::memory_order_relaxed);
+      c.fires = site->fires.load(std::memory_order_relaxed);
+      out[site->name] = c;
+    }
+    return out;
+  }
+
+  void loadEnvOnce() {
+    // Parse DP_FAULTS at most once, before the first site resolves, so
+    // env-armed faults apply no matter which code path runs first.
+    std::call_once(envOnce_, [] {
+      // Read-only getenv on a startup path; no concurrent setenv in
+      // this process.
+      // NOLINTNEXTLINE(concurrency-mt-unsafe)
+      if (const char* env = std::getenv("DP_FAULTS"); env && *env)
+        faults::armFromSpec(env);
+    });
+  }
+
+ private:
+  FaultSite::State& stateLocked(const std::string& name)
+      DP_REQUIRES(mutex_) {
+    for (const auto& site : sites_)
+      if (site->name == name) return *site;
+    sites_.push_back(std::make_unique<FaultSite::State>());
+    sites_.back()->name = name;
+    return *sites_.back();
+  }
+
+  Mutex mutex_;
+  std::vector<std::unique_ptr<FaultSite::State>> sites_
+      DP_GUARDED_BY(mutex_);
+  std::atomic<int> armedCount_{0};
+  std::once_flag envOnce_;
+};
+
+}  // namespace
+
+FaultSite::FaultSite(const std::string& name)
+    : state_(Registry::instance().resolve(name)) {}
+
+bool FaultSite::shouldFail() {
+  if (Registry::instance().fastDisabled()) return false;
+  const std::uint64_t threshold =
+      state_->threshold.load(std::memory_order_acquire);
+  if (threshold == 0) return false;
+  const std::uint64_t index =
+      state_->calls.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seed =
+      state_->seed.load(std::memory_order_relaxed);
+  const bool fire = threshold == kAlwaysFire ||
+                    splitmix64(seed + index) < threshold;
+  if (fire) state_->fires.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+void FaultSite::orThrow() {
+  if (shouldFail()) throw FaultInjected(state_->name);
+}
+
+const std::string& FaultSite::name() const { return state_->name; }
+
+namespace faults {
+
+void arm(const std::string& site, std::uint64_t seed, double rate) {
+  Registry::instance().arm(site, seed, rate);
+}
+
+void disarm(const std::string& site) {
+  Registry::instance().arm(site, 0, 0.0);
+}
+
+void disarmAll() { Registry::instance().disarmAll(); }
+
+int armFromSpec(const std::string& spec) {
+  const auto bad = [&spec](const std::string& why) -> std::invalid_argument {
+    return std::invalid_argument("DP_FAULTS: " + why + " in \"" + spec +
+                                 "\" (want site:seed:rate[,...])");
+  };
+  int armed = 0;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t c1 = entry.find(':');
+    const std::size_t c2 =
+        c1 == std::string::npos ? std::string::npos
+                                : entry.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos || c1 == 0)
+      throw bad("malformed entry \"" + entry + "\"");
+    const std::string site = entry.substr(0, c1);
+    const std::string seedText = entry.substr(c1 + 1, c2 - c1 - 1);
+    const std::string rateText = entry.substr(c2 + 1);
+    std::uint64_t seed = 0;
+    double rate = 0.0;
+    std::size_t seedUsed = 0;
+    std::size_t rateUsed = 0;
+    try {
+      seed = std::stoull(seedText, &seedUsed);
+      rate = std::stod(rateText, &rateUsed);
+    } catch (const std::exception&) {
+      throw bad("non-numeric seed or rate in \"" + entry + "\"");
+    }
+    if (seedUsed != seedText.size() || rateUsed != rateText.size())
+      throw bad("trailing characters in \"" + entry + "\"");
+    if (rate < 0.0 || rate > 1.0)
+      throw bad("rate must be in [0, 1] in \"" + entry + "\"");
+    arm(site, seed, rate);
+    ++armed;
+  }
+  return armed;
+}
+
+int armFromEnv() {
+  // Read-only getenv on a startup path; no concurrent setenv in this
+  // process.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* env = std::getenv("DP_FAULTS");
+  if (!env || !*env) return 0;
+  return armFromSpec(env);
+}
+
+std::map<std::string, FaultCounters> counters() {
+  return Registry::instance().counters();
+}
+
+bool anyArmed() { return Registry::instance().anyArmed(); }
+
+}  // namespace faults
+
+}  // namespace dp

@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file fault.hpp
+/// Deterministic fault-injection substrate (DESIGN.md §11). Named
+/// fault sites guard the operations that can fail in production —
+/// file reads/writes, socket ops, queue admission, decode — and are
+/// zero-cost when nothing is armed (one relaxed atomic load). Armed
+/// via the DP_FAULTS environment variable
+///
+///   DP_FAULTS=<site>:<seed>:<rate>[,<site>:<seed>:<rate>...]
+///
+/// or programmatically (faults::arm), a site fires from a seeded
+/// counter-indexed hash: the decision for the N-th call at a site is a
+/// pure function of (seed, N), so a fault sequence is replayable from
+/// its seed — re-arming with the same seed reproduces the identical
+/// fire pattern regardless of thread count, as long as calls reach the
+/// site in the same order.
+///
+/// Usage at a guarded operation:
+///
+///   static FaultSite site("serve.recv");
+///   if (site.shouldFail()) return -1;        // branch-style
+///   ...
+///   static FaultSite site("bundle.load");
+///   site.orThrow();                          // throws FaultInjected
+///
+/// Sites self-register in a global ordered registry on first use;
+/// arming a name that has not been constructed yet is allowed (the
+/// state is created eagerly), so DP_FAULTS can name any site before
+/// the code path that owns it runs.
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace dp {
+
+/// Thrown by FaultSite::orThrow when an armed site fires.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& site)
+      : std::runtime_error("injected fault at site " + site),
+        site_(site) {}
+
+  [[nodiscard]] const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// Per-site observation counters (calls are only counted while any
+/// site is armed — the disabled fast path never touches the state).
+struct FaultCounters {
+  std::uint64_t calls = 0;
+  std::uint64_t fires = 0;
+};
+
+/// A named fault point. Construction resolves (or creates) the shared
+/// registry state once; shouldFail() is then lock-free.
+class FaultSite {
+ public:
+  explicit FaultSite(const std::string& name);
+
+  /// True when the site is armed and the seeded stream says this call
+  /// fires. Disabled sites cost one relaxed atomic load.
+  [[nodiscard]] bool shouldFail();
+
+  /// shouldFail(), but throws FaultInjected on fire.
+  void orThrow();
+
+  [[nodiscard]] const std::string& name() const;
+
+  /// Registry-owned shared state (defined in fault.cpp).
+  struct State;
+
+ private:
+  State* state_;
+};
+
+namespace faults {
+
+/// Arms `site` to fire with probability `rate` in [0, 1] from the
+/// given seed. Re-arming resets the site's call/fire counters so the
+/// sequence replays from the start. rate <= 0 disarms.
+void arm(const std::string& site, std::uint64_t seed, double rate);
+
+void disarm(const std::string& site);
+void disarmAll();
+
+/// Parses a "<site>:<seed>:<rate>[,...]" spec and arms each entry.
+/// Returns the number of sites armed; throws std::invalid_argument on
+/// a malformed spec.
+int armFromSpec(const std::string& spec);
+
+/// Arms from the DP_FAULTS environment variable (no-op when unset).
+/// Returns the number of sites armed. Called lazily by the registry on
+/// first site construction, so most code never needs to call it.
+int armFromEnv();
+
+/// Ordered snapshot of every registered site's counters.
+[[nodiscard]] std::map<std::string, FaultCounters> counters();
+
+/// True when at least one site is currently armed.
+[[nodiscard]] bool anyArmed();
+
+}  // namespace faults
+
+}  // namespace dp

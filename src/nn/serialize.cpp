@@ -4,6 +4,9 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "common/atomic_file.hpp"
+#include "common/fault.hpp"
+
 namespace dp::nn {
 
 namespace {
@@ -64,31 +67,34 @@ void requireEof(std::ifstream& in, const std::string& path) {
          path);
 }
 
+/// Appends `value` to the staged checkpoint payload byte-for-byte.
+template <typename T>
+void appendPod(AtomicFileWriter& out, const T& value) {
+  out.append(&value, sizeof value);
+}
+
 }  // namespace
 
 void saveTensors(const std::vector<const Tensor*>& tensors,
                  const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("saveTensors: cannot open " + path);
-  const std::uint32_t magic = kMagic;
-  const std::uint32_t count = static_cast<std::uint32_t>(tensors.size());
-  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
-  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  // Staged through the atomic writer: a crash mid-save leaves the
+  // previous checkpoint intact (DESIGN.md §11).
+  AtomicFileWriter out(path);
+  appendPod(out, kMagic);
+  appendPod(out, static_cast<std::uint32_t>(tensors.size()));
   for (const Tensor* t : tensors) {
-    const std::uint32_t dims = static_cast<std::uint32_t>(t->dim());
-    out.write(reinterpret_cast<const char*>(&dims), sizeof dims);
-    for (int d = 0; d < t->dim(); ++d) {
-      const std::int32_t s = t->size(d);
-      out.write(reinterpret_cast<const char*>(&s), sizeof s);
-    }
-    out.write(reinterpret_cast<const char*>(t->data()),
-              static_cast<std::streamsize>(t->numel() * sizeof(float)));
+    appendPod(out, static_cast<std::uint32_t>(t->dim()));
+    for (int d = 0; d < t->dim(); ++d)
+      appendPod(out, static_cast<std::int32_t>(t->size(d)));
+    out.append(t->data(), t->numel() * sizeof(float));
   }
-  if (!out) throw std::runtime_error("saveTensors: write failed: " + path);
+  (void)out.commit();
 }
 
 void loadTensors(const std::vector<Tensor*>& tensors,
                  const std::string& path) {
+  static FaultSite openFault("nn.load.open");
+  if (openFault.shouldFail()) fail("injected open fault", path);
   std::ifstream in(path, std::ios::binary);
   if (!in) fail("cannot open", path);
   std::uint32_t magic = 0, count = 0;
@@ -148,22 +154,18 @@ void loadParams(const std::vector<Param*>& params,
 }
 
 void saveTensor(const Tensor& t, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("saveTensor: cannot open " + path);
-  const std::uint32_t magic = kTensorMagic;
-  const std::uint32_t dims = static_cast<std::uint32_t>(t.dim());
-  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
-  out.write(reinterpret_cast<const char*>(&dims), sizeof dims);
-  for (int d = 0; d < t.dim(); ++d) {
-    const std::int32_t s = t.size(d);
-    out.write(reinterpret_cast<const char*>(&s), sizeof s);
-  }
-  out.write(reinterpret_cast<const char*>(t.data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  if (!out) throw std::runtime_error("saveTensor: write failed: " + path);
+  AtomicFileWriter out(path);
+  appendPod(out, kTensorMagic);
+  appendPod(out, static_cast<std::uint32_t>(t.dim()));
+  for (int d = 0; d < t.dim(); ++d)
+    appendPod(out, static_cast<std::int32_t>(t.size(d)));
+  out.append(t.data(), t.numel() * sizeof(float));
+  (void)out.commit();
 }
 
 Tensor loadTensor(const std::string& path) {
+  static FaultSite openFault("nn.load.open");
+  if (openFault.shouldFail()) fail("injected open fault", path);
   std::ifstream in(path, std::ios::binary);
   if (!in) fail("cannot open", path);
   std::uint32_t magic = 0, dims = 0;

@@ -3,7 +3,9 @@
 /// \file serialize.hpp
 /// Binary (de)serialization of parameter sets and single tensors, so
 /// trained models can be cached between runs and packaged into serving
-/// bundles.
+/// bundles. All save paths publish through dp::AtomicFileWriter
+/// (write-temp + fsync + atomic rename), so a crash mid-save always
+/// leaves the previous checkpoint file intact.
 
 #include <string>
 #include <vector>

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/fault.hpp"
 #include "core/pipeline.hpp"
 #include "squish/complexity.hpp"
 #include "squish/hash.hpp"
@@ -62,6 +63,18 @@ SubmitResult Batcher::submit(const GenerateRequest& request) {
   if ((request.maxCx != 0 && request.maxCx < request.minCx) ||
       (request.maxCy != 0 && request.maxCy < request.minCy))
     return invalid("empty complexity window");
+  if (request.deadlineMs < 0)
+    return invalid("deadlineMs must be >= 0 (0 = unbounded)");
+
+  // Chaos hook: an armed admission fault sheds the request exactly as
+  // a full queue would, so backpressure handling is testable on demand.
+  static FaultSite admitFault("serve.batcher.admit");
+  if (admitFault.shouldFail()) {
+    metrics_.countShed("fault");
+    out.status = SubmitResult::Status::kQueueFull;
+    out.error = "injected admission fault";
+    return out;
+  }
 
   const std::shared_ptr<const Bundle> bundle =
       registry_.find(request.bundle);
@@ -97,6 +110,11 @@ SubmitResult Batcher::submit(const GenerateRequest& request) {
     return invalid(std::string("cannot plan request: ") + e.what());
   }
   job->enqueued = std::chrono::steady_clock::now();
+  if (request.deadlineMs > 0) {
+    job->hasDeadline = true;
+    job->deadline =
+        job->enqueued + std::chrono::milliseconds(request.deadlineMs);
+  }
   out.future = job->promise.get_future();
 
   {
@@ -107,6 +125,7 @@ SubmitResult Batcher::submit(const GenerateRequest& request) {
       return out;
     }
     if (static_cast<int>(pending_.size()) >= config_.queueCapacity) {
+      metrics_.countShed("queue_full");
       out.status = SubmitResult::Status::kQueueFull;
       out.error = "request queue is full";
       return out;
@@ -137,7 +156,28 @@ void Batcher::workerLoop() {
   }
 }
 
+void Batcher::shedExpired() {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = active_.begin(); it != active_.end();) {
+    Job& job = **it;
+    if (job.hasDeadline && now >= job.deadline) {
+      metrics_.countShed("deadline");
+      job.promise.set_exception(
+          std::make_exception_ptr(DeadlineExceeded()));
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void Batcher::runBatch() {
+  // Shed before spending decode capacity: jobs whose budget expired
+  // while queued or mid-coalescing fail fast instead of occupying
+  // batch rows that cannot be delivered in time.
+  shedExpired();
+  if (active_.empty()) return;
+
   // Coalesce rows from every active job that shares the head job's
   // bundle, in arrival order, up to decodeBatch rows.
   const Bundle* headBundle = active_.front()->bundle.get();
@@ -161,6 +201,8 @@ void Batcher::runBatch() {
   }
 
   try {
+    static FaultSite decodeFault("serve.batcher.decode");
+    decodeFault.orThrow();
     nn::Tensor batch({total, headBundle->spec().tcae.latentDim});
     {
       long row = 0;

@@ -8,6 +8,13 @@
 /// runs decode + legality accounting on the global thread pool via the
 /// core flow helpers.
 ///
+/// Load shedding: a request may carry a deadlineMs budget. Jobs whose
+/// budget expires while queued or between decode batches fail with
+/// DeadlineExceeded instead of occupying decode capacity; every shed
+/// is counted in Metrics (dp_shed_total). The serve.batcher.admit and
+/// serve.batcher.decode fault sites inject admission rejections and
+/// decode failures for chaos testing (common/fault.hpp).
+///
 /// Determinism contract: each request's latent plan is drawn on the
 /// submit thread with a private Rng(seed), consuming the stream exactly
 /// as the in-process flows do (core::planRandomLatents /
@@ -40,6 +47,7 @@ struct GenerateRequest {
   std::uint64_t seed = 1;
   bool materialize = false;     ///< also solve Eq. (10) for unique set
   long maxClips = -1;           ///< materialization cap (-1 = all)
+  long deadlineMs = 0;          ///< latency budget; 0 = unbounded
   // Complexity window filter on the unique set; 0 = unbounded.
   int minCx = 0;
   int maxCx = 0;
@@ -73,6 +81,14 @@ struct SubmitResult {
   Status status = Status::kInvalid;
   std::string error;                      ///< set unless accepted
   std::future<GenerateResponse> future;   ///< valid when accepted
+};
+
+/// Delivered through an accepted request's future when its deadlineMs
+/// budget expired before the batcher finished it (the HTTP layer maps
+/// this to 503 + Retry-After).
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  DeadlineExceeded() : std::runtime_error("deadline exceeded") {}
 };
 
 class Batcher {
@@ -112,10 +128,16 @@ class Batcher {
     core::GenerationResult result;
     std::promise<GenerateResponse> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// Absolute budget expiry; meaningful only when hasDeadline.
+    std::chrono::steady_clock::time_point deadline;
+    bool hasDeadline = false;
   };
 
   void workerLoop() DP_EXCLUDES(mutex_);
   void runBatch();
+  /// Fails every active job whose deadline has passed with
+  /// DeadlineExceeded and drops it from the coalescing set.
+  void shedExpired();
   void finalize(Job& job);
 
   BundleRegistry& registry_;

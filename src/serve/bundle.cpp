@@ -1,10 +1,15 @@
 #include "serve/bundle.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
+#include "common/atomic_file.hpp"
+#include "common/fault.hpp"
 #include "core/generation_result.hpp"
 #include "io/json.hpp"
 #include "nn/serialize.hpp"
@@ -135,6 +140,38 @@ std::string readFile(const std::string& path) {
   return out.str();
 }
 
+/// Removes data files from generations other than `keep`, plus legacy
+/// unsuffixed files and orphaned atomic-writer temp files. Best-effort:
+/// stale files cost disk, never correctness.
+void cleanupStaleGenerations(const fs::path& dir, std::uint64_t keep) {
+  // Built piecewise: gcc 12's -Wrestrict misfires on
+  // "." + std::to_string(...) + ".bin" temporaries.
+  std::string keepSuffix = ".";
+  keepSuffix += std::to_string(keep);
+  keepSuffix += ".bin";
+  std::error_code ec;
+  std::vector<fs::path> stale;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) {
+      stale.push_back(entry.path());  // crashed atomic write
+      continue;
+    }
+    const bool data = name.rfind("tcae.", 0) == 0 ||
+                      name.rfind("latents.", 0) == 0 ||
+                      name.rfind("guide.", 0) == 0;
+    if (!data || name.size() < 4 ||
+        name.compare(name.size() - 4, 4, ".bin") != 0)
+      continue;
+    if (name.size() >= keepSuffix.size() &&
+        name.compare(name.size() - keepSuffix.size(), keepSuffix.size(),
+                     keepSuffix) == 0)
+      continue;
+    stale.push_back(entry.path());
+  }
+  for (const auto& path : stale) fs::remove(path, ec);
+}
+
 }  // namespace
 
 Bundle::Bundle(BundleSpec spec, Rng& initRng)
@@ -174,19 +211,58 @@ void Bundle::setSourceLatents(nn::Tensor latents) {
 
 void Bundle::save(const std::string& dir) const {
   fs::create_directories(dir);
-  {
-    std::ofstream out(dir + "/manifest.json", std::ios::binary);
-    if (!out)
-      throw std::runtime_error("Bundle::save: cannot write manifest in " +
-                               dir);
-    out << manifestJson(*this).dump() << "\n";
+  const std::string manifestPath = dir + "/manifest.json";
+
+  // Crash-safe publication: data files carry a generation suffix so a
+  // new save never overwrites the files the current manifest points
+  // at, and the manifest's atomic rename is the single commit point.
+  // A crash anywhere before that rename leaves the previous bundle
+  // fully loadable; stale generations are swept only after commit.
+  std::uint64_t gen = 1;
+  if (fs::exists(manifestPath)) {
+    try {
+      const Json old = Json::parse(readFile(manifestPath));
+      if (old.has("generation"))
+        gen = old.at("generation").asUint64() + 1;
+    } catch (const std::exception&) {
+      // Unreadable previous manifest: start a fresh generation line.
+    }
   }
+  std::string suffix = ".";
+  suffix += std::to_string(gen);
+  suffix += ".bin";
+
   // save/load are non-const on the models (they hand out Param
   // pointers); serialization itself only reads.
   auto& self = const_cast<Bundle&>(*this);
-  self.tcae_.save(dir + "/tcae.bin");
-  nn::saveTensor(sourceLatents_, dir + "/latents.bin");
-  if (guide_) self.guide_->save(dir + "/guide.bin");
+  Json files = Json::object();
+  const auto record = [&](const std::string& key,
+                          const std::string& file) {
+    Json f = Json::object();
+    f.set("path", file);
+    f.set("crc32", static_cast<double>(crc32File(dir + "/" + file)));
+    f.set("bytes",
+          static_cast<double>(fs::file_size(dir + "/" + file)));
+    files.set(key, std::move(f));
+  };
+  self.tcae_.save(dir + "/tcae" + suffix);
+  record("tcae", "tcae" + suffix);
+  nn::saveTensor(sourceLatents_, dir + "/latents" + suffix);
+  record("latents", "latents" + suffix);
+  if (guide_) {
+    self.guide_->save(dir + "/guide" + suffix);
+    record("guide", "guide" + suffix);
+  }
+
+  Json m = manifestJson(*this);
+  m.set("generation", static_cast<double>(gen));
+  m.set("files", std::move(files));
+  AtomicFileWriter out(manifestPath);
+  out.append(m.dump());
+  out.append("\n");
+  (void)out.commit();
+
+  cleanupStaleGenerations(dir, gen);
 }
 
 std::shared_ptr<const Bundle> buildBundle(
@@ -216,18 +292,45 @@ std::shared_ptr<const Bundle> buildBundle(
 }
 
 std::shared_ptr<const Bundle> loadBundle(const std::string& dir) {
+  static FaultSite loadFault("serve.bundle.load");
+  loadFault.orThrow();
   const Json manifest = Json::parse(readFile(dir + "/manifest.json"));
   BundleSpec spec = specFromManifest(manifest);
   Rng initRng(0);  // architecture init only; load overwrites weights
   auto bundle = std::make_shared<Bundle>(std::move(spec), initRng);
 
+  // Resolves a data file through the manifest's "files" map, verifying
+  // byte size and CRC-32 before anything is deserialized. Manifests
+  // written before the generation scheme have no "files" map and fall
+  // back to fixed names without checksums.
+  const auto dataPath = [&](const std::string& key,
+                            const std::string& legacy) {
+    if (!manifest.has("files")) return dir + "/" + legacy;
+    const Json& f = manifest.at("files").at(key);
+    const std::string path = dir + "/" + f.at("path").asString();
+    const std::uint64_t bytes = f.at("bytes").asUint64();
+    const auto want = static_cast<std::uint32_t>(f.at("crc32").asUint64());
+    std::error_code ec;
+    const std::uint64_t actual = fs::file_size(path, ec);
+    if (ec || actual != bytes)
+      throw std::runtime_error(
+          "loadBundle: " + path + ": size mismatch (manifest says " +
+          std::to_string(bytes) + " bytes, file has " +
+          (ec ? "none" : std::to_string(actual)) + ")");
+    if (crc32File(path) != want)
+      throw std::runtime_error("loadBundle: " + path +
+                               ": checksum mismatch (corrupt bundle)");
+    return path;
+  };
+
   std::vector<double> sensitivity =
       momentsFromJson(manifest.at("sensitivity"));
   bundle->setSensitivity(std::move(sensitivity));
-  bundle->tcae().load(dir + "/tcae.bin");
-  bundle->setSourceLatents(nn::loadTensor(dir + "/latents.bin"));
+  bundle->tcae().load(dataPath("tcae", "tcae.bin"));
+  bundle->setSourceLatents(
+      nn::loadTensor(dataPath("latents", "latents.bin")));
   if (core::GuideModel* guide = bundle->guide()) {
-    guide->load(dir + "/guide.bin");
+    guide->load(dataPath("guide", "guide.bin"));
     const Json& g = manifest.at("guide");
     core::Moments data;
     data.mean = momentsFromJson(g.at("dataMean"));
@@ -264,13 +367,26 @@ std::vector<std::shared_ptr<const Bundle>> BundleRegistry::list() const {
   return bundles_;
 }
 
-int BundleRegistry::loadDirectory(const std::string& root) {
-  int loaded = 0;
+int BundleRegistry::loadDirectory(const std::string& root,
+                                  std::vector<std::string>* errors) {
+  std::vector<fs::path> dirs;
   for (const auto& entry : fs::directory_iterator(root)) {
     if (!entry.is_directory()) continue;
     if (!fs::exists(entry.path() / "manifest.json")) continue;
-    add(loadBundle(entry.path().string()));
-    ++loaded;
+    dirs.push_back(entry.path());
+  }
+  std::sort(dirs.begin(), dirs.end());  // deterministic load order
+
+  int loaded = 0;
+  for (const auto& dir : dirs) {
+    try {
+      add(loadBundle(dir.string()));
+      ++loaded;
+    } catch (const std::exception& e) {
+      // A corrupt bundle directory is skipped, not fatal: an already
+      // registered last-good bundle of the same name keeps serving.
+      if (errors) errors->push_back(dir.string() + ": " + e.what());
+    }
   }
   return loaded;
 }

@@ -9,11 +9,20 @@
 /// and the Eq. (10) solver.
 ///
 /// On-disk layout (one directory per bundle):
-///   manifest.json  name, version, rules, architecture, sensitivity,
-///                  guide kind + normalization moments
-///   tcae.bin       TCAE parameters (nn::saveTensors)
-///   latents.bin    encoded source-latent pool (nn::saveTensor)
-///   guide.bin      guide parameters + state (only when guided)
+///   manifest.json   name, version, rules, architecture, sensitivity,
+///                   guide kind + normalization moments, generation,
+///                   and a "files" map (path + byte size + CRC-32 per
+///                   data file, verified on load)
+///   tcae.<g>.bin    TCAE parameters (nn::saveTensors)
+///   latents.<g>.bin encoded source-latent pool (nn::saveTensor)
+///   guide.<g>.bin   guide parameters + state (only when guided)
+///
+/// Data files carry the manifest's generation number <g>; save never
+/// overwrites the previous generation's files, and the manifest is
+/// published last via an atomic rename, so a crash at any point in
+/// save leaves the previous bundle loadable (DESIGN.md §11). Legacy
+/// manifests without a "files" map load from the unsuffixed names
+/// without checksum verification.
 ///
 /// A loaded Bundle is immutable and served through const inference
 /// paths only, so one instance is shared across all request threads.
@@ -141,8 +150,13 @@ class BundleRegistry {
       DP_EXCLUDES(mutex_);
 
   /// Loads every immediate subdirectory of `root` that contains a
-  /// manifest.json. Returns the number of bundles loaded.
-  int loadDirectory(const std::string& root);
+  /// manifest.json, in sorted path order. Returns the number of
+  /// bundles loaded. A directory that fails to load (corrupt data,
+  /// checksum mismatch, injected fault) is skipped rather than fatal;
+  /// when `errors` is non-null one "<dir>: <reason>" line is appended
+  /// per failure.
+  int loadDirectory(const std::string& root,
+                    std::vector<std::string>* errors = nullptr);
 
  private:
   mutable Mutex mutex_;

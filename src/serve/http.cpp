@@ -12,6 +12,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/fault.hpp"
+
 namespace dp::serve {
 
 namespace {
@@ -40,6 +42,7 @@ const char* statusText(int status) {
     case 405: return "Method Not Allowed";
     case 413: return "Payload Too Large";
     case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Unknown";
@@ -47,14 +50,42 @@ const char* statusText(int status) {
 }
 
 bool sendAll(int fd, const std::string& data) {
+  static FaultSite sendFault("serve.send");
+  if (sendFault.shouldFail()) return false;
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
         ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+/// recv() with EINTR retry and the serve.recv fault site (an injected
+/// failure reads as a peer hangup).
+ssize_t recvSome(int fd, char* chunk, std::size_t size) {
+  static FaultSite recvFault("serve.recv");
+  if (recvFault.shouldFail()) return 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, size, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+/// Sends a minimal error response that always closes the connection;
+/// used for protocol violations detected before a request can be
+/// routed. Best-effort: the peer may already be gone.
+void writeError(int fd, int status, const std::string& message) {
+  const std::string body = "{\"error\":\"" + message + "\"}";
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     statusText(status) + "\r\n";
+  head += "Content-Type: application/json\r\n";
+  head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  (void)sendAll(fd, head + body);
 }
 
 }  // namespace
@@ -151,9 +182,19 @@ void HttpServer::acceptLoop() {
       if (!running_.load(std::memory_order_acquire)) break;
       continue;
     }
+    // Chaos hook: an injected accept failure drops the connection on
+    // the floor, as a listen-queue overflow or fd exhaustion would.
+    static FaultSite acceptFault("serve.accept");
+    if (acceptFault.shouldFail()) {
+      ::close(fd);
+      continue;
+    }
     timeval tv{};
     tv.tv_sec = config_.recvTimeoutSec;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    timeval stv{};
+    stv.tv_sec = config_.sendTimeoutSec;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &stv, sizeof stv);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     trackConnection(fd);
@@ -178,29 +219,52 @@ void HttpServer::serveConnection(int fd) {
   char chunk[4096];
   bool keepAlive = true;
   while (keepAlive && running_.load(std::memory_order_acquire)) {
-    // Read until a complete head is buffered.
-    HttpRequest req;
-    std::size_t bodyStart = 0;
-    while (!parseHttpHead(buffer, req, bodyStart)) {
-      if (buffer.size() > config_.maxBodyBytes) {
-        keepAlive = false;
+    // Buffer a complete head (through the blank line) BEFORE parsing,
+    // so incomplete and malformed heads are distinguishable: an
+    // incomplete head keeps reading, a malformed one is answered 400
+    // immediately instead of looping on recv until the timeout.
+    bool peerGone = false;
+    while (buffer.find("\r\n\r\n") == std::string::npos) {
+      if (buffer.size() > config_.maxHeaderBytes) {
+        writeError(fd, 431, "header block too large");
+        peerGone = true;
         break;
       }
-      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      const ssize_t n = recvSome(fd, chunk, sizeof chunk);
       if (n <= 0) {
-        keepAlive = false;
+        peerGone = true;  // hangup, timeout, or injected fault
         break;
       }
       buffer.append(chunk, static_cast<std::size_t>(n));
     }
-    if (!keepAlive) break;
+    if (peerGone) break;
+
+    HttpRequest req;
+    std::size_t bodyStart = 0;
+    if (!parseHttpHead(buffer, req, bodyStart)) {
+      writeError(fd, 400, "malformed request head");
+      break;
+    }
 
     std::size_t contentLength = 0;
     if (const auto it = req.headers.find("content-length");
         it != req.headers.end()) {
+      // Digits only, checked before stoull: stoull accepts a leading
+      // minus and wraps it to a huge unsigned value.
+      const std::string& value = it->second;
+      const bool digits =
+          !value.empty() &&
+          std::all_of(value.begin(), value.end(), [](unsigned char c) {
+            return std::isdigit(c) != 0;
+          });
       try {
-        contentLength = static_cast<std::size_t>(std::stoull(it->second));
+        std::size_t used = 0;
+        if (!digits) throw std::invalid_argument("not a number");
+        contentLength = std::stoull(value, &used);
+        if (used != value.size())
+          throw std::invalid_argument("trailing characters");
       } catch (const std::exception&) {
+        writeError(fd, 400, "bad Content-Length");
         break;
       }
     }
@@ -212,7 +276,7 @@ void HttpServer::serveConnection(int fd) {
       keepAlive = false;
     } else {
       while (buffer.size() < bodyStart + contentLength) {
-        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        const ssize_t n = recvSome(fd, chunk, sizeof chunk);
         if (n <= 0) {
           keepAlive = false;
           break;

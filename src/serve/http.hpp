@@ -6,6 +6,14 @@
 /// headers, Content-Length bodies, keep-alive) and nothing more.
 /// One thread per connection — the generate handler blocks on the
 /// batcher future, so connection concurrency is the natural model.
+///
+/// Robustness contract: a malformed request is always answered (400 on
+/// a bad head or Content-Length, 413 on an oversized body, 431 on an
+/// oversized header block) or the connection closed — never a hang or
+/// a thrown exception; socket reads and writes retry EINTR and carry
+/// recv/send timeouts; the serve.accept, serve.recv, and serve.send
+/// fault sites (common/fault.hpp) inject socket failures for chaos
+/// testing.
 
 #include <atomic>
 #include <functional>
@@ -42,7 +50,11 @@ class HttpServer {
     std::string host = "127.0.0.1";
     int port = 0;  ///< 0 = ephemeral; port() reports the bound port
     std::size_t maxBodyBytes = 1 << 20;
+    std::size_t maxHeaderBytes = 64 * 1024;  ///< head overflow -> 431
     int recvTimeoutSec = 30;
+    /// Send-side budget mirroring recvTimeoutSec: a peer that stops
+    /// reading cannot pin a connection thread forever.
+    int sendTimeoutSec = 30;
   };
 
   HttpServer(Config config, HttpHandler handler);

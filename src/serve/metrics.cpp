@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "common/fault.hpp"
+
 namespace dp::serve {
 
 namespace {
@@ -94,6 +96,18 @@ void Metrics::recordBundle(const std::string& bundle,
   s.drcClean += delta.drcClean;
 }
 
+void Metrics::countShed(const std::string& reason) {
+  LockGuard lock(mutex_);
+  ++shed_[reason];
+}
+
+std::uint64_t Metrics::shedTotal() const {
+  LockGuard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [reason, count] : shed_) total += count;
+  return total;
+}
+
 std::uint64_t Metrics::requestsTotal() const {
   LockGuard lock(mutex_);
   std::uint64_t total = 0;
@@ -123,10 +137,12 @@ std::string Metrics::renderPrometheus() const {
   // local copies, which the thread-safety analysis cannot check).
   std::map<std::pair<std::string, int>, std::uint64_t> requests;
   std::map<std::string, BundleStats> bundles;
+  std::map<std::string, std::uint64_t> shed;
   {
     LockGuard lock(mutex_);
     requests = requests_;
     bundles = bundles_;
+    shed = shed_;
   }
 
   line("# HELP dp_requests_total HTTP requests by route and status.");
@@ -168,6 +184,29 @@ std::string Metrics::renderPrometheus() const {
                          : 0.0;
     line("dp_bundle_drc_clean_fraction{bundle=\"" + bundle + "\"} " +
          num(frac));
+  }
+
+  line("# HELP dp_shed_total Requests shed by reason.");
+  line("# TYPE dp_shed_total counter");
+  for (const auto& [reason, count] : shed)
+    line("dp_shed_total{reason=\"" + reason + "\"} " +
+         std::to_string(count));
+
+  // Fault-injection observability: per-site call/fire counters, so a
+  // chaos run's /metrics shows exactly which injected failures drove
+  // the shed and error counters above.
+  const auto faultCounters = dp::faults::counters();
+  if (!faultCounters.empty()) {
+    line("# HELP dp_fault_calls_total Guarded calls per fault site.");
+    line("# TYPE dp_fault_calls_total counter");
+    for (const auto& [site, counters] : faultCounters)
+      line("dp_fault_calls_total{site=\"" + site + "\"} " +
+           std::to_string(counters.calls));
+    line("# HELP dp_fault_fires_total Injected failures per fault site.");
+    line("# TYPE dp_fault_fires_total counter");
+    for (const auto& [site, counters] : faultCounters)
+      line("dp_fault_fires_total{site=\"" + site + "\"} " +
+           std::to_string(counters.fires));
   }
 
   line("# HELP dp_queue_depth Pending generate requests.");

@@ -69,6 +69,11 @@ class Metrics {
   void recordBundle(const std::string& bundle, const BundleStats& delta)
       DP_EXCLUDES(mutex_);
 
+  /// Counts one load-shed request. `reason` labels the shed class
+  /// (queue_full, deadline, fault) in the dp_shed_total exposition.
+  void countShed(const std::string& reason) DP_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t shedTotal() const DP_EXCLUDES(mutex_);
+
   void setQueueDepth(long depth) {
     queueDepth_.store(depth, std::memory_order_relaxed);
   }
@@ -95,6 +100,7 @@ class Metrics {
   std::map<std::pair<std::string, int>, std::uint64_t> requests_
       DP_GUARDED_BY(mutex_);
   std::map<std::string, BundleStats> bundles_ DP_GUARDED_BY(mutex_);
+  std::map<std::string, std::uint64_t> shed_ DP_GUARDED_BY(mutex_);
   std::atomic<long> queueDepth_{0};
   Histogram batchOccupancy_;
   Histogram latencyMs_;

@@ -24,6 +24,8 @@ GenerateRequest parseGenerateRequest(const std::string& body) {
   if (j.has("seed")) req.seed = j.at("seed").asUint64();
   if (j.has("materialize")) req.materialize = j.at("materialize").asBool();
   if (j.has("maxClips")) req.maxClips = j.at("maxClips").asLong();
+  if (j.has("deadline_ms")) req.deadlineMs = j.at("deadline_ms").asLong();
+  if (j.has("deadlineMs")) req.deadlineMs = j.at("deadlineMs").asLong();
   if (j.has("minCx")) req.minCx = static_cast<int>(j.at("minCx").asLong());
   if (j.has("maxCx")) req.maxCx = static_cast<int>(j.at("maxCx").asLong());
   if (j.has("minCy")) req.minCy = static_cast<int>(j.at("minCy").asLong());
@@ -68,9 +70,43 @@ PatternServer::PatternServer(Config config)
 
 PatternServer::~PatternServer() { stop(); }
 
-void PatternServer::start() { http_.start(); }
+const char* PatternServer::healthName(Health health) {
+  switch (health) {
+    case Health::kStarting:
+      return "starting";
+    case Health::kReady:
+      return "ready";
+    case Health::kDegraded:
+      return "degraded";
+    case Health::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
+int PatternServer::loadBundles(const std::string& root,
+                               std::vector<std::string>* errors) {
+  std::vector<std::string> local;
+  const int loaded = registry_.loadDirectory(root, &local);
+  const Health current = health();
+  if (current != Health::kDraining) {
+    if (!local.empty())
+      setHealth(Health::kDegraded);
+    else if (current == Health::kDegraded && loaded > 0)
+      setHealth(Health::kReady);
+  }
+  if (errors)
+    errors->insert(errors->end(), local.begin(), local.end());
+  return loaded;
+}
+
+void PatternServer::start() {
+  http_.start();
+  if (health() == Health::kStarting) setHealth(Health::kReady);
+}
 
 void PatternServer::stop() {
+  setHealth(Health::kDraining);
   batcher_.stop();
   http_.stop();
 }
@@ -82,10 +118,16 @@ HttpResponse PatternServer::handle(const HttpRequest& request) {
       res.status = 405;
       res.body = "{\"error\":\"method not allowed\"}";
     } else {
+      // A stopped batcher means drain regardless of the stored state.
+      const Health state =
+          batcher_.running() ? health() : Health::kDraining;
       Json j = Json::object();
-      j.set("status", batcher_.running() ? "ok" : "draining");
+      j.set("status", healthName(state));
       j.set("bundles", static_cast<long>(registry_.list().size()));
+      j.set("shed", static_cast<long>(metrics_.shedTotal()));
       res.body = j.dump();
+      if (state == Health::kStarting || state == Health::kDraining)
+        res.status = 503;
     }
   } else if (request.target == "/bundles") {
     if (request.method != "GET") {
@@ -177,6 +219,14 @@ HttpResponse PatternServer::handleGenerate(const HttpRequest& request) {
   try {
     const GenerateResponse generated = submitted.future.get();
     res.body = generateResponseJson(generated);
+  } catch (const DeadlineExceeded& e) {
+    // Shed, not failed: the client's latency budget ran out while the
+    // request waited for decode capacity. Retryable.
+    res.status = 503;
+    res.extraHeaders.emplace_back("Retry-After", "1");
+    Json err = Json::object();
+    err.set("error", e.what());
+    res.body = err.dump();
   } catch (const std::exception& e) {
     res.status = 500;
     Json err = Json::object();

@@ -4,13 +4,22 @@
 /// The pattern-generation service: bundle registry + micro-batching
 /// pipeline + HTTP front end. Routes:
 ///   POST /generate  JSON generate request -> generation summary
-///   GET  /healthz   liveness
+///   GET  /healthz   health state (200 ready/degraded, 503 otherwise)
 ///   GET  /bundles   loaded bundle inventory
 ///   GET  /metrics   Prometheus text exposition
 /// handle() is exposed directly so tests and in-process clients can
 /// exercise the full request path without sockets.
+///
+/// Health state machine (DESIGN.md §11): starting -> ready on start()
+/// (or explicitly), ready <-> degraded as bundle loads partially fail,
+/// any -> draining on stop(). /healthz answers 200 for ready and
+/// degraded (degraded still serves what it has) and 503 with the state
+/// name for starting and draining, so load balancers stop routing
+/// before the listener goes away.
 
+#include <atomic>
 #include <string>
+#include <vector>
 
 #include "serve/batcher.hpp"
 #include "serve/bundle.hpp"
@@ -34,6 +43,8 @@ class PatternServer {
     Batcher::Config batcher;
   };
 
+  enum class Health { kStarting, kReady, kDegraded, kDraining };
+
   explicit PatternServer(Config config = {});
   ~PatternServer();
 
@@ -41,11 +52,29 @@ class PatternServer {
   [[nodiscard]] Metrics& metrics() { return metrics_; }
   [[nodiscard]] Batcher& batcher() { return batcher_; }
 
-  /// Starts the HTTP listener (the batcher runs from construction).
+  [[nodiscard]] Health health() const {
+    return health_.load(std::memory_order_relaxed);
+  }
+  void setHealth(Health health) {
+    health_.store(health, std::memory_order_relaxed);
+  }
+  /// The /healthz state name ("starting", "ready", ...).
+  [[nodiscard]] static const char* healthName(Health health);
+
+  /// registry().loadDirectory + health transition: any successful load
+  /// from a partially corrupt root degrades (rather than fails) the
+  /// server; a fully clean load restores ready. Has no effect on
+  /// draining. Failure reasons are appended to `errors` when non-null.
+  int loadBundles(const std::string& root,
+                  std::vector<std::string>* errors = nullptr);
+
+  /// Starts the HTTP listener (the batcher runs from construction) and
+  /// moves starting -> ready.
   void start();
   [[nodiscard]] int port() const { return http_.port(); }
 
-  /// Drains the batcher, then stops the HTTP server. Idempotent.
+  /// Marks the server draining, drains the batcher, then stops the
+  /// HTTP server. Idempotent.
   void stop();
 
   /// Full request routing path, socket-free (used by the HTTP layer
@@ -61,6 +90,7 @@ class PatternServer {
   Metrics metrics_;
   Batcher batcher_;
   HttpServer http_;
+  std::atomic<Health> health_{Health::kStarting};
 };
 
 }  // namespace dp::serve

@@ -1,0 +1,26 @@
+// dp-lint fixture: raw std::ofstream checkpoint writes in src/nn/ and
+// src/serve/ scope — one bare violation, one escaped, and the
+// read-side std::ifstream which is always fine.
+// dp-lint-path: src/nn/fake_save.cpp
+// dp-lint-expect: DP006
+#include <fstream>
+#include <string>
+
+void crashUnsafeSave(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  out << "weights";
+}
+
+void deliberateScratchWrite(const std::string& path) {
+  // Scratch diagnostics, not a published artifact.
+  // dp-lint: non-atomic-write
+  std::ofstream out(path);
+  out << "debug dump";
+}
+
+std::string readBack(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string s;
+  in >> s;
+  return s;
+}

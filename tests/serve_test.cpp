@@ -531,9 +531,16 @@ TEST(Serve, RoutesAndErrors) {
   PatternServer server;
   server.registry().add(bundle);
 
+  // Health machine: a constructed server is starting (503 from
+  // /healthz) until marked ready.
+  const auto starting = get(server, "/healthz");
+  EXPECT_EQ(starting.status, 503);
+  EXPECT_NE(starting.body.find("\"starting\""), std::string::npos);
+  server.setHealth(PatternServer::Health::kReady);
+
   const auto health = get(server, "/healthz");
   EXPECT_EQ(health.status, 200);
-  EXPECT_NE(health.body.find("\"ok\""), std::string::npos);
+  EXPECT_NE(health.body.find("\"ready\""), std::string::npos);
 
   const auto bundles = get(server, "/bundles");
   EXPECT_EQ(bundles.status, 200);

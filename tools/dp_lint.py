@@ -32,6 +32,16 @@ THIS repo rather than of C++:
                             units, which are the only TUs built with
                             -mavx2 and only entered behind the runtime
                             cpuid dispatch.
+  DP006 raw-checkpoint-write
+                            std::ofstream may not appear in src/nn/ or
+                            src/serve/: checkpoint and bundle files
+                            must be published through
+                            dp::AtomicFileWriter (write-temp + fsync +
+                            atomic rename), or a crash mid-write
+                            corrupts the previous good file. A
+                            deliberate non-durable write is allowed
+                            with `// dp-lint: non-atomic-write` on the
+                            same line or the line above.
 
 Usage:
   dp_lint.py [--root DIR]     scan the repository (default: cwd)
@@ -57,6 +67,7 @@ SOURCE_EXTS = (".cpp", ".hpp", ".h", ".cc")
 EXCLUDED = ("tests/lint/fixtures",)
 
 ESCAPE_ORDERED = "dp-lint: ordered"
+ESCAPE_NON_ATOMIC = "dp-lint: non-atomic-write"
 
 
 class Finding:
@@ -274,12 +285,33 @@ def rule_avx2_confinement(relpath: str, raw: str, stripped: str):
             )
 
 
+RE_OFSTREAM = re.compile(r"\bstd::ofstream\b")
+
+
+def rule_raw_checkpoint_write(relpath: str, raw: str, stripped: str):
+    if not relpath.startswith(("src/nn/", "src/serve/")):
+        return
+    raw_lines = raw.splitlines()
+    for m in RE_OFSTREAM.finditer(stripped):
+        line = line_of(stripped, m.start())
+        if has_escape(raw_lines, line, ESCAPE_NON_ATOMIC):
+            continue
+        yield Finding(
+            relpath, line, "DP006",
+            "raw `std::ofstream` in checkpoint/bundle code — publish "
+            "through dp::AtomicFileWriter (common/atomic_file.hpp) so a "
+            "crash mid-write cannot corrupt the previous good file, or "
+            "justify with `// dp-lint: non-atomic-write`",
+        )
+
+
 RULES = [
     rule_banned_rng,
     rule_raw_sync,
     rule_banned_flags,
     rule_unordered_iteration,
     rule_avx2_confinement,
+    rule_raw_checkpoint_write,
 ]
 
 
