@@ -56,6 +56,11 @@ class Args {
     const auto it = values_.find(key);
     return it == values_.end() ? def : std::stod(it->second);
   }
+  [[nodiscard]] std::string getString(const std::string& key,
+                                      const std::string& def = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
   [[nodiscard]] bool has(const std::string& key) const {
     return values_.count(key) > 0;
   }

@@ -1,0 +1,278 @@
+#include "pipeline/massive.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "models/batch.hpp"
+#include "models/topology_codec.hpp"
+#include "pipeline/sharded_set.hpp"
+#include "squish/canonical.hpp"
+#include "squish/hash.hpp"
+
+namespace dp::pipeline {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Accumulates per-stage items/seconds for the result and mirrors the
+/// deltas onto the serving metrics surface at every checkpoint flush.
+struct StageTally {
+  std::map<std::string, StageStats> total;
+  std::map<std::string, StageStats> pending;
+
+  void add(const std::string& stage, std::uint64_t items,
+           Clock::time_point since) {
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - since).count();
+    StageStats& t = total[stage];
+    t.items += items;
+    t.seconds += seconds;
+    StageStats& p = pending[stage];
+    p.items += items;
+    p.seconds += seconds;
+  }
+
+  void flush(serve::Metrics* metrics) {
+    if (metrics)
+      for (const auto& [stage, stats] : pending)
+        metrics->recordStage(stage, stats.items, stats.seconds);
+    pending.clear();
+  }
+};
+
+void checkConfig(const nn::Tensor& sourceLatents,
+                 const MassiveConfig& config) {
+  if (config.dir.empty())
+    throw std::invalid_argument("runMassive: empty store dir");
+  if (config.count <= 0)
+    throw std::invalid_argument("runMassive: count must be > 0");
+  if (config.batchSize <= 0)
+    throw std::invalid_argument("runMassive: batchSize must be > 0");
+  if (config.checkpointEvery <= 0)
+    throw std::invalid_argument("runMassive: checkpointEvery must be > 0");
+  if (config.patternsPerSegment <= 0)
+    throw std::invalid_argument(
+        "runMassive: patternsPerSegment must be > 0");
+  if (sourceLatents.dim() != 2 || sourceLatents.size(0) == 0)
+    throw std::invalid_argument(
+        "runMassive: need (pool, latentDim) source latents");
+}
+
+/// Removes AtomicFileWriter temp files a killed writer stranded (a
+/// SIGKILL skips the writer's unwind cleanup), so a resumed store
+/// converges to the byte-identical directory an uninterrupted run
+/// produces.
+void sweepStaleTempFiles(const std::string& dir) {
+  std::vector<fs::path> stale;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos)
+      stale.push_back(entry.path());
+  }
+  for (const fs::path& path : stale) fs::remove(path);
+}
+
+}  // namespace
+
+MassiveResult runMassive(const models::Tcae& tcae,
+                         const nn::Tensor& sourceLatents,
+                         const core::SensitivityAwarePerturber& perturber,
+                         const drc::TopologyChecker& checker,
+                         const MassiveConfig& config,
+                         serve::Metrics* metrics) {
+  static FaultSite planFault("pipeline.checkpoint.plan");
+  static FaultSite decodeFault("pipeline.checkpoint.decode");
+  static FaultSite assessFault("pipeline.checkpoint.assess");
+  static FaultSite dedupFault("pipeline.checkpoint.dedup");
+  static FaultSite sealFault("pipeline.checkpoint.seal");
+
+  checkConfig(sourceLatents, config);
+  fs::create_directories(config.dir);
+  sweepStaleTempFiles(config.dir);
+
+  MassiveResult result;
+  StageTally tally;
+  ShardedPatternSet set;
+  StoreManifest manifest;
+
+  if (const auto loaded = loadManifest(config.dir)) {
+    const StoreManifest& m = *loaded;
+    if (m.seed != config.seed || m.batchSize != config.batchSize ||
+        m.checkpointEvery != config.checkpointEvery ||
+        m.patternsPerSegment != config.patternsPerSegment)
+      throw std::invalid_argument(
+          "runMassive: store at " + config.dir +
+          " was produced under different generation parameters");
+    if (config.count < m.cursor)
+      throw std::invalid_argument(
+          "runMassive: count " + std::to_string(config.count) +
+          " is behind the committed cursor " + std::to_string(m.cursor));
+    // Rebuild the dedup set from the committed segments. Ascending
+    // segment order replays first-insertion order, so collision-bucket
+    // order (and therefore all downstream enumeration) matches the
+    // original run exactly.
+    const auto t0 = Clock::now();
+    for (const SegmentInfo& seg : m.segments) {
+      SegmentReader reader(config.dir, seg);
+      reader.forEach([&set](std::uint64_t hash, const PackedPattern& p) {
+        set.insertPacked(hash, p);
+      });
+    }
+    if (set.size() != m.unique || set.shardSizes() != m.shardSizes)
+      throw std::runtime_error(
+          "runMassive: dedup-set rebuild disagrees with the manifest "
+          "(corrupt store at " +
+          config.dir + ")");
+    tally.add("resume", m.unique, t0);
+    manifest = m;
+    result.resumed = true;
+    result.resumedFrom = m.cursor;
+  }
+  manifest.seed = config.seed;
+  manifest.count = config.count;
+  manifest.batchSize = config.batchSize;
+  manifest.checkpointEvery = config.checkpointEvery;
+  manifest.patternsPerSegment = config.patternsPerSegment;
+
+  const std::uint64_t streamBase = splitmix64(config.seed);
+  const int pool = sourceLatents.size(0);
+  long cursor = manifest.cursor;
+  long legal = manifest.legal;
+  long nextSegment = static_cast<long>(manifest.segments.size());
+  SegmentBuilder builder;
+
+  const auto seal = [&] {
+    const auto t0 = Clock::now();
+    const std::uint64_t sealed = builder.patterns();
+    manifest.segments.push_back(
+        writeSegment(config.dir, nextSegment, builder));
+    ++nextSegment;
+    builder.clear();
+    tally.add("seal", sealed, t0);
+  };
+
+  while (cursor < config.count) {
+    // Checkpoint boundaries sit on a fixed grid (multiples of
+    // checkpointEvery), and batches never straddle a boundary — so a
+    // killed run and an uninterrupted run cut identical batches and
+    // seal identical segments.
+    const long boundary = std::min(
+        config.count,
+        (cursor / config.checkpointEvery + 1) * config.checkpointEvery);
+    while (cursor < boundary) {
+      const int b = static_cast<int>(
+          std::min<long>(config.batchSize, boundary - cursor));
+
+      // Plan: the batch draws from its own Rng stream keyed by the
+      // cursor, so any batch regenerates without replaying history.
+      planFault.orThrow();
+      auto t0 = Clock::now();
+      Rng rng(taskSeed(streamBase, static_cast<std::uint64_t>(cursor)));
+      const auto idx = models::sampleIndices(pool, b, rng);
+      nn::Tensor latents = models::gatherRows(sourceLatents, idx);
+      latents += perturber.sampleBatch(b, rng);
+      tally.add("plan", static_cast<std::uint64_t>(b), t0);
+
+      decodeFault.orThrow();
+      t0 = Clock::now();
+      const nn::Tensor activations = tcae.decode(latents);
+      tally.add("decode", static_cast<std::uint64_t>(b), t0);
+
+      // Assess: threshold/unpad, legality, canonicalize, hash and pack
+      // sample-parallel into index-ordered slots (§6 contract).
+      assessFault.orThrow();
+      t0 = Clock::now();
+      std::vector<char> ok(static_cast<std::size_t>(b), 0);
+      std::vector<std::uint64_t> hashes(static_cast<std::size_t>(b), 0);
+      std::vector<PackedPattern> packs(static_cast<std::size_t>(b));
+      dp::parallelFor(b, 8, [&](long i0, long i1) {
+        for (long i = i0; i < i1; ++i) {
+          const auto k = static_cast<std::size_t>(i);
+          const squish::Topology t = models::decodeGeneratedTopology(
+              activations, static_cast<int>(i));
+          if (!checker.isLegal(t)) continue;
+          ok[k] = 1;
+          const squish::Topology canon = squish::canonicalize(t);
+          hashes[k] = squish::hashTopology(canon);
+          packs[k] = pack(canon);
+        }
+      });
+      tally.add("assess", static_cast<std::uint64_t>(b), t0);
+
+      // Dedup + store fold: replay the slots serially in ascending
+      // sample order, so insertion order (and with it every segment
+      // byte) is thread-count invariant.
+      dedupFault.orThrow();
+      t0 = Clock::now();
+      for (int i = 0; i < b; ++i) {
+        const auto k = static_cast<std::size_t>(i);
+        if (!ok[k]) continue;
+        ++legal;
+        if (!set.insertPacked(hashes[k], packs[k])) continue;
+        builder.add(hashes[k], packs[k]);
+        if (builder.patterns() >=
+            static_cast<std::uint64_t>(config.patternsPerSegment)) {
+          sealFault.orThrow();
+          seal();
+        }
+      }
+      tally.add("dedup", static_cast<std::uint64_t>(b), t0);
+      cursor += b;
+    }
+
+    // Checkpoint: seal the partial segment so the manifest covers every
+    // unique pattern, then atomically publish progress. The seal
+    // boundary is crossed at every checkpoint even when no new uniques
+    // arrived, so its fault-site call sequence is a function of the
+    // checkpoint grid alone — not of what the data happened to yield.
+    sealFault.orThrow();
+    if (!builder.empty()) seal();
+    const auto t0 = Clock::now();
+    manifest.cursor = cursor;
+    manifest.legal = legal;
+    manifest.unique = set.size();
+    manifest.shardSizes = set.shardSizes();
+    commitManifest(config.dir, manifest);
+    tally.add("commit", 1, t0);
+    tally.flush(metrics);
+  }
+  tally.flush(metrics);
+
+  result.generated = cursor;
+  result.legal = legal;
+  result.unique = set.size();
+  result.diversity = set.diversity();
+  result.stages = tally.total;
+  return result;
+}
+
+core::PatternLibrary loadLibrary(const std::string& dir,
+                                 long maxPatterns) {
+  const auto manifest = loadManifest(dir);
+  if (!manifest)
+    throw std::runtime_error("loadLibrary: no manifest in " + dir);
+  core::PatternLibrary library;
+  const long cap = maxPatterns <= 0 ? std::numeric_limits<long>::max()
+                                    : maxPatterns;
+  for (const SegmentInfo& seg : manifest->segments) {
+    if (static_cast<long>(library.size()) >= cap) break;
+    SegmentReader reader(dir, seg);
+    reader.forEach([&](std::uint64_t, const PackedPattern& p) {
+      if (static_cast<long>(library.size()) >= cap) return;
+      library.add(unpack(p));
+    });
+  }
+  return library;
+}
+
+}  // namespace dp::pipeline

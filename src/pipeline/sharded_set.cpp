@@ -1,0 +1,96 @@
+#include "pipeline/sharded_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "squish/canonical.hpp"
+#include "squish/hash.hpp"
+
+namespace dp::pipeline {
+
+bool ShardedPatternSet::insert(const squish::Topology& t) {
+  const squish::Topology canon = squish::canonicalize(t);
+  return insertPacked(squish::hashTopology(canon), pack(canon));
+}
+
+bool ShardedPatternSet::insertPacked(std::uint64_t hash,
+                                     const PackedPattern& packed) {
+  Shard& shard = shards_[static_cast<std::size_t>(shardOf(hash))];
+  LockGuard lock(shard.mutex);
+  auto& bucket = shard.buckets[hash];
+  for (const auto& existing : bucket)
+    if (existing == packed) return false;
+  bucket.push_back(packed);
+  ++shard.count;
+  ++shard.histogram[{packed.cx(), packed.cy()}];
+  return true;
+}
+
+bool ShardedPatternSet::containsPacked(std::uint64_t hash,
+                                       const PackedPattern& packed) const {
+  const Shard& shard = shards_[static_cast<std::size_t>(shardOf(hash))];
+  LockGuard lock(shard.mutex);
+  const auto it = shard.buckets.find(hash);
+  if (it == shard.buckets.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), packed) !=
+         it->second.end();
+}
+
+std::uint64_t ShardedPatternSet::size() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    LockGuard lock(shard.mutex);
+    total += shard.count;
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> ShardedPatternSet::shardSizes() const {
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(kShards);
+  for (const Shard& shard : shards_) {
+    LockGuard lock(shard.mutex);
+    sizes.push_back(shard.count);
+  }
+  return sizes;
+}
+
+void ShardedPatternSet::forEach(
+    const std::function<void(std::uint64_t, const PackedPattern&)>& fn)
+    const {
+  for (const Shard& shard : shards_) {
+    LockGuard lock(shard.mutex);
+    for (const auto& [hash, bucket] : shard.buckets)
+      for (const PackedPattern& p : bucket) fn(hash, p);
+  }
+}
+
+std::map<std::pair<int, int>, std::uint64_t>
+ShardedPatternSet::complexityHistogram() const {
+  std::map<std::pair<int, int>, std::uint64_t> merged;
+  for (const Shard& shard : shards_) {
+    LockGuard lock(shard.mutex);
+    for (const auto& [key, count] : shard.histogram) merged[key] += count;
+  }
+  return merged;
+}
+
+double ShardedPatternSet::diversity() const {
+  return shannonFromCounts(complexityHistogram());
+}
+
+double shannonFromCounts(
+    const std::map<std::pair<int, int>, std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  for (const auto& [key, count] : counts) total += count;
+  if (total == 0) return 0.0;
+  const double n = static_cast<double>(total);
+  double h = 0.0;
+  for (const auto& [key, count] : counts) {
+    const double p = static_cast<double>(count) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace dp::pipeline

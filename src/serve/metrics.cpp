@@ -96,6 +96,19 @@ void Metrics::recordBundle(const std::string& bundle,
   s.drcClean += delta.drcClean;
 }
 
+void Metrics::recordStage(const std::string& stage, std::uint64_t items,
+                          double seconds) {
+  LockGuard lock(mutex_);
+  StageCounter& s = stages_[stage];
+  s.items += items;
+  s.seconds += seconds;
+}
+
+std::map<std::string, StageCounter> Metrics::stageTotals() const {
+  LockGuard lock(mutex_);
+  return stages_;
+}
+
 void Metrics::countShed(const std::string& reason) {
   LockGuard lock(mutex_);
   ++shed_[reason];
@@ -138,11 +151,13 @@ std::string Metrics::renderPrometheus() const {
   std::map<std::pair<std::string, int>, std::uint64_t> requests;
   std::map<std::string, BundleStats> bundles;
   std::map<std::string, std::uint64_t> shed;
+  std::map<std::string, StageCounter> stages;
   {
     LockGuard lock(mutex_);
     requests = requests_;
     bundles = bundles_;
     shed = shed_;
+    stages = stages_;
   }
 
   line("# HELP dp_requests_total HTTP requests by route and status.");
@@ -184,6 +199,21 @@ std::string Metrics::renderPrometheus() const {
                          : 0.0;
     line("dp_bundle_drc_clean_fraction{bundle=\"" + bundle + "\"} " +
          num(frac));
+  }
+
+  if (!stages.empty()) {
+    line("# HELP dp_pipeline_stage_items_total Items per pipeline stage.");
+    line("# TYPE dp_pipeline_stage_items_total counter");
+    for (const auto& [stage, counter] : stages)
+      line("dp_pipeline_stage_items_total{stage=\"" + stage + "\"} " +
+           std::to_string(counter.items));
+    line(
+        "# HELP dp_pipeline_stage_seconds_total Wall-clock seconds per "
+        "pipeline stage.");
+    line("# TYPE dp_pipeline_stage_seconds_total counter");
+    for (const auto& [stage, counter] : stages)
+      line("dp_pipeline_stage_seconds_total{stage=\"" + stage + "\"} " +
+           num(counter.seconds));
   }
 
   line("# HELP dp_shed_total Requests shed by reason.");

@@ -50,6 +50,13 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Per-stage throughput totals of the massive pipeline (DESIGN.md
+/// §12): items processed and wall-clock seconds spent per stage.
+struct StageCounter {
+  std::uint64_t items = 0;
+  double seconds = 0.0;
+};
+
 /// Per-bundle generation quality counters.
 struct BundleStats {
   std::uint64_t requests = 0;
@@ -67,6 +74,14 @@ class Metrics {
   void countRequest(const std::string& route, int status)
       DP_EXCLUDES(mutex_);
   void recordBundle(const std::string& bundle, const BundleStats& delta)
+      DP_EXCLUDES(mutex_);
+
+  /// Folds a massive-pipeline stage delta (items processed, seconds
+  /// spent) into the dp_pipeline_stage_* exposition. Stages appear in
+  /// the output once they have recorded at least one delta.
+  void recordStage(const std::string& stage, std::uint64_t items,
+                   double seconds) DP_EXCLUDES(mutex_);
+  [[nodiscard]] std::map<std::string, StageCounter> stageTotals() const
       DP_EXCLUDES(mutex_);
 
   /// Counts one load-shed request. `reason` labels the shed class
@@ -101,6 +116,7 @@ class Metrics {
       DP_GUARDED_BY(mutex_);
   std::map<std::string, BundleStats> bundles_ DP_GUARDED_BY(mutex_);
   std::map<std::string, std::uint64_t> shed_ DP_GUARDED_BY(mutex_);
+  std::map<std::string, StageCounter> stages_ DP_GUARDED_BY(mutex_);
   std::atomic<long> queueDepth_{0};
   Histogram batchOccupancy_;
   Histogram latencyMs_;

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -28,6 +29,7 @@
 #include "datagen/generator.hpp"
 #include "io/json.hpp"
 #include "nn/serialize.hpp"
+#include "pipeline/massive.hpp"
 #include "serve/server.hpp"
 #include "testutil.hpp"
 
@@ -48,14 +50,6 @@ class FaultTest : public ::testing::Test {
   void SetUp() override { faults::disarmAll(); }
   void TearDown() override { faults::disarmAll(); }
 };
-
-std::string tempDir(const std::string& tag) {
-  const auto dir =
-      std::filesystem::temp_directory_path() / ("dp_fault_" + tag);
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
-  return dir.string();
-}
 
 std::string readFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -176,8 +170,8 @@ TEST_F(FaultTest, ArmFromSpecParsesAndRejects) {
 // Atomic file publication under injected faults.
 
 TEST_F(FaultTest, AtomicWriterPublishesAndChecksums) {
-  const std::string dir = tempDir("atomic");
-  const std::string path = dir + "/data.txt";
+  const test::ScopedTempDir dir("dp_fault_atomic");
+  const std::string path = dir.file("data.txt");
   AtomicFileWriter out(path);
   out.append("hello ");
   out.append("world");
@@ -188,8 +182,8 @@ TEST_F(FaultTest, AtomicWriterPublishesAndChecksums) {
 }
 
 TEST_F(FaultTest, InjectedFaultsLeavePreviousFileIntact) {
-  const std::string dir = tempDir("window");
-  const std::string path = dir + "/data.txt";
+  const test::ScopedTempDir dir("dp_fault_window");
+  const std::string path = dir.file("data.txt");
   {
     AtomicFileWriter out(path);
     out.append("generation one");
@@ -206,7 +200,8 @@ TEST_F(FaultTest, InjectedFaultsLeavePreviousFileIntact) {
     faults::disarm(site);
     EXPECT_EQ(readFile(path), "generation one") << site;
     int entries = 0;
-    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    for (const auto& e :
+         std::filesystem::directory_iterator(dir.path())) {
       (void)e;
       ++entries;
     }
@@ -215,7 +210,8 @@ TEST_F(FaultTest, InjectedFaultsLeavePreviousFileIntact) {
 }
 
 TEST_F(FaultTest, RenameFaultPreservesPreviousCheckpoint) {
-  const std::string path = tempDir("ckpt") + "/t.bin";
+  const test::ScopedTempDir scratch("dp_fault_ckpt");
+  const std::string path = scratch.file("t.bin");
   nn::Tensor v1({2, 3});
   for (std::size_t i = 0; i < v1.numel(); ++i)
     v1[i] = static_cast<float>(i) * 0.5F;
@@ -231,7 +227,8 @@ TEST_F(FaultTest, RenameFaultPreservesPreviousCheckpoint) {
 }
 
 TEST_F(FaultTest, LoadOpenFaultIsInjectable) {
-  const std::string path = tempDir("open") + "/t.bin";
+  const test::ScopedTempDir scratch("dp_fault_open");
+  const std::string path = scratch.file("t.bin");
   nn::Tensor t({2});
   t[0] = 1.0F;
   t[1] = 2.0F;
@@ -253,7 +250,8 @@ std::string manifestDataFile(const std::string& dir,
 }
 
 TEST_F(FaultTest, BundleChecksumRejectsBitFlip) {
-  const std::string dir = tempDir("crc") + "/tiny";
+  const test::ScopedTempDir scratch("dp_fault_crc");
+  const std::string dir = scratch.file("tiny");
   tinyBundle()->save(dir);
   ASSERT_NO_THROW((void)serve::loadBundle(dir));
 
@@ -282,7 +280,8 @@ TEST_F(FaultTest, BundleChecksumRejectsBitFlip) {
 }
 
 TEST_F(FaultTest, BundleSizeMismatchRejectsTruncation) {
-  const std::string dir = tempDir("trunc") + "/tiny";
+  const test::ScopedTempDir scratch("dp_fault_trunc");
+  const std::string dir = scratch.file("tiny");
   tinyBundle()->save(dir);
   const std::string victim = manifestDataFile(dir, "latents");
   std::filesystem::resize_file(
@@ -298,7 +297,8 @@ TEST_F(FaultTest, BundleSizeMismatchRejectsTruncation) {
 }
 
 TEST_F(FaultTest, BundleSaveCrashWindowKeepsPreviousGeneration) {
-  const std::string dir = tempDir("gen") + "/tiny";
+  const test::ScopedTempDir scratch("dp_fault_gen");
+  const std::string dir = scratch.file("tiny");
   const auto bundle = tinyBundle();
   bundle->save(dir);
   const auto before = serve::loadBundle(dir);
@@ -325,7 +325,8 @@ TEST_F(FaultTest, BundleSaveCrashWindowKeepsPreviousGeneration) {
 }
 
 TEST_F(FaultTest, RegistrySkipsCorruptDirAndKeepsLastGood) {
-  const std::string root = tempDir("registry");
+  const test::ScopedTempDir scratch("dp_fault_registry");
+  const std::string& root = scratch.path();
   const auto bundle = tinyBundle();
   bundle->save(root + "/good");
   bundle->save(root + "/broken");
@@ -458,7 +459,8 @@ TEST_F(FaultTest, HealthTransitions) {
   EXPECT_EQ(get(server, "/healthz").status, 200);
 
   // A partially corrupt bundle root degrades but keeps serving.
-  const std::string root = tempDir("health");
+  const test::ScopedTempDir scratch2("dp_fault_health");
+  const std::string& root = scratch2.path();
   tinyBundle()->save(root + "/good");
   tinyBundle()->save(root + "/broken");
   std::filesystem::resize_file(
@@ -499,6 +501,93 @@ TEST_F(FaultTest, MetricsExposeShedAndFaultCounters) {
             std::string::npos);
   EXPECT_NE(text.find("dp_fault_fires_total{site=\"t.metrics\"} 1"),
             std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Massive-pipeline checkpoint sites (DESIGN.md §12): every
+// pipeline.checkpoint.* boundary's fire/call sequence is a pure
+// function of (seed, rate, call index) — bit-identical at any
+// DP_THREADS, because all boundary sites fire on the coordinator
+// thread — and the counters surface on the metrics endpoint like any
+// other site's.
+
+pipeline::MassiveConfig tinyMassiveConfig(const std::string& dir) {
+  pipeline::MassiveConfig config;
+  config.dir = dir;
+  config.count = 512;
+  config.batchSize = 64;
+  config.checkpointEvery = 128;
+  config.patternsPerSegment = 16;
+  config.seed = 31;
+  return config;
+}
+
+pipeline::MassiveResult runTinyMassive(const pipeline::MassiveConfig& c,
+                                       serve::Metrics* metrics = nullptr) {
+  const auto bundle = tinyBundle();
+  return pipeline::runMassive(bundle->tcae(), bundle->sourceLatents(),
+                              bundle->perturber(), bundle->checker(), c,
+                              metrics);
+}
+
+TEST_F(FaultTest, PipelineCheckpointSitesReplayable) {
+  const std::vector<std::string> sites = {
+      "pipeline.checkpoint.plan",   "pipeline.checkpoint.decode",
+      "pipeline.checkpoint.assess", "pipeline.checkpoint.dedup",
+      "pipeline.checkpoint.seal",   "pipeline.checkpoint.commit",
+      "pipeline.checkpoint.resume"};
+  for (const std::string& site : sites) {
+    SCOPED_TRACE(site);
+    std::optional<FaultCounters> reference;
+    for (const int threads : {1, 8}) {
+      ScopedDpThreads guard(threads);
+      test::ScopedTempDir dir("dp_fault_ppl_" + std::to_string(threads));
+      const pipeline::MassiveConfig config =
+          tinyMassiveConfig(dir.path());
+      // A clean half-run commits a manifest, so the armed run below
+      // also exercises the resume boundary.
+      pipeline::MassiveConfig half = config;
+      half.count = 256;
+      (void)runTinyMassive(half);
+      faults::arm(site, 29, 0.5);
+      try {
+        (void)runTinyMassive(config);
+      } catch (const FaultInjected& e) {
+        EXPECT_EQ(e.site(), site);
+      }
+      const FaultCounters counters = faults::counters().at(site);
+      faults::disarmAll();
+      EXPECT_GT(counters.calls, 0U);
+      if (!reference) {
+        reference = counters;
+      } else {
+        EXPECT_EQ(counters.calls, reference->calls)
+            << "boundary call sequence depends on DP_THREADS";
+        EXPECT_EQ(counters.fires, reference->fires)
+            << "boundary fire sequence depends on DP_THREADS";
+      }
+    }
+  }
+}
+
+TEST_F(FaultTest, PipelineCheckpointCountersReachMetricsSurface) {
+  test::ScopedTempDir dir("dp_fault_ppl_metrics");
+  pipeline::MassiveConfig config = tinyMassiveConfig(dir.path());
+  config.count = 128;
+  // Armed at a vanishing rate: counts calls without ever firing.
+  faults::arm("pipeline.checkpoint.decode", 7, 1e-12);
+  serve::Metrics metrics;
+  (void)runTinyMassive(config, &metrics);
+  const std::string text = metrics.renderPrometheus();
+  EXPECT_NE(
+      text.find(
+          "dp_fault_calls_total{site=\"pipeline.checkpoint.decode\"} 2"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dp_pipeline_stage_items_total{stage=\"decode\"} "
+                      "128"),
+            std::string::npos)
+      << text;
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,19 @@
+// dp-lint fixture: DP006 scope covers src/pipeline/ — segment and
+// manifest files feed the resume protocol, so a torn write corrupts
+// the store a crashed run needs to come back from.
+// dp-lint-path: src/pipeline/fake_segment.cpp
+// dp-lint-expect: DP006
+#include <fstream>
+#include <string>
+
+void crashUnsafeSegmentWrite(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  out << "records";
+}
+
+void deliberateScratchWrite(const std::string& path) {
+  // Scratch diagnostics, not part of the committed store.
+  // dp-lint: non-atomic-write
+  std::ofstream out(path);
+  out << "debug dump";
+}

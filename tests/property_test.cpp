@@ -306,5 +306,98 @@ TEST_P(LibraryProperty, MergeIsIdempotentAndCommutativeInSize) {
 INSTANTIATE_TEST_SUITE_P(Seeds, LibraryProperty,
                          ::testing::Values(371, 372, 373));
 
+// The invariance the massive pipeline's dedup rests on (DESIGN.md
+// §12): a topology presented with duplicated scan lines — the exact
+// redundancy binarized decoder output and zero-padding introduce —
+// canonicalizes to the same matrix, hashes identically, and is a
+// duplicate to the library.
+TEST_P(LibraryProperty, CanonicalHashStableAcrossPresentations) {
+  for (int trial = 0; trial < 25; ++trial) {
+    Topology t(rng_.uniformInt(1, 6), rng_.uniformInt(1, 6));
+    for (int r = 0; r < t.rows(); ++r)
+      for (int c = 0; c < t.cols(); ++c)
+        t.set(r, c, rng_.bernoulli(0.4) ? 1 : 0);
+
+    // Re-present with each row/column repeated 1–3 times.
+    std::vector<int> rowRep(static_cast<std::size_t>(t.rows()));
+    std::vector<int> colRep(static_cast<std::size_t>(t.cols()));
+    int rows2 = 0;
+    int cols2 = 0;
+    for (int& n : rowRep) rows2 += n = rng_.uniformInt(1, 3);
+    for (int& n : colRep) cols2 += n = rng_.uniformInt(1, 3);
+    Topology wide(rows2, cols2);
+    int rr = 0;
+    for (int r = 0; r < t.rows(); ++r)
+      for (int i = 0; i < rowRep[static_cast<std::size_t>(r)]; ++i, ++rr) {
+        int cc = 0;
+        for (int c = 0; c < t.cols(); ++c)
+          for (int j = 0; j < colRep[static_cast<std::size_t>(c)];
+               ++j, ++cc)
+            wide.set(rr, cc, t.at(r, c));
+      }
+
+    const Topology canon = squish::canonicalize(t);
+    EXPECT_EQ(squish::canonicalize(wide), canon);
+    EXPECT_EQ(squish::hashTopology(squish::canonicalize(wide)),
+              squish::hashTopology(canon));
+    core::PatternLibrary lib;
+    lib.add(t);
+    EXPECT_FALSE(lib.add(wide));
+    EXPECT_EQ(lib.size(), 1U);
+  }
+}
+
+// Stronger than size equality: merge commutes on the full enumerated
+// pattern list, and re-merging is a no-op on it — the property that
+// lets pipeline shards be folded in any grouping.
+TEST_P(LibraryProperty, MergeCommutesOnPatternLists) {
+  core::PatternLibrary a, b;
+  for (int i = 0; i < 40; ++i) {
+    Topology t(rng_.uniformInt(1, 5), rng_.uniformInt(1, 5));
+    for (int r = 0; r < t.rows(); ++r)
+      for (int c = 0; c < t.cols(); ++c)
+        t.set(r, c, rng_.bernoulli(0.5) ? 1 : 0);
+    if (i % 3 != 0) a.add(t);
+    if (i % 3 != 1) b.add(t);  // overlapping membership
+  }
+  core::PatternLibrary ab = a;
+  ab.merge(b);
+  core::PatternLibrary ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.patterns(), ba.patterns());
+  EXPECT_DOUBLE_EQ(ab.diversity(), ba.diversity());
+  const auto before = ab.patterns();
+  ab.merge(b);
+  ab.merge(a);
+  EXPECT_EQ(ab.patterns(), before);
+}
+
+// Closed-form Definition-2 diversity: H depends only on the (cx, cy)
+// complexity histogram, so hand-built class distributions must hit the
+// textbook entropies exactly.
+TEST(LibraryDiversity, MatchesClosedForms) {
+  // Single pattern: one class, H = 0.
+  core::PatternLibrary one;
+  one.add(test::topo({"#"}));
+  EXPECT_DOUBLE_EQ(one.diversity(), 0.0);
+
+  // Four equally filled classes (1,1), (2,1), (1,2), (2,2): H = 2.
+  core::PatternLibrary four;
+  four.add(test::topo({"#"}));   // (1,1)
+  four.add(test::topo({"#."}));  // (2,1)
+  four.add(test::topo({"#", "."}));  // (1,2)
+  four.add(test::topo({"#.", ".#"}));  // (2,2)
+  EXPECT_DOUBLE_EQ(four.diversity(), 2.0);
+
+  // p = {1/2, 1/4, 1/4}: H = 1.5 bits. Class (2,2) holds two distinct
+  // canonical patterns.
+  core::PatternLibrary skew;
+  skew.add(test::topo({"#.", ".#"}));  // (2,2)
+  skew.add(test::topo({".#", "#."}));  // (2,2)
+  skew.add(test::topo({"#."}));        // (2,1)
+  skew.add(test::topo({"#", "."}));    // (1,2)
+  EXPECT_DOUBLE_EQ(skew.diversity(), 1.5);
+}
+
 }  // namespace
 }  // namespace dp

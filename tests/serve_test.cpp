@@ -42,14 +42,6 @@ using serve::PatternServer;
 using test::ScopedDpThreads;
 using test::expectTensorsBitEqual;
 
-std::string tempDir(const std::string& tag) {
-  const auto dir =
-      std::filesystem::temp_directory_path() / ("dp_serve_" + tag);
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
-  return dir.string();
-}
-
 /// A small trained bundle, built once and shared across tests (the
 /// registry only hands out shared_ptr<const Bundle>, so sharing is
 /// safe by design).
@@ -130,7 +122,8 @@ TEST(SerializeHardening, TruncatedFileNamesParameter) {
   Rng rng(1);
   models::TcaeConfig cfg;
   models::Tcae tcae(cfg, rng);
-  const std::string path = tempDir("trunc") + "/tcae.bin";
+  const test::ScopedTempDir scratch("dp_serve_trunc");
+  const std::string path = scratch.file("tcae.bin");
   tcae.save(path);
   const auto size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, size - 17);
@@ -148,7 +141,8 @@ TEST(SerializeHardening, TrailingBytesRejected) {
   Rng rng(2);
   models::TcaeConfig cfg;
   models::Tcae tcae(cfg, rng);
-  const std::string path = tempDir("trail") + "/tcae.bin";
+  const test::ScopedTempDir scratch("dp_serve_trail");
+  const std::string path = scratch.file("tcae.bin");
   tcae.save(path);
   {
     std::ofstream out(path, std::ios::binary | std::ios::app);
@@ -163,7 +157,8 @@ TEST(SerializeHardening, ShapeMismatchNamesParameter) {
   models::TcaeConfig small;
   small.latentDim = 16;
   models::Tcae a(small, rng);
-  const std::string path = tempDir("shape") + "/tcae.bin";
+  const test::ScopedTempDir scratch("dp_serve_shape");
+  const std::string path = scratch.file("tcae.bin");
   a.save(path);
   models::TcaeConfig big;
   big.latentDim = 32;
@@ -187,7 +182,8 @@ TEST(Checkpoint, GanRoundTripBitIdenticalSampling) {
   models::GanConfig cfg;
   cfg.trainSteps = 60;
   (void)gan.train(data, cfg, rng);
-  const std::string path = tempDir("gan") + "/gan.bin";
+  const test::ScopedTempDir scratch("dp_serve_gan");
+  const std::string path = scratch.file("gan.bin");
   gan.save(path);
 
   Rng rng2(99);  // different stream: loader must not depend on init
@@ -213,7 +209,8 @@ TEST(Checkpoint, VaeRoundTripBitIdentical) {
   models::Vae vae(cfg, rng);
   const nn::Tensor data = nn::Tensor::randn({96, 8}, rng);
   (void)vae.train(data, rng);
-  const std::string path = tempDir("vae") + "/vae.bin";
+  const test::ScopedTempDir scratch("dp_serve_vae");
+  const std::string path = scratch.file("vae.bin");
   vae.save(path);
 
   Rng rng2(5);
@@ -235,7 +232,8 @@ TEST(Checkpoint, GuideModelRoundTrip) {
   core::GuideModel guide(cfg, rng);
   const nn::Tensor data = nn::Tensor::randn({128, 8}, rng);
   guide.train(data, rng);
-  const std::string path = tempDir("guide") + "/guide.bin";
+  const test::ScopedTempDir scratch("dp_serve_guide");
+  const std::string path = scratch.file("guide.bin");
   guide.save(path);
 
   Rng rng2(77);
@@ -250,7 +248,8 @@ TEST(Checkpoint, GuideModelRoundTrip) {
 
 TEST(Checkpoint, BundleRoundTrip) {
   const auto bundle = testBundle(/*guided=*/true);
-  const std::string dir = tempDir("bundle");
+  const test::ScopedTempDir scratch("dp_serve_bundle");
+  const std::string& dir = scratch.path();
   bundle->save(dir);
   const auto loaded = serve::loadBundle(dir);
 

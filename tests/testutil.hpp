@@ -11,9 +11,11 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <numeric>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -60,6 +62,34 @@ class ScopedDpThreads {
  private:
   bool hadOld_ = false;
   std::string old_;
+};
+
+/// RAII scratch directory under the system temp root. The constructor
+/// removes any stale directory a crashed earlier run left behind and
+/// creates it fresh; the destructor removes it recursively
+/// (best-effort, so a failing test's cleanup never masks the failure).
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& tag)
+      : path_((std::filesystem::temp_directory_path() / tag).string()) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// Joins `name` onto the directory.
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+
+ private:
+  std::string path_;
 };
 
 /// Bit-exact tensor comparison: same shape and every float identical at

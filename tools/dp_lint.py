@@ -33,8 +33,9 @@ THIS repo rather than of C++:
                             -mavx2 and only entered behind the runtime
                             cpuid dispatch.
   DP006 raw-checkpoint-write
-                            std::ofstream may not appear in src/nn/ or
-                            src/serve/: checkpoint and bundle files
+                            std::ofstream may not appear in src/nn/,
+                            src/serve/ or src/pipeline/: checkpoint,
+                            bundle, segment and manifest files
                             must be published through
                             dp::AtomicFileWriter (write-temp + fsync +
                             atomic rename), or a crash mid-write
@@ -289,7 +290,7 @@ RE_OFSTREAM = re.compile(r"\bstd::ofstream\b")
 
 
 def rule_raw_checkpoint_write(relpath: str, raw: str, stripped: str):
-    if not relpath.startswith(("src/nn/", "src/serve/")):
+    if not relpath.startswith(("src/nn/", "src/serve/", "src/pipeline/")):
         return
     raw_lines = raw.splitlines()
     for m in RE_OFSTREAM.finditer(stripped):
