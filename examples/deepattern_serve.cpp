@@ -6,6 +6,7 @@
 //   deepattern_serve serve --bundles bundles [--host 127.0.0.1]
 //                          [--port 8080] [--queue 64] [--batch 128]
 //                          [--threads N] [--send-timeout S]
+//                          [--workers N] [--worker-threads N]
 //
 // `build` trains a complete model bundle (TCAE + sensitivity + source
 // latents + optional guide) from a synthetic benchmark library and
@@ -17,12 +18,21 @@
 // DP_FAULTS=<site>:<seed>:<rate>[,...] arms deterministic fault
 // injection (src/common/fault.hpp) — armed sites are echoed at
 // startup. See the README quickstart for a sample curl session.
+//
+// With --workers N the serve command switches from one in-process
+// server to the shared-nothing scale-out front end: N forked serve
+// workers (each its own process, bundles and epoll loop) behind the
+// in-repo load balancer, which consistent-hash routes by bundle name,
+// aggregates /metrics with a worker="id" label, rolls /admin/reload
+// across the fleet, and respawns crashed workers under the same id.
+// The LB listens on 127.0.0.1:--port.
 
 #include <csignal>
 #include <cstdlib>
 #include <ctime>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include <vector>
@@ -30,6 +40,7 @@
 #include "common/fault.hpp"
 #include "common/thread_pool.hpp"
 #include "datagen/generator.hpp"
+#include "serve/lb.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -65,7 +76,8 @@ int usage() {
       "        [--clips N] [--steps T] [--guide gan|vae] [--seed S]\n"
       "  serve --bundles DIR [--host H] [--port P] [--queue N]\n"
       "        [--active N] [--batch N] [--threads N]\n"
-      "        [--send-timeout S] [--recv-timeout S]\n";
+      "        [--send-timeout S] [--recv-timeout S]\n"
+      "        [--workers N] [--worker-threads N]\n";
   return 2;
 }
 
@@ -117,6 +129,43 @@ int runBuild(const ArgMap& args) {
       dp::serve::buildBundle(spec, build, topologies, rng);
   bundle->save(out);
   std::cout << "wrote bundle to " << out << "\n";
+  return 0;
+}
+
+/// Scale-out serve: N forked shared-nothing workers behind the LB.
+/// `deployment` was constructed in main() before any thread existed
+/// (the inert supervisor must fork from a single-threaded process).
+int runScaleOut(dp::serve::Deployment& deployment, const ArgMap& args) {
+  const std::string bundles = get(args, "bundles", "");
+  if (bundles.empty()) return usage();
+  if (!deployment.available()) {
+    std::cerr << "supervisor fork failed at startup\n";
+    return 1;
+  }
+  dp::serve::Deployment::Options options;
+  options.bundleRoot = bundles;
+  options.workers = std::atoi(get(args, "workers", "4").c_str());
+  options.lbPort = std::atoi(get(args, "port", "8080").c_str());
+  if (const std::string t = get(args, "threads", ""); !t.empty())
+    options.handlerThreads = std::atoi(t.c_str());
+  options.workerThreads =
+      std::atoi(get(args, "worker-threads", "0").c_str());
+  deployment.launch(options);
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  for (const auto& w : deployment.queryWorkers())
+    std::cout << "worker " << w.id << " pid " << w.pid << " port "
+              << w.port << "\n";
+  std::cout << "load balancer on 127.0.0.1:" << deployment.lbPort()
+            << " — POST /generate, GET /healthz /bundles /metrics, "
+               "POST /admin/reload\n";
+  while (!gStop) {
+    timespec ts{0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  std::cout << "draining fleet...\n";
+  deployment.stop();
   return 0;
 }
 
@@ -179,12 +228,22 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const ArgMap args = parseArgs(argc, argv, 2);
+  // The scale-out supervisor forks an inert child that later builds
+  // the whole worker fleet; fork and threads don't mix, so it must be
+  // created here, before the thread pool (or anything else) spawns a
+  // thread in this process.
+  std::unique_ptr<dp::serve::Deployment> deployment;
+  const int workers = std::atoi(get(args, "workers", "0").c_str());
+  if (command == "serve" && workers > 0)
+    deployment = std::make_unique<dp::serve::Deployment>();
   if (const std::string threads = get(args, "threads", "");
       !threads.empty())
     dp::ThreadPool::setGlobalThreads(std::atoi(threads.c_str()));
   try {
     if (command == "build") return runBuild(args);
-    if (command == "serve") return runServe(args);
+    if (command == "serve")
+      return deployment ? runScaleOut(*deployment, args)
+                        : runServe(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,540 @@
+#include "serve/eventloop.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/fault.hpp"
+
+namespace dp::serve {
+
+namespace {
+
+// epoll user-data ids of the two non-connection descriptors.
+constexpr std::uint64_t kListenId = 0;
+constexpr std::uint64_t kWakeId = 1;
+
+std::string toLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// IncrementalParser
+// ---------------------------------------------------------------------------
+
+IncrementalParser::Status IncrementalParser::next(HttpRequest& out) {
+  if (errorStatus_ != 0) return Status::kError;
+  const auto fail = [this](int status, std::string message) {
+    errorStatus_ = status;
+    errorMessage_ = std::move(message);
+    return Status::kError;
+  };
+
+  if (headEnd_ == std::string::npos) {
+    // Resume the blank-line search where the last call left off (back
+    // up 3 bytes: the terminator may straddle the old buffer end).
+    const std::size_t from = scan_ > 3 ? scan_ - 3 : 0;
+    headEnd_ = buffer_.find("\r\n\r\n", from);
+    if (headEnd_ == std::string::npos) {
+      if (buffer_.size() > limits_.maxHeaderBytes)
+        return fail(431, "header block too large");
+      scan_ = buffer_.size();
+      return Status::kNeedMore;
+    }
+  }
+  if (headEnd_ > limits_.maxHeaderBytes)
+    return fail(431, "header block too large");
+
+  HttpRequest req;
+  std::size_t bodyStart = 0;
+  if (!parseHttpHead(buffer_, req, bodyStart))
+    return fail(400, "malformed request head");
+
+  std::size_t contentLength = 0;
+  if (const auto it = req.headers.find("content-length");
+      it != req.headers.end()) {
+    // Digits only, checked before stoull: stoull accepts a leading
+    // minus and wraps it to a huge unsigned value.
+    const std::string& value = it->second;
+    bool ok = !value.empty() &&
+              std::all_of(value.begin(), value.end(), [](unsigned char c) {
+                return std::isdigit(c) != 0;
+              });
+    if (ok) {
+      try {
+        std::size_t used = 0;
+        contentLength = std::stoull(value, &used);
+        ok = used == value.size();
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (!ok) return fail(400, "bad Content-Length");
+  }
+  if (contentLength > limits_.maxBodyBytes)
+    return fail(413, "body too large");
+  if (buffer_.size() < bodyStart + contentLength)
+    return Status::kNeedMore;
+
+  out = std::move(req);
+  out.body = buffer_.substr(bodyStart, contentLength);
+  buffer_.erase(0, bodyStart + contentLength);
+  headEnd_ = std::string::npos;
+  scan_ = 0;
+  return Status::kReady;
+}
+
+// ---------------------------------------------------------------------------
+// EventLoopServer
+// ---------------------------------------------------------------------------
+
+EventLoopServer::EventLoopServer(Config config, HttpHandler handler)
+    : config_(std::move(config)), handler_(std::move(handler)) {
+  if (config_.handlerThreads < 1)
+    throw std::invalid_argument(
+        "EventLoopServer: handlerThreads must be >= 1");
+}
+
+EventLoopServer::~EventLoopServer() { stop(); }
+
+void EventLoopServer::start() {
+  LockGuard stopLock(stopMutex_);
+  if (running_.load(std::memory_order_acquire)) return;
+
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0)
+    throw std::runtime_error("EventLoopServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("EventLoopServer: bad host " + config_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd);
+    // Errno formatting on a cold error path; no concurrent strerror callers.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    const char* msg = std::strerror(err);
+    throw std::runtime_error(
+        std::string("EventLoopServer: bind failed: ") + msg);
+  }
+  if (::listen(fd, 1024) < 0) {
+    ::close(fd);
+    throw std::runtime_error("EventLoopServer: listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wakeFd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epollFd_ < 0 || wakeFd_ < 0) {
+    ::close(fd);
+    if (epollFd_ >= 0) ::close(epollFd_);
+    if (wakeFd_ >= 0) ::close(wakeFd_);
+    epollFd_ = wakeFd_ = -1;
+    throw std::runtime_error("EventLoopServer: epoll/eventfd failed");
+  }
+  listenFd_ = fd;
+
+  epoll_event lev{};
+  lev.events = EPOLLIN | EPOLLET;
+  lev.data.u64 = kListenId;
+  ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &lev);
+  epoll_event wev{};
+  wev.events = EPOLLIN | EPOLLET;
+  wev.data.u64 = kWakeId;
+  ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &wev);
+
+  stopRequested_.store(false, std::memory_order_release);
+  {
+    LockGuard lock(mutex_);
+    handlersStopping_ = false;
+  }
+  handlerThreads_.reserve(static_cast<std::size_t>(config_.handlerThreads));
+  for (int i = 0; i < config_.handlerThreads; ++i)
+    handlerThreads_.emplace_back([this] { handlerThreadMain(); });
+  loopThread_ = std::thread([this] { loopThreadMain(); });
+  running_.store(true, std::memory_order_release);
+}
+
+void EventLoopServer::stop() {
+  LockGuard stopLock(stopMutex_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopRequested_.store(true, std::memory_order_release);
+  wakeLoop();
+  if (loopThread_.joinable()) loopThread_.join();
+  {
+    LockGuard lock(mutex_);
+    handlersStopping_ = true;
+    // The loop either drained these into responses or timed out; any
+    // leftovers would answer into closed connections. Drop them so the
+    // handler threads exit promptly.
+    tasks_.clear();
+  }
+  taskCv_.notifyAll();
+  for (std::thread& t : handlerThreads_)
+    if (t.joinable()) t.join();
+  handlerThreads_.clear();
+  if (listenFd_ >= 0) ::close(listenFd_);
+  if (wakeFd_ >= 0) ::close(wakeFd_);
+  if (epollFd_ >= 0) ::close(epollFd_);
+  listenFd_ = wakeFd_ = epollFd_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+void EventLoopServer::wakeLoop() {
+  const int fd = wakeFd_;
+  if (fd < 0) return;
+  const std::uint64_t one = 1;
+  const ssize_t n = ::write(fd, &one, sizeof one);
+  (void)n;  // a full eventfd counter still wakes the loop
+}
+
+void EventLoopServer::loopThreadMain() {
+  // Chaos hook: an injected wait failure skips the wait round entirely
+  // — the kernel keeps the undelivered edges pending, so the loop
+  // self-heals on the next round, as it would after a signal storm.
+  static FaultSite epollFault("serve.epoll.wait");
+  std::vector<epoll_event> events(256);
+  bool draining = false;
+  std::chrono::steady_clock::time_point drainStart{};
+  for (;;) {
+    if (epollFault.shouldFail()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    } else {
+      const int n = ::epoll_wait(epollFd_, events.data(),
+                                 static_cast<int>(events.size()), 250);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // epoll fd invalid: only possible when torn down
+      }
+      for (int i = 0; i < n; ++i) {
+        const std::uint64_t id = events[i].data.u64;
+        const std::uint32_t flags = events[i].events;
+        if (id == kListenId) {
+          if (!draining) acceptReady();
+          continue;
+        }
+        if (id == kWakeId) {
+          std::uint64_t buf = 0;
+          while (::read(wakeFd_, &buf, sizeof buf) > 0) {
+          }
+          continue;
+        }
+        const auto it = conns_.find(id);
+        if (it == conns_.end()) continue;
+        Conn& conn = it->second;
+        if ((flags & (EPOLLHUP | EPOLLERR)) != 0) {
+          closeConn(id, conn);
+          continue;
+        }
+        if ((flags & (EPOLLIN | EPOLLRDHUP)) != 0) readReady(id, conn);
+        if (conn.fd >= 0 && (flags & EPOLLOUT) != 0)
+          flushWrite(id, conn);
+      }
+    }
+    applyCompletions();
+    sweepTimeouts();
+
+    const auto now = std::chrono::steady_clock::now();
+    if (!draining && stopRequested_.load(std::memory_order_acquire)) {
+      draining = true;
+      drainStart = now;
+      ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, listenFd_, nullptr);
+    }
+    if (draining) {
+      bool busy;
+      {
+        LockGuard lock(mutex_);
+        busy = !tasks_.empty() || activeHandlers_ > 0 ||
+               !completions_.empty();
+      }
+      if (!busy) {
+        for (const auto& [id, conn] : conns_)
+          if (conn.fd >= 0 && (conn.dispatched ||
+                               conn.outOff < conn.outbuf.size()))
+            busy = true;
+      }
+      if (!busy || now - drainStart > std::chrono::milliseconds(
+                                          config_.drainTimeoutMs))
+        break;
+    }
+    for (const std::uint64_t id : dead_) conns_.erase(id);
+    dead_.clear();
+  }
+  for (auto& [id, conn] : conns_) {
+    if (conn.fd < 0) continue;
+    ::close(conn.fd);
+    conn.fd = -1;
+    if (config_.metrics) config_.metrics->connectionClosed();
+  }
+  conns_.clear();
+  dead_.clear();
+}
+
+void EventLoopServer::acceptReady() {
+  // Chaos hook: an injected accept failure drops the connection on
+  // the floor, as a listen-queue overflow or fd exhaustion would.
+  static FaultSite acceptFault("serve.accept");
+  for (;;) {
+    // dp-lint: nonblocking (SOCK_NONBLOCK requested at accept)
+    const int fd = ::accept4(listenFd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // EAGAIN (queue drained) or transient resource error
+    }
+    if (acceptFault.shouldFail() ||
+        conns_.size() >= config_.maxConnections) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    const std::uint64_t id = nextConnId_++;
+    const auto [it, inserted] = conns_.emplace(
+        id, Conn(IncrementalParser::Limits{config_.maxHeaderBytes,
+                                           config_.maxBodyBytes}));
+    Conn& conn = it->second;
+    conn.fd = fd;
+    const auto now = std::chrono::steady_clock::now();
+    conn.lastActivity = conn.lastWriteProgress = conn.requestStart = now;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+    ev.data.u64 = id;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev);
+    if (config_.metrics) config_.metrics->connectionOpened();
+    // Bytes may already be queued behind the accept; EPOLL_CTL_ADD on
+    // a readable fd does post an initial edge, but reading now saves a
+    // wait round on the common connect-then-send-immediately client.
+    readReady(id, conn);
+  }
+}
+
+void EventLoopServer::readReady(std::uint64_t id, Conn& conn) {
+  if (conn.fd < 0) return;
+  static FaultSite recvFault("serve.recv");
+  char chunk[16384];
+  for (;;) {
+    if (recvFault.shouldFail()) {
+      closeConn(id, conn);  // injected failure reads as a peer hangup
+      return;
+    }
+    // dp-lint: nonblocking (fd accepted with SOCK_NONBLOCK)
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0) {
+      closeConn(id, conn);
+      return;
+    }
+    if (n == 0) {
+      conn.peerHalfClosed = true;
+      break;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (conn.parser.idle()) conn.requestStart = now;  // new request began
+    conn.parser.append(chunk, static_cast<std::size_t>(n));
+    conn.lastActivity = now;
+  }
+  pumpParser(id, conn);
+  if (conn.fd < 0) return;
+  if (conn.peerHalfClosed && !conn.dispatched &&
+      conn.outOff >= conn.outbuf.size())
+    closeConn(id, conn);  // clean FIN, or a hangup mid-request
+}
+
+void EventLoopServer::pumpParser(std::uint64_t id, Conn& conn) {
+  if (conn.fd < 0 || conn.state != ConnState::kReading ||
+      conn.dispatched)
+    return;
+  if (stopRequested_.load(std::memory_order_acquire))
+    return;  // draining: finish in-flight work, start nothing new
+  HttpRequest req;
+  const IncrementalParser::Status status = conn.parser.next(req);
+  if (status == IncrementalParser::Status::kNeedMore) return;
+  if (status == IncrementalParser::Status::kError) {
+    HttpResponse res;
+    res.status = conn.parser.errorStatus();
+    res.body = "{\"error\":\"" + conn.parser.errorMessage() + "\"}";
+    conn.outbuf += serializeResponse(res, false);
+    conn.state = ConnState::kClosing;
+    flushWrite(id, conn);
+    return;
+  }
+  if (conn.requestsStarted > 0 && config_.metrics)
+    config_.metrics->keepaliveReuse();
+  ++conn.requestsStarted;
+  conn.dispatched = true;
+  conn.lastActivity = std::chrono::steady_clock::now();
+  {
+    LockGuard lock(mutex_);
+    tasks_.emplace_back(id, std::move(req));
+  }
+  taskCv_.notifyOne();
+}
+
+void EventLoopServer::flushWrite(std::uint64_t id, Conn& conn) {
+  if (conn.fd < 0) return;
+  static FaultSite sendFault("serve.send");
+  while (conn.outOff < conn.outbuf.size()) {
+    if (sendFault.shouldFail()) {
+      closeConn(id, conn);  // injected failure acts as a broken pipe
+      return;
+    }
+    // dp-lint: nonblocking (fd accepted with SOCK_NONBLOCK)
+    const ssize_t n = ::send(conn.fd, conn.outbuf.data() + conn.outOff,
+                             conn.outbuf.size() - conn.outOff,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      break;  // kernel buffer full: backpressure, arm EPOLLOUT
+    if (n <= 0) {
+      closeConn(id, conn);
+      return;
+    }
+    conn.outOff += static_cast<std::size_t>(n);
+    conn.lastWriteProgress = std::chrono::steady_clock::now();
+  }
+  if (conn.outOff >= conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.outOff = 0;
+    if (conn.state == ConnState::kClosing ||
+        (conn.peerHalfClosed && !conn.dispatched &&
+         conn.parser.idle())) {
+      closeConn(id, conn);
+      return;
+    }
+  }
+  updateInterest(id, conn);
+}
+
+void EventLoopServer::updateInterest(std::uint64_t id, Conn& conn) {
+  if (conn.fd < 0) return;
+  const bool wantWrite = conn.outOff < conn.outbuf.size();
+  if (wantWrite == conn.wantWrite) return;
+  conn.wantWrite = wantWrite;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET |
+              (wantWrite ? EPOLLOUT : 0u);
+  ev.data.u64 = id;
+  ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void EventLoopServer::applyCompletions() {
+  std::deque<Completion> done;
+  {
+    LockGuard lock(mutex_);
+    done.swap(completions_);
+  }
+  for (Completion& c : done) {
+    const auto it = conns_.find(c.connId);
+    if (it == conns_.end() || it->second.fd < 0) continue;
+    Conn& conn = it->second;
+    conn.dispatched = false;
+    conn.outbuf += c.wire;
+    if (c.closeAfter) conn.state = ConnState::kClosing;
+    conn.lastActivity = std::chrono::steady_clock::now();
+    flushWrite(c.connId, conn);
+    if (conn.fd >= 0) pumpParser(c.connId, conn);  // next pipelined req
+  }
+}
+
+void EventLoopServer::sweepTimeouts() {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& [id, conn] : conns_) {
+    if (conn.fd < 0) continue;
+    if (conn.outOff < conn.outbuf.size()) {
+      // Write stalled: the peer stopped draining its receive window.
+      if (now - conn.lastWriteProgress >
+          std::chrono::seconds(config_.sendTimeoutSec))
+        closeConn(id, conn);
+      continue;
+    }
+    if (conn.dispatched) continue;  // handler latency: batcher's budget
+    if (!conn.parser.idle()) {
+      // Slow loris: a partial request only gets recvTimeoutSec total,
+      // no matter how steadily it trickles bytes.
+      if (now - conn.requestStart >
+          std::chrono::seconds(config_.recvTimeoutSec))
+        closeConn(id, conn);
+      continue;
+    }
+    const int limit = conn.requestsStarted == 0 ? config_.recvTimeoutSec
+                                                : config_.idleTimeoutSec;
+    if (now - conn.lastActivity > std::chrono::seconds(limit))
+      closeConn(id, conn);
+  }
+}
+
+void EventLoopServer::closeConn(std::uint64_t id, Conn& conn) {
+  if (conn.fd < 0) return;
+  ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  ::close(conn.fd);
+  conn.fd = -1;
+  dead_.push_back(id);
+  if (config_.metrics) config_.metrics->connectionClosed();
+}
+
+void EventLoopServer::handlerThreadMain() {
+  for (;;) {
+    std::pair<std::uint64_t, HttpRequest> task;
+    {
+      UniqueLock lock(mutex_);
+      while (tasks_.empty() && !handlersStopping_) taskCv_.wait(lock);
+      if (tasks_.empty()) return;  // stopping and nothing left
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++activeHandlers_;
+    }
+    HttpResponse res;
+    try {
+      res = handler_(task.second);
+    } catch (const std::exception& e) {
+      res = HttpResponse{};
+      res.status = 500;
+      res.body = std::string("{\"error\":\"") + e.what() + "\"}";
+    }
+    bool closeAfter = false;
+    if (const auto it = task.second.headers.find("connection");
+        it != task.second.headers.end())
+      closeAfter = toLower(it->second) == "close";
+    Completion completion;
+    completion.connId = task.first;
+    completion.closeAfter = closeAfter;
+    completion.wire = serializeResponse(res, !closeAfter);
+    {
+      LockGuard lock(mutex_);
+      completions_.push_back(std::move(completion));
+      --activeHandlers_;
+    }
+    wakeLoop();
+  }
+}
+
+}  // namespace dp::serve

@@ -1,0 +1,219 @@
+#pragma once
+
+/// \file eventloop.hpp
+/// Nonblocking epoll HTTP/1.1 front end (DESIGN.md §13). One event
+/// loop thread owns every connection: edge-triggered accept/read/write
+/// state machines, a per-connection incremental parser with keep-alive
+/// and pipelining, write-buffer backpressure (EPOLLOUT armed only
+/// while bytes are pending) and idle/slow-loris timeouts. Handlers are
+/// synchronous (`HttpHandler`, same signature the blocking PR 2 server
+/// used) and run on a small offload pool so a handler blocked on the
+/// Batcher never stalls the loop; finished responses come back over an
+/// eventfd. Concurrency is therefore bounded by connections held, not
+/// threads spawned: the loop holds tens of thousands of cheap
+/// keep-alive sockets with `handlerThreads` workers behind them.
+///
+/// Per-connection state machine:
+///
+///   accept4 -> kReading --parse ok--> dispatch to handler pool
+///                 ^                        | completion (eventfd)
+///                 |  keep-alive            v
+///                 +------------------- kWriting --close/error--> close
+///
+/// At most one request per connection is ever dispatched; later
+/// pipelined requests stay buffered until the response for the current
+/// one is queued, which keeps responses in request order for free.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "serve/http.hpp"
+#include "serve/metrics.hpp"
+
+namespace dp::serve {
+
+/// Incremental HTTP/1.1 request parser: feed bytes as they arrive,
+/// take complete requests out one at a time. Byte-split agnostic — any
+/// segmentation of the same byte stream yields the same request
+/// sequence (the torture suite replays the corpus byte-at-a-time and
+/// at random split points to pin this down).
+class IncrementalParser {
+ public:
+  struct Limits {
+    std::size_t maxHeaderBytes = 64 * 1024;
+    std::size_t maxBodyBytes = 1 << 20;
+  };
+
+  enum class Status {
+    kNeedMore,  ///< no complete request buffered yet
+    kReady,     ///< one request extracted into `out`
+    kError,     ///< protocol violation; see errorStatus()
+  };
+
+  explicit IncrementalParser(Limits limits) : limits_(limits) {}
+
+  void append(const char* data, std::size_t n) {
+    buffer_.append(data, n);
+  }
+
+  /// Extracts the next complete request from the buffer. After kError
+  /// the parser is poisoned: every later call reports the same error
+  /// (the connection must close after the error response).
+  [[nodiscard]] Status next(HttpRequest& out);
+
+  /// HTTP status for the violation after kError: 400 malformed head or
+  /// Content-Length, 413 declared body over maxBodyBytes, 431 head
+  /// over maxHeaderBytes.
+  [[nodiscard]] int errorStatus() const { return errorStatus_; }
+  /// Human-readable violation description for the error body.
+  [[nodiscard]] const std::string& errorMessage() const {
+    return errorMessage_;
+  }
+
+  /// True when no undelivered bytes are buffered — EOF now is a clean
+  /// close; buffered bytes make it a mid-request hangup.
+  [[nodiscard]] bool idle() const { return buffer_.empty(); }
+
+ private:
+  Limits limits_;
+  std::string buffer_;
+  std::size_t scan_ = 0;  ///< resume offset for the blank-line search
+  std::size_t headEnd_ = std::string::npos;  ///< cached blank-line pos
+  int errorStatus_ = 0;
+  std::string errorMessage_;
+};
+
+class EventLoopServer {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    int port = 0;  ///< 0 = ephemeral, see port() after start()
+    std::size_t maxBodyBytes = 1 << 20;
+    std::size_t maxHeaderBytes = 64 * 1024;
+    /// Slow-loris budget: seconds a partial request (or a fresh
+    /// connection that has not completed its first request) may sit
+    /// before the connection is dropped without a response.
+    int recvTimeoutSec = 30;
+    /// Write-stall budget: seconds the peer may make zero progress on
+    /// a pending response before the connection is dropped.
+    int sendTimeoutSec = 30;
+    /// Keep-alive idle budget: seconds a connection that has served at
+    /// least one request may sit idle between requests.
+    int idleTimeoutSec = 75;
+    int handlerThreads = 4;
+    std::size_t maxConnections = 50000;  ///< accept cap; excess closed
+    /// stop() drain bound: in-flight handlers and pending writes get
+    /// this long to finish before remaining connections are cut.
+    int drainTimeoutMs = 5000;
+    Metrics* metrics = nullptr;  ///< connection gauges; may be null
+  };
+
+  EventLoopServer(Config config, HttpHandler handler);
+  ~EventLoopServer();
+
+  EventLoopServer(const EventLoopServer&) = delete;
+  EventLoopServer& operator=(const EventLoopServer&) = delete;
+
+  void start();
+  /// Stops accepting, drains in-flight handlers and pending writes
+  /// (bounded by drainTimeoutMs), closes every connection and joins
+  /// all threads. Idempotent.
+  void stop();
+
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// Read-side state of a connection. Write interest is tracked by
+  /// `wantWrite` (EPOLLOUT armed), not a separate state.
+  enum class ConnState {
+    kReading,    ///< parsing request bytes
+    kClosing,    ///< error/close-after response queued; flush and close
+  };
+
+  struct Conn {
+    int fd = -1;
+    IncrementalParser parser;
+    ConnState state = ConnState::kReading;
+    std::string outbuf;          ///< response bytes not yet written
+    std::size_t outOff = 0;      ///< written prefix of outbuf
+    bool wantWrite = false;      ///< EPOLLOUT currently armed
+    bool dispatched = false;     ///< one request is in the handler pool
+    bool peerHalfClosed = false; ///< read side saw EOF
+    std::uint64_t requestsStarted = 0;
+    std::chrono::steady_clock::time_point lastActivity;
+    std::chrono::steady_clock::time_point lastWriteProgress;
+    /// When the currently buffered partial request started arriving:
+    /// the slow-loris clock, which lastActivity (reset on every byte)
+    /// deliberately is not.
+    std::chrono::steady_clock::time_point requestStart;
+
+    explicit Conn(IncrementalParser::Limits limits) : parser(limits) {}
+  };
+
+  struct Completion {
+    std::uint64_t connId = 0;
+    std::string wire;        ///< full serialized response bytes
+    bool closeAfter = false; ///< Connection: close requested
+  };
+
+  void loopThreadMain();
+  void handlerThreadMain();
+
+  void acceptReady();
+  void readReady(std::uint64_t id, Conn& conn);
+  /// Parses the next buffered request if none is dispatched yet and
+  /// queues parser-error responses.
+  void pumpParser(std::uint64_t id, Conn& conn);
+  /// send()s outbuf until EAGAIN or drained; arms/disarms EPOLLOUT and
+  /// closes kClosing connections once flushed.
+  void flushWrite(std::uint64_t id, Conn& conn);
+  void applyCompletions() DP_EXCLUDES(mutex_);
+  void sweepTimeouts();
+  void closeConn(std::uint64_t id, Conn& conn);
+  void updateInterest(std::uint64_t id, Conn& conn);
+  void wakeLoop();
+
+  Config config_;
+  HttpHandler handler_;
+
+  int listenFd_ = -1;
+  int epollFd_ = -1;
+  int wakeFd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopRequested_{false};
+
+  // Owned by the loop thread exclusively (no lock): connection table
+  // keyed by a monotonically increasing id. epoll events carry the id,
+  // not the fd, so a stale event after close/fd-reuse cannot reach the
+  // wrong connection. Closed entries get fd = -1 and are erased in
+  // `dead_` batches at the end of each loop iteration, so references
+  // held by the frame that closed them never dangle.
+  std::map<std::uint64_t, Conn> conns_;
+  std::vector<std::uint64_t> dead_;
+  std::uint64_t nextConnId_ = 2;  // 0 = listen socket, 1 = wake eventfd
+
+  Mutex stopMutex_;  ///< serializes start()/stop()
+  mutable Mutex mutex_;
+  CondVar taskCv_;
+  std::deque<std::pair<std::uint64_t, HttpRequest>> tasks_
+      DP_GUARDED_BY(mutex_);
+  std::deque<Completion> completions_ DP_GUARDED_BY(mutex_);
+  std::size_t activeHandlers_ DP_GUARDED_BY(mutex_) = 0;
+  bool handlersStopping_ DP_GUARDED_BY(mutex_) = false;
+
+  std::thread loopThread_;
+  std::vector<std::thread> handlerThreads_;
+};
+
+}  // namespace dp::serve

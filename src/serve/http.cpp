@@ -1,16 +1,10 @@
 #include "serve/http.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/socket.h>
-#include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
-#include <cstring>
-#include <stdexcept>
 
 #include "common/fault.hpp"
 
@@ -33,6 +27,8 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b);
 }
 
+}  // namespace
+
 const char* statusText(int status) {
   switch (status) {
     case 200: return "OK";
@@ -44,51 +40,11 @@ const char* statusText(int status) {
     case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";
     default: return "Unknown";
   }
 }
-
-bool sendAll(int fd, const std::string& data) {
-  static FaultSite sendFault("serve.send");
-  if (sendFault.shouldFail()) return false;
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// recv() with EINTR retry and the serve.recv fault site (an injected
-/// failure reads as a peer hangup).
-ssize_t recvSome(int fd, char* chunk, std::size_t size) {
-  static FaultSite recvFault("serve.recv");
-  if (recvFault.shouldFail()) return 0;
-  for (;;) {
-    const ssize_t n = ::recv(fd, chunk, size, 0);
-    if (n < 0 && errno == EINTR) continue;
-    return n;
-  }
-}
-
-/// Sends a minimal error response that always closes the connection;
-/// used for protocol violations detected before a request can be
-/// routed. Best-effort: the peer may already be gone.
-void writeError(int fd, int status, const std::string& message) {
-  const std::string body = "{\"error\":\"" + message + "\"}";
-  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
-                     statusText(status) + "\r\n";
-  head += "Content-Type: application/json\r\n";
-  head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-  head += "Connection: close\r\n\r\n";
-  (void)sendAll(fd, head + body);
-}
-
-}  // namespace
 
 bool parseHttpHead(const std::string& raw, HttpRequest& out,
                    std::size_t& bodyStart) {
@@ -129,215 +85,59 @@ bool parseHttpHead(const std::string& raw, HttpRequest& out,
   return true;
 }
 
-HttpServer::HttpServer(Config config, HttpHandler handler)
-    : config_(std::move(config)), handler_(std::move(handler)) {}
-
-HttpServer::~HttpServer() { stop(); }
-
-void HttpServer::start() {
-  if (running_.load()) return;
-  // Set the socket up through a local fd; listenFd_ is published only
-  // once the socket is fully listening, so the accept thread (and a
-  // concurrent stop()) never observe a half-configured descriptor.
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error("HttpServer: socket() failed");
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
-  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    throw std::runtime_error("HttpServer: bad host " + config_.host);
-  }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    const int err = errno;
-    ::close(fd);
-    // Errno formatting on a cold error path; no concurrent strerror callers.
-    // NOLINTNEXTLINE(concurrency-mt-unsafe)
-    const char* msg = std::strerror(err);
-    throw std::runtime_error(std::string("HttpServer: bind failed: ") + msg);
-  }
-  if (::listen(fd, 64) < 0) {
-    ::close(fd);
-    throw std::runtime_error("HttpServer: listen failed");
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof bound;
-  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
-  port_ = ntohs(bound.sin_port);
-
-  listenFd_.store(fd, std::memory_order_release);
-  running_.store(true, std::memory_order_release);
-  acceptThread_ = std::thread([this] { acceptLoop(); });
+std::string serializeResponse(const HttpResponse& response,
+                              bool keepAlive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    statusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.contentType + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) +
+         "\r\n";
+  for (const auto& [name, value] : response.extraHeaders)
+    out += name + ": " + value + "\r\n";
+  out += keepAlive ? "Connection: keep-alive\r\n"
+                   : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
 }
 
-void HttpServer::acceptLoop() {
-  while (running_.load(std::memory_order_acquire)) {
-    const int lfd = listenFd_.load(std::memory_order_acquire);
-    if (lfd < 0) break;
-    const int fd = ::accept(lfd, nullptr, nullptr);
-    if (fd < 0) {
-      if (!running_.load(std::memory_order_acquire)) break;
-      continue;
-    }
-    // Chaos hook: an injected accept failure drops the connection on
-    // the floor, as a listen-queue overflow or fd exhaustion would.
-    static FaultSite acceptFault("serve.accept");
-    if (acceptFault.shouldFail()) {
-      ::close(fd);
-      continue;
-    }
-    timeval tv{};
-    tv.tv_sec = config_.recvTimeoutSec;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-    timeval stv{};
-    stv.tv_sec = config_.sendTimeoutSec;
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &stv, sizeof stv);
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    trackConnection(fd);
-    LockGuard lock(connMutex_);
-    connThreads_.emplace_back([this, fd] { serveConnection(fd); });
-  }
+std::string serializeRequest(const HttpRequest& request, bool keepAlive) {
+  std::string target = request.target;
+  if (!request.query.empty()) target += "?" + request.query;
+  std::string out = request.method + " " + target + " HTTP/1.1\r\n";
+  for (const auto& [name, value] : request.headers)
+    out += name + ": " + value + "\r\n";
+  out += "Content-Length: " + std::to_string(request.body.size()) +
+         "\r\n";
+  out += keepAlive ? "Connection: keep-alive\r\n"
+                   : "Connection: close\r\n";
+  out += "\r\n";
+  out += request.body;
+  return out;
 }
 
-void HttpServer::trackConnection(int fd) {
-  LockGuard lock(connMutex_);
-  connFds_.push_back(fd);
+bool sendAll(int fd, const std::string& data) {
+  static FaultSite sendFault("serve.send");
+  if (sendFault.shouldFail()) return false;
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
 }
 
-void HttpServer::untrackConnection(int fd) {
-  LockGuard lock(connMutex_);
-  connFds_.erase(std::remove(connFds_.begin(), connFds_.end(), fd),
-                 connFds_.end());
-}
-
-void HttpServer::serveConnection(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  bool keepAlive = true;
-  while (keepAlive && running_.load(std::memory_order_acquire)) {
-    // Buffer a complete head (through the blank line) BEFORE parsing,
-    // so incomplete and malformed heads are distinguishable: an
-    // incomplete head keeps reading, a malformed one is answered 400
-    // immediately instead of looping on recv until the timeout.
-    bool peerGone = false;
-    while (buffer.find("\r\n\r\n") == std::string::npos) {
-      if (buffer.size() > config_.maxHeaderBytes) {
-        writeError(fd, 431, "header block too large");
-        peerGone = true;
-        break;
-      }
-      const ssize_t n = recvSome(fd, chunk, sizeof chunk);
-      if (n <= 0) {
-        peerGone = true;  // hangup, timeout, or injected fault
-        break;
-      }
-      buffer.append(chunk, static_cast<std::size_t>(n));
-    }
-    if (peerGone) break;
-
-    HttpRequest req;
-    std::size_t bodyStart = 0;
-    if (!parseHttpHead(buffer, req, bodyStart)) {
-      writeError(fd, 400, "malformed request head");
-      break;
-    }
-
-    std::size_t contentLength = 0;
-    if (const auto it = req.headers.find("content-length");
-        it != req.headers.end()) {
-      // Digits only, checked before stoull: stoull accepts a leading
-      // minus and wraps it to a huge unsigned value.
-      const std::string& value = it->second;
-      const bool digits =
-          !value.empty() &&
-          std::all_of(value.begin(), value.end(), [](unsigned char c) {
-            return std::isdigit(c) != 0;
-          });
-      try {
-        std::size_t used = 0;
-        if (!digits) throw std::invalid_argument("not a number");
-        contentLength = std::stoull(value, &used);
-        if (used != value.size())
-          throw std::invalid_argument("trailing characters");
-      } catch (const std::exception&) {
-        writeError(fd, 400, "bad Content-Length");
-        break;
-      }
-    }
-    HttpResponse res;
-    if (contentLength > config_.maxBodyBytes) {
-      res.status = 413;
-      res.body = "{\"error\":\"body too large\"}";
-      buffer.clear();
-      keepAlive = false;
-    } else {
-      while (buffer.size() < bodyStart + contentLength) {
-        const ssize_t n = recvSome(fd, chunk, sizeof chunk);
-        if (n <= 0) {
-          keepAlive = false;
-          break;
-        }
-        buffer.append(chunk, static_cast<std::size_t>(n));
-      }
-      if (!keepAlive && buffer.size() < bodyStart + contentLength) break;
-      req.body = buffer.substr(bodyStart, contentLength);
-      buffer.erase(0, bodyStart + contentLength);
-
-      if (const auto it = req.headers.find("connection");
-          it != req.headers.end() && toLower(it->second) == "close")
-        keepAlive = false;
-      try {
-        res = handler_(req);
-      } catch (const std::exception& e) {
-        res.status = 500;
-        res.body = std::string("{\"error\":\"") + e.what() + "\"}";
-      }
-    }
-
-    std::string head = "HTTP/1.1 " + std::to_string(res.status) + " " +
-                       statusText(res.status) + "\r\n";
-    head += "Content-Type: " + res.contentType + "\r\n";
-    head += "Content-Length: " + std::to_string(res.body.size()) + "\r\n";
-    for (const auto& [name, value] : res.extraHeaders)
-      head += name + ": " + value + "\r\n";
-    head += keepAlive ? "Connection: keep-alive\r\n"
-                      : "Connection: close\r\n";
-    head += "\r\n";
-    if (!sendAll(fd, head) || !sendAll(fd, res.body)) break;
+ssize_t recvSome(int fd, char* chunk, std::size_t size) {
+  static FaultSite recvFault("serve.recv");
+  if (recvFault.shouldFail()) return 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, size, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
   }
-  untrackConnection(fd);
-  ::close(fd);
-}
-
-void HttpServer::stop() {
-  if (!running_.exchange(false)) {
-    if (acceptThread_.joinable()) acceptThread_.join();
-    return;
-  }
-  // Retire the listen socket in three ordered steps: publish -1 (the
-  // accept loop stops touching it), shutdown() (unblocks an accept()
-  // already parked on it), and close() only after the accept thread
-  // has joined — closing earlier could race a concurrent accept() with
-  // kernel fd reuse.
-  const int fd = listenFd_.exchange(-1, std::memory_order_acq_rel);
-  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
-  if (acceptThread_.joinable()) acceptThread_.join();
-  if (fd >= 0) ::close(fd);
-  {
-    LockGuard lock(connMutex_);
-    for (const int fd : connFds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  std::vector<std::thread> threads;
-  {
-    LockGuard lock(connMutex_);
-    threads.swap(connThreads_);
-  }
-  for (std::thread& t : threads)
-    if (t.joinable()) t.join();
 }
 
 }  // namespace dp::serve

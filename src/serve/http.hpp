@@ -1,29 +1,23 @@
 #pragma once
 
 /// \file http.hpp
-/// Minimal dependency-free HTTP/1.1 server over POSIX sockets: enough
-/// protocol to run the pattern-generation service (request line,
-/// headers, Content-Length bodies, keep-alive) and nothing more.
-/// One thread per connection — the generate handler blocks on the
-/// batcher future, so connection concurrency is the natural model.
+/// Shared HTTP/1.1 vocabulary of the serving subsystem: the request/
+/// response structs, the head parser, response serialization and the
+/// blocking socket helpers used by in-process clients (the load
+/// balancer's backend legs, tests, benchmarks).
 ///
-/// Robustness contract: a malformed request is always answered (400 on
-/// a bad head or Content-Length, 413 on an oversized body, 431 on an
-/// oversized header block) or the connection closed — never a hang or
-/// a thrown exception; socket reads and writes retry EINTR and carry
-/// recv/send timeouts; the serve.accept, serve.recv, and serve.send
-/// fault sites (common/fault.hpp) inject socket failures for chaos
-/// testing.
+/// The server side lives in eventloop.hpp: the PR 2 thread-per-
+/// connection HttpServer was replaced by the nonblocking epoll
+/// EventLoopServer (DESIGN.md §13), which holds thousands of cheap
+/// keep-alive connections instead of one thread each. The helpers here
+/// deliberately stay blocking — they run on bounded client-side thread
+/// pools, never on the event loop.
 
-#include <atomic>
 #include <functional>
 #include <map>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
-
-#include "common/sync.hpp"
 
 namespace dp::serve {
 
@@ -44,65 +38,31 @@ struct HttpResponse {
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
-class HttpServer {
- public:
-  struct Config {
-    std::string host = "127.0.0.1";
-    int port = 0;  ///< 0 = ephemeral; port() reports the bound port
-    std::size_t maxBodyBytes = 1 << 20;
-    std::size_t maxHeaderBytes = 64 * 1024;  ///< head overflow -> 431
-    int recvTimeoutSec = 30;
-    /// Send-side budget mirroring recvTimeoutSec: a peer that stops
-    /// reading cannot pin a connection thread forever.
-    int sendTimeoutSec = 30;
-  };
-
-  HttpServer(Config config, HttpHandler handler);
-  ~HttpServer();
-
-  HttpServer(const HttpServer&) = delete;
-  HttpServer& operator=(const HttpServer&) = delete;
-
-  /// Binds, listens, and starts the accept loop. Throws
-  /// std::runtime_error on bind/listen failure.
-  void start();
-
-  /// The bound port (valid after start()).
-  [[nodiscard]] int port() const { return port_; }
-
-  /// True between start() and stop().
-  [[nodiscard]] bool running() const {
-    return running_.load(std::memory_order_acquire);
-  }
-
-  /// Stops accepting, shuts down open connections, joins all threads.
-  /// Idempotent.
-  void stop();
-
- private:
-  void acceptLoop() DP_EXCLUDES(connMutex_);
-  void serveConnection(int fd);
-  void trackConnection(int fd) DP_EXCLUDES(connMutex_);
-  void untrackConnection(int fd) DP_EXCLUDES(connMutex_);
-
-  Config config_;
-  HttpHandler handler_;
-  // Written by start()/stop(), read by the accept thread each
-  // iteration: must be atomic (stop() publishes -1 before shutdown()
-  // unblocks the accept call, so the loop never touches a closed fd).
-  std::atomic<int> listenFd_{-1};
-  int port_ = 0;
-  std::atomic<bool> running_{false};
-  std::thread acceptThread_;
-  Mutex connMutex_;
-  std::vector<int> connFds_ DP_GUARDED_BY(connMutex_);
-  std::vector<std::thread> connThreads_ DP_GUARDED_BY(connMutex_);
-};
+/// Reason phrase for the status codes the service emits.
+[[nodiscard]] const char* statusText(int status);
 
 /// Parses one HTTP/1.1 request from `raw` (which must contain the full
 /// head; `bodyStart` receives the offset past the blank line). Returns
 /// false on malformed input. Exposed for tests.
 [[nodiscard]] bool parseHttpHead(const std::string& raw, HttpRequest& out,
                                  std::size_t& bodyStart);
+
+/// Serializes a response to its full wire form (status line, headers,
+/// Content-Length, Connection: keep-alive|close, body).
+[[nodiscard]] std::string serializeResponse(const HttpResponse& response,
+                                            bool keepAlive);
+
+/// Serializes a request to its wire form (Content-Length always
+/// present; Connection header from `keepAlive`).
+[[nodiscard]] std::string serializeRequest(const HttpRequest& request,
+                                           bool keepAlive);
+
+/// Blocking send of the whole buffer with EINTR retry and the
+/// serve.send fault site. False on error or injected fault.
+[[nodiscard]] bool sendAll(int fd, const std::string& data);
+
+/// Blocking recv with EINTR retry and the serve.recv fault site (an
+/// injected failure reads as a peer hangup).
+[[nodiscard]] ssize_t recvSome(int fd, char* chunk, std::size_t size);
 
 }  // namespace dp::serve

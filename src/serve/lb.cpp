@@ -1,0 +1,1045 @@
+#include "serve/lb.hpp"
+
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "common/fault.hpp"
+#include "common/thread_pool.hpp"
+#include "io/json.hpp"
+#include "serve/server.hpp"
+
+namespace dp::serve {
+
+using dp::io::Json;
+
+namespace {
+
+std::string toLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+bool writeAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + sent, data.size() - sent);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one '\n'-terminated line from a pipe, buffering leftovers in
+/// `buffer`. False on EOF, error or timeout.
+bool readLinePipe(int fd, std::string& buffer, std::string& out,
+                  int timeoutMs) {
+  for (;;) {
+    const std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      out = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      return true;
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, timeoutMs);
+    if (pr < 0 && errno == EINTR) continue;
+    if (pr <= 0) return false;  // timeout or error
+    char chunk[512];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;  // EOF
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+/// Closes every descriptor above stderr that is not in `keep` — run in
+/// a freshly forked child so inherited listen sockets, epoll fds and
+/// sibling life pipes do not survive into it.
+void closeFdsExcept(const std::vector<int>& keep) {
+  std::vector<int> doomed;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return;
+  while (dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] < '0' || entry->d_name[0] > '9') continue;
+    const int fd = std::atoi(entry->d_name);
+    if (fd <= 2 || fd == ::dirfd(dir)) continue;
+    if (std::find(keep.begin(), keep.end(), fd) == keep.end())
+      doomed.push_back(fd);
+  }
+  ::closedir(dir);
+  for (const int fd : doomed) ::close(fd);
+}
+
+/// Lifts the soft fd limit to the hard one: a 4-worker deployment plus
+/// thousands of front-end connections blows through the common 1024
+/// default soft limit long before the hard limit.
+void raiseFdLimit() {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return;
+  rl.rlim_cur = rl.rlim_max;
+  ::setrlimit(RLIMIT_NOFILE, &rl);
+}
+
+/// Parses an HTTP response head ("HTTP/1.1 200 OK" + headers).
+bool parseResponseHead(const std::string& raw, int& status,
+                       std::map<std::string, std::string>& headers,
+                       std::size_t& bodyStart) {
+  const std::size_t headEnd = raw.find("\r\n\r\n");
+  if (headEnd == std::string::npos) return false;
+  bodyStart = headEnd + 4;
+  const std::size_t lineEnd = raw.find("\r\n");
+  const std::string statusLine = raw.substr(0, lineEnd);
+  if (statusLine.rfind("HTTP/1.", 0) != 0) return false;
+  const std::size_t sp1 = statusLine.find(' ');
+  if (sp1 == std::string::npos || sp1 + 4 > statusLine.size())
+    return false;
+  try {
+    status = std::stoi(statusLine.substr(sp1 + 1, 3));
+  } catch (const std::exception&) {
+    return false;
+  }
+  std::size_t pos = lineEnd + 2;
+  while (pos < headEnd) {
+    std::size_t next = raw.find("\r\n", pos);
+    if (next == std::string::npos || next > headEnd) next = headEnd;
+    const std::string line = raw.substr(pos, next - pos);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) return false;
+    headers[toLower(trim(line.substr(0, colon)))] =
+        trim(line.substr(colon + 1));
+    pos = next + 2;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HashRing
+// ---------------------------------------------------------------------------
+
+std::uint64_t HashRing::hashKey(const std::string& key) {
+  std::uint64_t h = 0x4cf5ad432745937fULL;
+  for (const char c : key)
+    h = splitmix64(h ^ static_cast<unsigned char>(c));
+  return splitmix64(h ^ key.size());
+}
+
+void HashRing::rebuild(const std::vector<int>& workerIds, int vnodes) {
+  ring_.clear();
+  std::vector<int> distinct = workerIds;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  workers_ = distinct.size();
+  for (const int id : distinct) {
+    std::uint64_t point =
+        splitmix64(static_cast<std::uint64_t>(id) + 0x9e3779b9ULL);
+    for (int v = 0; v < vnodes; ++v) {
+      point = splitmix64(point);
+      // Last writer wins on the (astronomically unlikely) collision;
+      // both candidates are valid owners, so routing stays total.
+      ring_[point] = id;
+    }
+  }
+}
+
+std::vector<int> HashRing::route(const std::string& key) const {
+  std::vector<int> order;
+  if (ring_.empty()) return order;
+  order.reserve(workers_);
+  const std::uint64_t h = hashKey(key);
+  auto it = ring_.lower_bound(h);
+  for (std::size_t steps = 0;
+       steps < ring_.size() && order.size() < workers_; ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(order.begin(), order.end(), it->second) == order.end())
+      order.push_back(it->second);
+    ++it;
+  }
+  return order;
+}
+
+// ---------------------------------------------------------------------------
+// injectLabel
+// ---------------------------------------------------------------------------
+
+std::string injectLabel(const std::string& line, const std::string& key,
+                        const std::string& value) {
+  if (line.empty() || line[0] == '#') return line;
+  const std::string label = key + "=\"" + value + "\"";
+  const std::size_t space = line.find(' ');
+  if (space == std::string::npos) return line;  // not a sample line
+  const std::size_t brace = line.find('{');
+  if (brace == std::string::npos || brace > space) {
+    // name value  ->  name{key="value"} value
+    return line.substr(0, space) + "{" + label + "}" +
+           line.substr(space);
+  }
+  // name{a="b"} value  ->  name{key="value",a="b"} value
+  const bool emptyLabels = brace + 1 < line.size() &&
+                           line[brace + 1] == '}';
+  return line.substr(0, brace + 1) + label + (emptyLabels ? "" : ",") +
+         line.substr(brace + 1);
+}
+
+// ---------------------------------------------------------------------------
+// BackendPool
+// ---------------------------------------------------------------------------
+
+int BackendPool::acquire(int workerId, int port, bool* fromPool) {
+  if (fromPool) *fromPool = false;
+  {
+    LockGuard lock(mutex_);
+    const auto it = idle_.find({workerId, port});
+    if (it != idle_.end() && !it->second.empty()) {
+      const int fd = it->second.back();
+      it->second.pop_back();
+      if (fromPool) *fromPool = true;
+      return fd;
+    }
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  timeval tv{};
+  tv.tv_sec = timeoutSec_;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void BackendPool::release(int workerId, int port, int fd, bool reusable) {
+  if (fd < 0) return;
+  if (!reusable) {
+    ::close(fd);
+    return;
+  }
+  LockGuard lock(mutex_);
+  idle_[{workerId, port}].push_back(fd);
+}
+
+void BackendPool::clear() {
+  LockGuard lock(mutex_);
+  for (auto& [key, fds] : idle_)
+    for (const int fd : fds) ::close(fd);
+  idle_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// LoadBalancer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+EventLoopServer::Config lbFrontConfig(EventLoopServer::Config config,
+                                      Metrics* metrics) {
+  config.metrics = metrics;
+  return config;
+}
+
+}  // namespace
+
+LoadBalancer::LoadBalancer(Config config)
+    : config_(std::move(config)),
+      http_(lbFrontConfig(config_.http, &metrics_),
+            [this](const HttpRequest& req) { return handle(req); }),
+      pool_(config_.backendTimeoutSec) {}
+
+LoadBalancer::~LoadBalancer() { stop(); }
+
+void LoadBalancer::start() { http_.start(); }
+
+void LoadBalancer::stop() {
+  http_.stop();
+  pool_.clear();
+}
+
+void LoadBalancer::setWorkers(const std::vector<Backend>& workers) {
+  LockGuard lock(workersMutex_);
+  workers_ = workers;
+  std::vector<int> ids;
+  ids.reserve(workers.size());
+  for (const Backend& b : workers) ids.push_back(b.id);
+  ring_.rebuild(ids, config_.vnodes);
+}
+
+std::size_t LoadBalancer::workerCount() const {
+  LockGuard lock(workersMutex_);
+  return workers_.size();
+}
+
+std::vector<LoadBalancer::Backend> LoadBalancer::candidates(
+    const std::string& key) const {
+  LockGuard lock(workersMutex_);
+  std::vector<Backend> out;
+  for (const int id : ring_.route(key))
+    for (const Backend& b : workers_)
+      if (b.id == id) {
+        out.push_back(b);
+        break;
+      }
+  return out;
+}
+
+LoadBalancer::Exchange LoadBalancer::exchange(
+    const Backend& backend, const HttpRequest& request) {
+  Exchange out;
+  HttpRequest fwd;
+  fwd.method = request.method;
+  fwd.target = request.target;
+  fwd.query = request.query;
+  fwd.body = request.body;
+  fwd.headers = request.headers;
+  // serializeRequest writes its own framing headers.
+  fwd.headers.erase("content-length");
+  fwd.headers.erase("connection");
+  fwd.headers["host"] = "127.0.0.1";
+  const std::string wire = serializeRequest(fwd, true);
+
+  // A failed exchange over a POOLED fd is retried on this same backend
+  // with a fresh connection first (the keep-alive socket may simply
+  // have gone stale); a fresh-connection failure means the worker is
+  // actually unreachable and the caller moves down the ring.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    bool fromPool = false;
+    const int fd = pool_.acquire(backend.id, backend.port, &fromPool);
+    if (fd < 0) return out;
+    if (!sendAll(fd, wire)) {
+      ::close(fd);
+      if (fromPool) continue;
+      return out;
+    }
+    std::string buffer;
+    char chunk[16384];
+    int status = 0;
+    std::map<std::string, std::string> headers;
+    std::size_t bodyStart = 0;
+    bool headDone = false;
+    bool broken = false;
+    while (!headDone) {
+      if (buffer.size() > config_.http.maxHeaderBytes +
+                              config_.http.maxBodyBytes) {
+        broken = true;
+        break;
+      }
+      if (buffer.find("\r\n\r\n") != std::string::npos) {
+        if (!parseResponseHead(buffer, status, headers, bodyStart))
+          broken = true;
+        headDone = true;
+        break;
+      }
+      const ssize_t n = recvSome(fd, chunk, sizeof chunk);
+      if (n <= 0) {
+        broken = true;
+        break;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    std::size_t contentLength = 0;
+    if (!broken) {
+      if (const auto it = headers.find("content-length");
+          it != headers.end()) {
+        try {
+          contentLength = std::stoull(it->second);
+        } catch (const std::exception&) {
+          broken = true;
+        }
+      }
+      while (!broken && buffer.size() < bodyStart + contentLength) {
+        const ssize_t n = recvSome(fd, chunk, sizeof chunk);
+        if (n <= 0) {
+          broken = true;
+          break;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+      }
+    }
+    if (broken) {
+      ::close(fd);
+      if (fromPool) continue;  // stale keep-alive socket: retry fresh
+      return out;
+    }
+    out.complete = true;
+    out.response.status = status;
+    if (const auto it = headers.find("content-type");
+        it != headers.end())
+      out.response.contentType = it->second;
+    out.response.body = buffer.substr(bodyStart, contentLength);
+    const auto conn = headers.find("connection");
+    out.reusable =
+        conn == headers.end() || toLower(conn->second) != "close";
+    pool_.release(backend.id, backend.port, fd, out.reusable);
+    return out;
+  }
+  return out;
+}
+
+HttpResponse LoadBalancer::forward(const std::string& routeKey,
+                                   const HttpRequest& request) {
+  for (int pass = 0; pass < config_.retryPasses; ++pass) {
+    if (pass > 0)  // exponential backoff: the supervisor reaps and
+                   // respawns dead workers on a ~100ms maintenance
+                   // tick, so later passes must outwait a fleet-wide
+                   // crash, not just a single lost worker.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(50L << (pass - 1)));
+    // Re-snapshot each pass: a respawned worker has a new port.
+    const std::vector<Backend> order = candidates(routeKey);
+    for (const Backend& backend : order) {
+      Exchange ex = exchange(backend, request);
+      if (ex.complete) return std::move(ex.response);
+      retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  HttpResponse res;
+  res.status = 502;
+  res.body = "{\"error\":\"no backend available\"}";
+  return res;
+}
+
+HttpResponse LoadBalancer::handle(const HttpRequest& request) {
+  HttpResponse res;
+  const auto methodIs = [&](const char* m) {
+    return request.method == m;
+  };
+  if (request.target == "/healthz") {
+    res = methodIs("GET") ? handleHealth() : HttpResponse{};
+    if (!methodIs("GET")) res.status = 405;
+  } else if (request.target == "/metrics") {
+    res = methodIs("GET") ? handleMetrics() : HttpResponse{};
+    if (!methodIs("GET")) res.status = 405;
+  } else if (request.target == "/bundles") {
+    if (methodIs("GET")) {
+      res = forward("", request);
+    } else {
+      res.status = 405;
+    }
+  } else if (request.target == "/generate") {
+    if (methodIs("POST")) {
+      res = handleGenerate(request);
+    } else {
+      res.status = 405;
+    }
+  } else if (request.target == "/admin/reload") {
+    if (methodIs("POST")) {
+      res = handleReload();
+    } else {
+      res.status = 405;
+    }
+  } else {
+    res.status = 404;
+    res.body = "{\"error\":\"no such route\"}";
+  }
+  if (res.status == 405 && res.body.empty())
+    res.body = "{\"error\":\"method not allowed\"}";
+  metrics_.countRequest(request.target, res.status);
+  return res;
+}
+
+HttpResponse LoadBalancer::handleGenerate(const HttpRequest& request) {
+  // Route by bundle name: a bundle's source latents and decode cache
+  // stay hot on its home worker. A malformed body still forwards (the
+  // worker owns the 400), routed by the empty key.
+  std::string key;
+  try {
+    const Json j = Json::parse(request.body);
+    if (j.isObject() && j.has("bundle"))
+      key = j.at("bundle").asString();
+  } catch (const std::exception&) {
+  }
+  return forward(key, request);
+}
+
+HttpResponse LoadBalancer::handleHealth() {
+  HttpRequest probe;
+  probe.method = "GET";
+  probe.target = "/healthz";
+  std::vector<Backend> backends;
+  {
+    LockGuard lock(workersMutex_);
+    backends = workers_;
+  }
+  Json arr = Json::array();
+  int alive = 0;
+  for (const Backend& b : backends) {
+    Exchange ex = exchange(b, probe);
+    Json w = Json::object();
+    w.set("id", b.id);
+    std::string state = "dead";
+    if (ex.complete) {
+      state = "unknown";
+      try {
+        const Json j = Json::parse(ex.response.body);
+        if (j.isObject() && j.has("status"))
+          state = j.at("status").asString();
+      } catch (const std::exception&) {
+      }
+      if (ex.response.status == 200) ++alive;
+    }
+    w.set("status", state);
+    arr.push(std::move(w));
+  }
+  Json j = Json::object();
+  j.set("status", alive > 0 ? "ready" : "unavailable");
+  j.set("workersAlive", alive);
+  j.set("workers", std::move(arr));
+  HttpResponse res;
+  res.body = j.dump();
+  if (alive == 0) res.status = 503;
+  return res;
+}
+
+HttpResponse LoadBalancer::handleMetrics() {
+  HttpRequest probe;
+  probe.method = "GET";
+  probe.target = "/metrics";
+  std::vector<Backend> backends;
+  {
+    LockGuard lock(workersMutex_);
+    backends = workers_;
+  }
+  std::string workerSamples;
+  int alive = 0;
+  for (const Backend& b : backends) {
+    Exchange ex = exchange(b, probe);
+    if (!ex.complete || ex.response.status != 200) continue;
+    ++alive;
+    // Keep every worker sample, labeled; drop the per-worker HELP and
+    // TYPE comments (the LB's own exposition already carries them for
+    // the shared families).
+    const std::string& body = ex.response.body;
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+      std::size_t nl = body.find('\n', pos);
+      if (nl == std::string::npos) nl = body.size();
+      const std::string line = body.substr(pos, nl - pos);
+      pos = nl + 1;
+      if (line.empty() || line[0] == '#') continue;
+      workerSamples +=
+          injectLabel(line, "worker", std::to_string(b.id)) + "\n";
+    }
+  }
+  std::string out = metrics_.renderPrometheus();
+  out += "# HELP dp_lb_workers_alive Workers answering the LB scrape.\n";
+  out += "# TYPE dp_lb_workers_alive gauge\n";
+  out += "dp_lb_workers_alive " + std::to_string(alive) + "\n";
+  out += "# HELP dp_lb_retries_total Failed backend legs retried.\n";
+  out += "# TYPE dp_lb_retries_total counter\n";
+  out += "dp_lb_retries_total " +
+         std::to_string(retries_.load(std::memory_order_relaxed)) +
+         "\n";
+  out += workerSamples;
+  HttpResponse res;
+  res.contentType = "text/plain; version=0.0.4";
+  res.body = out;
+  return res;
+}
+
+HttpResponse LoadBalancer::handleReload() {
+  // Rolling reload: one worker at a time, strictly sequentially. Every
+  // other worker keeps serving while one re-scans the bundle root, so
+  // the fleet as a whole never stops answering (and a bad bundle
+  // generation degrades workers one by one instead of all at once).
+  HttpRequest probe;
+  probe.method = "POST";
+  probe.target = "/admin/reload";
+  std::vector<Backend> backends;
+  {
+    LockGuard lock(workersMutex_);
+    backends = workers_;
+  }
+  Json arr = Json::array();
+  int reloaded = 0;
+  for (const Backend& b : backends) {
+    Exchange ex = exchange(b, probe);
+    Json w = Json::object();
+    w.set("id", b.id);
+    w.set("status",
+          ex.complete ? static_cast<long>(ex.response.status) : 0L);
+    if (ex.complete && ex.response.status == 200) ++reloaded;
+    arr.push(std::move(w));
+  }
+  Json j = Json::object();
+  j.set("reloaded", reloaded);
+  j.set("workers", std::move(arr));
+  HttpResponse res;
+  res.body = j.dump();
+  if (reloaded == 0) res.status = 502;
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// WorkerPool
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Body of a forked serve worker: builds a PatternServer on an
+/// ephemeral port, reports "port N" over the status pipe, serves until
+/// the life pipe closes, then drains and exits without running static
+/// destructors (the process shares its image with the supervisor).
+[[noreturn]] void runWorkerChild(const WorkerPool::Options& options,
+                                 int id, int statusFd, int lifeFd) {
+  closeFdsExcept({statusFd, lifeFd});
+  ::signal(SIGPIPE, SIG_IGN);
+  try {
+    if (options.workerThreads > 0)
+      ThreadPool::setGlobalThreads(options.workerThreads);
+    // Arm worker-scoped faults here, NOT via DP_FAULTS: the spec must
+    // fire in the workers without also arming the LB front end.
+    if (!options.faultSpec.empty())
+      faults::armFromSpec(options.faultSpec);
+    PatternServer::Config config;
+    config.http.host = "127.0.0.1";
+    config.http.port = 0;
+    config.http.handlerThreads = options.handlerThreads;
+    PatternServer server(config);
+    if (!options.bundleRoot.empty())
+      server.loadBundles(options.bundleRoot);
+    server.metrics().setWorkerId(id);
+    server.start();
+    if (!writeAll(statusFd,
+                  "port " + std::to_string(server.port()) + "\n"))
+      std::_Exit(1);
+    ::close(statusFd);
+    char byte = 0;
+    for (;;) {
+      const ssize_t n = ::read(lifeFd, &byte, 1);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // supervisor closed the life pipe: drain
+    }
+    server.stop();
+  } catch (const std::exception&) {
+    std::_Exit(1);
+  }
+  std::_Exit(0);
+}
+
+}  // namespace
+
+bool WorkerPool::spawn(int id) {
+  int statusPipe[2] = {-1, -1};
+  int lifePipe[2] = {-1, -1};
+  if (::pipe(statusPipe) != 0) return false;
+  if (::pipe(lifePipe) != 0) {
+    ::close(statusPipe[0]);
+    ::close(statusPipe[1]);
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {statusPipe[0], statusPipe[1], lifePipe[0],
+                         lifePipe[1]})
+      ::close(fd);
+    return false;
+  }
+  if (pid == 0) {
+    runWorkerChild(options_, id, statusPipe[1], lifePipe[0]);
+  }
+  ::close(statusPipe[1]);
+  ::close(lifePipe[0]);
+
+  std::string buffer;
+  std::string line;
+  int port = 0;
+  if (readLinePipe(statusPipe[0], buffer, line, 60000) &&
+      line.rfind("port ", 0) == 0) {
+    try {
+      port = std::stoi(line.substr(5));
+    } catch (const std::exception&) {
+      port = 0;
+    }
+  }
+  ::close(statusPipe[0]);
+  if (port <= 0) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    ::close(lifePipe[1]);
+    return false;
+  }
+
+  const auto it = workers_.find(id);
+  if (it != workers_.end() && it->second.lifeFd >= 0)
+    ::close(it->second.lifeFd);
+  Worker w;
+  w.id = id;
+  w.pid = pid;
+  w.port = port;
+  w.lifeFd = lifePipe[1];
+  w.alive = true;
+  workers_[id] = w;
+  return true;
+}
+
+std::vector<int> WorkerPool::reap() {
+  std::vector<int> dead;
+  for (auto& [id, w] : workers_) {
+    if (!w.alive) continue;
+    const pid_t r =
+        ::waitpid(static_cast<pid_t>(w.pid), nullptr, WNOHANG);
+    if (r != static_cast<pid_t>(w.pid)) continue;
+    w.alive = false;
+    if (w.lifeFd >= 0) {
+      ::close(w.lifeFd);
+      w.lifeFd = -1;
+    }
+    dead.push_back(id);
+  }
+  return dead;
+}
+
+bool WorkerPool::kill(int id, int signal) {
+  const auto it = workers_.find(id);
+  if (it == workers_.end() || !it->second.alive) return false;
+  return ::kill(static_cast<pid_t>(it->second.pid), signal) == 0;
+}
+
+void WorkerPool::stop() {
+  // Ask every worker to drain (life-pipe EOF), give the cohort a
+  // bounded grace window, then SIGKILL stragglers.
+  for (auto& [id, w] : workers_) {
+    if (w.lifeFd >= 0) {
+      ::close(w.lifeFd);
+      w.lifeFd = -1;
+    }
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  for (auto& [id, w] : workers_) {
+    if (!w.alive) continue;
+    for (;;) {
+      const pid_t r =
+          ::waitpid(static_cast<pid_t>(w.pid), nullptr, WNOHANG);
+      if (r == static_cast<pid_t>(w.pid)) {
+        w.alive = false;
+        break;
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        ::kill(static_cast<pid_t>(w.pid), SIGKILL);
+        ::waitpid(static_cast<pid_t>(w.pid), nullptr, 0);
+        w.alive = false;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  workers_.clear();
+}
+
+std::vector<WorkerPool::Worker> WorkerPool::workers() const {
+  std::vector<Worker> out;
+  out.reserve(workers_.size());
+  for (const auto& [id, w] : workers_) out.push_back(w);
+  return out;
+}
+
+std::vector<LoadBalancer::Backend> WorkerPool::backends() const {
+  std::vector<LoadBalancer::Backend> out;
+  for (const auto& [id, w] : workers_)
+    if (w.alive) out.push_back({w.id, w.port});
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Deployment
+// ---------------------------------------------------------------------------
+
+Deployment::Deployment() {
+  int cmdPipe[2] = {-1, -1};
+  int statusPipe[2] = {-1, -1};
+  if (::pipe(cmdPipe) != 0) return;
+  if (::pipe(statusPipe) != 0) {
+    ::close(cmdPipe[0]);
+    ::close(cmdPipe[1]);
+    return;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd :
+         {cmdPipe[0], cmdPipe[1], statusPipe[0], statusPipe[1]})
+      ::close(fd);
+    return;
+  }
+  if (pid == 0) {
+    ::close(cmdPipe[1]);
+    ::close(statusPipe[0]);
+    supervisorMain(cmdPipe[0], statusPipe[1]);
+  }
+  ::close(cmdPipe[0]);
+  ::close(statusPipe[1]);
+  supervisorPid_ = pid;
+  cmdFd_ = cmdPipe[1];
+  statusFd_ = statusPipe[0];
+}
+
+Deployment::~Deployment() {
+  try {
+    stop();
+  } catch (const std::exception&) {
+  }
+}
+
+void Deployment::sendCommand(const std::string& line) {
+  if (cmdFd_ < 0)
+    throw std::runtime_error("Deployment: supervisor gone");
+  if (!writeAll(cmdFd_, line + "\n"))
+    throw std::runtime_error("Deployment: supervisor pipe broken");
+}
+
+std::string Deployment::readStatusLine() {
+  std::string line;
+  if (!readLinePipe(statusFd_, statusBuffer_, line, 120000))
+    throw std::runtime_error(
+        "Deployment: supervisor stopped responding");
+  return line;
+}
+
+void Deployment::launch(const Options& options) {
+  if (!available())
+    throw std::runtime_error("Deployment: supervisor fork failed");
+  if (launched_)
+    throw std::runtime_error("Deployment: already launched");
+  if (options.workers < 1)
+    throw std::invalid_argument("Deployment: workers must be >= 1");
+  sendCommand("set root " + options.bundleRoot);
+  sendCommand("set workers " + std::to_string(options.workers));
+  sendCommand("set lbport " + std::to_string(options.lbPort));
+  sendCommand("set hthreads " + std::to_string(options.handlerThreads));
+  sendCommand("set wthreads " + std::to_string(options.workerThreads));
+  if (!options.workerFaults.empty())
+    sendCommand("set wfaults " + options.workerFaults);
+  sendCommand("launch");
+  for (;;) {
+    const std::string line = readStatusLine();
+    if (line == "ready") break;
+    if (line.rfind("error ", 0) == 0)
+      throw std::runtime_error("Deployment: " + line.substr(6));
+    if (line.rfind("lb ", 0) == 0) lbPort_ = std::stoi(line.substr(3));
+  }
+  launched_ = true;
+}
+
+std::vector<Deployment::WorkerInfo> Deployment::queryWorkers() {
+  sendCommand("workers");
+  std::vector<WorkerInfo> out;
+  for (;;) {
+    const std::string line = readStatusLine();
+    if (line == "end") break;
+    if (line.rfind("worker ", 0) != 0) continue;
+    WorkerInfo info;
+    if (std::sscanf(line.c_str(), "worker %d %ld %d", &info.id,
+                    &info.pid, &info.port) == 3)
+      out.push_back(info);
+  }
+  return out;
+}
+
+void Deployment::killWorker(int id) {
+  sendCommand("kill " + std::to_string(id));
+  const std::string line = readStatusLine();
+  if (line != "ok")
+    throw std::runtime_error("Deployment: kill failed: " + line);
+}
+
+void Deployment::stop() {
+  if (supervisorPid_ <= 0) return;
+  if (cmdFd_ >= 0) {
+    const std::string bye = "stop\n";
+    (void)writeAll(cmdFd_, bye);
+    ::close(cmdFd_);
+    cmdFd_ = -1;
+  }
+  if (statusFd_ >= 0) {
+    ::close(statusFd_);
+    statusFd_ = -1;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+  for (;;) {
+    const pid_t r = ::waitpid(static_cast<pid_t>(supervisorPid_),
+                              nullptr, WNOHANG);
+    if (r == static_cast<pid_t>(supervisorPid_) || r < 0) break;
+    if (std::chrono::steady_clock::now() > deadline) {
+      ::kill(static_cast<pid_t>(supervisorPid_), SIGKILL);
+      ::waitpid(static_cast<pid_t>(supervisorPid_), nullptr, 0);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  supervisorPid_ = -1;
+  launched_ = false;
+}
+
+void Deployment::supervisorMain(int cmdFd, int statusFd) {
+  // The supervisor owns the deployment subtree. It forks all
+  // first-generation workers BEFORE the LoadBalancer spins up any
+  // thread, and it must never touch the global ThreadPool itself —
+  // that is the fork-safety invariant of the whole design.
+  closeFdsExcept({cmdFd, statusFd});
+  ::signal(SIGPIPE, SIG_IGN);
+  raiseFdLimit();
+
+  WorkerPool::Options workerOptions;
+  int workerCount = 4;
+  int lbPort = 0;
+  int handlerThreads = 4;
+  std::unique_ptr<WorkerPool> pool;
+  std::unique_ptr<LoadBalancer> lb;
+  std::vector<int> pendingRespawn;
+  std::string buffer;
+  bool shutdown = false;
+
+  const auto reply = [statusFd](const std::string& line) {
+    (void)writeAll(statusFd, line + "\n");
+  };
+
+  while (!shutdown) {
+    pollfd pfd{};
+    pfd.fd = cmdFd;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr > 0) {
+      char chunk[512];
+      const ssize_t n = ::read(cmdFd, chunk, sizeof chunk);
+      if (n == 0) break;  // parent gone: tear down
+      if (n < 0 && errno != EINTR) break;
+      if (n > 0) buffer.append(chunk, static_cast<std::size_t>(n));
+      for (;;) {
+        const std::size_t nl = buffer.find('\n');
+        if (nl == std::string::npos) break;
+        const std::string line = buffer.substr(0, nl);
+        buffer.erase(0, nl + 1);
+        if (line == "stop") {
+          shutdown = true;
+          break;
+        }
+        if (line.rfind("set ", 0) == 0) {
+          const std::string rest = line.substr(4);
+          const std::size_t sp = rest.find(' ');
+          if (sp == std::string::npos) continue;
+          const std::string key = rest.substr(0, sp);
+          const std::string value = rest.substr(sp + 1);
+          try {
+            if (key == "root") workerOptions.bundleRoot = value;
+            else if (key == "workers") workerCount = std::stoi(value);
+            else if (key == "lbport") lbPort = std::stoi(value);
+            else if (key == "hthreads")
+              handlerThreads = std::stoi(value);
+            else if (key == "wthreads")
+              workerOptions.workerThreads = std::stoi(value);
+            else if (key == "wfaults") workerOptions.faultSpec = value;
+          } catch (const std::exception&) {
+          }
+        } else if (line == "launch") {
+          try {
+            workerOptions.handlerThreads = handlerThreads;
+            pool = std::make_unique<WorkerPool>(workerOptions);
+            for (int id = 0; id < workerCount; ++id)
+              if (!pool->spawn(id))
+                throw std::runtime_error(
+                    "worker " + std::to_string(id) + " failed to start");
+            LoadBalancer::Config lbConfig;
+            lbConfig.http.host = "127.0.0.1";
+            lbConfig.http.port = lbPort;
+            lbConfig.http.handlerThreads = handlerThreads;
+            lb = std::make_unique<LoadBalancer>(lbConfig);
+            lb->setWorkers(pool->backends());
+            lb->start();
+            for (const WorkerPool::Worker& w : pool->workers())
+              reply("worker " + std::to_string(w.id) + " " +
+                    std::to_string(w.pid) + " " +
+                    std::to_string(w.port));
+            reply("lb " + std::to_string(lb->port()));
+            reply("ready");
+          } catch (const std::exception& e) {
+            lb.reset();
+            pool.reset();
+            reply(std::string("error ") + e.what());
+          }
+        } else if (line == "workers") {
+          if (pool)
+            for (const WorkerPool::Worker& w : pool->workers())
+              if (w.alive)
+                reply("worker " + std::to_string(w.id) + " " +
+                      std::to_string(w.pid) + " " +
+                      std::to_string(w.port));
+          reply("end");
+        } else if (line.rfind("kill ", 0) == 0) {
+          bool ok = false;
+          try {
+            if (pool) ok = pool->kill(std::stoi(line.substr(5)),
+                                      SIGKILL);
+          } catch (const std::exception&) {
+          }
+          reply(ok ? "ok" : "error no such worker");
+        }
+      }
+    }
+    // Maintenance tick: reap dead workers, respawn them under the same
+    // id (new pid, new port) and rebuild the ring.
+    if (pool && lb) {
+      const std::vector<int> dead = pool->reap();
+      pendingRespawn.insert(pendingRespawn.end(), dead.begin(),
+                            dead.end());
+      if (!dead.empty()) lb->setWorkers(pool->backends());
+      if (!pendingRespawn.empty()) {
+        std::vector<int> still;
+        for (const int id : pendingRespawn)
+          if (!pool->spawn(id)) still.push_back(id);
+        pendingRespawn = still;
+        lb->setWorkers(pool->backends());
+      }
+    }
+  }
+  if (lb) lb->stop();
+  lb.reset();
+  if (pool) pool->stop();
+  pool.reset();
+  std::_Exit(0);
+}
+
+}  // namespace dp::serve

@@ -1,0 +1,302 @@
+#pragma once
+
+/// \file lb.hpp
+/// Shared-nothing multi-process scale-out (DESIGN.md §13): N forked
+/// serve workers — each a full PatternServer with its own registry,
+/// batcher and thread pool, sharing no memory with its siblings —
+/// behind a tiny in-repo load balancer.
+///
+///   client ──► LoadBalancer (EventLoopServer front)
+///                 │ consistent-hash route by bundle name
+///                 ├──► worker 0 (PatternServer, own process)
+///                 ├──► worker 1
+///                 └──► ...
+///
+/// Routing is a consistent-hash ring over worker ids (HashRing):
+/// every bundle name maps to a preference order of workers, so a
+/// bundle's decode cache and source latents stay hot on one worker,
+/// and removing a worker remaps only the keys it owned. A request that
+/// dies mid-flight (worker SIGKILL, connect refused) is retried down
+/// the preference order — safe because seeded generation is
+/// deterministic: any worker produces the bit-identical response.
+///
+/// Process management (WorkerPool / Deployment) is fork-based with no
+/// exec: a worker child builds its PatternServer from the same binary
+/// image. The one invariant that makes this sound is that the FORKING
+/// process is thread-free at first fork — Deployment therefore forks
+/// an inert supervisor child at CONSTRUCTION time (before the caller
+/// can have created the global ThreadPool or any server threads), and
+/// the supervisor forks all first-generation workers before it builds
+/// the (threaded) LoadBalancer. Respawns after a worker death fork
+/// from the then-threaded supervisor, which glibc's fork handlers make
+/// safe for the malloc-only work the child does before _exit/serve.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "serve/eventloop.hpp"
+#include "serve/http.hpp"
+#include "serve/metrics.hpp"
+
+namespace dp::serve {
+
+/// Consistent-hash ring over worker ids. rebuild() places `vnodes`
+/// points per worker; route() returns every distinct worker in ring
+/// order starting at the key's hash — index 0 is the home worker, the
+/// rest the failover preference order.
+class HashRing {
+ public:
+  void rebuild(const std::vector<int>& workerIds, int vnodes = 64);
+
+  [[nodiscard]] std::vector<int> route(const std::string& key) const;
+
+  [[nodiscard]] std::size_t workerCount() const { return workers_; }
+  [[nodiscard]] bool empty() const { return ring_.empty(); }
+
+  /// splitmix64-chained string hash (exposed for tests).
+  [[nodiscard]] static std::uint64_t hashKey(const std::string& key);
+
+ private:
+  std::map<std::uint64_t, int> ring_;  ///< hash point -> worker id
+  std::size_t workers_ = 0;
+};
+
+/// Inserts a `key="value"` label into one Prometheus sample line
+/// ('name value' or 'name{labels} value'). Comment lines and lines
+/// that do not look like samples come back unchanged. Exposed for
+/// tests; the LB uses it to tag every aggregated worker sample with
+/// worker="<id>".
+[[nodiscard]] std::string injectLabel(const std::string& line,
+                                      const std::string& key,
+                                      const std::string& value);
+
+/// Small keep-alive connection pool to backend workers, keyed by
+/// (worker id, port) so connections to a dead worker's port are never
+/// handed out for its respawned successor.
+class BackendPool {
+ public:
+  explicit BackendPool(int timeoutSec = 30) : timeoutSec_(timeoutSec) {}
+  ~BackendPool() { clear(); }
+
+  BackendPool(const BackendPool&) = delete;
+  BackendPool& operator=(const BackendPool&) = delete;
+
+  /// Pops an idle connection or opens a new one; -1 on connect error.
+  /// `fromPool` (when non-null) reports whether the fd was reused — a
+  /// failed exchange on a pooled fd may just be a stale keep-alive
+  /// connection, while one on a fresh fd means the worker is gone.
+  [[nodiscard]] int acquire(int workerId, int port,
+                            bool* fromPool = nullptr)
+      DP_EXCLUDES(mutex_);
+  /// Returns a connection to the pool (reusable) or closes it.
+  void release(int workerId, int port, int fd, bool reusable)
+      DP_EXCLUDES(mutex_);
+  void clear() DP_EXCLUDES(mutex_);
+
+ private:
+  int timeoutSec_;
+  mutable Mutex mutex_;
+  std::map<std::pair<int, int>, std::vector<int>> idle_
+      DP_GUARDED_BY(mutex_);
+};
+
+/// The load balancer: an EventLoopServer front end whose handler
+/// proxies to the workers. Routes:
+///   POST /generate      consistent-hash by bundle name + retry down
+///                       the preference order until one complete
+///                       response arrives
+///   GET  /healthz       aggregate (200 while >= 1 worker serves)
+///   GET  /bundles       forwarded to the home worker of ""
+///   GET  /metrics       own exposition + every worker's samples with
+///                       a worker="<id>" label injected, plus
+///                       dp_lb_workers_alive / dp_lb_retries_total
+///   POST /admin/reload  rolling: forwarded to one worker at a time
+class LoadBalancer {
+ public:
+  struct Backend {
+    int id = -1;
+    int port = 0;
+  };
+
+  struct Config {
+    EventLoopServer::Config http;  ///< front-end loop configuration
+    int backendTimeoutSec = 30;    ///< per-leg recv/send budget
+    int retryPasses = 5;           ///< sweeps over the preference
+                                   ///< order; backoff doubles per pass
+    int vnodes = 64;
+  };
+
+  explicit LoadBalancer(Config config);
+  ~LoadBalancer();
+
+  LoadBalancer(const LoadBalancer&) = delete;
+  LoadBalancer& operator=(const LoadBalancer&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] int port() const { return http_.port(); }
+
+  /// Replaces the backend set and rebuilds the ring (called on launch
+  /// and whenever the supervisor reaps/respawns a worker).
+  void setWorkers(const std::vector<Backend>& workers)
+      DP_EXCLUDES(workersMutex_);
+  [[nodiscard]] std::size_t workerCount() const
+      DP_EXCLUDES(workersMutex_);
+
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+
+  /// Full proxy routing path, socket-free on the front side (the
+  /// backend legs still dial the workers). Exposed for tests.
+  [[nodiscard]] HttpResponse handle(const HttpRequest& request);
+
+ private:
+  struct Exchange {
+    bool complete = false;  ///< a full response was received
+    bool reusable = false;  ///< backend connection survived
+    HttpResponse response;
+  };
+
+  /// Preference-ordered (id, port) candidates for `key` right now.
+  [[nodiscard]] std::vector<Backend> candidates(const std::string& key)
+      const DP_EXCLUDES(workersMutex_);
+  /// One request/response over a pooled backend connection.
+  [[nodiscard]] Exchange exchange(const Backend& backend,
+                                  const HttpRequest& request);
+  /// exchange() with retry down the preference order; 502 when every
+  /// candidate fails in every pass.
+  [[nodiscard]] HttpResponse forward(const std::string& routeKey,
+                                     const HttpRequest& request);
+
+  [[nodiscard]] HttpResponse handleGenerate(const HttpRequest& request);
+  [[nodiscard]] HttpResponse handleHealth();
+  [[nodiscard]] HttpResponse handleMetrics();
+  [[nodiscard]] HttpResponse handleReload();
+
+  Config config_;
+  Metrics metrics_;
+  EventLoopServer http_;
+  BackendPool pool_;
+  mutable Mutex workersMutex_;
+  std::vector<Backend> workers_ DP_GUARDED_BY(workersMutex_);
+  HashRing ring_ DP_GUARDED_BY(workersMutex_);
+  std::atomic<std::uint64_t> retries_{0};
+};
+
+/// Fork-per-worker process pool. Lives inside the Deployment
+/// supervisor process; each worker runs a PatternServer on an
+/// ephemeral port, reports the port over a status pipe, stamps its
+/// worker id into /metrics, and serves until its life pipe closes.
+class WorkerPool {
+ public:
+  struct Options {
+    std::string bundleRoot;
+    int handlerThreads = 4;
+    int workerThreads = 0;      ///< 0 = inherit DP_THREADS/default
+    std::string faultSpec;      ///< DP_FAULTS-style spec armed in the
+                                ///< worker only (never the LB process)
+  };
+
+  struct Worker {
+    int id = -1;
+    long pid = -1;
+    int port = 0;
+    int lifeFd = -1;  ///< write end; closing it asks the worker to drain
+    bool alive = false;
+  };
+
+  explicit WorkerPool(Options options) : options_(std::move(options)) {}
+  ~WorkerPool() { stop(); }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Forks worker `id`; returns false when the child failed to come up
+  /// (fork error, bundle load crash, port handshake timeout).
+  bool spawn(int id);
+  /// waitpid(WNOHANG) sweep; returns the ids that died since the last
+  /// call and marks them not alive.
+  std::vector<int> reap();
+  /// Signals one worker (SIGKILL in chaos tests).
+  bool kill(int id, int signal);
+  /// Graceful stop: close every life pipe, wait, SIGKILL stragglers.
+  void stop();
+
+  [[nodiscard]] std::vector<Worker> workers() const;
+  [[nodiscard]] std::vector<LoadBalancer::Backend> backends() const;
+
+ private:
+  Options options_;
+  std::map<int, Worker> workers_;
+};
+
+/// Parent-side handle on a forked deployment subtree:
+///
+///   test/bench process
+///     └── supervisor (forked inert at Deployment construction)
+///           ├── LoadBalancer (threads live only here)
+///           └── worker 0..N-1 (forked before the LB threads exist)
+///
+/// Construct EARLY — before the global ThreadPool or any server exists
+/// in the parent — then launch() whenever. The supervisor owns the
+/// WorkerPool and LoadBalancer, respawns dead workers (rebuilding the
+/// ring), and tears everything down on stop() or parent exit (command
+/// pipe EOF). The parent keeps only pipe fds: its own fd table stays
+/// free for client sockets, which is what lets a 10k-connection bench
+/// client and a full deployment share one default fd limit.
+class Deployment {
+ public:
+  struct Options {
+    std::string bundleRoot;
+    int workers = 4;
+    int lbPort = 0;             ///< 0 = ephemeral
+    int handlerThreads = 4;     ///< per-process front-end offload pool
+    int workerThreads = 0;      ///< worker DP_THREADS override
+    std::string workerFaults;   ///< armed inside workers only
+  };
+
+  struct WorkerInfo {
+    int id = -1;
+    long pid = -1;
+    int port = 0;
+  };
+
+  Deployment();
+  ~Deployment();
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  /// False when the supervisor fork failed at construction.
+  [[nodiscard]] bool available() const { return supervisorPid_ > 0; }
+
+  /// Builds the worker pool + LB in the supervisor. Throws on failure.
+  void launch(const Options& options);
+  /// Tears down the subtree. Idempotent; also run by the destructor.
+  void stop();
+
+  [[nodiscard]] int lbPort() const { return lbPort_; }
+  /// Current worker table as the supervisor sees it (respawns give a
+  /// worker a new pid/port under the same id).
+  [[nodiscard]] std::vector<WorkerInfo> queryWorkers();
+  /// Asks the supervisor to SIGKILL a worker (chaos testing).
+  void killWorker(int id);
+
+ private:
+  [[noreturn]] static void supervisorMain(int cmdFd, int statusFd);
+  std::string readStatusLine();
+  void sendCommand(const std::string& line);
+
+  long supervisorPid_ = -1;
+  int cmdFd_ = -1;     ///< parent -> supervisor commands
+  int statusFd_ = -1;  ///< supervisor -> parent replies
+  std::string statusBuffer_;
+  int lbPort_ = 0;
+  bool launched_ = false;
+};
+
+}  // namespace dp::serve

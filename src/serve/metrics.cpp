@@ -243,6 +243,23 @@ std::string Metrics::renderPrometheus() const {
   line("# TYPE dp_queue_depth gauge");
   line("dp_queue_depth " + std::to_string(queueDepth()));
 
+  line("# HELP dp_connections_open Open HTTP connections.");
+  line("# TYPE dp_connections_open gauge");
+  line("dp_connections_open " + std::to_string(connectionsOpen()));
+  line("# HELP dp_connections_total Accepted HTTP connections.");
+  line("# TYPE dp_connections_total counter");
+  line("dp_connections_total " + std::to_string(connectionsTotal()));
+  line(
+      "# HELP dp_keepalive_reuses_total Requests served on an "
+      "already-used keep-alive connection.");
+  line("# TYPE dp_keepalive_reuses_total counter");
+  line("dp_keepalive_reuses_total " + std::to_string(keepaliveReuses()));
+  if (workerId() >= 0) {
+    line("# HELP dp_worker_id Shared-nothing serve worker id.");
+    line("# TYPE dp_worker_id gauge");
+    line("dp_worker_id " + std::to_string(workerId()));
+  }
+
   const auto histogram = [&](const std::string& name, const Histogram& h,
                              const std::string& help) {
     line("# HELP " + name + " " + help);

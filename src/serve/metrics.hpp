@@ -96,6 +96,43 @@ class Metrics {
     return queueDepth_.load(std::memory_order_relaxed);
   }
 
+  // Connection accounting for the event-loop front end (DESIGN.md
+  // §13): dp_connections_open tracks live sockets, dp_connections_total
+  // counts every accept, and dp_keepalive_reuses_total counts requests
+  // served on an already-used connection (request 2..n of a keep-alive
+  // session) — the direct measure of how much TCP setup the keep-alive
+  // path is saving.
+  void connectionOpened() {
+    connectionsOpen_.fetch_add(1, std::memory_order_relaxed);
+    connectionsTotal_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void connectionClosed() {
+    connectionsOpen_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  void keepaliveReuse() {
+    keepaliveReuses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] long connectionsOpen() const {
+    return connectionsOpen_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t connectionsTotal() const {
+    return connectionsTotal_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t keepaliveReuses() const {
+    return keepaliveReuses_.load(std::memory_order_relaxed);
+  }
+
+  /// Stamps this process's worker id into the exposition (dp_worker_id
+  /// gauge); the load balancer additionally injects a worker="<id>"
+  /// label into every aggregated sample line. -1 (default) = not a
+  /// pool worker, gauge omitted.
+  void setWorkerId(int id) {
+    workerId_.store(id, std::memory_order_relaxed);
+  }
+  [[nodiscard]] int workerId() const {
+    return workerId_.load(std::memory_order_relaxed);
+  }
+
   Histogram& batchOccupancy() { return batchOccupancy_; }
   Histogram& latencyMs() { return latencyMs_; }
   [[nodiscard]] const Histogram& batchOccupancy() const {
@@ -118,6 +155,10 @@ class Metrics {
   std::map<std::string, std::uint64_t> shed_ DP_GUARDED_BY(mutex_);
   std::map<std::string, StageCounter> stages_ DP_GUARDED_BY(mutex_);
   std::atomic<long> queueDepth_{0};
+  std::atomic<long> connectionsOpen_{0};
+  std::atomic<std::uint64_t> connectionsTotal_{0};
+  std::atomic<std::uint64_t> keepaliveReuses_{0};
+  std::atomic<int> workerId_{-1};
   Histogram batchOccupancy_;
   Histogram latencyMs_;
 };

@@ -1,13 +1,25 @@
 #include "serve/server.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
+#include "common/fault.hpp"
 #include "io/json.hpp"
 
 namespace dp::serve {
 
 using dp::io::Json;
+
+namespace {
+
+EventLoopServer::Config withMetrics(EventLoopServer::Config config,
+                                    Metrics* metrics) {
+  config.metrics = metrics;
+  return config;
+}
+
+}  // namespace
 
 GenerateRequest parseGenerateRequest(const std::string& body) {
   GenerateRequest req;
@@ -65,7 +77,7 @@ std::string generateResponseJson(const GenerateResponse& res) {
 PatternServer::PatternServer(Config config)
     : config_(std::move(config)),
       batcher_(registry_, metrics_, config_.batcher),
-      http_(config_.http,
+      http_(withMetrics(config_.http, &metrics_),
             [this](const HttpRequest& req) { return handle(req); }) {}
 
 PatternServer::~PatternServer() { stop(); }
@@ -86,6 +98,10 @@ const char* PatternServer::healthName(Health health) {
 
 int PatternServer::loadBundles(const std::string& root,
                                std::vector<std::string>* errors) {
+  {
+    LockGuard lock(rootMutex_);
+    bundleRoot_ = root;
+  }
   std::vector<std::string> local;
   const int loaded = registry_.loadDirectory(root, &local);
   const Health current = health();
@@ -151,6 +167,13 @@ HttpResponse PatternServer::handle(const HttpRequest& request) {
     } else {
       res = handleGenerate(request);
     }
+  } else if (request.target == "/admin/reload") {
+    if (request.method != "POST") {
+      res.status = 405;
+      res.body = "{\"error\":\"method not allowed\"}";
+    } else {
+      res = handleReload();
+    }
   } else {
     res.status = 404;
     res.body = "{\"error\":\"no such route\"}";
@@ -186,7 +209,44 @@ HttpResponse PatternServer::handleBundles() const {
   return res;
 }
 
+HttpResponse PatternServer::handleReload() {
+  std::string root;
+  {
+    LockGuard lock(rootMutex_);
+    root = bundleRoot_;
+  }
+  HttpResponse res;
+  if (root.empty()) {
+    res.status = 400;
+    res.body = "{\"error\":\"no bundle root to reload\"}";
+    return res;
+  }
+  // Hot reload: loadDirectory re-reads every bundle generation under
+  // the root and BundleRegistry::add replaces same-name bundles in
+  // place (latest version wins), so in-flight requests keep their
+  // shared_ptr to the old bundle and new requests see the new one —
+  // zero downtime by construction.
+  std::vector<std::string> errors;
+  const int loaded = loadBundles(root, &errors);
+  Json j = Json::object();
+  j.set("loaded", loaded);
+  j.set("status", healthName(health()));
+  Json errs = Json::array();
+  for (const std::string& e : errors) errs.push(e);
+  j.set("errors", std::move(errs));
+  res.body = j.dump();
+  if (loaded == 0 && !errors.empty()) res.status = 500;
+  return res;
+}
+
 HttpResponse PatternServer::handleGenerate(const HttpRequest& request) {
+  // Chaos hook: models a worker process dying mid-request (OOM kill,
+  // segfault) — the process exits without flushing anything, so the
+  // client sees a truncated connection and the LB must retry the
+  // in-flight request on another worker.
+  static FaultSite crashFault("serve.worker.crash");
+  if (crashFault.shouldFail()) std::_Exit(137);
+
   HttpResponse res;
   GenerateRequest req;
   try {

@@ -2,11 +2,14 @@
 
 /// \file server.hpp
 /// The pattern-generation service: bundle registry + micro-batching
-/// pipeline + HTTP front end. Routes:
-///   POST /generate  JSON generate request -> generation summary
-///   GET  /healthz   health state (200 ready/degraded, 503 otherwise)
-///   GET  /bundles   loaded bundle inventory
-///   GET  /metrics   Prometheus text exposition
+/// pipeline + epoll event-loop HTTP front end (eventloop.hpp). Routes:
+///   POST /generate      JSON generate request -> generation summary
+///   GET  /healthz       health state (200 ready/degraded, 503 otherwise)
+///   GET  /bundles       loaded bundle inventory
+///   GET  /metrics       Prometheus text exposition
+///   POST /admin/reload  re-scan the bundle root (zero-downtime bundle
+///                       hot reload: the registry replaces same-name
+///                       bundles in place, requests never pause)
 /// handle() is exposed directly so tests and in-process clients can
 /// exercise the full request path without sockets.
 ///
@@ -23,7 +26,7 @@
 
 #include "serve/batcher.hpp"
 #include "serve/bundle.hpp"
-#include "serve/http.hpp"
+#include "serve/eventloop.hpp"
 #include "serve/metrics.hpp"
 
 namespace dp::serve {
@@ -39,7 +42,7 @@ namespace dp::serve {
 class PatternServer {
  public:
   struct Config {
-    HttpServer::Config http;
+    EventLoopServer::Config http;
     Batcher::Config batcher;
   };
 
@@ -65,6 +68,7 @@ class PatternServer {
   /// from a partially corrupt root degrades (rather than fails) the
   /// server; a fully clean load restores ready. Has no effect on
   /// draining. Failure reasons are appended to `errors` when non-null.
+  /// The root is remembered for POST /admin/reload.
   int loadBundles(const std::string& root,
                   std::vector<std::string>* errors = nullptr);
 
@@ -84,12 +88,17 @@ class PatternServer {
  private:
   [[nodiscard]] HttpResponse handleGenerate(const HttpRequest& request);
   [[nodiscard]] HttpResponse handleBundles() const;
+  [[nodiscard]] HttpResponse handleReload();
 
   Config config_;
   BundleRegistry registry_;
   Metrics metrics_;
   Batcher batcher_;
-  HttpServer http_;
+  EventLoopServer http_;
+  mutable Mutex rootMutex_;
+  /// Last loadBundles root, for /admin/reload (written by loadBundles,
+  /// read by handler threads serving the reload route).
+  std::string bundleRoot_ DP_GUARDED_BY(rootMutex_);
   std::atomic<Health> health_{Health::kStarting};
 };
 

@@ -1,0 +1,612 @@
+/// \file eventloop_test.cpp
+/// The epoll serving front end and the shared-nothing scale-out layer:
+/// the incremental parser's byte-split invariance (byte-at-a-time and
+/// seeded random split points over a pipelined corpus), pipelining
+/// order, keep-alive accounting, slow-loris/idle reaping, write-buffer
+/// backpressure, consistent-hash ring properties, Prometheus label
+/// injection, and the forked worker fleet behind the load balancer
+/// (routing, aggregation, rolling reload, SIGKILL reroute + respawn,
+/// crash-fault retries — all with bit-identical responses).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "datagen/generator.hpp"
+#include "io/json.hpp"
+#include "serve/eventloop.hpp"
+#include "serve/lb.hpp"
+#include "serve/server.hpp"
+
+namespace dp {
+namespace {
+
+using serve::EventLoopServer;
+using serve::HashRing;
+using serve::HttpRequest;
+using serve::HttpResponse;
+using serve::IncrementalParser;
+
+// ------------------------------------------------------------------
+// Deployments fork their supervisor child at CONSTRUCTION, which must
+// happen while this process is still single-threaded — i.e. before
+// gtest's main, any server, or the global ThreadPool exists. Each
+// supervisor is inert (a poll loop on a pipe) until launch().
+// ------------------------------------------------------------------
+serve::Deployment gDeployment;
+serve::Deployment gCrashDeployment;
+
+// ------------------------------------------------------------------
+// Parser corpus: a pipelined byte stream and the requests it encodes,
+// used to pin byte-split invariance.
+// ------------------------------------------------------------------
+
+std::string pipelinedCorpus() {
+  std::string s;
+  s += "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  s +=
+      "POST /generate?a=1 HTTP/1.1\r\nHost: x\r\n"
+      "Content-Type: application/json\r\nContent-Length: 17\r\n\r\n"
+      "{\"bundle\":\"tiny\"}";
+  s += "GET /metrics HTTP/1.1\r\nHost: x\r\nX-Extra: v\r\n\r\n";
+  s +=
+      "POST /generate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n"
+      "\r\n\r\n";  // a body that LOOKS like a head terminator
+  return s;
+}
+
+struct ParsedRequest {
+  std::string method;
+  std::string target;
+  std::string query;
+  std::string body;
+};
+
+std::vector<ParsedRequest> drain(IncrementalParser& parser) {
+  std::vector<ParsedRequest> out;
+  HttpRequest req;
+  while (parser.next(req) == IncrementalParser::Status::kReady)
+    out.push_back({req.method, req.target, req.query, req.body});
+  return out;
+}
+
+void expectCorpusRequests(const std::vector<ParsedRequest>& got) {
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].method, "GET");
+  EXPECT_EQ(got[0].target, "/healthz");
+  EXPECT_EQ(got[1].method, "POST");
+  EXPECT_EQ(got[1].target, "/generate");
+  EXPECT_EQ(got[1].query, "a=1");
+  EXPECT_EQ(got[1].body, "{\"bundle\":\"tiny\"}");
+  EXPECT_EQ(got[2].target, "/metrics");
+  EXPECT_EQ(got[3].body, "\r\n\r\n");
+}
+
+TEST(IncrementalParser, ByteAtATimeMatchesWholeBuffer) {
+  const std::string corpus = pipelinedCorpus();
+  IncrementalParser whole{{}};
+  whole.append(corpus.data(), corpus.size());
+  const auto reference = drain(whole);
+  expectCorpusRequests(reference);
+
+  IncrementalParser byByte{{}};
+  std::vector<ParsedRequest> got;
+  for (const char c : corpus) {
+    byByte.append(&c, 1);
+    for (auto& r : drain(byByte)) got.push_back(std::move(r));
+  }
+  expectCorpusRequests(got);
+}
+
+TEST(IncrementalParser, RandomSplitPointsMatchWholeBuffer) {
+  const std::string corpus = pipelinedCorpus();
+  Rng rng(2019);
+  for (int trial = 0; trial < 64; ++trial) {
+    IncrementalParser parser{{}};
+    std::vector<ParsedRequest> got;
+    std::size_t pos = 0;
+    while (pos < corpus.size()) {
+      const std::size_t n = static_cast<std::size_t>(
+          rng.uniformInt(1, static_cast<int>(corpus.size() - pos)));
+      parser.append(corpus.data() + pos, n);
+      pos += n;
+      for (auto& r : drain(parser)) got.push_back(std::move(r));
+    }
+    expectCorpusRequests(got);
+  }
+}
+
+TEST(IncrementalParser, OversizedHeadIs431EvenIncomplete) {
+  IncrementalParser::Limits limits;
+  limits.maxHeaderBytes = 64;
+  IncrementalParser parser{limits};
+  // Never send the terminator: the parser must still cut the slow
+  // loris off once the partial head exceeds the limit.
+  const std::string head = "GET / HTTP/1.1\r\nX-Pad: " +
+                           std::string(100, 'a');
+  parser.append(head.data(), head.size());
+  HttpRequest req;
+  ASSERT_EQ(parser.next(req), IncrementalParser::Status::kError);
+  EXPECT_EQ(parser.errorStatus(), 431);
+  // Poisoned: more bytes do not resurrect it.
+  parser.append("\r\n\r\n", 4);
+  EXPECT_EQ(parser.next(req), IncrementalParser::Status::kError);
+  EXPECT_EQ(parser.errorStatus(), 431);
+}
+
+TEST(IncrementalParser, OversizedBodyIs413BeforeBodyArrives) {
+  IncrementalParser::Limits limits;
+  limits.maxBodyBytes = 16;
+  IncrementalParser parser{limits};
+  const std::string head =
+      "POST /g HTTP/1.1\r\nContent-Length: 1000\r\n\r\n";
+  parser.append(head.data(), head.size());
+  HttpRequest req;
+  ASSERT_EQ(parser.next(req), IncrementalParser::Status::kError);
+  EXPECT_EQ(parser.errorStatus(), 413);
+}
+
+TEST(IncrementalParser, MalformedHeadAndContentLengthAre400) {
+  {
+    IncrementalParser parser{{}};
+    const std::string junk = "ONE TWO\r\n\r\n";
+    parser.append(junk.data(), junk.size());
+    HttpRequest req;
+    ASSERT_EQ(parser.next(req), IncrementalParser::Status::kError);
+    EXPECT_EQ(parser.errorStatus(), 400);
+  }
+  {
+    IncrementalParser parser{{}};
+    const std::string bad =
+        "POST /g HTTP/1.1\r\nContent-Length: 12abc\r\n\r\n";
+    parser.append(bad.data(), bad.size());
+    HttpRequest req;
+    ASSERT_EQ(parser.next(req), IncrementalParser::Status::kError);
+    EXPECT_EQ(parser.errorStatus(), 400);
+  }
+}
+
+// ------------------------------------------------------------------
+// Socket helpers for the event-loop tests.
+// ------------------------------------------------------------------
+
+int connectTo(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  timeval tv{10, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  return fd;
+}
+
+void sendAllBytes(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+struct Reply {
+  int status = 0;
+  std::string body;
+};
+
+/// Reads `n` Content-Length-framed responses from one connection.
+std::vector<Reply> readReplies(int fd, int n) {
+  std::vector<Reply> replies;
+  std::string buf;
+  char chunk[8192];
+  while (static_cast<int>(replies.size()) < n) {
+    const std::size_t headEnd = buf.find("\r\n\r\n");
+    if (headEnd == std::string::npos) {
+      const ssize_t r = ::recv(fd, chunk, sizeof chunk, 0);
+      if (r <= 0) break;
+      buf.append(chunk, static_cast<std::size_t>(r));
+      continue;
+    }
+    Reply reply;
+    if (buf.rfind("HTTP/1.1 ", 0) == 0)
+      reply.status = std::atoi(buf.c_str() + 9);
+    std::size_t contentLength = 0;
+    const std::size_t cl = buf.find("Content-Length: ");
+    if (cl != std::string::npos && cl < headEnd)
+      contentLength =
+          static_cast<std::size_t>(std::atol(buf.c_str() + cl + 16));
+    while (buf.size() < headEnd + 4 + contentLength) {
+      const ssize_t r = ::recv(fd, chunk, sizeof chunk, 0);
+      if (r <= 0) return replies;
+      buf.append(chunk, static_cast<std::size_t>(r));
+    }
+    reply.body = buf.substr(headEnd + 4, contentLength);
+    buf.erase(0, headEnd + 4 + contentLength);
+    replies.push_back(std::move(reply));
+  }
+  return replies;
+}
+
+std::string requestBytes(const std::string& method, const std::string& path,
+                         const std::string& body) {
+  std::string req = method + " " + path + " HTTP/1.1\r\n";
+  req += "Host: t\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\n\r\n";
+  req += body;
+  return req;
+}
+
+TEST(EventLoop, PipelinedRequestsAnswerInOrder) {
+  EventLoopServer::Config config;
+  EventLoopServer server(config, [](const HttpRequest& req) {
+    HttpResponse res;
+    res.body = "echo:" + req.target + ":" + req.body;
+    return res;
+  });
+  server.start();
+  const int fd = connectTo(server.port());
+  // All three requests land in one write; responses must come back in
+  // request order even though handlers run on a pool.
+  sendAllBytes(fd, requestBytes("GET", "/a", "") +
+                       requestBytes("POST", "/b", "one") +
+                       requestBytes("POST", "/c", "two"));
+  const auto replies = readReplies(fd, 3);
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_EQ(replies[0].body, "echo:/a:");
+  EXPECT_EQ(replies[1].body, "echo:/b:one");
+  EXPECT_EQ(replies[2].body, "echo:/c:two");
+  ::close(fd);
+  server.stop();
+}
+
+TEST(EventLoop, KeepAliveReuseIsCounted) {
+  serve::Metrics metrics;
+  EventLoopServer::Config config;
+  config.metrics = &metrics;
+  EventLoopServer server(config, [](const HttpRequest&) {
+    return HttpResponse{};
+  });
+  server.start();
+  const int fd = connectTo(server.port());
+  sendAllBytes(fd, requestBytes("GET", "/1", ""));
+  ASSERT_EQ(readReplies(fd, 1).size(), 1u);
+  sendAllBytes(fd, requestBytes("GET", "/2", ""));
+  ASSERT_EQ(readReplies(fd, 1).size(), 1u);
+  sendAllBytes(fd, requestBytes("GET", "/3", ""));
+  ASSERT_EQ(readReplies(fd, 1).size(), 1u);
+  EXPECT_EQ(metrics.keepaliveReuses(), 2u);
+  EXPECT_EQ(metrics.connectionsOpen(), 1);
+  ::close(fd);
+  server.stop();
+  EXPECT_EQ(metrics.connectionsOpen(), 0);
+}
+
+TEST(EventLoop, SlowLorisConnectionIsReaped) {
+  EventLoopServer::Config config;
+  config.recvTimeoutSec = 1;
+  EventLoopServer server(config, [](const HttpRequest&) {
+    return HttpResponse{};
+  });
+  server.start();
+  const int fd = connectTo(server.port());
+  // A partial head that never completes: the server must hang up (read
+  // returns 0) without sending a response.
+  sendAllBytes(fd, "GET /drip HTTP/1.1\r\nX-Slow: ");
+  char byte;
+  const auto t0 = std::chrono::steady_clock::now();
+  const ssize_t n = ::recv(fd, &byte, 1, 0);
+  const double sec = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  EXPECT_EQ(n, 0);       // EOF, not data
+  EXPECT_LT(sec, 8.0);   // reaped by the timeout sweep, not our rcvtimeo
+  ::close(fd);
+  server.stop();
+}
+
+TEST(EventLoop, IdleKeepAliveConnectionIsReaped) {
+  EventLoopServer::Config config;
+  config.idleTimeoutSec = 1;
+  EventLoopServer server(config, [](const HttpRequest&) {
+    return HttpResponse{};
+  });
+  server.start();
+  const int fd = connectTo(server.port());
+  sendAllBytes(fd, requestBytes("GET", "/once", ""));
+  ASSERT_EQ(readReplies(fd, 1).size(), 1u);
+  char byte;
+  const ssize_t n = ::recv(fd, &byte, 1, 0);  // idle: next event is EOF
+  EXPECT_EQ(n, 0);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(EventLoop, BackpressureDeliversLargeResponseToSlowReader) {
+  // 8 MB >> the kernel socket buffers, so the response cannot be
+  // written in one go: the loop must park it in the write buffer, arm
+  // EPOLLOUT, and drain as the reader catches up.
+  const std::size_t kBig = 8u << 20;
+  EventLoopServer::Config config;
+  EventLoopServer server(config, [kBig](const HttpRequest&) {
+    HttpResponse res;
+    res.body.assign(kBig, 'x');
+    return res;
+  });
+  server.start();
+  const int fd = connectTo(server.port());
+  sendAllBytes(fd, requestBytes("GET", "/big", ""));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const auto replies = readReplies(fd, 1);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].body.size(), kBig);
+  EXPECT_EQ(replies[0].body.find_first_not_of('x'), std::string::npos);
+  ::close(fd);
+  server.stop();
+}
+
+// ------------------------------------------------------------------
+// Consistent-hash ring + label injection units.
+// ------------------------------------------------------------------
+
+TEST(HashRing, RouteIsDeterministicAndCoversAllWorkers) {
+  HashRing ring;
+  ring.rebuild({0, 1, 2, 3});
+  EXPECT_EQ(ring.workerCount(), 4u);
+  std::set<int> homes;
+  for (int k = 0; k < 64; ++k) {
+    const std::string key = "bundle" + std::to_string(k);
+    const auto order = ring.route(key);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(std::set<int>(order.begin(), order.end()).size(), 4u);
+    EXPECT_EQ(order, ring.route(key));  // stable
+    homes.insert(order[0]);
+  }
+  // 64 keys over 4 workers with 64 vnodes each: every worker should
+  // own at least one home slot.
+  EXPECT_EQ(homes.size(), 4u);
+}
+
+TEST(HashRing, RemovingAWorkerRemapsOnlyItsKeys) {
+  HashRing full;
+  full.rebuild({0, 1, 2, 3});
+  HashRing reduced;
+  reduced.rebuild({0, 1, 2});
+  for (int k = 0; k < 128; ++k) {
+    const std::string key = "bundle" + std::to_string(k);
+    const int before = full.route(key)[0];
+    const int after = reduced.route(key)[0];
+    if (before != 3) {
+      EXPECT_EQ(after, before) << "key " << key
+                               << " moved although its home survived";
+    }
+  }
+}
+
+TEST(InjectLabel, HandlesEverySampleForm) {
+  EXPECT_EQ(serve::injectLabel("dp_x 1", "worker", "2"),
+            "dp_x{worker=\"2\"} 1");
+  EXPECT_EQ(serve::injectLabel("dp_x{a=\"b\"} 1", "worker", "2"),
+            "dp_x{worker=\"2\",a=\"b\"} 1");
+  EXPECT_EQ(serve::injectLabel("# HELP dp_x helps", "worker", "2"),
+            "# HELP dp_x helps");
+}
+
+// ------------------------------------------------------------------
+// Deployment end-to-end: forked workers behind the LB.
+// ------------------------------------------------------------------
+
+namespace fs = std::filesystem;
+
+/// Trains one tiny bundle and saves it under `root/<name>` for the
+/// worker fleet to load.
+void saveTinyBundle(const fs::path& root, const std::string& name) {
+  Rng rng(11);
+  serve::BundleSpec spec;
+  spec.name = name;
+  spec.tcae.trainSteps = 120;
+  spec.sourcePoolSize = 32;
+  const auto clips = datagen::generateLibrary(datagen::directprintSpec(1),
+                                              spec.rules, 40, rng);
+  const auto bundle = serve::buildBundle(
+      spec, serve::BundleBuildConfig{}, datagen::extractTopologies(clips),
+      rng);
+  bundle->save((root / name).string());
+}
+
+std::string generatePayload(const std::string& bundle, int seed) {
+  io::Json body = io::Json::object();
+  body.set("bundle", bundle);
+  body.set("count", 24L);
+  body.set("seed", std::to_string(seed));
+  return body.dump();
+}
+
+/// One keep-alive exchange against 127.0.0.1:port.
+Reply exchangeOnce(int port, const std::string& method,
+                   const std::string& path, const std::string& body) {
+  const int fd = connectTo(port);
+  sendAllBytes(fd, requestBytes(method, path, body));
+  const auto replies = readReplies(fd, 1);
+  ::close(fd);
+  return replies.empty() ? Reply{} : replies[0];
+}
+
+/// Strips the per-run timing fields; the rest of a /generate response
+/// is a deterministic function of the request.
+std::string canonical(const std::string& body) {
+  io::Json j = io::Json::parse(body);
+  j.set("latencyMs", 0.0);
+  j.set("decodeBatches", 0L);
+  return j.dump();
+}
+
+TEST(LbDeployment, EndToEnd) {
+  ASSERT_TRUE(gDeployment.available());
+  const fs::path root = fs::temp_directory_path() / "dp_lb_e2e_bundles";
+  fs::remove_all(root);
+  saveTinyBundle(root, "tiny0");
+  saveTinyBundle(root, "tiny1");
+
+  serve::Deployment::Options options;
+  options.bundleRoot = root.string();
+  options.workers = 3;
+  gDeployment.launch(options);
+  const int port = gDeployment.lbPort();
+  ASSERT_GT(port, 0);
+  const auto initial = gDeployment.queryWorkers();
+  ASSERT_EQ(initial.size(), 3u);
+
+  // In-process reference over the same bundle root: responses through
+  // the whole fork+LB+epoll stack must match it byte for byte.
+  serve::PatternServer reference;
+  ASSERT_EQ(reference.loadBundles(root.string()), 2);
+
+  std::map<std::string, std::string> expected;
+  for (const std::string bundle : {"tiny0", "tiny1"}) {
+    for (int seed = 1; seed <= 3; ++seed) {
+      const std::string payload = generatePayload(bundle, seed);
+      HttpRequest req;
+      req.method = "POST";
+      req.target = "/generate";
+      req.body = payload;
+      const HttpResponse local = reference.handle(req);
+      ASSERT_EQ(local.status, 200);
+      expected[payload] = canonical(local.body);
+    }
+  }
+  for (const auto& [payload, want] : expected) {
+    const Reply got = exchangeOnce(port, "POST", "/generate", payload);
+    ASSERT_EQ(got.status, 200);
+    EXPECT_EQ(canonical(got.body), want);
+  }
+
+  // Aggregated health + metrics: every worker present and labeled.
+  const Reply health = exchangeOnce(port, "GET", "/healthz", "");
+  ASSERT_EQ(health.status, 200);
+  const io::Json healthJson = io::Json::parse(health.body);
+  EXPECT_EQ(healthJson.at("workersAlive").asLong(), 3);
+
+  const Reply metrics = exchangeOnce(port, "GET", "/metrics", "");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("dp_lb_workers_alive 3"), std::string::npos);
+  for (int w = 0; w < 3; ++w) {
+    const std::string label = "worker=\"" + std::to_string(w) + "\"";
+    EXPECT_NE(metrics.body.find(label), std::string::npos)
+        << "no samples labeled " << label;
+  }
+  EXPECT_NE(metrics.body.find("dp_worker_id{worker=\"0\"}"),
+            std::string::npos);
+
+  // Zero-downtime rolling reload: write a new bundle generation into
+  // the root, then ask the LB to roll it across the fleet.
+  saveTinyBundle(root, "tiny2");
+  const Reply reload = exchangeOnce(port, "POST", "/admin/reload", "");
+  ASSERT_EQ(reload.status, 200);
+  const io::Json reloadJson = io::Json::parse(reload.body);
+  EXPECT_EQ(reloadJson.at("reloaded").asLong(), 3);
+  const Reply fresh = exchangeOnce(
+      port, "POST", "/generate", generatePayload("tiny2", 9));
+  EXPECT_EQ(fresh.status, 200);
+
+  // SIGKILL a worker: requests keep succeeding bit-identically (the
+  // ring reroutes, deterministic generation makes any worker
+  // equivalent) and the supervisor respawns it under the same id.
+  gDeployment.killWorker(1);
+  for (const auto& [payload, want] : expected) {
+    const Reply got = exchangeOnce(port, "POST", "/generate", payload);
+    ASSERT_EQ(got.status, 200) << "request failed after worker kill";
+    EXPECT_EQ(canonical(got.body), want);
+  }
+  bool respawned = false;
+  for (int poll = 0; poll < 100 && !respawned; ++poll) {
+    for (const auto& w : gDeployment.queryWorkers())
+      if (w.id == 1 && w.pid > 0 && w.pid != initial[1].pid)
+        respawned = true;
+    if (!respawned)
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_TRUE(respawned) << "worker 1 was not respawned after SIGKILL";
+
+  gDeployment.stop();
+  fs::remove_all(root);
+}
+
+TEST(LbDeployment, WorkerCrashFaultIsRetriedToSuccess) {
+  ASSERT_TRUE(gCrashDeployment.available());
+  const fs::path root = fs::temp_directory_path() / "dp_lb_crash_bundles";
+  fs::remove_all(root);
+  saveTinyBundle(root, "tiny0");
+
+  serve::Deployment::Options options;
+  options.bundleRoot = root.string();
+  options.workers = 3;
+  // Armed inside the WORKERS only (never the LB): each /generate rolls
+  // a deterministic die and a hit exits the worker process with no
+  // response — the OOM-kill-mid-request shape the LB must absorb.
+  // Seed 81 at rate 0.05 fires on draw index 2 and nowhere else in the
+  // first 31 draws, so each worker lifetime crashes exactly on its
+  // third request: the home worker dies at request 3 (guaranteeing a
+  // retry) while every retry leg lands on a worker early in its
+  // sequence and survives — at most one worker is down at a time.
+  options.workerFaults = "serve.worker.crash:81:0.05";
+  gCrashDeployment.launch(options);
+  const int port = gCrashDeployment.lbPort();
+
+  serve::PatternServer reference;
+  ASSERT_EQ(reference.loadBundles(root.string()), 1);
+
+  int succeeded = 0;
+  for (int seed = 1; seed <= 8; ++seed) {
+    const std::string payload = generatePayload("tiny0", seed);
+    HttpRequest req;
+    req.method = "POST";
+    req.target = "/generate";
+    req.body = payload;
+    const HttpResponse local = reference.handle(req);
+    ASSERT_EQ(local.status, 200);
+    const Reply got = exchangeOnce(port, "POST", "/generate", payload);
+    ASSERT_EQ(got.status, 200)
+        << "request " << seed << " failed despite LB retries";
+    EXPECT_EQ(canonical(got.body), canonical(local.body));
+    ++succeeded;
+  }
+  EXPECT_EQ(succeeded, 8);
+
+  // At least one crash must actually have fired (else this test pins
+  // nothing): the LB counts every failed-then-retried backend leg.
+  const Reply metrics = exchangeOnce(port, "GET", "/metrics", "");
+  ASSERT_EQ(metrics.status, 200);
+  // Anchor at line start: a bare find() would land inside the
+  // "# HELP dp_lb_retries_total ..." comment and parse its prose as 0.
+  const std::size_t pos = metrics.body.find("\ndp_lb_retries_total ");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_GT(std::atol(metrics.body.c_str() + pos + 21), 0);
+
+  gCrashDeployment.stop();
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace dp

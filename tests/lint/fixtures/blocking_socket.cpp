@@ -1,0 +1,18 @@
+// dp-lint fixture: bare accept/recv/send inside the event loop TU.
+// Two call sites carry the nonblocking justification and pass; the
+// other two block the loop thread and must each raise DP007.
+// dp-lint-path: src/serve/eventloop.cpp
+// dp-lint-expect: DP007 DP007
+#include <sys/socket.h>
+
+int pumpOnce(int listenFd, int connFd, char* buf, int n) {
+  // dp-lint: nonblocking (SOCK_NONBLOCK requested at accept)
+  const int fd = ::accept4(listenFd, nullptr, nullptr, SOCK_NONBLOCK);
+  // dp-lint: nonblocking (fd accepted with SOCK_NONBLOCK)
+  const long got = ::recv(connFd, buf, static_cast<size_t>(n), 0);
+  // A helper whose name merely contains a banned verb is fine.
+  // (sendAll / recvSome style wrappers are not socket syscalls.)
+  const long sent = ::send(connFd, buf, static_cast<size_t>(got), 0);
+  const int peer = ::accept(listenFd, nullptr, nullptr);
+  return fd + peer + static_cast<int>(sent);
+}

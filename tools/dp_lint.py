@@ -43,6 +43,16 @@ THIS repo rather than of C++:
                             deliberate non-durable write is allowed
                             with `// dp-lint: non-atomic-write` on the
                             same line or the line above.
+  DP007 blocking-socket-call
+                            accept/accept4/recv/send inside
+                            src/serve/eventloop.cpp: every socket the
+                            event loop touches must be nonblocking
+                            (SOCK_NONBLOCK / O_NONBLOCK), or one slow
+                            peer stalls every connection on the loop
+                            thread. Each call site must carry a
+                            `// dp-lint: nonblocking` justification on
+                            the same line or the line above stating why
+                            the fd cannot block.
 
 Usage:
   dp_lint.py [--root DIR]     scan the repository (default: cwd)
@@ -69,6 +79,7 @@ EXCLUDED = ("tests/lint/fixtures",)
 
 ESCAPE_ORDERED = "dp-lint: ordered"
 ESCAPE_NON_ATOMIC = "dp-lint: non-atomic-write"
+ESCAPE_NONBLOCKING = "dp-lint: nonblocking"
 
 
 class Finding:
@@ -306,6 +317,30 @@ def rule_raw_checkpoint_write(relpath: str, raw: str, stripped: str):
         )
 
 
+RE_BLOCKING_SOCKET = re.compile(r"\b(accept4?|recv|send)\s*\(")
+
+
+def rule_blocking_socket(relpath: str, raw: str, stripped: str):
+    """DP007: the epoll event loop is single-threaded per fd set; any
+    socket call that can block parks every connection behind one slow
+    peer. Confined to eventloop.cpp, where each accept/recv/send must
+    state (via the escape comment) why its fd cannot block."""
+    if relpath != "src/serve/eventloop.cpp":
+        return
+    raw_lines = raw.splitlines()
+    for m in RE_BLOCKING_SOCKET.finditer(stripped):
+        line = line_of(stripped, m.start())
+        if has_escape(raw_lines, line, ESCAPE_NONBLOCKING):
+            continue
+        yield Finding(
+            relpath, line, "DP007",
+            f"socket call `{m.group(1)}` in the event loop without a "
+            "nonblocking justification — a blocking fd here stalls every "
+            "connection on the loop thread; request SOCK_NONBLOCK/"
+            "O_NONBLOCK and justify with `// dp-lint: nonblocking`",
+        )
+
+
 RULES = [
     rule_banned_rng,
     rule_raw_sync,
@@ -313,6 +348,7 @@ RULES = [
     rule_unordered_iteration,
     rule_avx2_confinement,
     rule_raw_checkpoint_write,
+    rule_blocking_socket,
 ]
 
 
