@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "io/json.hpp"
@@ -228,18 +229,27 @@ dp::io::Json measureConvEntry(int reps) {
   return entry;
 }
 
-int runCheck(const dp::io::Json& report, const std::string& baselinePath,
-             double maxRegress) {
-  std::ifstream in(baselinePath);
-  if (!in) {
-    std::fprintf(stderr, "kernel_bench: cannot open baseline '%s'\n",
-                 baselinePath.c_str());
-    return 2;
-  }
-  std::stringstream ss;
-  ss << in.rdbuf();
-  const dp::io::Json baseline = dp::io::Json::parse(ss.str());
+/// True when the running CPU can execute the named dispatch target.
+/// Unknown names count as "supported" so a typo in the baseline file
+/// fails the gate instead of silently skipping.
+bool hostSupportsTargetName(const std::string& target) {
+  for (const dp::KernelTarget t :
+       {dp::KernelTarget::kScalar, dp::KernelTarget::kAvx2,
+        dp::KernelTarget::kAvx512})
+    if (target == dp::kernelTargetName(t)) return dp::cpuSupports(t);
+  return true;
+}
 
+/// The --check gate against a parsed baseline. `supported` answers
+/// "can this host run the named target" (injectable so --self-test is
+/// host-independent). A baseline target absent from the run report is
+/// a SKIP only when the host genuinely cannot execute it; when the
+/// host can, a missing measurement is a dispatch regression and FAILS
+/// — previously it was skipped either way, so a target silently
+/// dropped from supportedKernelTargets() passed the gate.
+template <typename SupportedFn>
+int runCheckParsed(const dp::io::Json& report, const dp::io::Json& baseline,
+                   double maxRegress, SupportedFn&& supported) {
   int failures = 0;
   const auto& entries = baseline.at("entries");
   for (std::size_t i = 0; i < entries.size(); ++i) {
@@ -248,25 +258,35 @@ int runCheck(const dp::io::Json& report, const std::string& baselinePath,
     const std::string target = want.at("target").asString();
     const double wantGf = want.at("gflops").asDouble();
     double gotGf = -1.0;
+    bool skipped = false;
     for (std::size_t e = 0; e < report.at("entries").size(); ++e) {
       const auto& got = report.at("entries").at(e);
       if (got.at("name").asString() != name) continue;
       if (!got.at("targets").has(target)) {
-        std::printf("SKIP  %s/%s: target not supported on this host\n",
-                    name.c_str(), target.c_str());
-        gotGf = 0.0;
+        if (supported(target)) {
+          std::fprintf(stderr,
+                       "FAIL  %s/%s: target supported by this host but "
+                       "missing from the run report — dispatch "
+                       "regression\n",
+                       name.c_str(), target.c_str());
+          ++failures;
+        } else {
+          std::printf("SKIP  %s/%s: target not supported on this host\n",
+                      name.c_str(), target.c_str());
+        }
+        skipped = true;
         break;
       }
       gotGf = got.at("targets").at(target).at("gflops").asDouble();
       break;
     }
+    if (skipped) continue;
     if (gotGf < 0.0) {
       std::fprintf(stderr, "FAIL  %s/%s: not measured by this binary\n",
                    name.c_str(), target.c_str());
       ++failures;
       continue;
     }
-    if (gotGf == 0.0) continue;  // unsupported target, skipped above
     const double floor = wantGf * (1.0 - maxRegress);
     const bool ok = gotGf >= floor;
     std::printf("%s  %s/%s: %.2f GFLOP/s (baseline %.2f, floor %.2f)\n",
@@ -281,6 +301,111 @@ int runCheck(const dp::io::Json& report, const std::string& baselinePath,
   }
   std::printf("kernel_bench: all baseline entries within %.0f%%\n",
               maxRegress * 100.0);
+  return 0;
+}
+
+int runCheck(const dp::io::Json& report, const std::string& baselinePath,
+             double maxRegress) {
+  std::ifstream in(baselinePath);
+  if (!in) {
+    std::fprintf(stderr, "kernel_bench: cannot open baseline '%s'\n",
+                 baselinePath.c_str());
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const dp::io::Json baseline = dp::io::Json::parse(ss.str());
+  return runCheckParsed(report, baseline, maxRegress,
+                        hostSupportsTargetName);
+}
+
+/// Fixture-style verification of the gate logic itself (no
+/// measurement): synthetic report/baseline pairs must produce the
+/// expected verdict under injected host-support answers.
+int selfTest() {
+  const auto makeReport = [](double scalarGf, bool withAvx2,
+                             double avx2Gf) {
+    auto targets = dp::io::Json::object();
+    auto sj = dp::io::Json::object();
+    sj.set("gflops", scalarGf);
+    targets.set("scalar", std::move(sj));
+    if (withAvx2) {
+      auto aj = dp::io::Json::object();
+      aj.set("gflops", avx2Gf);
+      targets.set("avx2", std::move(aj));
+    }
+    auto entry = dp::io::Json::object();
+    entry.set("name", "square_64");
+    entry.set("targets", std::move(targets));
+    auto entries = dp::io::Json::array();
+    entries.push(std::move(entry));
+    auto report = dp::io::Json::object();
+    report.set("entries", std::move(entries));
+    return report;
+  };
+  const auto makeBaseline = [](double scalarGf, double avx2Gf) {
+    auto entries = dp::io::Json::array();
+    for (const char* target : {"scalar", "avx2"}) {
+      auto e = dp::io::Json::object();
+      e.set("name", "square_64");
+      e.set("target", target);
+      e.set("gflops", target == std::string("scalar") ? scalarGf : avx2Gf);
+      entries.push(std::move(e));
+    }
+    auto baseline = dp::io::Json::object();
+    baseline.set("entries", std::move(entries));
+    return baseline;
+  };
+  const auto yes = [](const std::string&) { return true; };
+  const auto scalarOnly = [](const std::string& t) { return t == "scalar"; };
+
+  struct Case {
+    const char* name;
+    int want;
+    int got;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"all targets within floor", 0,
+                   runCheckParsed(makeReport(10.0, true, 40.0),
+                                  makeBaseline(10.0, 40.0), 0.2, yes)});
+  cases.push_back({"regression beyond floor fails", 1,
+                   runCheckParsed(makeReport(10.0, true, 20.0),
+                                  makeBaseline(10.0, 40.0), 0.2, yes)});
+  cases.push_back(
+      {"missing target on non-supporting host skips", 0,
+       runCheckParsed(makeReport(10.0, false, 0.0), makeBaseline(10.0, 40.0),
+                      0.2, scalarOnly)});
+  cases.push_back(
+      {"missing target on supporting host fails", 1,
+       runCheckParsed(makeReport(10.0, false, 0.0), makeBaseline(10.0, 40.0),
+                      0.2, yes)});
+  {
+    auto entry = dp::io::Json::object();
+    entry.set("name", "no_such_shape");
+    entry.set("target", "scalar");
+    entry.set("gflops", 1.0);
+    auto entries = dp::io::Json::array();
+    entries.push(std::move(entry));
+    auto baseline = dp::io::Json::object();
+    baseline.set("entries", std::move(entries));
+    cases.push_back({"baseline shape absent from report fails", 1,
+                     runCheckParsed(makeReport(10.0, true, 40.0), baseline,
+                                    0.2, yes)});
+  }
+
+  int failures = 0;
+  for (const Case& c : cases) {
+    const bool ok = c.got == c.want;
+    std::printf("%s  self-test: %s (want exit %d, got %d)\n",
+                ok ? "ok  " : "FAIL", c.name, c.want, c.got);
+    if (!ok) ++failures;
+  }
+  if (failures) {
+    std::fprintf(stderr, "kernel_bench --self-test: %d case(s) failed\n",
+                 failures);
+    return 1;
+  }
+  std::printf("kernel_bench --self-test: %zu case(s) ok\n", cases.size());
   return 0;
 }
 
@@ -301,6 +426,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(argv[i], "--json") == 0) jsonPath = need("--json");
+    else if (std::strcmp(argv[i], "--self-test") == 0) return selfTest();
     else if (std::strcmp(argv[i], "--check") == 0) checkPath = need("--check");
     else if (std::strcmp(argv[i], "--max-regress") == 0)
       maxRegress = std::stod(need("--max-regress"));
@@ -311,7 +437,8 @@ int main(int argc, char** argv) {
     else {
       std::fprintf(stderr,
                    "usage: kernel_bench [--json FILE] [--check BASELINE "
-                   "[--max-regress R]] [--reps N] [--threads N]\n");
+                   "[--max-regress R]] [--reps N] [--threads N] "
+                   "[--self-test]\n");
       return 2;
     }
   }

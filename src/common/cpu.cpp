@@ -12,6 +12,8 @@ const char* kernelTargetName(KernelTarget t) {
       return "scalar";
     case KernelTarget::kAvx2:
       return "avx2";
+    case KernelTarget::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -20,14 +22,22 @@ bool cpuSupports(KernelTarget t) {
   if (t == KernelTarget::kScalar) return true;
 #if (defined(__x86_64__) || defined(_M_X64)) && \
     (defined(__GNUC__) || defined(__clang__))
-  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  if (t == KernelTarget::kAvx2)
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw");
 #else
   return false;
 #endif
 }
 
-KernelTarget chooseKernelTarget(bool avx2Compiled) {
+KernelTarget chooseKernelTarget(bool avx2Compiled, bool avx512Compiled) {
   const bool avx2Usable = avx2Compiled && cpuSupports(KernelTarget::kAvx2);
+  const bool avx512Usable =
+      avx512Compiled && cpuSupports(KernelTarget::kAvx512);
+  const KernelTarget best = avx512Usable  ? KernelTarget::kAvx512
+                            : avx2Usable ? KernelTarget::kAvx2
+                                         : KernelTarget::kScalar;
   // Read-only getenv on a startup path; no concurrent setenv in this process.
   // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("DP_KERNEL"); env && *env) {
@@ -40,12 +50,21 @@ KernelTarget chooseKernelTarget(bool avx2Compiled) {
                                 : "the build has no AVX2 kernel");
       return KernelTarget::kScalar;
     }
+    if (std::strcmp(env, "avx512") == 0) {
+      if (avx512Usable) return KernelTarget::kAvx512;
+      std::fprintf(stderr,
+                   "dp: DP_KERNEL=avx512 requested but %s; using %s\n",
+                   avx512Compiled ? "the CPU lacks AVX-512F/BW"
+                                  : "the build has no AVX-512 kernel",
+                   avx2Usable ? "avx2" : "scalar");
+      return avx2Usable ? KernelTarget::kAvx2 : KernelTarget::kScalar;
+    }
     std::fprintf(stderr,
-                 "dp: DP_KERNEL='%s' not recognized (scalar|avx2); "
+                 "dp: DP_KERNEL='%s' not recognized (scalar|avx2|avx512); "
                  "auto-selecting\n",
                  env);
   }
-  return avx2Usable ? KernelTarget::kAvx2 : KernelTarget::kScalar;
+  return best;
 }
 
 }  // namespace dp

@@ -13,20 +13,25 @@ namespace dp {
 enum class KernelTarget {
   kScalar = 0,  ///< portable C++, no ISA extensions assumed
   kAvx2 = 1,    ///< AVX2 + FMA (x86-64)
+  kAvx512 = 2,  ///< AVX-512F + AVX-512BW (x86-64)
 };
 
-/// Human-readable target name ("scalar", "avx2") for logs and reports.
+/// Human-readable target name ("scalar", "avx2", "avx512") for logs
+/// and reports.
 [[nodiscard]] const char* kernelTargetName(KernelTarget t);
 
 /// True when the *running* CPU can execute `t`. Scalar is always
-/// supported; AVX2 requires both the avx2 and fma feature bits.
+/// supported; AVX2 requires both the avx2 and fma feature bits;
+/// AVX-512 requires avx512f and avx512bw.
 [[nodiscard]] bool cpuSupports(KernelTarget t);
 
-/// Target selection policy: DP_KERNEL=scalar|avx2 if set (falling back
-/// to scalar with a warning when the CPU or the build lacks the
-/// requested target), else the best target that is both compiled in
-/// and supported by the CPU. `avx2Compiled` tells the policy whether
-/// the AVX2 translation unit was built with AVX2 code generation.
-[[nodiscard]] KernelTarget chooseKernelTarget(bool avx2Compiled);
+/// Target selection policy: DP_KERNEL=scalar|avx2|avx512 if set
+/// (falling back to the best available target with a warning when the
+/// CPU or the build lacks the requested one), else the best target
+/// that is both compiled in and supported by the CPU. The *Compiled
+/// flags tell the policy which per-ISA translation units were built
+/// with real ISA code generation.
+[[nodiscard]] KernelTarget chooseKernelTarget(bool avx2Compiled,
+                                              bool avx512Compiled);
 
 }  // namespace dp

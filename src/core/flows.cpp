@@ -5,8 +5,10 @@
 #include <string>
 
 #include "common/thread_pool.hpp"
+#include "drc/packed_rules.hpp"
 #include "models/batch.hpp"
 #include "models/topology_codec.hpp"
+#include "squish/packed_topo.hpp"
 #include "squish/pad.hpp"
 
 namespace dp::core {
@@ -44,6 +46,48 @@ void accountActivationBatch(const nn::Tensor& activations,
             perturbations->at(static_cast<int>(i), c);
       result.goodVectors.push_back(std::move(row));
     }
+  }
+}
+
+void accountMaskBatch(const std::uint32_t* masks, int batch, int edge,
+                      const drc::TopologyChecker& checker,
+                      GenerationResult& result) {
+  if (edge <= 0 || edge > squish::kMaxMaskCols)
+    throw std::invalid_argument(
+        "accountMaskBatch: edge must fit a 32-bit row mask");
+  // Same index-ordered-slot scheme as accountActivationBatch: unpad,
+  // canonicalize and legality run sample-parallel on the packed words;
+  // the serial fold below keeps insertion order thread-count invariant.
+  struct Slot {
+    std::uint32_t rows[squish::kMaxMaskCols];
+    int nRows = 0;
+    int nCols = 0;
+    char legal = 0;
+  };
+  std::vector<Slot> slots(static_cast<std::size_t>(batch));
+  dp::parallelFor(batch, 8, [&](long i0, long i1) {
+    for (long i = i0; i < i1; ++i) {
+      Slot& slot = slots[static_cast<std::size_t>(i)];
+      const std::uint32_t* sample = masks + i * edge;
+      for (int r = 0; r < edge; ++r) slot.rows[r] = sample[r];
+      slot.nRows = edge;
+      slot.nCols = edge;
+      squish::unpadMasks(slot.rows, slot.nRows, slot.nCols);
+      squish::canonicalizeMasks(slot.rows, slot.nRows, slot.nCols);
+      slot.legal = drc::isLegalCanonicalMasks(checker.config(), slot.rows,
+                                              slot.nRows, slot.nCols)
+                       ? 1
+                       : 0;
+    }
+  });
+  for (const Slot& slot : slots) {
+    ++result.generated;
+    if (!slot.legal) continue;
+    ++result.legal;
+    // add() canonicalizes internally; the form is already canonical, so
+    // this stores exactly what the float path stores.
+    result.unique.add(
+        squish::masksToTopology(slot.rows, slot.nRows, slot.nCols));
   }
 }
 

@@ -11,6 +11,7 @@
 ///  - libraryResult: accounting for a fixed topology set (the "Existing
 ///    Design" and "Industry Tool" rows of Table II).
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -40,6 +41,18 @@ void accountActivationBatch(const nn::Tensor& activations,
                             const drc::TopologyChecker& checker,
                             GenerationResult& result,
                             const nn::Tensor* perturbations = nullptr);
+
+/// accountActivationBatch for the fused decode route's bit-packed
+/// output (DESIGN.md §14): `masks` holds `batch` samples of `edge` row
+/// masks each (bit c of a row = cell (r, c)). Unpad, canonicalization
+/// and legality all run on the packed words; the accounting fold (and
+/// therefore the PatternLibrary contents and order) matches what the
+/// float path produces for the same binarized samples. Good-vector
+/// collection is not supported on this route — callers that need it
+/// use the float path.
+void accountMaskBatch(const std::uint32_t* masks, int batch, int edge,
+                      const drc::TopologyChecker& checker,
+                      GenerationResult& result);
 
 /// Encodes the first min(poolSize, existing.size()) topologies into the
 /// TCAE latent space — the source pool every latent flow perturbs or

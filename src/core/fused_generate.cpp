@@ -1,0 +1,90 @@
+#include "core/fused_generate.hpp"
+
+#include <stdexcept>
+
+#include "nn/conv_transpose2d.hpp"
+#include "nn/linear.hpp"
+
+namespace dp::core {
+
+namespace {
+
+const nn::Linear& asLinear(const nn::Layer& l) {
+  const auto* lin = dynamic_cast<const nn::Linear*>(&l);
+  if (lin == nullptr)
+    throw std::invalid_argument("FusedDecodeRoute: expected a dense layer");
+  return *lin;
+}
+
+const nn::ConvTranspose2d& asDeconv(const nn::Layer& l) {
+  const auto* dc = dynamic_cast<const nn::ConvTranspose2d*>(&l);
+  if (dc == nullptr)
+    throw std::invalid_argument("FusedDecodeRoute: expected a deconv layer");
+  return *dc;
+}
+
+void expectName(const nn::Layer& l, const char* name) {
+  if (l.name() != name)
+    throw std::invalid_argument(
+        std::string("FusedDecodeRoute: decoder stack mismatch, expected ") +
+        name + ", found " + l.name());
+}
+
+}  // namespace
+
+FusedDecodeRoute::FusedDecodeRoute(const models::Tcae& tcae) {
+  const nn::Sequential& dec = tcae.decoder();
+  if (dec.layerCount() != 9)
+    throw std::invalid_argument(
+        "FusedDecodeRoute: decoder stack is not the fused 9-layer shape");
+  expectName(dec.layer(1), "relu");
+  expectName(dec.layer(3), "relu");
+  expectName(dec.layer(4), "reshape");
+  expectName(dec.layer(6), "relu");
+  expectName(dec.layer(8), "sigmoid");
+  const nn::Linear& lin1 = asLinear(dec.layer(0));
+  const nn::Linear& lin2 = asLinear(dec.layer(2));
+  const nn::ConvTranspose2d& dc1 = asDeconv(dec.layer(5));
+  const nn::ConvTranspose2d& dc2 = asDeconv(dec.layer(7));
+
+  if (lin2.inFeatures() != lin1.outFeatures())
+    throw std::invalid_argument("FusedDecodeRoute: dense widths disagree");
+  const int c2 = dc1.inChannels();
+  const int c1 = dc1.outChannels();
+  if (dc2.inChannels() != c1 || dc2.outChannels() != 1)
+    throw std::invalid_argument(
+        "FusedDecodeRoute: deconv channels are not the fused shape");
+  if (dc1.kernel() != dc2.kernel() || dc1.stride() != dc2.stride() ||
+      dc1.pad() != dc2.pad())
+    throw std::invalid_argument(
+        "FusedDecodeRoute: deconv geometries disagree");
+  if (c2 <= 0 || lin2.outFeatures() % c2 != 0)
+    throw std::invalid_argument(
+        "FusedDecodeRoute: dense output does not reshape to deconv input");
+  const int plane = lin2.outFeatures() / c2;
+  int s4 = 1;
+  while (s4 * s4 < plane) ++s4;
+  if (s4 * s4 != plane)
+    throw std::invalid_argument(
+        "FusedDecodeRoute: deconv input plane is not square");
+
+  plan_ = nn::fused::buildDecodePlan(
+      lin1.inFeatures(), lin1.outFeatures(), c2, s4, c1, dc1.kernel(),
+      dc1.stride(), dc1.pad(), lin1.weight().value.data(),
+      lin1.bias().value.data(), lin2.weight().value.data(),
+      lin2.bias().value.data(), dc1.weight().value.data(),
+      dc1.bias().value.data(), dc2.weight().value.data(),
+      dc2.bias().value.data()[0]);
+}
+
+void FusedDecodeRoute::decodeMasks(const nn::Tensor& latents,
+                                   std::vector<std::uint32_t>& masks) const {
+  if (latents.dim() != 2 || latents.shape()[1] != plan_.latentDim)
+    throw std::invalid_argument(
+        "FusedDecodeRoute::decodeMasks: latents must be (N, latentDim)");
+  const int batch = latents.shape()[0];
+  masks.resize(static_cast<std::size_t>(batch) * plan_.s);
+  nn::fused::decodeBatch(plan_, latents.data(), batch, masks.data());
+}
+
+}  // namespace dp::core

@@ -1,0 +1,36 @@
+#include "drc/packed_rules.hpp"
+
+namespace dp::drc {
+
+bool isLegalCanonicalMasks(const TopologyRuleConfig& config,
+                           const std::uint32_t* masks, int rows, int cols) {
+  std::uint32_t any = 0;
+  for (int r = 0; r < rows; ++r) any |= masks[r];
+  if (rows == 0 || cols == 0 || any == 0) {
+    // Mirrors TopologyChecker::check's early return: an empty canonical
+    // form reports only kEmptyPattern (when configured) and skips every
+    // other rule.
+    return !config.forbidEmpty;
+  }
+  if (cols > config.maxCx || rows > config.maxCy) return false;
+  for (int r = 0; r + 1 < rows; ++r) {
+    const std::uint32_t a = masks[r];
+    const std::uint32_t b = masks[r + 1];
+    // Vertically adjacent set cells form a connected shape spanning two
+    // rows (has2dShape).
+    if (config.forbid2dShapes && (a & b) != 0) return false;
+    // Two adjacent occupied tracks (hasAdjacentTrackShapes).
+    if (config.forbidAdjacentTracks && a != 0 && b != 0) return false;
+    // Diagonal corner contact with both off-diagonal cells empty
+    // (hasBowTie): bit c covers cells (r,c)/(r+1,c+1) and the mirrored
+    // pair. Bits at and above cols are zero in a and b, so the shifted
+    // terms self-mask the c+1 == cols boundary.
+    if (config.forbidBowTie &&
+        (((a & (b >> 1U) & ~(a >> 1U) & ~b) |
+          ((a >> 1U) & b & ~a & ~(b >> 1U))) != 0))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace dp::drc

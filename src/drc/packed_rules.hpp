@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file packed_rules.hpp
+/// Bitwise topology legality on row-mask matrices (DESIGN.md §14) —
+/// the fused counterpart of TopologyChecker. Each Fig. 5 pattern test
+/// reduces to word-parallel logic on adjacent row masks, so assessing
+/// a decoded pattern costs a few dozen ALU ops instead of a
+/// cell-by-cell sweep. Results are pinned bit-for-bit against
+/// TopologyChecker::isLegal by tests/decode_fused_test.cpp.
+
+#include <cstdint>
+
+#include "drc/topology_rules.hpp"
+
+namespace dp::drc {
+
+/// Legality of an ALREADY canonical mask matrix (bit c of masks[r] =
+/// cell (r, c), row 0 = bottom, bits >= cols zero) under `config` —
+/// exactly TopologyChecker{config}.isLegal on the topology the masks
+/// encode. The caller canonicalizes first (squish::canonicalizeMasks);
+/// splitting the steps lets the fused pipeline reuse the canonical form
+/// for hashing and packing without a second pass.
+[[nodiscard]] bool isLegalCanonicalMasks(const TopologyRuleConfig& config,
+                                         const std::uint32_t* masks,
+                                         int rows, int cols);
+
+}  // namespace dp::drc

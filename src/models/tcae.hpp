@@ -56,6 +56,10 @@ class Tcae {
 
   [[nodiscard]] const TcaeConfig& config() const { return config_; }
 
+  /// The generation unit's layer stack, for read-only inspection (the
+  /// fused decode route prepacks its weights at bundle-build time).
+  [[nodiscard]] const nn::Sequential& decoder() const { return decoder_; }
+
   /// Recognition unit f: (N,1,S,S) -> (N, latentDim) (Eq. 2).
   /// Stateless inference — safe to call concurrently on a shared model.
   [[nodiscard]] nn::Tensor encode(const nn::Tensor& topologies) const;

@@ -30,6 +30,14 @@ class ConvTranspose2d final : public Layer {
     return (inSize - 1) * stride_ - 2 * pad_ + kernel_;
   }
 
+  [[nodiscard]] int inChannels() const { return inC_; }
+  [[nodiscard]] int outChannels() const { return outC_; }
+  [[nodiscard]] int kernel() const { return kernel_; }
+  [[nodiscard]] int stride() const { return stride_; }
+  [[nodiscard]] int pad() const { return pad_; }
+  [[nodiscard]] const Param& weight() const { return weight_; }
+  [[nodiscard]] const Param& bias() const { return bias_; }
+
  private:
   int inC_, outC_, kernel_, stride_, pad_;
   Param weight_;  // (inC, outC*K*K) — the adjoint conv's weight layout

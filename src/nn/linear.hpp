@@ -23,6 +23,8 @@ class Linear final : public Layer {
   [[nodiscard]] int outFeatures() const { return out_; }
   [[nodiscard]] Param& weight() { return weight_; }
   [[nodiscard]] Param& bias() { return bias_; }
+  [[nodiscard]] const Param& weight() const { return weight_; }
+  [[nodiscard]] const Param& bias() const { return bias_; }
 
  private:
   int in_;

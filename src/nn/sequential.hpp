@@ -28,6 +28,7 @@ class Sequential final : public Layer {
 
   [[nodiscard]] std::size_t layerCount() const { return layers_.size(); }
   [[nodiscard]] Layer& layer(std::size_t i) { return *layers_[i]; }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_[i]; }
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor infer(const Tensor& x) const override;

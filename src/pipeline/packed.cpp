@@ -41,6 +41,26 @@ PackedPattern pack(const squish::Topology& t) {
   return p;
 }
 
+PackedPattern packMasks(const std::uint32_t* masks, int rows, int cols) {
+  if (rows <= 0 || cols <= 0)
+    throw std::invalid_argument("pipeline::packMasks: empty topology");
+  if (rows > 255 || cols > 255)
+    throw std::invalid_argument(
+        "pipeline::packMasks: topology exceeds 255 cells per axis");
+  PackedPattern p;
+  p.rows = static_cast<std::uint8_t>(rows);
+  p.cols = static_cast<std::uint8_t>(cols);
+  p.words.assign(wordCount(rows * cols), 0);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      if ((masks[r] >> c) & 1U) {
+        const std::size_t i =
+            static_cast<std::size_t>(r) * cols + static_cast<std::size_t>(c);
+        p.words[i / 64] |= std::uint64_t{1} << (i % 64);
+      }
+  return p;
+}
+
 squish::Topology unpack(const PackedPattern& p) {
   if (p.rows == 0 || p.cols == 0)
     throw std::invalid_argument("pipeline::unpack: zero-sized pattern");

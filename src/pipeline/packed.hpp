@@ -55,6 +55,13 @@ struct PackedPattern {
 /// Exact inverse of pack().
 [[nodiscard]] squish::Topology unpack(const PackedPattern& p);
 
+/// pack() for a row-mask matrix (bit c of masks[r] = cell (r, c), the
+/// squish/packed_topo.hpp convention): produces the byte-identical
+/// PackedPattern that pack(masksToTopology(...)) would, without
+/// materializing the Topology. Same argument checks as pack().
+[[nodiscard]] PackedPattern packMasks(const std::uint32_t* masks, int rows,
+                                      int cols);
+
 /// Serialized size of one (hash, pattern) record in bytes.
 [[nodiscard]] std::size_t recordBytes(const PackedPattern& p);
 

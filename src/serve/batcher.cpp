@@ -1,8 +1,10 @@
 #include "serve/batcher.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "common/fault.hpp"
 #include "core/pipeline.hpp"
@@ -215,16 +217,36 @@ void Batcher::runBatch() {
         row += take.rows;
       }
     }
-    const nn::Tensor activations = headBundle->tcae().decode(batch);
-    metrics_.batchOccupancy().observe(static_cast<double>(takes.size()));
-    long row = 0;
-    for (const Take& take : takes) {
-      const nn::Tensor slice = sliceLead(activations, row, take.rows);
-      core::accountActivationBatch(slice, headBundle->checker(),
-                                   take.job->result);
-      take.job->offset += take.rows;
-      ++take.job->decodeBatches;
-      row += take.rows;
+    // Fused route (DESIGN.md §14) when the bundle's decoder stack
+    // supports it: the coalesced batch decodes straight to bit-packed
+    // topologies and the per-job accounting runs on the packed words.
+    // Either way the jobs see identical results for the same binarized
+    // samples.
+    if (const core::FusedDecodeRoute* fused = headBundle->fusedRoute()) {
+      std::vector<std::uint32_t> masks;
+      fused->decodeMasks(batch, masks);
+      metrics_.batchOccupancy().observe(static_cast<double>(takes.size()));
+      const int edge = fused->topologySize();
+      long row = 0;
+      for (const Take& take : takes) {
+        core::accountMaskBatch(masks.data() + row * edge, take.rows, edge,
+                               headBundle->checker(), take.job->result);
+        take.job->offset += take.rows;
+        ++take.job->decodeBatches;
+        row += take.rows;
+      }
+    } else {
+      const nn::Tensor activations = headBundle->tcae().decode(batch);
+      metrics_.batchOccupancy().observe(static_cast<double>(takes.size()));
+      long row = 0;
+      for (const Take& take : takes) {
+        const nn::Tensor slice = sliceLead(activations, row, take.rows);
+        core::accountActivationBatch(slice, headBundle->checker(),
+                                     take.job->result);
+        take.job->offset += take.rows;
+        ++take.job->decodeBatches;
+        row += take.rows;
+      }
     }
   } catch (...) {
     // A decode failure poisons every contributing job; fail them all

@@ -188,6 +188,14 @@ Bundle::Bundle(BundleSpec spec, Rng& initRng)
   }
 }
 
+void Bundle::refreshFusedRoute() {
+  try {
+    fused_.emplace(tcae_);
+  } catch (const std::invalid_argument&) {
+    fused_.reset();  // unfusable stack: batcher uses the float path
+  }
+}
+
 void Bundle::setSensitivity(std::vector<double> sensitivity) {
   if (static_cast<int>(sensitivity.size()) != spec_.tcae.latentDim)
     throw std::invalid_argument(
@@ -288,6 +296,7 @@ std::shared_ptr<const Bundle> buildBundle(
           "the guide");
     guide->train(core::vectorsToTensor(seedRun.goodVectors), rng);
   }
+  bundle->refreshFusedRoute();
   return bundle;
 }
 
@@ -340,6 +349,7 @@ std::shared_ptr<const Bundle> loadBundle(const std::string& dir) {
     guideMoments.std = momentsFromJson(g.at("guideStd"));
     guide->setMoments(std::move(data), std::move(guideMoments));
   }
+  bundle->refreshFusedRoute();
   return bundle;
 }
 

@@ -35,6 +35,7 @@
 #include "common/rng.hpp"
 #include "common/sync.hpp"
 #include "core/flows.hpp"
+#include "core/fused_generate.hpp"
 #include "core/guide.hpp"
 #include "core/perturb.hpp"
 #include "core/sensitivity.hpp"
@@ -94,6 +95,17 @@ class Bundle {
     return sourceLatents_;
   }
 
+  /// Re-prepacks the fused decode route from the TCAE's current
+  /// weights (DESIGN.md §14). Called after train/load finalizes the
+  /// weights; leaves the route unset (float fallback) when the decoder
+  /// stack is not the fusable shape.
+  void refreshFusedRoute();
+  /// Prepacked fused decode route, or nullptr when the batcher must
+  /// use the unfused float path.
+  [[nodiscard]] const core::FusedDecodeRoute* fusedRoute() const {
+    return fused_ ? &*fused_ : nullptr;
+  }
+
   [[nodiscard]] const drc::TopologyChecker& checker() const {
     return checker_;
   }
@@ -111,6 +123,7 @@ class Bundle {
   BundleSpec spec_;
   models::Tcae tcae_;
   std::optional<core::GuideModel> guide_;
+  std::optional<core::FusedDecodeRoute> fused_;
   std::vector<double> sensitivity_;
   std::optional<core::SensitivityAwarePerturber> perturber_;
   nn::Tensor sourceLatents_;

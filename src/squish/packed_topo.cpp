@@ -1,0 +1,104 @@
+#include "squish/packed_topo.hpp"
+
+#include <stdexcept>
+
+#include "squish/topology.hpp"
+
+namespace dp::squish {
+
+Topology masksToTopology(const std::uint32_t* masks, int rows, int cols) {
+  Topology t(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      t.set(r, c, ((masks[r] >> c) & 1U) != 0);
+  return t;
+}
+
+void topologyToMasks(const Topology& t, std::uint32_t* masks) {
+  if (t.cols() > kMaxMaskCols)
+    throw std::invalid_argument("topologyToMasks: topology wider than 32");
+  for (int r = 0; r < t.rows(); ++r) {
+    std::uint32_t m = 0;
+    for (int c = 0; c < t.cols(); ++c)
+      if (t.at(r, c)) m |= 1U << c;
+    masks[r] = m;
+  }
+}
+
+void unpadMasks(std::uint32_t* masks, int& rows, int& cols) {
+  std::uint32_t any = 0;
+  int top = -1;
+  for (int r = 0; r < rows; ++r) {
+    any |= masks[r];
+    if (masks[r] != 0) top = r;
+  }
+  if (any == 0) {
+    // No shapes at all: squish::unpad returns a 1x1 zero topology.
+    masks[0] = 0;
+    rows = 1;
+    cols = 1;
+    return;
+  }
+  rows = top + 1;
+  int width = 0;
+  while (any != 0) {
+    ++width;
+    any >>= 1U;
+  }
+  cols = width;  // bits >= the old cols were already zero
+}
+
+void canonicalizeMasks(std::uint32_t* masks, int& rows, int& cols) {
+  // Row pass: keep the first row of each run of identical rows. Masks
+  // compare equal iff the rows compare equal cell-by-cell, because bits
+  // at and above `cols` are zero in every word.
+  int kept = 0;
+  for (int r = 0; r < rows; ++r)
+    if (r == 0 || masks[r] != masks[r - 1]) masks[kept++] = masks[r];
+  rows = kept;
+
+  // Column pass on the row-merged matrix. Columns c-1 and c are equal
+  // iff bit c-1 of m ^ (m >> 1) is clear for every kept row, so the OR
+  // of those difference words marks exactly the columns to keep.
+  std::uint32_t diff = 0;
+  for (int r = 0; r < rows; ++r) diff |= masks[r] ^ (masks[r] >> 1U);
+  std::uint32_t keepBits = 1;  // column 0 is always kept
+  for (int c = 1; c < cols; ++c)
+    if ((diff >> (c - 1)) & 1U) keepBits |= 1U << c;
+
+  int newCols = 0;
+  for (int c = 0; c < cols; ++c)
+    if ((keepBits >> c) & 1U) ++newCols;
+  if (newCols == cols) return;
+
+  // Compress each row's bits through keepBits (portable PEXT).
+  for (int r = 0; r < rows; ++r) {
+    const std::uint32_t m = masks[r];
+    std::uint32_t out = 0;
+    int pos = 0;
+    for (int c = 0; c < cols; ++c) {
+      if (((keepBits >> c) & 1U) == 0) continue;
+      out |= ((m >> c) & 1U) << pos;
+      ++pos;
+    }
+    masks[r] = out;
+  }
+  cols = newCols;
+}
+
+std::uint64_t hashMasks(const std::uint32_t* masks, int rows, int cols) {
+  constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+  constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+  std::uint64_t h = kFnvOffset;
+  const auto step = [&h](std::uint8_t byte) { h = (h ^ byte) * kFnvPrime; };
+  for (int i = 0; i < 4; ++i)
+    step(static_cast<std::uint8_t>(static_cast<std::uint32_t>(rows) >> (8 * i)));
+  for (int i = 0; i < 4; ++i)
+    step(static_cast<std::uint8_t>(static_cast<std::uint32_t>(cols) >> (8 * i)));
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      step(static_cast<std::uint8_t>((masks[r] >> c) & 1U));
+  return h;
+}
+
+}  // namespace dp::squish

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file packed_topo.hpp
+/// Bitwise squish operations on row-mask topologies — the assessment
+/// half of the fused decode path (DESIGN.md §14). A mask topology is a
+/// rows x cols 0/1 matrix stored as one 32-bit word per row: bit c of
+/// masks[r] is cell (r, c), row 0 = bottom, exactly the cell order of
+/// squish::Topology. Bits at and above `cols` must be zero (every
+/// operation here preserves that invariant). Width is capped at 32
+/// columns — double the paper's 24x24 network window, and the fused
+/// decoder emits masks directly, so the cap is structural, not a
+/// runtime concern.
+///
+/// Each function is the exact counterpart of a byte-per-cell squish
+/// primitive (unpad, canonicalize, hashTopology); the equivalence is
+/// pinned bit-for-bit by tests/decode_fused_test.cpp against the float
+/// reference path.
+
+#include <cstdint>
+
+namespace dp::squish {
+
+/// Maximum mask-topology width (bits per row word).
+inline constexpr int kMaxMaskCols = 32;
+
+/// Converts a mask matrix to the byte-per-cell Topology it encodes.
+/// Declared here for tests and interop; hot paths stay on masks.
+class Topology;
+[[nodiscard]] Topology masksToTopology(const std::uint32_t* masks, int rows,
+                                       int cols);
+
+/// Fills `masks` (rows words) from a byte-per-cell topology with
+/// t.cols() <= 32. Counterpart of masksToTopology.
+void topologyToMasks(const Topology& t, std::uint32_t* masks);
+
+/// In-place counterpart of squish::unpad: drops all-zero rows above the
+/// highest occupied row and all-zero columns right of the highest set
+/// bit, collapsing an all-empty matrix to the 1x1 zero topology.
+void unpadMasks(std::uint32_t* masks, int& rows, int& cols);
+
+/// In-place counterpart of squish::canonicalize: keeps the first row of
+/// every run of identical adjacent rows, then the first column of every
+/// run of identical adjacent columns of the row-merged matrix (a single
+/// pass each reaches the fixpoint, same argument as canonicalize).
+/// Requires rows >= 1.
+void canonicalizeMasks(std::uint32_t* masks, int& rows, int& cols);
+
+/// FNV-1a-64 over the same byte stream squish::hashTopology feeds:
+/// rows and cols as little-endian u32, then one 0/1 byte per cell in
+/// row-major bottom-first order. hashMasks(m, r, c) ==
+/// hashTopology(masksToTopology(m, r, c)) by construction.
+[[nodiscard]] std::uint64_t hashMasks(const std::uint32_t* masks, int rows,
+                                      int cols);
+
+}  // namespace dp::squish

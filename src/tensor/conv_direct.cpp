@@ -95,7 +95,10 @@ void convDirect(const ConvGeom& g, int outC, const float* weights,
   std::vector<float>& acc = accBuffer();
   acc.assign(static_cast<std::size_t>(outC) * planeStride, 0.0f);
 
-  const detail::ConvTap tap = (gemmKernelTarget() == KernelTarget::kAvx2)
+  const KernelTarget target = gemmKernelTarget();
+  const detail::ConvTap tap = target == KernelTarget::kAvx512
+                                  ? detail::convTapAvx512
+                              : target == KernelTarget::kAvx2
                                   ? detail::convTapAvx2
                                   : detail::convTapScalar;
 

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file decode_fused.hpp
+/// Fused TCAE generation-unit inference: latent -> binarized row-mask
+/// topology in one pass (DESIGN.md §14). The stack it fuses is fixed —
+/// linear, ReLU, linear, ReLU, reshape, deconv(k4,s2,p1), ReLU,
+/// deconv(k4,s2,p1), sigmoid, 0.5-binarize — which is exactly the
+/// paper's generation unit as built by models::Tcae. Fusing buys:
+///
+///  - no batch tensors: per-sample scratch stays L1/L2 resident,
+///  - deconvs as per-input-cell scatters of prepacked channels-last
+///    weight patches (skipping post-ReLU zeros) instead of
+///    GEMM + col2im round-trips,
+///  - no transcendental: sigmoid(z) >= 0.5 iff z >= 0, so binarization
+///    is a sign test on the pre-activation and the output is emitted
+///    directly as 32-bit row masks (bit c of masks[r] = cell (r, c),
+///    row 0 = bottom — the squish/packed_topo.hpp convention).
+///
+/// Dispatch follows gemmKernelTarget(): the scalar, AVX2 and AVX-512
+/// sample kernels live in decode_fused.cpp / decode_fused_avx2.cpp /
+/// decode_fused_avx512.cpp with ISA flags confined per TU, mirroring
+/// the GEMM micro-kernels. Each target is individually deterministic
+/// (fixed accumulation order, sample-parallel only); across targets,
+/// and against the unfused float reference, equality holds on the
+/// binarized output (pinned by tests/decode_fused_test.cpp), not on
+/// float intermediates — the same doctrine the unfused kernels follow.
+
+#include <cstdint>
+#include <vector>
+
+namespace dp::nn::fused {
+
+/// Geometry + prepacked weights of one decoder stack. Built once per
+/// model (weights are repacked for scatter access), then shared
+/// read-only by any number of decoding threads.
+struct DecodePlan {
+  int latentDim = 0;
+  int hidden = 0;  ///< first dense width
+  int flat = 0;    ///< second dense width = c2 * s4 * s4
+  int c2 = 0;      ///< deconv1 input channels
+  int s4 = 0;      ///< deconv1 input spatial edge
+  int c1 = 0;      ///< deconv1 output channels
+  int s2 = 0;      ///< deconv1 output spatial edge = 2 * s4
+  int s = 0;       ///< topology edge = 2 * s2, at most 32
+
+  std::vector<float> w1t;  ///< latentDim x hidden, transposed dense 1
+  std::vector<float> b1;   ///< hidden
+  std::vector<float> w2t;  ///< hidden x flat, transposed dense 2
+  std::vector<float> b2;   ///< flat
+  /// Deconv1 patches, channels-last: p1[in*16*c1 + (kh*4+kw)*c1 + oc].
+  std::vector<float> p1;
+  std::vector<float> bd1;  ///< c1
+  /// Deconv2 patches: p2[in*16 + kh*4 + kw] (single output channel).
+  std::vector<float> p2;
+  float bd2 = 0.0f;  ///< deconv2 bias, folded into the sign test
+};
+
+/// Builds a plan from raw row-major layer weights:
+///   w1 (hidden, latentDim), b1 (hidden)        — first dense
+///   w2 (flat, hidden), b2 (flat)               — second dense
+///   wd1 (c2, c1*16), bd1 (c1)                  — deconv1, adjoint layout
+///   wd2 (c1, 16), bd2                          — deconv2, adjoint layout
+/// Both deconvs must be kernel 4 / stride 2 / pad 1 and the final edge
+/// 4*s4 must fit a 32-bit row mask; throws std::invalid_argument
+/// otherwise (callers fall back to the unfused float path).
+[[nodiscard]] DecodePlan buildDecodePlan(
+    int latentDim, int hidden, int c2, int s4, int c1, int kernel,
+    int stride, int pad, const float* w1, const float* b1, const float* w2,
+    const float* b2, const float* wd1, const float* bd1, const float* wd2,
+    float bd2);
+
+/// Decodes `batch` latent rows (latents: batch x plan.latentDim,
+/// row-major) into binarized topologies: masks[n*plan.s + r] is row r
+/// of sample n. Sample-parallel via dp::parallelFor; results are
+/// independent of DP_THREADS.
+void decodeBatch(const DecodePlan& plan, const float* latents, int batch,
+                 std::uint32_t* masks);
+
+namespace detail {
+
+/// Per-thread scratch reused across samples (sized lazily per plan).
+struct DecodeScratch {
+  std::vector<float> h1;      ///< hidden
+  std::vector<float> h2;      ///< flat, as (c2, s4, s4)
+  std::vector<float> mid;     ///< (s2+2) x (s2+2) x c1, channels-last
+  std::vector<float> out;     ///< (s+2) x (s+2)
+  std::vector<int> nzIdx;     ///< nonzero-activation row indices
+  std::vector<float> nzVal;   ///< matching activation values
+  std::vector<int> cellCnt;   ///< per deconv1 input cell: nonzero count
+  std::vector<int> cellIn;    ///< (cell, slot) -> input channel
+  std::vector<float> cellX;   ///< (cell, slot) -> activation value
+};
+
+void decodeSampleScalar(const DecodePlan& plan, const float* latent,
+                        std::uint32_t* masks, DecodeScratch& scratch);
+void decodeSampleAvx2(const DecodePlan& plan, const float* latent,
+                      std::uint32_t* masks, DecodeScratch& scratch);
+void decodeSampleAvx512(const DecodePlan& plan, const float* latent,
+                        std::uint32_t* masks, DecodeScratch& scratch);
+
+}  // namespace detail
+
+}  // namespace dp::nn::fused

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "common/thread_pool.hpp"
 #include "tensor/gemm_kernels.hpp"
@@ -25,13 +26,35 @@ constexpr long kFlopsPerChunk = 4L << 20;
 
 std::atomic<KernelTarget>& targetSlot() {
   static std::atomic<KernelTarget> slot{
-      dp::chooseKernelTarget(detail::avx2KernelCompiled())};
+      dp::chooseKernelTarget(detail::avx2KernelCompiled(),
+                             detail::avx512KernelCompiled())};
   return slot;
 }
 
 detail::MicroKernel kernelFor(KernelTarget t) {
-  return t == KernelTarget::kAvx2 ? detail::microKernelAvx2
-                                  : detail::microKernelScalar;
+  switch (t) {
+    case KernelTarget::kAvx512:
+      return detail::microKernelAvx512;
+    case KernelTarget::kAvx2:
+      return detail::microKernelAvx2;
+    case KernelTarget::kScalar:
+      break;
+  }
+  return detail::microKernelScalar;
+}
+
+/// True when target `t` has both real code generation in its TU and
+/// CPU support at runtime (scalar always qualifies).
+bool targetUsable(KernelTarget t) {
+  switch (t) {
+    case KernelTarget::kAvx512:
+      return detail::avx512KernelCompiled() && dp::cpuSupports(t);
+    case KernelTarget::kAvx2:
+      return detail::avx2KernelCompiled() && dp::cpuSupports(t);
+    case KernelTarget::kScalar:
+      break;
+  }
+  return true;
 }
 
 /// Per-thread pack scratch, reused across calls to keep the per-sample
@@ -123,18 +146,19 @@ KernelTarget gemmKernelTarget() {
 }
 
 void setGemmKernelTarget(KernelTarget t) {
-  if (t == KernelTarget::kAvx2 &&
-      !(detail::avx2KernelCompiled() && dp::cpuSupports(t)))
+  if (!targetUsable(t))
     throw std::invalid_argument(
-        "setGemmKernelTarget: avx2 kernel unavailable on this build/CPU");
+        std::string("setGemmKernelTarget: ") + kernelTargetName(t) +
+        " kernel unavailable on this build/CPU");
   targetSlot().store(t, std::memory_order_relaxed);
 }
 
 std::vector<KernelTarget> supportedKernelTargets() {
   std::vector<KernelTarget> targets{KernelTarget::kScalar};
-  if (detail::avx2KernelCompiled() &&
-      dp::cpuSupports(KernelTarget::kAvx2))
+  if (targetUsable(KernelTarget::kAvx2))
     targets.push_back(KernelTarget::kAvx2);
+  if (targetUsable(KernelTarget::kAvx512))
+    targets.push_back(KernelTarget::kAvx512);
   return targets;
 }
 

@@ -1,0 +1,110 @@
+// AVX-512F/BW micro-kernel. This is the only translation unit built
+// with -mavx512f -mavx512bw (see src/tensor/CMakeLists.txt); it must
+// never be called unless dp::cpuSupports(KernelTarget::kAvx512), which
+// the dispatcher in gemm.cpp guarantees. When the toolchain or the
+// architecture cannot generate AVX-512 code the TU degrades to a stub
+// and avx512KernelCompiled() reports false.
+
+#include "tensor/gemm_kernels.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+
+#include <immintrin.h>
+
+namespace dp::nn::detail {
+
+bool avx512KernelCompiled() { return true; }
+
+// 6x16 register tile on one 512-bit lane per row: 6 zmm accumulators +
+// 1 B lane + 1 broadcast leave most of the 32 architectural zmm
+// registers free, so the compiler can software-pipeline the FMA chain.
+// Per
+// output element the accumulation order over p is ascending, exactly
+// like the scalar and AVX2 kernels, so the result is a pure function
+// of the (shape-derived) blocking — never of DP_THREADS. Edge tiles
+// store through a column mask instead of a spill buffer.
+void microKernelAvx512(int kc, const float* apanel, const float* bpanel,
+                       float alpha, float* c, int ldc, int mr, int nr) {
+  __m512 acc[kMR];
+  for (int i = 0; i < kMR; ++i) acc[i] = _mm512_setzero_ps();
+  for (int p = 0; p < kc; ++p) {
+    const float* a = apanel + static_cast<long>(p) * kMR;
+    const __m512 b = _mm512_loadu_ps(bpanel + static_cast<long>(p) * kNR);
+    for (int i = 0; i < kMR; ++i)
+      acc[i] = _mm512_fmadd_ps(_mm512_set1_ps(a[i]), b, acc[i]);
+  }
+  const __m512 va = _mm512_set1_ps(alpha);
+  if (mr == kMR && nr == kNR) {
+    for (int i = 0; i < kMR; ++i) {
+      float* crow = c + static_cast<long>(i) * ldc;
+      _mm512_storeu_ps(crow,
+                       _mm512_fmadd_ps(va, acc[i], _mm512_loadu_ps(crow)));
+    }
+    return;
+  }
+  // Edge tile: masked load/store touches only the valid columns. Which
+  // elements take this path depends on (m, n) alone, so it does not
+  // break per-target determinism.
+  const __mmask16 mask =
+      static_cast<__mmask16>((1U << static_cast<unsigned>(nr)) - 1U);
+  for (int i = 0; i < mr; ++i) {
+    float* crow = c + static_cast<long>(i) * ldc;
+    const __m512 prev = _mm512_maskz_loadu_ps(mask, crow);
+    _mm512_mask_storeu_ps(crow, mask, _mm512_fmadd_ps(va, acc[i], prev));
+  }
+}
+
+// 16-wide row-major sweep, source row vector live across the channel
+// loop (see convTapAvx2). The scalar tail uses fused multiply-add so
+// every column sees exactly one fused product regardless of lane
+// position.
+void convTapAvx512(int nc, int rows, int cols, const float* w, long wStride,
+                   const float* x, long ldx, float* y, long planeStride,
+                   long ldy) {
+  const int vcols = cols & ~15;
+  for (int r = 0; r < rows; ++r) {
+    const float* src = x + r * ldx;
+    float* dstRow = y + r * ldy;
+    for (int j = 0; j < vcols; j += 16) {
+      const __m512 xv = _mm512_loadu_ps(src + j);
+      for (int oc = 0; oc < nc; ++oc) {
+        float* dst = dstRow + oc * planeStride + j;
+        _mm512_storeu_ps(
+            dst, _mm512_fmadd_ps(_mm512_set1_ps(w[oc * wStride]), xv,
+                                 _mm512_loadu_ps(dst)));
+      }
+    }
+    for (int j = vcols; j < cols; ++j) {
+      const float xs = src[j];
+      for (int oc = 0; oc < nc; ++oc) {
+        float* dst = dstRow + oc * planeStride + j;
+        *dst = __builtin_fmaf(w[oc * wStride], xs, *dst);
+      }
+    }
+  }
+}
+
+}  // namespace dp::nn::detail
+
+#else  // !(__AVX512F__ && __AVX512BW__)
+
+namespace dp::nn::detail {
+
+bool avx512KernelCompiled() { return false; }
+
+void microKernelAvx512(int kc, const float* apanel, const float* bpanel,
+                       float alpha, float* c, int ldc, int mr, int nr) {
+  // Unreachable by construction (the dispatcher never selects a target
+  // that is not compiled in); keep a correct fallback anyway.
+  microKernelScalar(kc, apanel, bpanel, alpha, c, ldc, mr, nr);
+}
+
+void convTapAvx512(int nc, int rows, int cols, const float* w, long wStride,
+                   const float* x, long ldx, float* y, long planeStride,
+                   long ldy) {
+  convTapScalar(nc, rows, cols, w, wStride, x, ldx, y, planeStride, ldy);
+}
+
+}  // namespace dp::nn::detail
+
+#endif

@@ -3,7 +3,8 @@
 /// \file gemm_kernels.hpp
 /// Internal contract between the blocked GEMM driver (gemm.cpp) and the
 /// per-ISA micro-kernel translation units (gemm_scalar.cpp,
-/// gemm_avx2.cpp). Not installed; include only from src/tensor.
+/// gemm_avx2.cpp, gemm_avx512.cpp). Not installed; include only from
+/// src/tensor.
 ///
 /// The driver packs operands into fixed-layout panels and the
 /// micro-kernel computes one register tile:
@@ -40,6 +41,8 @@ void microKernelScalar(int kc, const float* apanel, const float* bpanel,
                        float alpha, float* c, int ldc, int mr, int nr);
 void microKernelAvx2(int kc, const float* apanel, const float* bpanel,
                      float alpha, float* c, int ldc, int mr, int nr);
+void microKernelAvx512(int kc, const float* apanel, const float* bpanel,
+                       float alpha, float* c, int ldc, int mr, int nr);
 
 /// Direct-conv tap kernel: one kernel tap applied across every output
 /// channel's accumulator plane,
@@ -58,10 +61,17 @@ void convTapScalar(int nc, int rows, int cols, const float* w, long wStride,
 void convTapAvx2(int nc, int rows, int cols, const float* w, long wStride,
                  const float* x, long ldx, float* y, long planeStride,
                  long ldy);
+void convTapAvx512(int nc, int rows, int cols, const float* w, long wStride,
+                   const float* x, long ldx, float* y, long planeStride,
+                   long ldy);
 
 /// True when gemm_avx2.cpp was compiled with AVX2+FMA code generation
 /// (the build confines -mavx2 -mfma to that TU; on non-x86 builds the
 /// TU degrades to a stub and this returns false).
 [[nodiscard]] bool avx2KernelCompiled();
+
+/// True when gemm_avx512.cpp was compiled with AVX-512F/BW code
+/// generation (flags confined to that TU, stub fallback otherwise).
+[[nodiscard]] bool avx512KernelCompiled();
 
 }  // namespace dp::nn::detail

@@ -1,0 +1,18 @@
+// dp-lint fixture: AVX-512 surface — masks, 512-bit vectors, and the
+// narrower SSE/AVX intrinsics it composes with — is all in bounds
+// inside a *_avx512.cpp translation unit (the widest dispatch tier).
+// dp-lint-path: src/tensor/fake_kernel_avx512.cpp
+// dp-lint-expect: none
+#include <immintrin.h>
+
+float horizontalAdd(const float* p, const float* q) {
+  __m512 v = _mm512_loadu_ps(p);
+  __mmask16 k = _mm512_cmp_ps_mask(v, _mm512_setzero_ps(), _CMP_GT_OQ);
+  v = _mm512_maskz_loadu_ps(k, p);
+  float s = _mm512_reduce_add_ps(v);
+  __m128 tail = _mm_loadu_ps(q);
+  float lanes[4];
+  _mm_storeu_ps(lanes, tail);
+  for (float lane : lanes) s += lane;
+  return s;
+}

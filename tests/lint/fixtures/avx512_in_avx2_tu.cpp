@@ -1,0 +1,15 @@
+// dp-lint fixture: AVX-512-specific surface inside an *_avx2.cpp TU —
+// the TU is compiled with -mavx2 only, so the mask type, the 512-bit
+// vector type, and the _mm512_ calls each fire. The plain AVX2
+// intrinsics around them stay clean.
+// dp-lint-path: src/tensor/fake_kernel_avx2.cpp
+// dp-lint-expect: DP005 DP005 DP005 DP005
+#include <immintrin.h>
+
+float horizontalAdd(const float* p) {
+  __m256 ok = _mm256_loadu_ps(p);
+  _mm256_storeu_ps(const_cast<float*>(p), ok);
+  __m512 v = _mm512_loadu_ps(p);
+  __mmask16 k = 0xFFFF;
+  return _mm512_mask_reduce_add_ps(k, v);
+}

@@ -27,11 +27,18 @@ THIS repo rather than of C++:
                             iteration is allowed with a
                             `// dp-lint: ordered` justification on the
                             same line or the line above.
-  DP005 avx2-confinement    AVX2 intrinsics (and <immintrin.h>) are
-                            allowed only in *_avx2.cpp translation
-                            units, which are the only TUs built with
-                            -mavx2 and only entered behind the runtime
-                            cpuid dispatch.
+  DP005 isa-confinement     Vector intrinsics (and <immintrin.h>) are
+                            allowed only in *_avx2.cpp / *_avx512.cpp
+                            translation units, which are the only TUs
+                            built with -mavx2 / -mavx512f and only
+                            entered behind the runtime cpuid dispatch.
+                            AVX-512-specific surface (_mm512_*, __m512*,
+                            __mmask*) is further confined to
+                            *_avx512.cpp: an _avx2.cpp TU is compiled
+                            without AVX-512 codegen, so a 512-bit
+                            intrinsic there either fails to build or,
+                            worse, silently pulls the whole TU above
+                            its dispatch tier.
   DP006 raw-checkpoint-write
                             std::ofstream may not appear in src/nn/,
                             src/serve/ or src/pipeline/: checkpoint,
@@ -273,27 +280,47 @@ def rule_unordered_iteration(relpath: str, raw: str, stripped: str):
             )
 
 
-RE_AVX2 = re.compile(r"\b_mm\d*_\w+\s*\(|\b__m(?:128|256|512)i?d?\b|immintrin\.h")
+RE_INTRIN = re.compile(
+    r"\b_mm\d*_\w+\s*\(|\b__m(?:128|256|512)i?d?\b|\b__mmask\d+\b|"
+    r"immintrin\.h"
+)
+RE_AVX512_ONLY = re.compile(r"\b_mm512_\w+\s*\(|\b__m512i?d?\b|\b__mmask\d+\b")
 
 
-def rule_avx2_confinement(relpath: str, raw: str, stripped: str):
-    if os.path.basename(relpath).endswith("_avx2.cpp"):
+def rule_isa_confinement(relpath: str, raw: str, stripped: str):
+    base = os.path.basename(relpath)
+    is_avx2_tu = base.endswith("_avx2.cpp")
+    is_avx512_tu = base.endswith("_avx512.cpp")
+    if is_avx512_tu:
+        return  # widest tier: any intrinsic surface is in bounds
+    if is_avx2_tu:
+        # An _avx2.cpp TU is compiled with -mavx2 only; 512-bit surface
+        # there breaks the tier contract even though generic intrinsics
+        # are fine.
+        for m in RE_AVX512_ONLY.finditer(stripped):
+            yield Finding(
+                relpath, line_of(stripped, m.start()), "DP005",
+                f"AVX-512 intrinsic surface `{m.group(0).strip()}` in an "
+                "*_avx2.cpp TU — 512-bit code belongs in *_avx512.cpp, "
+                "the only TUs built with -mavx512f",
+            )
         return
     # `#include <immintrin.h>` survives stripping (angle brackets are
     # code); the quoted-include form is blanked as a string literal, so
     # it gets its own raw-text scan below.
-    for m in RE_AVX2.finditer(stripped):
+    for m in RE_INTRIN.finditer(stripped):
         yield Finding(
             relpath, line_of(stripped, m.start()), "DP005",
-            f"AVX2/SSE intrinsic surface `{m.group(0).strip()}` outside "
-            "a *_avx2.cpp TU — ISA-specific code must stay behind the "
-            "runtime dispatch boundary",
+            f"vector intrinsic surface `{m.group(0).strip()}` outside a "
+            "*_avx2.cpp / *_avx512.cpp TU — ISA-specific code must stay "
+            "behind the runtime dispatch boundary",
         )
     for i, line in enumerate(raw.splitlines(), start=1):
         if re.search(r'#\s*include\s*"[^"]*immintrin\.h"', line):
             yield Finding(
                 relpath, i, "DP005",
-                "immintrin.h include outside a *_avx2.cpp TU",
+                "immintrin.h include outside a *_avx2.cpp / "
+                "*_avx512.cpp TU",
             )
 
 
@@ -346,7 +373,7 @@ RULES = [
     rule_raw_sync,
     rule_banned_flags,
     rule_unordered_iteration,
-    rule_avx2_confinement,
+    rule_isa_confinement,
     rule_raw_checkpoint_write,
     rule_blocking_socket,
 ]
