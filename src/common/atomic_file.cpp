@@ -85,8 +85,13 @@ std::uint32_t crc32(std::string_view data) {
 }
 
 std::uint32_t crc32File(const std::string& path) {
+  static FaultSite crcFault("io.atomic.crc");
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) fail("cannot open for checksum", path, errno);
+  if (crcFault.shouldFail()) {
+    ::close(fd);
+    fail("injected checksum fault", path, EIO);
+  }
   std::uint32_t crc = 0;
   char chunk[1 << 16];
   for (;;) {

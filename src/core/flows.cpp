@@ -138,6 +138,9 @@ void copyRows(nn::Tensor& dst, long dstRow, const nn::Tensor& src) {
 
 }  // namespace
 
+// Per-request latent planning allocates the whole plan up front;
+// amortized over the request, it is off the per-pattern hot loop.
+// dp-analyze: cold
 LatentPlan planRandomLatents(const nn::Tensor& sourceLatents,
                              const SensitivityAwarePerturber& perturber,
                              long count, int batchSize, Rng& rng) {
@@ -162,6 +165,7 @@ LatentPlan planRandomLatents(const nn::Tensor& sourceLatents,
   return plan;
 }
 
+// dp-analyze: cold  (per-request planning; see planRandomLatents)
 LatentPlan planCombineLatents(const nn::Tensor& sourceLatents, long count,
                               int batchSize, int arity, Rng& rng) {
   checkPlanArgs("planCombineLatents", sourceLatents, count, batchSize);

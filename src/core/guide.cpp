@@ -127,6 +127,7 @@ void GuideModel::load(const std::string& path) {
   nn::loadTensors(checkpointTensors(), path);
 }
 
+// dp-analyze: cold  (per-request planning; see planRandomLatents)
 nn::Tensor planGuidedLatents(const GuideModel& guide,
                              const nn::Tensor* sourceLatents, long count,
                              int batchSize, Rng& rng) {

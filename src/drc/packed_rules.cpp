@@ -2,6 +2,7 @@
 
 namespace dp::drc {
 
+// dp-analyze: hot
 bool isLegalCanonicalMasks(const TopologyRuleConfig& config,
                            const std::uint32_t* masks, int rows, int cols) {
   std::uint32_t any = 0;

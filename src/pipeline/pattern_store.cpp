@@ -56,6 +56,10 @@ SegmentReader::SegmentReader(const std::string& dir,
                              const SegmentInfo& info)
     : patterns_(info.patterns) {
   const std::string path = dir + "/" + info.path;
+  static FaultSite openFault("pipeline.segment.open");
+  if (openFault.shouldFail())
+    throw std::runtime_error("SegmentReader: injected open fault: " +
+                             path);
   const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(*-vararg)
   if (fd < 0)
     throw std::runtime_error("SegmentReader: cannot open " + path + ": " +

@@ -26,6 +26,30 @@ nn::Tensor sliceLead(const nn::Tensor& t, long begin, int n) {
   return out;
 }
 
+/// Admission error strings, kept out of the hot submit fast path so
+/// the rejection branches (the only string-building ones) stay off it.
+// dp-analyze: cold
+std::string validateRequest(const GenerateRequest& request,
+                            const Batcher::Config& config) {
+  if (request.count < 1 || request.count > config.maxCount)
+    return "count must be in [1, " + std::to_string(config.maxCount) +
+           "]";
+  if (request.batchSize < 1 || request.batchSize > 4096)
+    return "batchSize must be in [1, 4096]";
+  if (request.flow != "random" && request.flow != "combine" &&
+      request.flow != "guided")
+    return "flow must be random, combine or guided";
+  if (request.flow == "combine" &&
+      (request.arity < 2 || request.arity > 16))
+    return "arity must be in [2, 16]";
+  if ((request.maxCx != 0 && request.maxCx < request.minCx) ||
+      (request.maxCy != 0 && request.maxCy < request.minCy))
+    return "empty complexity window";
+  if (request.deadlineMs < 0)
+    return "deadlineMs must be >= 0 (0 = unbounded)";
+  return {};
+}
+
 }  // namespace
 
 Batcher::Batcher(BundleRegistry& registry, Metrics& metrics, Config config)
@@ -44,6 +68,7 @@ bool Batcher::running() const {
   return started_ && !stopping_;
 }
 
+// dp-analyze: hot
 SubmitResult Batcher::submit(const GenerateRequest& request) {
   SubmitResult out;
   const auto invalid = [&out](std::string message) {
@@ -51,22 +76,8 @@ SubmitResult Batcher::submit(const GenerateRequest& request) {
     out.error = std::move(message);
     return std::move(out);
   };
-  if (request.count < 1 || request.count > config_.maxCount)
-    return invalid("count must be in [1, " +
-                   std::to_string(config_.maxCount) + "]");
-  if (request.batchSize < 1 || request.batchSize > 4096)
-    return invalid("batchSize must be in [1, 4096]");
-  if (request.flow != "random" && request.flow != "combine" &&
-      request.flow != "guided")
-    return invalid("flow must be random, combine or guided");
-  if (request.flow == "combine" &&
-      (request.arity < 2 || request.arity > 16))
-    return invalid("arity must be in [2, 16]");
-  if ((request.maxCx != 0 && request.maxCx < request.minCx) ||
-      (request.maxCy != 0 && request.maxCy < request.minCy))
-    return invalid("empty complexity window");
-  if (request.deadlineMs < 0)
-    return invalid("deadlineMs must be >= 0 (0 = unbounded)");
+  std::string err = validateRequest(request, config_);
+  if (!err.empty()) return invalid(std::move(err));
 
   // Chaos hook: an armed admission fault sheds the request exactly as
   // a full queue would, so backpressure handling is testable on demand.
@@ -132,6 +143,8 @@ SubmitResult Batcher::submit(const GenerateRequest& request) {
       out.error = "request queue is full";
       return out;
     }
+    // One deque node per accepted request (not per pattern), bounded
+    // by queueCapacity above.  // dp-analyze: allow(DPA103)
     pending_.push_back(std::move(job));
     metrics_.setQueueDepth(static_cast<long>(pending_.size()));
   }

@@ -207,8 +207,11 @@ void EventLoopServer::stop() {
 }
 
 void EventLoopServer::wakeLoop() {
+  // Chaos hook: a swallowed wakeup must not wedge the loop — the
+  // bounded epoll_wait timeout picks the work up on the next round.
+  static FaultSite wakeFault("serve.wake.write");
   const int fd = wakeFd_;
-  if (fd < 0) return;
+  if (fd < 0 || wakeFault.shouldFail()) return;
   const std::uint64_t one = 1;
   const ssize_t n = ::write(fd, &one, sizeof one);
   (void)n;  // a full eventfd counter still wakes the loop
@@ -399,6 +402,7 @@ void EventLoopServer::pumpParser(std::uint64_t id, Conn& conn) {
   taskCv_.notifyOne();
 }
 
+// dp-analyze: hot
 void EventLoopServer::flushWrite(std::uint64_t id, Conn& conn) {
   if (conn.fd < 0) return;
   static FaultSite sendFault("serve.send");
@@ -434,6 +438,7 @@ void EventLoopServer::flushWrite(std::uint64_t id, Conn& conn) {
   updateInterest(id, conn);
 }
 
+// dp-analyze: hot
 void EventLoopServer::updateInterest(std::uint64_t id, Conn& conn) {
   if (conn.fd < 0) return;
   const bool wantWrite = conn.outOff < conn.outbuf.size();
@@ -465,6 +470,7 @@ void EventLoopServer::applyCompletions() {
   }
 }
 
+// dp-analyze: hot
 void EventLoopServer::sweepTimeouts() {
   const auto now = std::chrono::steady_clock::now();
   for (auto& [id, conn] : conns_) {
@@ -492,6 +498,8 @@ void EventLoopServer::sweepTimeouts() {
   }
 }
 
+// Once-per-connection teardown, not per-event work.
+// dp-analyze: cold
 void EventLoopServer::closeConn(std::uint64_t id, Conn& conn) {
   if (conn.fd < 0) return;
   ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, conn.fd, nullptr);

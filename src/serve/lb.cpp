@@ -47,7 +47,9 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b);
 }
 
-bool writeAll(int fd, const std::string& data) {
+bool pipeWriteAll(int fd, const std::string& data) {
+  static FaultSite pipeWriteFault("lb.pipe.write");
+  if (pipeWriteFault.shouldFail()) return false;
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
@@ -63,6 +65,8 @@ bool writeAll(int fd, const std::string& data) {
 /// `buffer`. False on EOF, error or timeout.
 bool readLinePipe(int fd, std::string& buffer, std::string& out,
                   int timeoutMs) {
+  static FaultSite pipeReadFault("lb.pipe.read");
+  if (pipeReadFault.shouldFail()) return false;
   for (;;) {
     const std::size_t nl = buffer.find('\n');
     if (nl != std::string::npos) {
@@ -231,8 +235,13 @@ int BackendPool::acquire(int workerId, int port, bool* fromPool) {
       return fd;
     }
   }
+  static FaultSite connectFault("lb.pool.connect");
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return -1;
+  if (connectFault.shouldFail()) {
+    ::close(fd);
+    return -1;
+  }
   timeval tv{};
   tv.tv_sec = timeoutSec_;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
@@ -641,12 +650,15 @@ namespace {
       server.loadBundles(options.bundleRoot);
     server.metrics().setWorkerId(id);
     server.start();
-    if (!writeAll(statusFd,
+    if (!pipeWriteAll(statusFd,
                   "port " + std::to_string(server.port()) + "\n"))
       std::_Exit(1);
     ::close(statusFd);
+    // Chaos hook: a fired life fault behaves exactly like a closed
+    // life pipe — the worker proceeds straight to orderly shutdown.
+    static FaultSite lifeFault("lb.worker.life");
     char byte = 0;
-    for (;;) {
+    while (!lifeFault.shouldFail()) {
       const ssize_t n = ::read(lifeFd, &byte, 1);
       if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;  // supervisor closed the life pipe: drain
@@ -825,7 +837,7 @@ Deployment::~Deployment() {
 void Deployment::sendCommand(const std::string& line) {
   if (cmdFd_ < 0)
     throw std::runtime_error("Deployment: supervisor gone");
-  if (!writeAll(cmdFd_, line + "\n"))
+  if (!pipeWriteAll(cmdFd_, line + "\n"))
     throw std::runtime_error("Deployment: supervisor pipe broken");
 }
 
@@ -888,7 +900,7 @@ void Deployment::stop() {
   if (supervisorPid_ <= 0) return;
   if (cmdFd_ >= 0) {
     const std::string bye = "stop\n";
-    (void)writeAll(cmdFd_, bye);
+    (void)pipeWriteAll(cmdFd_, bye);
     ::close(cmdFd_);
     cmdFd_ = -1;
   }
@@ -933,10 +945,14 @@ void Deployment::supervisorMain(int cmdFd, int statusFd) {
   bool shutdown = false;
 
   const auto reply = [statusFd](const std::string& line) {
-    (void)writeAll(statusFd, line + "\n");
+    (void)pipeWriteAll(statusFd, line + "\n");
   };
 
+  // Chaos hook: a fired command fault is indistinguishable from the
+  // parent vanishing — the supervisor tears everything down.
+  static FaultSite cmdFault("lb.cmd.read");
   while (!shutdown) {
+    if (cmdFault.shouldFail()) break;
     pollfd pfd{};
     pfd.fd = cmdFd;
     pfd.events = POLLIN;

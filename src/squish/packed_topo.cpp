@@ -14,6 +14,7 @@ Topology masksToTopology(const std::uint32_t* masks, int rows, int cols) {
   return t;
 }
 
+// dp-analyze: hot
 void topologyToMasks(const Topology& t, std::uint32_t* masks) {
   if (t.cols() > kMaxMaskCols)
     throw std::invalid_argument("topologyToMasks: topology wider than 32");
@@ -25,6 +26,7 @@ void topologyToMasks(const Topology& t, std::uint32_t* masks) {
   }
 }
 
+// dp-analyze: hot
 void unpadMasks(std::uint32_t* masks, int& rows, int& cols) {
   std::uint32_t any = 0;
   int top = -1;
@@ -48,6 +50,7 @@ void unpadMasks(std::uint32_t* masks, int& rows, int& cols) {
   cols = width;  // bits >= the old cols were already zero
 }
 
+// dp-analyze: hot
 void canonicalizeMasks(std::uint32_t* masks, int& rows, int& cols) {
   // Row pass: keep the first row of each run of identical rows. Masks
   // compare equal iff the rows compare equal cell-by-cell, because bits
@@ -86,6 +89,7 @@ void canonicalizeMasks(std::uint32_t* masks, int& rows, int& cols) {
   cols = newCols;
 }
 
+// dp-analyze: hot
 std::uint64_t hashMasks(const std::uint32_t* masks, int rows, int cols) {
   constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
   constexpr std::uint64_t kFnvPrime = 1099511628211ULL;

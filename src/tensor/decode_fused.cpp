@@ -61,6 +61,7 @@ DecodePlan buildDecodePlan(int latentDim, int hidden, int c2, int s4, int c1,
   return plan;
 }
 
+// dp-analyze: hot
 void decodeBatch(const DecodePlan& plan, const float* latents, int batch,
                  std::uint32_t* masks) {
   using SampleFn = void (*)(const DecodePlan&, const float*, std::uint32_t*,
@@ -91,6 +92,7 @@ namespace detail {
 // folded into the nonzero-compaction steps — a skipped x <= 0 term is
 // exactly what ReLU would have zeroed, and a zero term only ever adds
 // +/-0 products, which cannot move any downstream compare.
+// dp-analyze: hot scratch=scr
 void decodeSampleScalar(const DecodePlan& plan, const float* latent,
                         std::uint32_t* masks, DecodeScratch& scr) {
   const int H = plan.hidden;

@@ -79,6 +79,7 @@ inline void gemvChunks(int n, const float* w, const int* idx,
 
 }  // namespace
 
+// dp-analyze: hot scratch=scr
 void decodeSampleAvx2(const DecodePlan& plan, const float* latent,
                       std::uint32_t* masks, DecodeScratch& scr) {
   const int H = plan.hidden;
@@ -231,6 +232,7 @@ void decodeSampleAvx2(const DecodePlan& plan, const float* latent,
 
 namespace dp::nn::fused::detail {
 
+// dp-analyze: hot
 void decodeSampleAvx2(const DecodePlan& plan, const float* latent,
                       std::uint32_t* masks, DecodeScratch& scratch) {
   // Unreachable by construction: the dispatcher follows

@@ -84,6 +84,7 @@ inline void gemvChunks(int n, const float* w, const int* idx,
 
 }  // namespace
 
+// dp-analyze: hot scratch=scr
 void decodeSampleAvx512(const DecodePlan& plan, const float* latent,
                         std::uint32_t* masks, DecodeScratch& scr) {
   const int H = plan.hidden;
@@ -225,6 +226,7 @@ void decodeSampleAvx512(const DecodePlan& plan, const float* latent,
 
 namespace dp::nn::fused::detail {
 
+// dp-analyze: hot
 void decodeSampleAvx512(const DecodePlan& plan, const float* latent,
                         std::uint32_t* masks, DecodeScratch& scratch) {
   // Unreachable by construction: the dispatcher never selects AVX-512

@@ -1,0 +1,42 @@
+// dp-analyze-expect: DPA101
+// Seeded defect: two methods of the same class take the pair of
+// mutexes in opposite orders, so the acquisition graph has the cycle
+// a_ <-> b_; `again` also re-acquires a_ while already holding it.
+// This file is a fixture for `dp_analyze --self-test`; it is never
+// compiled.
+
+#include "common/thread_pool.hpp"
+
+namespace dp {
+
+class PairCache {
+ public:
+  void fwd();
+  void rev();
+  void again();
+
+ private:
+  Mutex a_;
+  Mutex b_;
+  int hits_ = 0;
+};
+
+void PairCache::fwd() {
+  LockGuard ga(a_);
+  LockGuard gb(b_);
+  ++hits_;
+}
+
+void PairCache::rev() {
+  LockGuard gb(b_);
+  LockGuard ga(a_);
+  --hits_;
+}
+
+void PairCache::again() {
+  LockGuard outer(a_);
+  LockGuard inner(a_);  // dp::Mutex is not recursive
+  hits_ = 0;
+}
+
+}  // namespace dp

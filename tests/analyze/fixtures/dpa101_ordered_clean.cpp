@@ -1,0 +1,42 @@
+// Clean control for DPA101: both paths take a_ before b_, the wait
+// parks on the mutex guarding its own predicate with nothing else
+// held, and the only wait-while-holding lock (call_) is acquired in
+// exactly one function — a serialization mutex by construction.
+
+#include "common/thread_pool.hpp"
+
+namespace dp {
+
+class OrderedPair {
+ public:
+  void fwd();
+  void also();
+  void serialized();
+
+ private:
+  Mutex a_;
+  Mutex b_;
+  Mutex call_;
+  CondVar cv_;
+  bool ready_ = false;
+};
+
+void OrderedPair::fwd() {
+  LockGuard ga(a_);
+  LockGuard gb(b_);
+  ready_ = true;
+}
+
+void OrderedPair::also() {
+  LockGuard ga(a_);
+  LockGuard gb(b_);
+  ready_ = false;
+}
+
+void OrderedPair::serialized() {
+  LockGuard call(call_);
+  UniqueLock lock(b_);
+  while (!ready_) cv_.wait(lock);
+}
+
+}  // namespace dp

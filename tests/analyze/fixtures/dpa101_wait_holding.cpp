@@ -1,0 +1,34 @@
+// dp-analyze-expect: DPA101
+// Seeded defect: `drain` parks on queueCv_ while still holding
+// stats_, a mutex other functions also contend for (`bump` acquires
+// it too, so the serialization-mutex exemption does not apply). Any
+// thread calling bump() blocks for as long as the waiter sleeps.
+
+#include "common/thread_pool.hpp"
+
+namespace dp {
+
+class WaitHolder {
+ public:
+  void bump();
+  void drain();
+
+ private:
+  Mutex stats_;
+  Mutex queueMutex_;
+  CondVar queueCv_;
+  long pending_ = 0;
+};
+
+void WaitHolder::bump() {
+  LockGuard g(stats_);
+  ++pending_;
+}
+
+void WaitHolder::drain() {
+  LockGuard g(stats_);
+  UniqueLock lock(queueMutex_);
+  while (pending_ != 0) queueCv_.wait(lock);
+}
+
+}  // namespace dp

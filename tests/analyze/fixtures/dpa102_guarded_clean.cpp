@@ -1,0 +1,32 @@
+// Clean control for DPA102, exercising both ways a syscall passes:
+// `recvFrame` consults a named FaultSite itself; `writeRaw` consults
+// none but is only ever called from `sendFrame`, which does — the
+// caller-guarded fixpoint covers it.
+// dp-analyze-path: src/serve/dpa102_guarded_clean.cpp
+
+#include "common/fault.hpp"
+
+namespace dp {
+namespace {
+
+int writeRaw(int fd, const char* buf, long n) {
+  long put = ::write(fd, buf, static_cast<size_t>(n));
+  return put == n ? 0 : -1;
+}
+
+}  // namespace
+
+long recvFrame(int fd, char* buf, long cap) {
+  static FaultSite recvFault("serve.fixture.recv");
+  if (recvFault.shouldFail()) return -1;
+  long got = ::recv(fd, buf, static_cast<size_t>(cap), 0);
+  return got < 0 ? -1 : got;
+}
+
+int sendFrame(int fd, const char* buf, long n) {
+  static FaultSite sendFault("serve.fixture.send");
+  if (sendFault.shouldFail()) return -1;
+  return writeRaw(fd, buf, n);
+}
+
+}  // namespace dp

@@ -1,0 +1,17 @@
+// dp-analyze-expect: DPA102
+// dp-analyze-path: src/serve/dpa102_unguarded_read.cpp
+// Seeded defect: a failure-capable syscall (::read) in a function
+// that consults no dp::FaultSite and has no in-model caller — an
+// entry point whose failure behavior the chaos suites cannot reach.
+
+#include "common/fault.hpp"
+
+namespace dp {
+
+long readFrame(int fd, char* buf, long cap) {
+  long got = ::read(fd, buf, static_cast<size_t>(cap));
+  if (got < 0) return -1;
+  return got;
+}
+
+}  // namespace dp

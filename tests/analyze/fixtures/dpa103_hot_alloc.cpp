@@ -1,0 +1,24 @@
+// dp-analyze-expect: DPA103
+// Seeded defect: allocations on the hot path — a reallocating
+// container op and a `new` in the hot function itself, plus a
+// push_back one call level down in an unannotated helper.
+
+#include <cstdint>
+#include <vector>
+
+namespace dp {
+
+std::vector<int> gRows;
+
+void stashRow(int v) { gRows.push_back(v); }
+
+// dp-analyze: hot
+void decodeRow(std::vector<int>& out, int bits) {
+  out.push_back(bits);          // reallocating op on the hot path
+  int* tmp = new int[8];        // heap allocation on the hot path
+  tmp[0] = bits;
+  delete[] tmp;
+  stashRow(bits);               // helper allocates one level down
+}
+
+}  // namespace dp

@@ -1,0 +1,30 @@
+// Clean control for DPA103: the scratch= annotation sanctions
+// capacity-reusing ops on the named buffer, throw-path allocations
+// are error exits, cold callees are sanctioned slow paths, and an
+// explicit allow() escape silences a deliberate residual allocation.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dp {
+
+// dp-analyze: cold
+void logDecodeError(int bits) {
+  std::string msg = "bad row: " + std::to_string(bits);
+  throw std::runtime_error(msg);
+}
+
+// dp-analyze: hot scratch=scr
+void decodeRowReuse(std::vector<int>& scr, int bits) {
+  scr.resize(8);                    // amortized: capacity reused
+  scr[0] = bits;
+  if (bits < 0) {
+    logDecodeError(bits);           // cold callee, skipped
+    throw std::runtime_error("x");  // throw-path alloc, exempt
+  }
+  // dp-analyze: allow(DPA103)
+  scr.push_back(bits);
+}
+
+}  // namespace dp

@@ -1,0 +1,28 @@
+// Clean control for DPA104: per-chunk partials written to disjoint
+// slots then folded serially in index order, lambda-local floats
+// (per-chunk state), integer reductions, and ordered-container folds
+// are all deterministic by construction.
+
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace dp {
+
+float sumDeterministic(const std::vector<float>& xs) {
+  std::vector<float> partial(xs.size());
+  long hits = 0;
+  parallelFor(static_cast<long>(xs.size()), 64, [&](long i) {
+    float local = xs[i] * 0.5f;  // lambda-local: per-chunk state
+    local += 1.0f;
+    partial[i] = local;          // disjoint slot, no fold
+  });
+  for (const float p : partial) hits += p > 1.0f ? 1 : 0;
+  float total = 0.0f;
+  for (const float p : partial) total += p;  // serial, index order
+  return total + static_cast<float>(hits) +
+         std::accumulate(xs.begin(), xs.end(), 0.0f);
+}
+
+}  // namespace dp

@@ -1,0 +1,36 @@
+// dp-analyze-expect: DPA104
+// Seeded defect: every way a float fold can pick up a
+// non-deterministic order — a captured += inside a parallelFor
+// lambda, std::accumulate over an unordered container, and a
+// range-for fold over an unordered container.
+
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace dp {
+
+std::unordered_set<float> gLoss;
+
+float sumParallel(const std::vector<float>& xs) {
+  float total = 0.0f;
+  parallelFor(static_cast<long>(xs.size()), 64, [&](long i) {
+    total += xs[i];  // fold order depends on thread interleaving
+  });
+  return total;
+}
+
+float sumAccumulate() {
+  return std::accumulate(gLoss.begin(), gLoss.end(), 0.0f);
+}
+
+float sumRangeFor(const std::unordered_map<int, float>& w) {
+  float acc = 0.0f;
+  for (const auto& kv : w) acc += kv.second;
+  return acc;
+}
+
+}  // namespace dp

@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -28,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "datagen/generator.hpp"
 #include "io/json.hpp"
@@ -50,8 +52,36 @@ using serve::IncrementalParser;
 // gtest's main, any server, or the global ThreadPool exists. Each
 // supervisor is inert (a poll loop on a pipe) until launch().
 // ------------------------------------------------------------------
+// Writes to half-closed sockets and pipes are business as usual in
+// this suite (crash and chaos tests kill the peer on purpose), and
+// every call site handles EPIPE — so the signal must not kill the
+// process, least of all during static destruction of a deliberately
+// dead deployment below.
+const bool gSigpipeIgnored = [] {
+  ::signal(SIGPIPE, SIG_IGN);
+  return true;
+}();
+
 serve::Deployment gDeployment;
 serve::Deployment gCrashDeployment;
+serve::Deployment gPipeChaosDeployment;
+serve::Deployment gLifeFaultDeployment;
+
+// The next supervisor inherits an ARMED lb.cmd.read fault through
+// fork — the registry is ordinary process memory — so its very first
+// command-pipe read fails, which it must treat exactly like the
+// parent vanishing: full teardown, exit. The parent disarms its own
+// copy immediately after the fork (initialization order within this
+// translation unit is declaration order).
+const bool gCmdFaultArmed = [] {
+  faults::arm("lb.cmd.read", 11, 1.0);
+  return true;
+}();
+serve::Deployment gCmdFaultDeployment;
+const bool gCmdFaultDisarmed = [] {
+  faults::disarmAll();
+  return true;
+}();
 
 // ------------------------------------------------------------------
 // Parser corpus: a pipelined byte stream and the requests it encodes,
@@ -606,6 +636,134 @@ TEST(LbDeployment, WorkerCrashFaultIsRetriedToSuccess) {
 
   gCrashDeployment.stop();
   fs::remove_all(root);
+}
+
+// ------------------------------------------------------------------
+// Chaos coverage for the serving-layer fault sites (DESIGN.md §11):
+// every site declared in src/serve must be armed by some chaos suite
+// — dp_analyze DPA102 fails CI on drift in either direction.
+// ------------------------------------------------------------------
+
+TEST(EventLoopChaos, SocketFaultChurnLeavesLoopServing) {
+  faults::disarmAll();
+  EventLoopServer::Config config;
+  EventLoopServer server(config, [](const HttpRequest& req) {
+    HttpResponse res;
+    res.body = "ok:" + req.target;
+    return res;
+  });
+  server.start();
+  for (const char* site :
+       {"serve.epoll.wait", "serve.accept", "serve.recv", "serve.send",
+        "serve.wake.write"})
+    faults::arm(site, 17, 0.2);
+
+  // Individual connections may be dropped by an injected accept,
+  // recv or send failure — each must fail CLOSED (the fd is shut,
+  // never leaked or wedged). A swallowed wakeLoop write self-heals
+  // via the loop's bounded epoll timeout.
+  int answered = 0;
+  for (int i = 0; i < 20; ++i) {
+    const int fd = connectTo(server.port());
+    const std::string req =
+        requestBytes("GET", "/c" + std::to_string(i), "");
+    std::size_t off = 0;
+    bool sent = true;
+    while (off < req.size()) {
+      const ssize_t n = ::send(fd, req.data() + off, req.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) {
+        sent = false;
+        break;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    if (sent) {
+      const auto replies = readReplies(fd, 1);
+      if (replies.size() == 1 && replies[0].status == 200) ++answered;
+    }
+    ::close(fd);
+  }
+  faults::disarmAll();
+  EXPECT_GT(answered, 0);
+
+  // Disarmed, the very next request on a fresh connection succeeds:
+  // the churn dropped connections, never the loop.
+  const int fd = connectTo(server.port());
+  sendAllBytes(fd, requestBytes("GET", "/after", ""));
+  const auto replies = readReplies(fd, 1);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].body, "ok:/after");
+  ::close(fd);
+  server.stop();
+}
+
+TEST(LbChaos, PoolConnectFaultFailsAcquireThenRecovers) {
+  faults::disarmAll();
+  EventLoopServer::Config config;
+  EventLoopServer server(config, [](const HttpRequest&) {
+    return HttpResponse{};
+  });
+  server.start();
+  serve::BackendPool pool(1);
+
+  faults::arm("lb.pool.connect", 7, 1.0);
+  EXPECT_EQ(pool.acquire(0, server.port()), -1);
+  faults::disarm("lb.pool.connect");
+
+  bool fromPool = true;
+  const int fd = pool.acquire(0, server.port(), &fromPool);
+  EXPECT_GE(fd, 0);
+  EXPECT_FALSE(fromPool);  // fresh connect, not a pooled fd
+  pool.release(0, server.port(), fd, false);
+  server.stop();
+}
+
+TEST(LbChaos, SupervisorPipeFaultsSurfaceAsErrors) {
+  ASSERT_TRUE(gPipeChaosDeployment.available());
+
+  // Parent-side command write fails: nothing reaches the supervisor.
+  faults::arm("lb.pipe.write", 3, 1.0);
+  EXPECT_THROW((void)gPipeChaosDeployment.queryWorkers(),
+               std::runtime_error);
+  faults::disarm("lb.pipe.write");
+
+  // Parent-side status read fails: the command went out, the reply is
+  // left in the pipe, and the caller sees a clean error.
+  faults::arm("lb.pipe.read", 3, 1.0);
+  EXPECT_THROW((void)gPipeChaosDeployment.queryWorkers(),
+               std::runtime_error);
+  faults::disarm("lb.pipe.read");
+
+  // Disarmed, the very same supervisor still answers — the injected
+  // failures hit the parent-side helpers, not the channel.
+  EXPECT_TRUE(gPipeChaosDeployment.queryWorkers().empty());
+  gPipeChaosDeployment.stop();
+}
+
+TEST(LbChaos, CmdFaultTearsDownSupervisorAsParentGone) {
+  // The supervisor forked with lb.cmd.read armed (see the globals at
+  // the top of this file) exits on its own first poll round. stop()
+  // must reap the corpse promptly — never the 30s SIGKILL escalation.
+  ASSERT_TRUE(gCmdFaultDeployment.available());
+  const auto t0 = std::chrono::steady_clock::now();
+  gCmdFaultDeployment.stop();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::seconds(20));
+}
+
+TEST(LbChaos, WorkerLifeFaultDrainsWorkerCleanly) {
+  ASSERT_TRUE(gLifeFaultDeployment.available());
+  serve::Deployment::Options options;
+  options.workers = 1;
+  options.handlerThreads = 1;
+  // Armed inside the worker only: it reports its port, then the
+  // injected life-pipe failure sends it straight through the orderly
+  // shutdown path (exactly as if the supervisor closed the pipe).
+  options.workerFaults = "lb.worker.life:13:1";
+  gLifeFaultDeployment.launch(options);
+  EXPECT_GT(gLifeFaultDeployment.lbPort(), 0);
+  gLifeFaultDeployment.stop();
 }
 
 }  // namespace

@@ -181,6 +181,22 @@ TEST_F(FaultTest, AtomicWriterPublishesAndChecksums) {
   EXPECT_EQ(crc, crc32("hello world"));
 }
 
+TEST_F(FaultTest, ChecksumReadFaultIsInjectable) {
+  const test::ScopedTempDir dir("dp_fault_crc");
+  const std::string path = dir.file("data.txt");
+  AtomicFileWriter out(path);
+  out.append("payload");
+  const std::uint32_t crc = out.commit();
+
+  faults::arm("io.atomic.crc", 2, 1.0);
+  EXPECT_THROW((void)crc32File(path), std::runtime_error);
+  faults::disarm("io.atomic.crc");
+
+  // A failed verification pass must not perturb the file itself.
+  EXPECT_EQ(crc32File(path), crc);
+  EXPECT_EQ(readFile(path), "payload");
+}
+
 TEST_F(FaultTest, InjectedFaultsLeavePreviousFileIntact) {
   const test::ScopedTempDir dir("dp_fault_window");
   const std::string path = dir.file("data.txt");

@@ -16,14 +16,17 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/cpu.hpp"
 #include "tensor/conv_direct.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_kernels.hpp"
 #include "tensor/im2col.hpp"
 #include "testutil.hpp"
 
@@ -125,6 +128,57 @@ TEST(KernelDispatchTest, UnsupportedTargetThrows) {
   if (hasAvx2) GTEST_SKIP() << "AVX2 available; nothing is unsupported";
   EXPECT_THROW(setGemmKernelTarget(KernelTarget::kAvx2),
                std::invalid_argument);
+}
+
+// DP_KERNEL=avx512 on a host or build without AVX-512 must warn on
+// stderr, fall back to the best usable tier, and produce results
+// identical to selecting that tier directly: the override machinery
+// may change speed, never output. `avx512Compiled=false` models the
+// non-AVX-512 environment deterministically on any hardware;
+// chooseKernelTarget is the pure core behind the startup selection.
+TEST(KernelDispatchTest, Avx512OverrideFallsBackWithWarning) {
+  ASSERT_EQ(::setenv("DP_KERNEL", "avx512", 1), 0);
+  ::testing::internal::CaptureStderr();
+  const bool avx2Usable =
+      detail::avx2KernelCompiled() && cpuSupports(KernelTarget::kAvx2);
+  const KernelTarget picked =
+      chooseKernelTarget(detail::avx2KernelCompiled(),
+                         /*avx512Compiled=*/false);
+  const std::string warning = ::testing::internal::GetCapturedStderr();
+  ::unsetenv("DP_KERNEL");
+
+  EXPECT_NE(picked, KernelTarget::kAvx512);
+  const KernelTarget expected =
+      avx2Usable ? KernelTarget::kAvx2 : KernelTarget::kScalar;
+  EXPECT_EQ(picked, expected);
+  EXPECT_NE(warning.find("DP_KERNEL=avx512"), std::string::npos)
+      << "fallback must be announced on stderr, got: \"" << warning
+      << '"';
+  EXPECT_NE(warning.find("no AVX-512 kernel"), std::string::npos)
+      << "warning must say why, got: \"" << warning << '"';
+
+  // Same results: a GEMM under the fallback matches the same GEMM
+  // with that tier chosen explicitly, bit for bit (same kernel runs).
+  const int m = 33, n = 29, k = 47;
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  lcgFill(a, 7u);
+  lcgFill(b, 11u);
+  std::vector<float> viaOverride(static_cast<std::size_t>(m) * n, 0.0f);
+  std::vector<float> direct(viaOverride);
+  {
+    ScopedKernelTarget guard(picked);
+    gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+         viaOverride.data(), n);
+  }
+  {
+    ScopedKernelTarget guard(expected);
+    gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+         direct.data(), n);
+  }
+  EXPECT_EQ(std::memcmp(viaOverride.data(), direct.data(),
+                        viaOverride.size() * sizeof(float)),
+            0);
 }
 
 TEST(KernelGemmTest, AllTargetsShapesAndTransposes) {

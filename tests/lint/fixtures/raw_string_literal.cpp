@@ -1,0 +1,25 @@
+// dp-lint-path: src/serve/usage_text.cpp
+// dp-lint-expect: none
+//
+// Raw-string false-POSITIVE direction: the literal's content mentions
+// banned tokens and embeds quotes. A stripper without raw-string
+// handling exits string state at the first embedded `"`, leaking
+// `std::mutex` / `std::rand` into the code view.
+#include <string>
+
+namespace dp::serve {
+
+const char* usageText() {
+  static const std::string kDoc = R"(serve admin notes:
+  * never hand-roll locking with "std::mutex" here — dp::Mutex only
+  * never seed with "std::rand" or srand(time(nullptr))
+)";
+  return kDoc.c_str();
+}
+
+const char* delimitedDoc() {
+  // Custom delimiter, content contains a bare `)"` sequence.
+  return R"doc(the sequence )" does not close this literal)doc";
+}
+
+}  // namespace dp::serve

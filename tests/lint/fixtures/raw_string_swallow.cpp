@@ -1,0 +1,16 @@
+// dp-lint-path: src/serve/banner.cpp
+// dp-lint-expect: DP002
+//
+// Raw-string false-NEGATIVE direction: an odd number of embedded
+// quotes leaves a naive stripper stuck in string state, so it swallows
+// the real `std::mutex` declaration that follows and the violation
+// goes unreported.
+#include <mutex>
+
+namespace dp::serve {
+
+const char* kBanner = R"(an unmatched " lives inside this literal)";
+
+std::mutex gBannerLock;  // real DP002 violation after the raw string
+
+}  // namespace dp::serve

@@ -266,6 +266,28 @@ TEST(PatternStore, SegmentReaderRejectsCorruptionAndTruncation) {
   EXPECT_THROW(SegmentReader(dir.path(), info), std::runtime_error);
 }
 
+TEST(PatternStore, SegmentOpenFaultIsInjectable) {
+  ScopedTempDir dir("dp_pipeline_segfault");
+  SegmentBuilder builder;
+  const dp::squish::Topology canon =
+      dp::squish::canonicalize(dp::test::topo({"#.#", "###"}));
+  builder.add(dp::squish::hashTopology(canon),
+              dp::pipeline::pack(canon));
+  const SegmentInfo info =
+      dp::pipeline::writeSegment(dir.path(), 0, builder);
+
+  dp::faults::arm("pipeline.segment.open", 4, 1.0);
+  EXPECT_THROW(SegmentReader(dir.path(), info), std::runtime_error);
+  dp::faults::disarm("pipeline.segment.open");
+
+  // Disarmed, the same segment opens and replays in full.
+  SegmentReader reader(dir.path(), info);
+  std::size_t count = 0;
+  reader.forEach(
+      [&](std::uint64_t, const PackedPattern&) { ++count; });
+  EXPECT_EQ(count, 1u);
+}
+
 TEST(PatternStore, ManifestRoundTripsExactly) {
   ScopedTempDir dir("dp_pipeline_manifest");
   EXPECT_FALSE(dp::pipeline::loadManifest(dir.path()).has_value());

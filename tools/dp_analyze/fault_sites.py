@@ -1,0 +1,158 @@
+"""DPA102 — fault-site coverage.
+
+Two contracts over src/nn, src/serve, src/pipeline and
+src/common/atomic_file.cpp:
+
+1. Domination: every failure-capable syscall (model.FAILURE_CAPABLE)
+   must sit in a function that consults a named dp::FaultSite
+   (shouldFail()/orThrow()) — the chaos hook covering that function's
+   I/O failure behavior — or be reachable only from such functions
+   (computed as a fixpoint over the in-model call graph; a function
+   with no in-model caller counts as an entry point and must guard
+   itself).
+
+2. Chaos parity: the set of FaultSite names declared in the scoped
+   sources must equal the set of site names armed by the chaos suites
+   (CHAOS_FILES). A site that chaos never arms is untested recovery
+   code; an armed name no source declares is a dead knob. Drift in
+   either direction is a finding.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .model import FileModel, Finding, Index
+
+RULE = "DPA102"
+
+SCOPE_PREFIXES = ("src/nn/", "src/serve/", "src/pipeline/")
+SCOPE_FILES = ("src/common/atomic_file.cpp",)
+
+CHAOS_FILES = (
+    "tests/fault_test.cpp",
+    "tests/pipeline_test.cpp",
+    "tests/eventloop_test.cpp",
+)
+
+SITE_NAME = re.compile(r"[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)+")
+# Dotted strings in test files that are file names, not site names.
+_NOT_SITES = (".json", ".bin", ".txt", ".md", ".csv", ".cpp", ".hpp",
+              ".log", ".dat", ".tmp", ".gz")
+_RE_STRING = re.compile(r'"((?:[^"\\\n]|\\.)*)"')
+
+
+def in_scope(rel: str) -> bool:
+    return rel.startswith(SCOPE_PREFIXES) or rel in SCOPE_FILES
+
+
+def _looks_like_site(name: str) -> bool:
+    if not SITE_NAME.fullmatch(name):
+        return False
+    if name.startswith("t."):
+        return False  # test-local sites by convention
+    return not name.endswith(_NOT_SITES)
+
+
+def armed_sites(root: Path, chaos_files=CHAOS_FILES):
+    """Site names armed by the chaos suites: every string literal that
+    parses as one-or-more `site[:seed[:rate]]` specs of site-name
+    shape. Site-list arrays put literals on lines of their own, so no
+    arm()-proximity filter — the `t.` test-local prefix and the
+    file-extension blocklist do the disambiguation."""
+    armed: set[str] = set()
+    missing: list[str] = []
+    for rel in chaos_files:
+        p = root / rel
+        if not p.is_file():
+            missing.append(rel)
+            continue
+        text = p.read_text(encoding="utf-8", errors="replace")
+        for m in _RE_STRING.finditer(text):
+            for field in re.split(r"[,;\s]+", m.group(1)):
+                name = field.split(":")[0]
+                if _looks_like_site(name):
+                    armed.add(name)
+    return armed, missing
+
+
+def check(models: list[FileModel], root: Path | None = None,
+          chaos: bool = True):
+    findings: list[Finding] = []
+    scoped = [fm for fm in models if in_scope(fm.path)]
+    index = Index(models)
+
+    # --- 1. domination ----------------------------------------------
+    guarded: dict[int, bool] = {}
+    all_funcs = [f for fm in models for f in fm.funcs]
+    for f in all_funcs:
+        guarded[id(f)] = bool(f.site_checks)
+    # callers[id(callee)] -> list of caller Funcs
+    callers: dict[int, list] = {}
+    for f in all_funcs:
+        for c in f.calls:
+            for g in index.resolve(c, f):
+                callers.setdefault(id(g), []).append(f)
+    changed = True
+    while changed:
+        changed = False
+        for f in all_funcs:
+            if guarded[id(f)]:
+                continue
+            cs = callers.get(id(f))
+            if cs and all(guarded[id(g)] for g in cs):
+                guarded[id(f)] = True
+                changed = True
+
+    for fm in scoped:
+        for f in fm.funcs:
+            if guarded[id(f)]:
+                continue
+            for sc in f.syscalls:
+                findings.append(Finding(
+                    RULE, fm.path, sc.line,
+                    f"::{sc.name}() in '{f.display}' has no fault-site "
+                    "coverage: the function consults no dp::FaultSite "
+                    "and is reachable outside fault-guarded callers — "
+                    "add a named FaultSite so chaos suites can inject "
+                    "this failure"))
+
+    # --- 2. chaos parity --------------------------------------------
+    inventory = {d.site for fm in scoped for f in fm.funcs
+                 for d in f.site_decls if d.site != "?"}
+    if chaos and root is not None:
+        armed, missing = armed_sites(root)
+        for rel in missing:
+            findings.append(Finding(
+                RULE, rel, 1, "chaos suite file missing"))
+        for name in sorted(inventory - armed):
+            findings.append(Finding(
+                RULE, _decl_site(scoped, name), _decl_line(scoped, name),
+                f"fault site '{name}' is declared but never armed by "
+                "the chaos suites (" + ", ".join(CHAOS_FILES) + ") — "
+                "its recovery path is untested"))
+        for name in sorted(armed - inventory):
+            findings.append(Finding(
+                RULE, CHAOS_FILES[0], 1,
+                f"chaos suites arm '{name}' but no source in scope "
+                "declares it — stale or misspelled site name"))
+    return findings, sorted(inventory)
+
+
+def _decl_site(scoped, name: str) -> str:
+    for fm in scoped:
+        for f in fm.funcs:
+            for d in f.site_decls:
+                if d.site == name:
+                    return fm.path
+    return "src"
+
+
+def _decl_line(scoped, name: str) -> int:
+    for fm in scoped:
+        for f in fm.funcs:
+            for d in f.site_decls:
+                if d.site == name:
+                    return d.line
+    return 1

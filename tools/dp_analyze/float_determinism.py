@@ -1,0 +1,58 @@
+"""DPA104 — float-determinism.
+
+The determinism contract (src/common/thread_pool.hpp): parallelFor
+partitions [0, n) into fixed chunks independent of DP_THREADS, workers
+write per-chunk state, and any floating-point fold over chunk results
+happens serially in ascending chunk order AFTER the parallel section.
+
+Violations flagged here:
+
+  * a floating-point compound assignment (`+=` etc.) inside a
+    parallelFor lambda whose target is captured from the enclosing
+    scope — the fold order then depends on thread interleaving;
+  * std::accumulate over an unordered container — the fold order
+    depends on hash-table layout, which varies with insertion history;
+  * a range-for over an unordered container whose body folds into a
+    float for the same reason.
+
+Variables declared inside the lambda are per-chunk locals and fold
+deterministically; integer reductions are order-insensitive. Both are
+exempt by construction.
+"""
+
+from __future__ import annotations
+
+from .model import FileModel, Finding
+
+RULE = "DPA104"
+
+
+def check(models: list[FileModel]):
+    findings: list[Finding] = []
+    for fm in models:
+        for f in fm.funcs:
+            for r in f.reduces:
+                if r.in_parallel and r.captured and r.is_float:
+                    findings.append(Finding(
+                        RULE, fm.path, r.line,
+                        f"float reduction '{r.lhs} {r.op}= ...' into a "
+                        "captured variable inside a parallelFor lambda "
+                        f"in '{f.display}': fold order depends on "
+                        "DP_THREADS — write per-chunk partials and "
+                        "fold serially in ascending chunk order"))
+            for a in f.accumulates:
+                if a.container_unordered:
+                    findings.append(Finding(
+                        RULE, fm.path, a.line,
+                        f"std::accumulate over unordered container "
+                        f"'{a.container}' in '{f.display}': fold order "
+                        "depends on hash-table layout — iterate a "
+                        "sorted view or keep an ordered running total"))
+            for u in f.unordered_folds:
+                findings.append(Finding(
+                    RULE, fm.path, u.line,
+                    f"float fold over unordered container "
+                    f"'{u.container}' in '{f.display}': iteration "
+                    "order depends on hash-table layout — sort keys "
+                    "first or accumulate at insertion time"))
+    return findings

@@ -1,0 +1,163 @@
+"""libclang frontend (pinned clang-18 wheel in CI).
+
+Parses each translation unit with libclang, driven off
+compile_commands.json, and uses the AST to make function-boundary
+discovery exact: every function/method definition the cursor walk
+finds that the built-in scan missed (exotic declarator syntax,
+macro-heavy headers) is added to the model, with events extracted by
+the same extractor the lite frontend uses — so the two frontends agree
+on event semantics by construction and differ only in coverage, never
+in meaning.
+
+Importing this module raises ImportError when the `clang` bindings or
+a loadable libclang are absent; the driver falls back to the built-in
+frontend (a hard `--frontend=clang` makes that a usage error instead).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import clang.cindex as ci  # noqa: F401  (ImportError => fallback)
+
+from . import frontend_lite
+from .model import Func
+
+_DEF_KINDS = None
+
+
+def _def_kinds():
+    global _DEF_KINDS
+    if _DEF_KINDS is None:
+        K = ci.CursorKind
+        _DEF_KINDS = {K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR,
+                      K.DESTRUCTOR, K.FUNCTION_TEMPLATE}
+    return _DEF_KINDS
+
+
+def _load_compdb(compdb: str | None) -> dict[str, list[str]]:
+    """abs file path -> filtered compile args (-I/-D/-std/-isystem)."""
+    if not compdb:
+        return {}
+    p = Path(compdb)
+    if p.is_dir():
+        p = p / "compile_commands.json"
+    if not p.is_file():
+        return {}
+    out: dict[str, list[str]] = {}
+    for entry in json.loads(p.read_text(encoding="utf-8")):
+        raw = entry.get("arguments")
+        if raw is None:
+            raw = entry.get("command", "").split()
+        args: list[str] = []
+        take_next = False
+        for a in raw:
+            if take_next:
+                args.append(a)
+                take_next = False
+            elif a in ("-I", "-isystem", "-D"):
+                args.append(a)
+                take_next = True
+            elif a.startswith(("-I", "-D", "-std=", "-isystem")):
+                args.append(a)
+        directory = entry.get("directory", ".")
+        f = Path(entry["file"])
+        if not f.is_absolute():
+            f = Path(directory) / f
+        out[str(f.resolve())] = args
+    return out
+
+
+def _lite_covers(fm, name: str, line: int, end_line: int) -> bool:
+    return any(f.name == name and f.line <= end_line
+               and line <= f.end_line for f in fm.funcs)
+
+
+def parse_tree(root: Path, compdb: str | None = None, paths=None):
+    index = ci.Index.create()
+    args_for = _load_compdb(compdb)
+    default_args = ["-x", "c++", "-std=c++17", "-I", str(root / "src")]
+    aux = frontend_lite.Aux()
+    models = []
+    files = (sorted(paths) if paths is not None
+             else list(frontend_lite.iter_source_files(root)))
+    refined = 0
+    for p in files:
+        rp = p.resolve()
+        rel = rp.relative_to(root.resolve()).as_posix() \
+            if rp.is_relative_to(root.resolve()) else p.as_posix()
+        text = p.read_text(encoding="utf-8", errors="replace")
+        fm, parser = frontend_lite.parse_source_ex(rel, text, aux)
+        models.append(fm)
+        try:
+            tu = index.parse(str(rp),
+                             args=args_for.get(str(rp), default_args))
+            refined += _refine(fm, parser, tu, str(rp))
+        except Exception as exc:  # noqa: BLE001 — per-file best effort
+            print(f"dp-analyze: libclang failed on {rel}: {exc}; "
+                  "using built-in scan for this file",
+                  file=sys.stderr)
+    if refined:
+        print(f"dp-analyze: libclang recovered {refined} function(s) "
+              "missed by the built-in scan", file=sys.stderr)
+    frontend_lite.resolve_locks(models, aux)
+    return models, aux
+
+
+def _refine(fm, parser, tu, abs_path: str) -> int:
+    """Adds clang-discovered definitions the lite scan missed."""
+    added = 0
+    stripped = parser.stripped
+    # offset of the start of each 1-based line
+    line_off = [0]
+    for i, c in enumerate(stripped):
+        if c == "\n":
+            line_off.append(i + 1)
+
+    def walk(cursor, cls: str | None, ns: list[str]):
+        nonlocal added
+        for ch in cursor.get_children():
+            loc_file = ch.location.file
+            in_file = loc_file is not None and \
+                str(Path(loc_file.name).resolve()) == abs_path
+            K = ci.CursorKind
+            if ch.kind == K.NAMESPACE:
+                walk(ch, None, ns + [ch.spelling or "<anon>"])
+                continue
+            if ch.kind in (K.CLASS_DECL, K.STRUCT_DECL,
+                           K.CLASS_TEMPLATE, K.UNION_DECL):
+                walk(ch, ch.spelling or "<anon>", ns)
+                continue
+            if ch.kind not in _def_kinds() or not ch.is_definition() \
+                    or not in_file:
+                continue
+            start = ch.extent.start.line
+            end = ch.extent.end.line
+            name = ch.spelling
+            if ch.kind == K.CXX_METHOD or ch.kind == K.CONSTRUCTOR \
+                    or ch.kind == K.DESTRUCTOR:
+                parent = ch.semantic_parent
+                pcls = parent.spelling if parent is not None else cls
+            else:
+                pcls = cls
+            if _lite_covers(fm, name, start, end):
+                continue
+            if start > len(line_off) or end > len(line_off):
+                continue
+            lo = line_off[start - 1]
+            hi = line_off[end - 1] if end <= len(line_off) \
+                else len(stripped)
+            body_open = stripped.find("{", lo, hi)
+            if body_open == -1:
+                continue
+            body_close = parser.braces.get(body_open, hi)
+            fn = Func(name=name, cls=pcls, ns="::".join(ns),
+                      file=fm.path, line=start, end_line=end)
+            parser._extract_events(fn, body_open + 1, body_close, "")
+            fm.funcs.append(fn)
+            added += 1
+    walk(tu.cursor, None, [])
+    parser._attach_annotations()
+    return added

@@ -1,0 +1,77 @@
+"""DPA103 — hot-path allocation.
+
+Functions marked `// dp-analyze: hot` must not allocate: no `new`, no
+malloc family, no reallocating container operation, no container
+constructed with contents. The check follows the call graph one level
+down into callees defined in the repo (callees marked
+`// dp-analyze: cold` are sanctioned error/slow paths and are skipped;
+callees marked hot are checked in their own right, not re-reported).
+
+Exemptions:
+  * allocations inside `throw` statements — error exits, not hot-loop
+    work;
+  * container ops whose receiver chain is rooted at a name listed in
+    the function's `hot scratch=<name>` annotation — the amortized
+    thread_local scratch idiom (capacity reuse after warmup).
+
+Call-graph descent is deliberately conservative: only calls with no
+receiver (or `this`) are followed, so `v.clear()` on a local vector
+cannot be confused with an unrelated repo class that happens to define
+`clear`.
+"""
+
+from __future__ import annotations
+
+from .model import Call, FileModel, Finding, Func, Index
+
+RULE = "DPA103"
+
+
+def _report(f: Func, via: tuple[Func, Call] | None,
+            findings: list[Finding], seen: set) -> None:
+    for a in f.allocs:
+        if a.in_throw:
+            continue
+        if a.obj is not None and a.obj in f.scratch:
+            continue
+        key = (f.file, a.line)
+        if key in seen:
+            continue
+        seen.add(key)
+        where = f"allocation ({a.what}"
+        if a.obj:
+            where += f" on '{a.obj}'"
+        where += ")"
+        if via is None:
+            findings.append(Finding(
+                RULE, f.file, a.line,
+                f"{where} in hot function '{f.display}' — hot paths "
+                "must reuse capacity (see the scratch= annotation "
+                "grammar in DESIGN.md §15)"))
+        else:
+            caller, call = via
+            findings.append(Finding(
+                RULE, f.file, a.line,
+                f"{where} in '{f.display}', called from hot "
+                f"'{caller.display}' ({caller.file}:{call.line}) — "
+                "hoist the buffer or mark the callee "
+                "`// dp-analyze: cold` if this is an error path"))
+
+
+def check(models: list[FileModel]):
+    index = Index(models)
+    findings: list[Finding] = []
+    seen: set = set()
+    for fm in models:
+        for f in fm.funcs:
+            if not f.hot:
+                continue
+            _report(f, None, findings, seen)
+            for c in f.calls:
+                if c.obj not in (None, "this"):
+                    continue
+                for g in index.resolve(c, f):
+                    if g.hot or g.cold or g is f:
+                        continue
+                    _report(g, (f, c), findings, seen)
+    return findings

@@ -1,0 +1,171 @@
+"""Lexical utilities shared by the dp-analyze frontends.
+
+The stripper is the same doctrine as tools/dp_lint.py's (blank out
+comments and string/char literals while preserving line structure so
+offsets map to real line numbers), extended with C++ raw string
+literal support: `R"delim(...)delim"` bodies are blanked wholesale —
+an embedded `std::mutex` or intrinsic name inside a raw string is
+data, not code, and an unterminated-looking quote inside one must not
+desynchronize the lexer for the rest of the file.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Optional encoding prefix before R"..." — u8R"(x)" etc.
+_RAW_PREFIX = re.compile(r'(?:u8|[uUL])?R$')
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals (raw strings included),
+    preserving line structure. Annotation comments are matched against
+    the ORIGINAL text, never this stripped view."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw string literal? Look behind for R / u8R / uR / UR
+                # / LR immediately preceding the quote, itself not part
+                # of a longer identifier (operator"" or WIDTH_R would
+                # not be a raw-string prefix).
+                j = i
+                while j > 0 and text[j - 1].isalnum():
+                    j -= 1
+                prefix = text[j:i]
+                is_ident_tail = j > 0 and (text[j - 1] == "_"
+                                           or text[j - 1].isalnum())
+                if prefix and not is_ident_tail \
+                        and _RAW_PREFIX.match(prefix):
+                    end = _skip_raw_string(text, i)
+                    for k in range(i, min(end, n)):
+                        out.append("\n" if text[k] == "\n" else " ")
+                    i = end
+                    continue
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                # Digit separators (1'000'000) are not char literals.
+                if i > 0 and text[i - 1].isdigit() and nxt.isalnum():
+                    out.append(" ")
+                    i += 1
+                    continue
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # string | char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def _skip_raw_string(text: str, quote: int) -> int:
+    """`quote` indexes the opening '"' of a raw string literal.
+    Returns the offset one past the closing quote (or end of text for
+    an unterminated literal)."""
+    n = len(text)
+    i = quote + 1
+    d0 = i
+    while i < n and text[i] not in "(\\ \t\n":
+        i += 1
+    if i >= n or text[i] != "(":
+        # Malformed raw literal; treat as an ordinary string from the
+        # quote on so the lexer cannot run away.
+        return quote + 1
+    delim = text[d0:i]
+    closer = ")" + delim + '"'
+    end = text.find(closer, i + 1)
+    if end == -1:
+        return n
+    return end + len(closer)
+
+
+def line_of(text: str, offset: int) -> int:
+    """1-based line number of `offset` in `text`."""
+    return text.count("\n", 0, offset) + 1
+
+
+def build_brace_index(stripped: str) -> dict[int, int]:
+    """Maps each '{' offset to its matching '}' offset (and vice
+    versa) over the stripped text. Unbalanced braces map to the end of
+    the text."""
+    match: dict[int, int] = {}
+    stack: list[int] = []
+    for i, c in enumerate(stripped):
+        if c == "{":
+            stack.append(i)
+        elif c == "}":
+            if stack:
+                o = stack.pop()
+                match[o] = i
+                match[i] = o
+    end = len(stripped)
+    for o in stack:
+        match[o] = end
+    return match
+
+
+def match_paren(stripped: str, open_pos: int) -> int:
+    """Offset of the ')' matching the '(' at `open_pos` (angle-bracket
+    agnostic; parens only). Returns len(stripped) when unbalanced."""
+    depth = 0
+    for i in range(open_pos, len(stripped)):
+        c = stripped[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(stripped)
+
+
+def enclosing_scope_end(brace_index: dict[int, int], stripped: str,
+                        offset: int) -> int:
+    """Offset of the '}' closing the innermost scope containing
+    `offset`."""
+    best = len(stripped)
+    for o, c in brace_index.items():
+        if stripped[o] != "{":
+            continue
+        if o < offset < c < best:
+            best = c
+    return best

@@ -1,0 +1,229 @@
+"""DPA101 — lock-order analysis.
+
+Builds the global dp::Mutex acquisition graph: an edge A -> B means
+some thread can block on B while holding A. Three edge kinds:
+
+  nest   LockGuard/UniqueLock for B taken inside the guard scope of A
+         (same function).
+  call   a function called while holding A may (transitively) acquire
+         B — this is what catches cross-TU inversions.
+  wait   CondVar::wait on B's guard while still holding A: the waiter
+         re-acquires B on wakeup with A held.
+
+Findings: any cycle in the graph (SCC of size > 1), recursive
+acquisition of the same lock on one path (direct nest/wait evidence
+only — call-graph self edges are suppressed because name-based callee
+resolution cannot prove the receiver is the same object), a CondVar
+wait parked while holding a foreign lock that is acquired in more
+than one function (single-site serialization mutexes are exempt: a
+concurrent caller just queues, and any real inversion through them is
+still a cycle), and a stale committed tools/lock_order.json.
+
+Lock ids beginning with '?' could not be resolved to a unique owner;
+they are listed in the emitted JSON under "unresolved" but excluded
+from the graph so an ambiguous member name cannot fabricate a cycle.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .model import FileModel, Finding, Func, Index
+
+RULE = "DPA101"
+
+
+def _acquired_closure(index: Index) -> dict[int, set[str]]:
+    memo: dict[int, set[str]] = {}
+
+    def visit(f: Func, stack: set[int]) -> set[str]:
+        if id(f) in memo:
+            return memo[id(f)]
+        if id(f) in stack:
+            return set()
+        stack.add(id(f))
+        got = {a.lock for a in f.acquires if not a.lock.startswith("?")}
+        for w in f.waits:
+            if w.lock != "?" and not w.lock.startswith("?"):
+                got.add(w.lock)
+        for c in f.calls:
+            for g in index.resolve(c, f):
+                got |= visit(g, stack)
+        stack.discard(id(f))
+        memo[id(f)] = got
+        return got
+
+    for fm in index.files:
+        for f in fm.funcs:
+            visit(f, set())
+    return memo
+
+
+def build_graph(models: list[FileModel]):
+    """(edges, findings_for_recursive_acquisition). edges maps
+    (from, to) -> {"kinds": set, "sites": set}."""
+    index = Index(models)
+    closure = _acquired_closure(index)
+    edges: dict[tuple[str, str], dict] = {}
+    findings: list[Finding] = []
+    # lock id -> functions that acquire it. A lock acquired in exactly
+    # one function is a serialization mutex: holding it across a wait
+    # just queues concurrent callers and cannot invert (any real cycle
+    # through it is still caught by the SCC pass), so the
+    # wait-while-holding finding below skips those.
+    acquirers: dict[str, set[int]] = {}
+    for fm in models:
+        for f in fm.funcs:
+            for a in f.acquires:
+                if not a.lock.startswith("?"):
+                    acquirers.setdefault(a.lock, set()).add(id(f))
+
+    def add(a: str, b: str, kind: str, site: str):
+        e = edges.setdefault((a, b), {"kinds": set(), "sites": set()})
+        e["kinds"].add(kind)
+        e["sites"].add(site)
+
+    for fm in models:
+        for f in fm.funcs:
+            for a in f.acquires:
+                if a.lock.startswith("?"):
+                    continue
+                for h in f.held_at(a.line):
+                    if h.lock.startswith("?"):
+                        continue
+                    site = f"{f.file}:{a.line}"
+                    if h.lock == a.lock:
+                        findings.append(Finding(
+                            RULE, f.file, a.line,
+                            f"'{a.lock}' re-acquired at {site} while "
+                            f"already held (acquired line {h.line}) — "
+                            "dp::Mutex is not recursive"))
+                    else:
+                        add(h.lock, a.lock, "nest", site)
+            for w in f.waits:
+                if w.lock == "?" or w.lock.startswith("?"):
+                    continue
+                for h in f.held_at(w.line):
+                    if h.lock.startswith("?") or h.lock == w.lock:
+                        continue
+                    site = f"{f.file}:{w.line}"
+                    add(h.lock, w.lock, "wait", site)
+                    if len(acquirers.get(h.lock, ())) > 1:
+                        findings.append(Finding(
+                            RULE, f.file, w.line,
+                            f"CondVar::wait on '{w.lock}' while "
+                            f"holding '{h.lock}' (acquired line "
+                            f"{h.line}): the waiter parks with a "
+                            "foreign lock held"))
+            for c in f.calls:
+                held = [h for h in f.held_at(c.line)
+                        if not h.lock.startswith("?")]
+                if not held:
+                    continue
+                for g in index.resolve(c, f):
+                    for lock in closure.get(id(g), ()):
+                        for h in held:
+                            if h.lock != lock:
+                                add(h.lock, lock, "call",
+                                    f"{f.file}:{c.line}")
+    return edges, findings
+
+
+def _cycles(edges) -> list[list[str]]:
+    """SCCs of size > 1 (Tarjan, iterative)."""
+    graph: dict[str, list[str]] = {}
+    for (a, b) in edges:
+        graph.setdefault(a, []).append(b)
+        graph.setdefault(b, [])
+    idx: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on: set[str] = set()
+    stack: list[str] = []
+    out: list[list[str]] = []
+    counter = [0]
+
+    for root in sorted(graph):
+        if root in idx:
+            continue
+        work = [(root, iter(sorted(graph[root])))]
+        idx[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in idx:
+                    idx[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on.add(w)
+                    work.append((w, iter(sorted(graph[w]))))
+                    advanced = True
+                    break
+                if w in on:
+                    low[v] = min(low[v], idx[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                pv = work[-1][0]
+                low[pv] = min(low[pv], low[v])
+            if low[v] == idx[v]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on.discard(w)
+                    scc.append(w)
+                    if w == v:
+                        break
+                if len(scc) > 1:
+                    out.append(sorted(scc))
+    return out
+
+
+def render_json(edges, models: list[FileModel]) -> str:
+    """Deterministic lock_order.json text."""
+    locks = sorted(
+        {a for a, _ in edges} | {b for _, b in edges}
+        | {a.lock for fm in models for f in fm.funcs
+           for a in f.acquires if not a.lock.startswith("?")})
+    unresolved = sorted({
+        a.lock for fm in models for f in fm.funcs for a in f.acquires
+        if a.lock.startswith("?")})
+    doc = {
+        "comment": "generated by tools/dp_analyze (DPA101); "
+                   "regenerate with --emit-lock-order",
+        "locks": locks,
+        "edges": [
+            {"from": a, "to": b,
+             "kinds": sorted(e["kinds"]),
+             "sites": sorted(e["sites"])[:6]}
+            for (a, b), e in sorted(edges.items())
+        ],
+        "unresolved": unresolved,
+    }
+    return json.dumps(doc, indent=2, sort_keys=False) + "\n"
+
+
+def check(models: list[FileModel], committed_json: str | None = None,
+          json_path: str = "tools/lock_order.json"):
+    """(findings, generated_json_text)."""
+    edges, findings = build_graph(models)
+    for scc in _cycles(edges):
+        sites = sorted({s for (a, b), e in edges.items()
+                        if a in scc and b in scc
+                        for s in e["sites"]})[:8]
+        findings.append(Finding(
+            RULE, json_path, 1,
+            "lock-order cycle: " + " <-> ".join(scc)
+            + " (sites: " + ", ".join(sites) + ")"))
+    generated = render_json(edges, models)
+    if committed_json is not None and committed_json != generated:
+        findings.append(Finding(
+            RULE, json_path, 1,
+            "committed lock_order.json is stale — regenerate with "
+            "`python3 tools/dp_analyze --emit-lock-order "
+            + json_path + "`"))
+    return findings, generated

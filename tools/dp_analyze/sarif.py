@@ -1,0 +1,67 @@
+"""Minimal SARIF 2.1.0 writer shared by dp_analyze and dp_lint.
+
+Standalone on purpose (no package-relative imports): dp_lint.py
+imports it as `from dp_analyze import sarif` with tools/ on sys.path.
+Emits the subset GitHub code scanning consumes: one run, a driver with
+rule metadata, and one result per finding with a physical location.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def build(tool_name: str, version: str, rules: dict[str, str],
+          findings) -> dict:
+    """`findings` is an iterable of objects with .rule, .path, .line
+    and .message attributes (dp_analyze Finding / dp_lint Finding)."""
+    results = []
+    used_rules = sorted({f.rule for f in findings})
+    for f in findings:
+        results.append({
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, int(f.line))},
+                },
+            }],
+        })
+    return {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/"
+                   "sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "version": version,
+                    "informationUri":
+                        "https://github.com/paper-repo-growth",
+                    "rules": [
+                        {
+                            "id": rid,
+                            "shortDescription": {
+                                "text": rules.get(rid, rid)},
+                        }
+                        for rid in used_rules
+                    ],
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///"},
+            },
+            "results": results,
+        }],
+    }
+
+
+def write(path: str, doc: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")

@@ -63,12 +63,16 @@ THIS repo rather than of C++:
 
 Usage:
   dp_lint.py [--root DIR]     scan the repository (default: cwd)
+  dp_lint.py --sarif PATH     also write the findings as SARIF 2.1.0
+                              (GitHub code-scanning subset)
   dp_lint.py --self-test      run the rule engine against the fixture
                               files in tests/lint/fixtures and verify
                               each detects exactly what its
                               `// dp-lint-expect:` header declares
 
-Exit status 0 when clean, 1 on any finding (or self-test mismatch).
+Exit status 0 when clean, 1 on any finding (or self-test mismatch),
+2 on a usage or internal error (unreadable tree, missing fixtures,
+SARIF write failure).
 """
 
 from __future__ import annotations
@@ -78,11 +82,18 @@ import os
 import re
 import sys
 
+# Exit status contract (mirrored by dp_analyze, labeled separately in
+# CI): findings are a lint failure, everything else going wrong is a
+# tool/usage error.
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
 SCAN_DIRS = ("src", "tests", "bench", "examples")
 SOURCE_EXTS = (".cpp", ".hpp", ".h", ".cc")
 # Fixture files deliberately violate the rules; never scan them as repo
 # code.
-EXCLUDED = ("tests/lint/fixtures",)
+EXCLUDED = ("tests/lint/fixtures", "tests/analyze/fixtures")
 
 ESCAPE_ORDERED = "dp-lint: ordered"
 ESCAPE_NON_ATOMIC = "dp-lint: non-atomic-write"
@@ -100,10 +111,35 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
+RE_RAW_DELIM = re.compile(r'[^\s()\\"]{0,16}$')
+
+
+def _is_raw_string_open(text: str, i: int) -> bool:
+    """True when the `"` at text[i] opens a raw string literal: it is
+    preceded by R (optionally with a u8/u/U/L encoding prefix) that is
+    not the tail of a longer identifier."""
+    j = i - 1
+    if j < 0 or text[j] != "R":
+        return False
+    j -= 1
+    if j >= 1 and text[j - 1:j + 1] == "u8":
+        j -= 2
+    elif j >= 0 and text[j] in "uUL":
+        j -= 1
+    return j < 0 or not (text[j].isalnum() or text[j] == "_")
+
+
 def strip_comments_and_strings(text: str) -> str:
     """Blanks out comments and string/char literals, preserving line
     structure so findings keep real line numbers. Escape-hatch comments
-    are matched against the ORIGINAL text, not this stripped view."""
+    are matched against the ORIGINAL text, not this stripped view.
+
+    Raw strings (`R"delim(...)delim"`) get dedicated handling: inside
+    one, `"` and `\\` are ordinary characters, so the plain string
+    state machine would exit early on an embedded quote (leaking
+    literal content into the code view — false positives) or swallow
+    real code after an odd number of embedded quotes (false
+    negatives)."""
     out = []
     i, n = 0, len(text)
     state = "code"  # code | line_comment | block_comment | string | char
@@ -121,6 +157,18 @@ def strip_comments_and_strings(text: str) -> str:
                 out.append("  ")
                 i += 2
                 continue
+            if c == '"' and _is_raw_string_open(text, i):
+                paren = text.find("(", i + 1)
+                delim = text[i + 1:paren] if paren != -1 else None
+                if delim is not None and RE_RAW_DELIM.match(delim):
+                    closer = ")" + delim + '"'
+                    end = text.find(closer, paren + 1)
+                    stop = end + len(closer) if end != -1 else n
+                    for ch in text[i:stop]:
+                        out.append("\n" if ch == "\n" else " ")
+                    i = stop
+                    continue
+                # Malformed opener: fall through to the plain handler.
             if c == '"':
                 state = "string"
                 out.append(" ")
@@ -412,19 +460,13 @@ def iter_repo_files(root: str):
         yield "CMakeLists.txt"
 
 
-def scan_repo(root: str) -> int:
+def scan_repo(root: str) -> list[Finding]:
     findings: list[Finding] = []
     for relpath in iter_repo_files(root):
         with open(os.path.join(root, relpath), encoding="utf-8") as fh:
             raw = fh.read()
         findings.extend(lint_text(relpath, raw))
-    for f in findings:
-        print(f)
-    if findings:
-        print(f"dp-lint: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    print("dp-lint: clean")
-    return 0
+    return findings
 
 
 # --------------------------------------------------------------------------
@@ -439,7 +481,7 @@ def self_test(root: str) -> int:
     fixture_dir = os.path.join(root, "tests", "lint", "fixtures")
     if not os.path.isdir(fixture_dir):
         print(f"dp-lint: no fixture dir at {fixture_dir}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     failures = 0
     names = sorted(os.listdir(fixture_dir))
     for name in names:
@@ -475,16 +517,56 @@ def self_test(root: str) -> int:
     return 0
 
 
+RULE_SUMMARIES = {
+    "DP001": "src/ must draw randomness from dp::Rng only",
+    "DP002": "raw std:: sync primitives outside src/common/sync.hpp",
+    "DP003": "-march=native / -ffast-math are banned from the build",
+    "DP004": "unordered-container iteration is platform-dependent",
+    "DP005": "vector intrinsics confined to *_avx2.cpp / *_avx512.cpp",
+    "DP006": "checkpoint/bundle writes must use dp::AtomicFileWriter",
+    "DP007": "event-loop socket calls must be nonblocking and justified",
+}
+
+
+def write_sarif(path: str, findings: list[Finding]) -> None:
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from dp_analyze import sarif
+    sarif.write(path, sarif.build("dp-lint", "1.0", RULE_SUMMARIES,
+                                  findings))
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--root", default=".", help="repository root")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the rule engine against the fixtures")
+    ap.add_argument("--sarif", metavar="PATH",
+                    help="also write the findings as SARIF 2.1.0")
     args = ap.parse_args()
     root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"dp-lint: no such directory: {root}", file=sys.stderr)
+        return EXIT_ERROR
     if args.self_test:
         return self_test(root)
-    return scan_repo(root)
+    try:
+        findings = scan_repo(root)
+    except OSError as e:
+        print(f"dp-lint: cannot scan {root}: {e}", file=sys.stderr)
+        return EXIT_ERROR
+    for f in findings:
+        print(f)
+    if args.sarif:
+        try:
+            write_sarif(args.sarif, findings)
+        except (ImportError, OSError) as e:
+            print(f"dp-lint: cannot write SARIF: {e}", file=sys.stderr)
+            return EXIT_ERROR
+    if findings:
+        print(f"dp-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return EXIT_FINDINGS
+    print("dp-lint: clean")
+    return EXIT_CLEAN
 
 
 if __name__ == "__main__":
