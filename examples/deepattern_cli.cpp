@@ -3,12 +3,20 @@
 //   deepattern_cli generate --spec directprint1 --count 500 --out lib.gds
 //   deepattern_cli expand   --in lib.gds --count 20000 --steps 3000
 //                           --out generated.gds
+//   deepattern_cli train    --in lib.gds --steps 3000 --resume ckpt/
+//                           --out tcae.bin
 //   deepattern_cli check    --in generated.gds
 //   deepattern_cli stats    --in generated.gds
 //   deepattern_cli render   --in lib.gds --index 0
 //
 // Clip files are read/written as GDSII when the path ends in .gds, and
 // as the line-oriented text format otherwise.
+//
+// `train` and `expand --resume DIR` run the TCAE on the crash-safe
+// training harness: checkpoints are sealed into DIR every
+// --checkpoint-every steps, SIGTERM seals one and exits cleanly, and
+// re-running the same command resumes from the last seal (the final
+// model is byte-identical to an uninterrupted run's).
 
 #include <iostream>
 #include <map>
@@ -76,12 +84,18 @@ int usage() {
       "  generate --spec directprint1..5|industry --count N [--seed S]\n"
       "           --out FILE(.gds|.txt)\n"
       "  expand   --in FILE --count N [--steps T] [--seed S] --out FILE\n"
+      "           [--resume DIR] [--checkpoint-every K]\n"
+      "  train    --in FILE [--steps T] [--seed S] [--out MODEL.bin]\n"
+      "           [--resume DIR] [--checkpoint-every K]\n"
+      "           [--max-rollbacks R] [--grad-clip C]\n"
       "  check    --in FILE\n"
       "  stats    --in FILE\n"
       "  render   --in FILE [--index I]\n"
       "common flags:\n"
       "  --threads N   worker threads (default: DP_THREADS env or all\n"
-      "                cores; 1 = fully serial, same results)\n";
+      "                cores; 1 = fully serial, same results)\n"
+      "  --resume DIR  checkpoint directory: training seals a resumable\n"
+      "                checkpoint there every K steps and on SIGTERM\n";
   return 2;
 }
 
@@ -104,6 +118,18 @@ int cmdGenerate(const ArgMap& args) {
   return 0;
 }
 
+// Shared --resume/--checkpoint-every/--max-rollbacks/--grad-clip
+// handling for the training commands.
+dp::train::TrainOptions trainOptionsFrom(const ArgMap& args) {
+  dp::train::TrainOptions opts;
+  opts.checkpointDir = get(args, "resume", "");
+  opts.checkpointEvery = std::stol(get(args, "checkpoint-every", "250"));
+  opts.maxRollbacks = std::stoi(get(args, "max-rollbacks", "4"));
+  opts.gradClipNorm = std::stod(get(args, "grad-clip", "0"));
+  if (!opts.checkpointDir.empty()) dp::train::installStopHandler();
+  return opts;
+}
+
 int cmdExpand(const ArgMap& args) {
   const auto clips = readClips(get(args, "in", "library.txt"));
   dp::Rng rng(std::stoull(get(args, "seed", "1")));
@@ -112,6 +138,7 @@ int cmdExpand(const ArgMap& args) {
   cfg.tcae.trainSteps = std::stol(get(args, "steps", "3000"));
   cfg.tcae.initialLr = 2e-3;
   cfg.maxClips = std::stol(get(args, "max-clips", "2000"));
+  cfg.train = trainOptionsFrom(args);
   const auto result =
       dp::core::runPipeline(clips, dp::euv7nmM2(), cfg, rng);
   std::cout << "generated " << result.generation.generated
@@ -122,6 +149,37 @@ int cmdExpand(const ArgMap& args) {
             << " DRC-clean clips\n";
   writeClips(get(args, "out", "generated.txt"),
              result.materialized.clips);
+  return 0;
+}
+
+int cmdTrain(const ArgMap& args) {
+  const auto clips = readClips(get(args, "in", "library.txt"));
+  const auto topologies = dp::datagen::extractTopologies(clips);
+  if (topologies.empty()) {
+    std::cerr << "error: no non-empty clips to train on\n";
+    return 2;
+  }
+  dp::Rng rng(std::stoull(get(args, "seed", "1")));
+  dp::models::TcaeConfig cfg;
+  cfg.trainSteps = std::stol(get(args, "steps", "3000"));
+  cfg.initialLr = 2e-3;
+  const dp::train::TrainOptions opts = trainOptionsFrom(args);
+  dp::models::Tcae tcae(cfg, rng);
+  const auto stats = tcae.train(topologies, rng, opts);
+  if (stats.resumed)
+    std::cout << "resumed from step " << stats.resumedFrom << "\n";
+  std::cout << "trained " << stats.steps << "/" << cfg.trainSteps
+            << " steps, final loss " << stats.finalLoss << " ("
+            << stats.checkpointsSaved << " checkpoints, "
+            << stats.rollbacks << " rollbacks, " << stats.nanEvents
+            << " NaN events)\n";
+  if (stats.sealedByStop) {
+    std::cout << "stop requested: checkpoint sealed at step "
+              << stats.steps << "; re-run to resume\n";
+    return 0;
+  }
+  tcae.save(get(args, "out", "tcae.bin"));
+  std::cout << "wrote model to " << get(args, "out", "tcae.bin") << "\n";
   return 0;
 }
 
@@ -204,6 +262,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "generate") return cmdGenerate(args);
     if (cmd == "expand") return cmdExpand(args);
+    if (cmd == "train") return cmdTrain(args);
     if (cmd == "check") return cmdCheck(args);
     if (cmd == "stats") return cmdStats(args);
     if (cmd == "render") return cmdRender(args);

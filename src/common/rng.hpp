@@ -8,6 +8,9 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 namespace dp {
 
@@ -16,6 +19,30 @@ namespace dp {
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5eedu) : engine_(seed) {}
+
+  /// Serialized engine state (the std::mt19937_64 textual state: 312
+  /// decimal words and a cursor). Every distribution here is
+  /// constructed per call — no distribution caches a value across
+  /// calls — so the engine state IS the complete stream position:
+  /// setState() followed by any draw sequence reproduces the draws
+  /// that would have followed the state() call bit for bit.
+  [[nodiscard]] std::string state() const {
+    std::ostringstream out;
+    out.imbue(std::locale::classic());
+    out << engine_;
+    return out.str();
+  }
+
+  /// Restores a stream position captured by state(). Throws
+  /// std::invalid_argument when the string is not a serialized
+  /// mt19937_64 state.
+  void setState(const std::string& state) {
+    std::istringstream in(state);
+    in.imbue(std::locale::classic());
+    in >> engine_;
+    if (in.fail())
+      throw std::invalid_argument("Rng::setState: malformed state string");
+  }
 
   /// Uniform real in [lo, hi).
   [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0) {

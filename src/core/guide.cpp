@@ -55,6 +55,11 @@ GuideModel::GuideModel(const GuideConfig& config, Rng& rng)
 }
 
 void GuideModel::train(const nn::Tensor& data, Rng& rng) {
+  train(data, rng, train::TrainOptions{});
+}
+
+void GuideModel::train(const nn::Tensor& data, Rng& rng,
+                       const train::TrainOptions& options) {
   if (data.dim() != 2 || data.size(0) == 0)
     throw std::invalid_argument("GuideModel::train: need (N, D) data");
   if (data.size(1) != config_.dataDim)
@@ -69,9 +74,9 @@ void GuideModel::train(const nn::Tensor& data, Rng& rng) {
           (data.at(i, j) - data_.mean[static_cast<std::size_t>(j)]) /
           data_.std[static_cast<std::size_t>(j)]);
   if (gan_)
-    gan_->train(normalized, config_.gan, rng);
+    gan_->train(normalized, config_.gan, rng, options);
   else
-    vae_->train(normalized, rng);
+    vae_->train(normalized, rng, options);
   // Calibration: measure what the trained guide actually emits.
   const nn::Tensor probe = sampleInner(512, rng);
   guide_ = momentsOf(probe);

@@ -16,6 +16,7 @@
 #include "models/gan.hpp"
 #include "models/vae.hpp"
 #include "tensor/tensor.hpp"
+#include "train/harness.hpp"
 
 namespace dp::core {
 
@@ -60,7 +61,11 @@ class GuideModel {
   [[nodiscard]] const GuideConfig& config() const { return config_; }
 
   /// Standardizes `data` (N, dataDim), trains the inner guide, and
-  /// calibrates the denormalization moments.
+  /// calibrates the denormalization moments. `options` are forwarded
+  /// to the inner model's train::Harness (checkpointing, resume,
+  /// divergence guards).
+  void train(const nn::Tensor& data, Rng& rng,
+             const train::TrainOptions& options);
   void train(const nn::Tensor& data, Rng& rng);
 
   /// Draws n denormalized vectors (n, dataDim). Const / thread-safe.

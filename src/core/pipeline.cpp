@@ -70,7 +70,7 @@ PipelineResult runPipeline(const std::vector<dp::Clip>& existingClips,
   // 2. Topology generation: TCAE identity training + sensitivity-aware
   //    random perturbation.
   models::Tcae tcae(config.tcae, rng);
-  tcae.train(topologies, rng);
+  tcae.train(topologies, rng, config.train);
   const drc::TopologyChecker checker(
       drc::TopologyRuleConfig::fromRules(rules));
   PipelineResult result;

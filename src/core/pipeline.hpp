@@ -17,6 +17,7 @@
 #include "geometry/clip.hpp"
 #include "lp/geometry_solver.hpp"
 #include "models/tcae.hpp"
+#include "train/harness.hpp"
 
 namespace dp::core {
 
@@ -45,6 +46,10 @@ struct PipelineConfig {
   FlowConfig flow;
   double perturbScale = 1.0;
   long maxClips = 2000;  ///< clips to materialize from the unique set
+  /// Robustness options for the TCAE training phase (checkpointing,
+  /// resume, divergence guards). Default: sentinels on, no disk
+  /// checkpoints.
+  train::TrainOptions train;
 };
 
 /// End-to-end run summary.

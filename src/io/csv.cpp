@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/atomic_file.hpp"
+
 namespace dp::io {
 
 namespace {
@@ -47,10 +49,9 @@ std::string CsvWriter::toString() const {
 }
 
 void CsvWriter::writeFile(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("CsvWriter: cannot open " + path);
-  out << toString();
-  if (!out) throw std::runtime_error("CsvWriter: write failed");
+  AtomicFileWriter out(path);
+  out.append(toString());
+  (void)out.commit();
 }
 
 }  // namespace dp::io

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/atomic_file.hpp"
+
 namespace dp::io {
 
 namespace {
@@ -188,10 +190,14 @@ void writeGdsii(std::ostream& out, const std::vector<dp::Clip>& clips,
 void writeGdsiiFile(const std::string& path,
                     const std::vector<dp::Clip>& clips,
                     const GdsiiOptions& options) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("writeGdsiiFile: cannot open " + path);
-  writeGdsii(out, clips, options);
-  if (!out) throw std::runtime_error("writeGdsiiFile: write failed");
+  // Stage in memory, publish atomically: a crash mid-write must not
+  // leave a torn GDSII file where a library used to be.
+  std::ostringstream staged;
+  writeGdsii(staged, clips, options);
+  if (!staged) throw std::runtime_error("writeGdsiiFile: write failed");
+  AtomicFileWriter out(path);
+  out.append(staged.str());
+  (void)out.commit();
 }
 
 std::vector<dp::Clip> readGdsii(std::istream& in,

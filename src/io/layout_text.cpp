@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/atomic_file.hpp"
+
 namespace dp::io {
 
 void writeClips(std::ostream& out, const std::vector<dp::Clip>& clips) {
@@ -20,10 +22,14 @@ void writeClips(std::ostream& out, const std::vector<dp::Clip>& clips) {
 
 void writeClipsFile(const std::string& path,
                     const std::vector<dp::Clip>& clips) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("writeClipsFile: cannot open " + path);
-  writeClips(out, clips);
-  if (!out) throw std::runtime_error("writeClipsFile: write failed");
+  // Stage in memory, publish atomically (DESIGN.md §11): artifact
+  // writes must never leave a torn file on crash.
+  std::ostringstream staged;
+  writeClips(staged, clips);
+  if (!staged) throw std::runtime_error("writeClipsFile: write failed");
+  AtomicFileWriter out(path);
+  out.append(staged.str());
+  (void)out.commit();
 }
 
 std::vector<dp::Clip> readClips(std::istream& in) {

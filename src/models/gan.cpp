@@ -13,6 +13,7 @@
 #include "nn/reshape.hpp"
 #include "nn/schedule.hpp"
 #include "nn/serialize.hpp"
+#include "train/checkpoint.hpp"
 
 namespace dp::models {
 
@@ -64,7 +65,27 @@ void Gan::load(const std::string& path) {
   nn::loadTensors(tensors, path);
 }
 
+std::uint64_t Gan::configHash(const GanConfig& config, long datasetSize) {
+  std::uint64_t h = train::hashInit();
+  h = train::hashMix(h, 0x67616eu);  // model tag "gan"
+  h = train::hashMixDouble(h, config.lr);
+  h = train::hashMixDouble(h, config.lrDecayFactor);
+  h = train::hashMix(h, static_cast<std::uint64_t>(config.lrDecayEvery));
+  h = train::hashMix(h, static_cast<std::uint64_t>(config.batchSize));
+  h = train::hashMix(h, static_cast<std::uint64_t>(datasetSize));
+  for (const int d : zShape_)
+    h = train::hashMix(h, static_cast<std::uint64_t>(d));
+  for (const nn::Param* p : params())
+    h = train::hashMix(h, p->value.numel());
+  return h;
+}
+
 GanStats Gan::train(const Tensor& data, const GanConfig& config, Rng& rng) {
+  return train(data, config, rng, train::TrainOptions{});
+}
+
+GanStats Gan::train(const Tensor& data, const GanConfig& config, Rng& rng,
+                    const train::TrainOptions& options) {
   if (data.dim() < 1 || data.size(0) == 0)
     throw std::invalid_argument("Gan::train: empty dataset");
   const int n = data.size(0);
@@ -73,18 +94,28 @@ GanStats Gan::train(const Tensor& data, const GanConfig& config, Rng& rng) {
   const nn::StepDecaySchedule sched(config.lr, config.lrDecayFactor,
                                     config.lrDecayEvery);
   const int b = config.batchSize;
-  GanStats stats;
 
-  for (long step = 0; step < config.trainSteps; ++step) {
-    const double lr = sched.lrAt(step);
-    genOpt.setLearningRate(lr);
-    discOpt.setLearningRate(lr);
+  std::vector<nn::Tensor*> modelState = gen_.state();
+  for (nn::Tensor* t : disc_.state()) modelState.push_back(t);
 
+  train::HarnessSpec spec;
+  spec.totalSteps = config.trainSteps;
+  spec.lrAt = [&sched](long step) { return sched.lrAt(step); };
+  spec.configHash = configHash(config, n);
+  spec.samplesPerStep = b;
+  spec.datasetSize = n;
+  train::Harness harness(params(), std::move(modelState),
+                         {&genOpt, &discOpt}, std::move(spec), options);
+
+  double finalDiscLoss = 0.0;
+  double finalGenLoss = 0.0;
+  const train::HarnessStats hs = harness.run(rng, [&](long /*step*/,
+                                                      Rng& r) {
     // --- discriminator update: real -> 1, fake -> 0 ---
     discOpt.zeroGrad();
     double dLoss = 0.0;
     {
-      const Tensor real = gatherRows(data, sampleIndices(n, b, rng));
+      const Tensor real = gatherRows(data, sampleIndices(n, b, r));
       const Tensor logits = disc_.forward(real, /*training=*/true);
       Tensor grad;
       dLoss += nn::bceWithLogitsLoss(logits, Tensor::full(logits.shape(), 1.0f),
@@ -94,7 +125,7 @@ GanStats Gan::train(const Tensor& data, const GanConfig& config, Rng& rng) {
     {
       std::vector<int> shape = zShape_;
       shape.insert(shape.begin(), b);
-      const Tensor z = Tensor::randn(shape, rng);
+      const Tensor z = Tensor::randn(shape, r);
       const Tensor fake = gen_.forward(z, /*training=*/true);
       const Tensor logits = disc_.forward(fake, /*training=*/true);
       Tensor grad;
@@ -102,7 +133,7 @@ GanStats Gan::train(const Tensor& data, const GanConfig& config, Rng& rng) {
                                      grad);
       disc_.backward(grad);  // fake batch is detached: no generator update
     }
-    discOpt.step();
+    harness.guardedStep(discOpt);
 
     // --- generator update: make D(G(z)) -> 1 ---
     genOpt.zeroGrad();
@@ -111,7 +142,7 @@ GanStats Gan::train(const Tensor& data, const GanConfig& config, Rng& rng) {
     {
       std::vector<int> shape = zShape_;
       shape.insert(shape.begin(), b);
-      const Tensor z = Tensor::randn(shape, rng);
+      const Tensor z = Tensor::randn(shape, r);
       const Tensor fake = gen_.forward(z, /*training=*/true);
       const Tensor logits = disc_.forward(fake, /*training=*/true);
       Tensor grad;
@@ -119,14 +150,25 @@ GanStats Gan::train(const Tensor& data, const GanConfig& config, Rng& rng) {
                                     grad);
       const Tensor gradFake = disc_.backward(grad);
       gen_.backward(gradFake);
-      genOpt.step();
+      harness.guardedStep(genOpt);
       discOpt.zeroGrad();
     }
 
-    stats.finalDiscLoss = dLoss;
-    stats.finalGenLoss = gLoss;
-    ++stats.steps;
-  }
+    finalDiscLoss = dLoss;
+    finalGenLoss = gLoss;
+    return dLoss + gLoss;
+  });
+
+  GanStats stats;
+  stats.steps = hs.steps;
+  stats.finalDiscLoss = finalDiscLoss;
+  stats.finalGenLoss = finalGenLoss;
+  stats.resumed = hs.resumed;
+  stats.resumedFrom = hs.resumedFrom;
+  stats.rollbacks = hs.rollbacks;
+  stats.nanEvents = hs.nanEvents;
+  stats.checkpointsSaved = hs.checkpointsSaved;
+  stats.sealedByStop = hs.sealedByStop;
   return stats;
 }
 

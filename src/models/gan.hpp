@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "nn/sequential.hpp"
 #include "tensor/tensor.hpp"
+#include "train/harness.hpp"
 
 namespace dp::models {
 
@@ -29,11 +30,17 @@ struct GanConfig {
   int batchSize = 64;
 };
 
-/// Per-step loss trace.
+/// Per-step loss trace and robustness counters.
 struct GanStats {
   long steps = 0;
-  double finalDiscLoss = 0.0;
+  double finalDiscLoss = 0.0;  ///< from the last step executed locally
   double finalGenLoss = 0.0;
+  bool resumed = false;
+  long resumedFrom = 0;
+  int rollbacks = 0;
+  long nanEvents = 0;
+  long checkpointsSaved = 0;
+  bool sealedByStop = false;
 };
 
 class Gan {
@@ -51,8 +58,18 @@ class Gan {
   [[nodiscard]] nn::Tensor sampleInfer(int n, Rng& rng) const;
 
   /// Alternating D/G updates on `data` (first dim = samples), exactly
-  /// the procedure of Goodfellow et al. as the paper prescribes.
+  /// the procedure of Goodfellow et al. as the paper prescribes. Runs
+  /// on the train::Harness; one harness step is one D update plus one
+  /// G update, guarded by the summed loss. Default options: sentinels
+  /// on, disk checkpointing off, bit-identical to the pre-harness loop.
+  GanStats train(const nn::Tensor& data, const GanConfig& config, Rng& rng,
+                 const train::TrainOptions& options);
   GanStats train(const nn::Tensor& data, const GanConfig& config, Rng& rng);
+
+  /// Checkpoint-resume identity of (architecture, hyper-parameters,
+  /// dataset size); excludes trainSteps so runs can be extended.
+  [[nodiscard]] std::uint64_t configHash(const GanConfig& config,
+                                         long datasetSize);
 
   [[nodiscard]] nn::Sequential& generator() { return gen_; }
   [[nodiscard]] nn::Sequential& discriminator() { return disc_; }

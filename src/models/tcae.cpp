@@ -12,6 +12,7 @@
 #include "nn/reshape.hpp"
 #include "nn/schedule.hpp"
 #include "nn/serialize.hpp"
+#include "train/checkpoint.hpp"
 
 namespace dp::models {
 
@@ -65,7 +66,8 @@ Tensor Tcae::reconstruct(const Tensor& topologies) const {
   return decode(encode(topologies));
 }
 
-double Tcae::trainStep(const Tensor& batch, nn::Optimizer& opt) {
+double Tcae::trainStep(const Tensor& batch, nn::Optimizer& opt,
+                       train::Harness* guard) {
   opt.zeroGrad();
   const Tensor latent = encoder_.forward(batch, /*training=*/true);
   const Tensor recon = decoder_.forward(latent, /*training=*/true);
@@ -73,28 +75,66 @@ double Tcae::trainStep(const Tensor& batch, nn::Optimizer& opt) {
   const double loss = nn::mseLoss(recon, batch, grad);
   const Tensor gradLatent = decoder_.backward(grad);
   encoder_.backward(gradLatent);
-  opt.step();
+  if (guard)
+    guard->guardedStep(opt);
+  else
+    opt.step();
   return loss;
 }
 
-TrainStats Tcae::train(const std::vector<squish::Topology>& data,
-                       Rng& rng) {
+std::uint64_t Tcae::configHash(std::size_t datasetSize) const {
+  std::uint64_t h = train::hashInit();
+  h = train::hashMix(h, 0x74636165u);  // model tag "tcae"
+  h = train::hashMix(h, static_cast<std::uint64_t>(config_.inputSize));
+  h = train::hashMix(h, static_cast<std::uint64_t>(config_.latentDim));
+  h = train::hashMix(h, static_cast<std::uint64_t>(config_.conv1Channels));
+  h = train::hashMix(h, static_cast<std::uint64_t>(config_.conv2Channels));
+  h = train::hashMix(h, static_cast<std::uint64_t>(config_.hidden));
+  h = train::hashMixDouble(h, config_.convWeightDecay);
+  h = train::hashMixDouble(h, config_.denseWeightDecay);
+  h = train::hashMixDouble(h, config_.initialLr);
+  h = train::hashMixDouble(h, config_.lrDecayFactor);
+  h = train::hashMix(h, static_cast<std::uint64_t>(config_.lrDecayEvery));
+  h = train::hashMix(h, static_cast<std::uint64_t>(config_.batchSize));
+  h = train::hashMix(h, static_cast<std::uint64_t>(datasetSize));
+  return h;
+}
+
+TrainStats Tcae::train(const std::vector<squish::Topology>& data, Rng& rng) {
+  return train(data, rng, train::TrainOptions{});
+}
+
+TrainStats Tcae::train(const std::vector<squish::Topology>& data, Rng& rng,
+                       const train::TrainOptions& options) {
   if (data.empty()) throw std::invalid_argument("Tcae::train: no data");
   const Tensor dataset = encodeTopologies(data, config_.inputSize);
   nn::Adam opt(params(), config_.initialLr);
   const nn::StepDecaySchedule sched(config_.initialLr,
                                     config_.lrDecayFactor,
                                     config_.lrDecayEvery);
+  train::HarnessSpec spec;
+  spec.totalSteps = config_.trainSteps;
+  spec.lrAt = [&sched](long step) { return sched.lrAt(step); };
+  spec.configHash = configHash(data.size());
+  spec.samplesPerStep = config_.batchSize;
+  spec.datasetSize = static_cast<long>(data.size());
+  train::Harness harness(params(), {}, {&opt}, std::move(spec), options);
+  const train::HarnessStats hs =
+      harness.run(rng, [&](long /*step*/, Rng& r) {
+        const auto idx = sampleIndices(static_cast<int>(data.size()),
+                                       config_.batchSize, r);
+        return trainStep(gatherRows(dataset, idx), opt, &harness);
+      });
   TrainStats stats;
-  for (long step = 0; step < config_.trainSteps; ++step) {
-    opt.setLearningRate(sched.lrAt(step));
-    const auto idx = sampleIndices(static_cast<int>(data.size()),
-                                   config_.batchSize, rng);
-    const double loss = trainStep(gatherRows(dataset, idx), opt);
-    stats.finalLoss = loss;
-    if (step % 100 == 0) stats.lossEvery100.push_back(loss);
-    ++stats.steps;
-  }
+  stats.steps = hs.steps;
+  stats.finalLoss = hs.finalLoss;
+  stats.lossEvery100 = hs.lossTrace;
+  stats.resumed = hs.resumed;
+  stats.resumedFrom = hs.resumedFrom;
+  stats.rollbacks = hs.rollbacks;
+  stats.nanEvents = hs.nanEvents;
+  stats.checkpointsSaved = hs.checkpointsSaved;
+  stats.sealedByStop = hs.sealedByStop;
   return stats;
 }
 

@@ -17,6 +17,7 @@
 #include "nn/sequential.hpp"
 #include "squish/topology.hpp"
 #include "tensor/tensor.hpp"
+#include "train/harness.hpp"
 
 namespace dp::models {
 
@@ -43,11 +44,17 @@ struct TcaeConfig {
   int batchSize = 64;
 };
 
-/// Loss trace of one training run.
+/// Loss trace and robustness counters of one training run.
 struct TrainStats {
   long steps = 0;
   double finalLoss = 0.0;
   std::vector<double> lossEvery100;
+  bool resumed = false;      ///< continued from a checkpoint directory
+  long resumedFrom = 0;      ///< step the resume started at
+  int rollbacks = 0;         ///< divergence rollbacks taken
+  long nanEvents = 0;        ///< non-finite loss/grad detections
+  long checkpointsSaved = 0;
+  bool sealedByStop = false; ///< a stop request sealed the run early
 };
 
 class Tcae {
@@ -73,11 +80,24 @@ class Tcae {
 
   /// Trains the identity mapping (Eq. 4) on the given topology set with
   /// mini-batch Adam and the paper's staircase lr decay. Deterministic
-  /// given `rng`.
+  /// given `rng`. Runs on the train::Harness; `options` control
+  /// checkpointing, resume, and the divergence guards (the default
+  /// options keep the sentinels on and disk checkpointing off, and the
+  /// loop matches the pre-harness behavior bit for bit).
+  TrainStats train(const std::vector<squish::Topology>& data, Rng& rng,
+                   const train::TrainOptions& options);
   TrainStats train(const std::vector<squish::Topology>& data, Rng& rng);
 
   /// One optimization step on an encoded batch; returns the MSE loss.
-  double trainStep(const nn::Tensor& batch, nn::Optimizer& opt);
+  /// With `guard` set, the update goes through Harness::guardedStep
+  /// (gradient sentinels + clipping).
+  double trainStep(const nn::Tensor& batch, nn::Optimizer& opt,
+                   train::Harness* guard = nullptr);
+
+  /// Identity of (architecture, hyper-parameters, dataset size) for
+  /// checkpoint resume validation. Excludes trainSteps so a finished
+  /// run can be extended.
+  [[nodiscard]] std::uint64_t configHash(std::size_t datasetSize) const;
 
   [[nodiscard]] std::vector<nn::Param*> params();
   [[nodiscard]] std::size_t parameterCount();

@@ -11,6 +11,7 @@
 #include "nn/reshape.hpp"
 #include "nn/schedule.hpp"
 #include "nn/serialize.hpp"
+#include "train/checkpoint.hpp"
 
 namespace dp::models {
 
@@ -89,7 +90,8 @@ Tensor Vae::sampleInfer(int n, Rng& rng) const {
   return decodeInfer(z);
 }
 
-double Vae::trainStep(const Tensor& batch, nn::Optimizer& opt, Rng& rng) {
+double Vae::trainStep(const Tensor& batch, nn::Optimizer& opt, Rng& rng,
+                      train::Harness* guard) {
   opt.zeroGrad();
   const Tensor h = encBase_.forward(batch, /*training=*/true);
   const Tensor mu = muHead_.forward(h, /*training=*/true);
@@ -124,25 +126,63 @@ double Vae::trainStep(const Tensor& batch, nn::Optimizer& opt, Rng& rng) {
   Tensor dh = dhMu;
   dh += dhLogVar;
   encBase_.backward(dh);
-  opt.step();
+  if (guard)
+    guard->guardedStep(opt);
+  else
+    opt.step();
   return reconLoss + config_.klWeight * klLoss;
 }
 
+std::uint64_t Vae::configHash(long datasetSize) const {
+  std::uint64_t h = train::hashInit();
+  h = train::hashMix(h, 0x766165u);  // model tag "vae"
+  h = train::hashMix(h, static_cast<std::uint64_t>(config_.backbone));
+  h = train::hashMix(h, static_cast<std::uint64_t>(config_.inputSize));
+  h = train::hashMix(h, static_cast<std::uint64_t>(config_.inputDim));
+  h = train::hashMix(h, static_cast<std::uint64_t>(config_.latentDim));
+  h = train::hashMix(h, static_cast<std::uint64_t>(config_.hidden));
+  h = train::hashMix(h, static_cast<std::uint64_t>(config_.conv1Channels));
+  h = train::hashMix(h, static_cast<std::uint64_t>(config_.conv2Channels));
+  h = train::hashMixDouble(h, config_.klWeight);
+  h = train::hashMixDouble(h, config_.weightDecay);
+  h = train::hashMixDouble(h, config_.initialLr);
+  h = train::hashMixDouble(h, config_.lrDecayFactor);
+  h = train::hashMix(h, static_cast<std::uint64_t>(config_.lrDecayEvery));
+  h = train::hashMix(h, static_cast<std::uint64_t>(config_.batchSize));
+  h = train::hashMix(h, static_cast<std::uint64_t>(datasetSize));
+  return h;
+}
+
 double Vae::train(const Tensor& data, Rng& rng) {
+  return train(data, rng, train::TrainOptions{});
+}
+
+double Vae::train(const Tensor& data, Rng& rng,
+                  const train::TrainOptions& options) {
   if (data.dim() < 1 || data.size(0) == 0)
     throw std::invalid_argument("Vae::train: empty dataset");
   nn::Adam opt(params(), config_.initialLr);
   const nn::StepDecaySchedule sched(config_.initialLr,
                                     config_.lrDecayFactor,
                                     config_.lrDecayEvery);
-  double loss = 0.0;
-  for (long step = 0; step < config_.trainSteps; ++step) {
-    opt.setLearningRate(sched.lrAt(step));
-    const auto idx =
-        sampleIndices(data.size(0), config_.batchSize, rng);
-    loss = trainStep(gatherRows(data, idx), opt, rng);
-  }
-  return loss;
+
+  std::vector<nn::Tensor*> modelState = encBase_.state();
+  for (nn::Tensor* t : decoder_.state()) modelState.push_back(t);
+
+  train::HarnessSpec spec;
+  spec.totalSteps = config_.trainSteps;
+  spec.lrAt = [&sched](long step) { return sched.lrAt(step); };
+  spec.configHash = configHash(data.size(0));
+  spec.samplesPerStep = config_.batchSize;
+  spec.datasetSize = data.size(0);
+  train::Harness harness(params(), std::move(modelState), {&opt},
+                         std::move(spec), options);
+  const train::HarnessStats hs =
+      harness.run(rng, [&](long /*step*/, Rng& r) {
+        const auto idx = sampleIndices(data.size(0), config_.batchSize, r);
+        return trainStep(gatherRows(data, idx), opt, r, &harness);
+      });
+  return hs.finalLoss;
 }
 
 std::vector<nn::Param*> Vae::params() {

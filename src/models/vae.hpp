@@ -18,6 +18,7 @@
 #include "nn/optimizer.hpp"
 #include "nn/sequential.hpp"
 #include "tensor/tensor.hpp"
+#include "train/harness.hpp"
 
 namespace dp::models {
 
@@ -74,7 +75,15 @@ class Vae {
 
   /// Trains on `data` (first dim = samples) with the ELBO objective
   /// (reconstruction MSE + klWeight * KL). Returns final total loss.
+  /// Runs on the train::Harness; default options keep the sentinels on
+  /// and disk checkpointing off, bit-identical to the pre-harness loop.
+  double train(const nn::Tensor& data, Rng& rng,
+               const train::TrainOptions& options);
   double train(const nn::Tensor& data, Rng& rng);
+
+  /// Checkpoint-resume identity of (architecture, hyper-parameters,
+  /// dataset size); excludes trainSteps so runs can be extended.
+  [[nodiscard]] std::uint64_t configHash(long datasetSize) const;
 
   [[nodiscard]] std::vector<nn::Param*> params();
 
@@ -86,8 +95,10 @@ class Vae {
   void load(const std::string& path);
 
  private:
-  /// One optimization step; returns the total loss.
-  double trainStep(const nn::Tensor& batch, nn::Optimizer& opt, Rng& rng);
+  /// One optimization step; returns the total loss. With `guard` set,
+  /// the update goes through Harness::guardedStep.
+  double trainStep(const nn::Tensor& batch, nn::Optimizer& opt, Rng& rng,
+                   train::Harness* guard = nullptr);
 
   VaeConfig config_;
   nn::Sequential encBase_;

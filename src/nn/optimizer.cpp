@@ -21,6 +21,13 @@ Sgd::Sgd(std::vector<Param*> params, double lr, double momentum)
   for (Param* p : params_) velocity_.push_back(Tensor::zeros(p->value.shape()));
 }
 
+std::vector<Tensor*> Sgd::state() {
+  std::vector<Tensor*> out;
+  out.reserve(velocity_.size());
+  for (Tensor& v : velocity_) out.push_back(&v);
+  return out;
+}
+
 void Sgd::step() {
   for (std::size_t k = 0; k < params_.size(); ++k) {
     Param& p = *params_[k];
@@ -37,7 +44,7 @@ void Sgd::step() {
 Adam::Adam(std::vector<Param*> params, double lr, double beta1,
            double beta2, double eps)
     : Optimizer(std::move(params), lr), beta1_(beta1), beta2_(beta2),
-      eps_(eps) {
+      eps_(eps), stepState_(Tensor::zeros({1})) {
   m_.reserve(params_.size());
   v_.reserve(params_.size());
   for (Param* p : params_) {
@@ -46,8 +53,24 @@ Adam::Adam(std::vector<Param*> params, double lr, double beta1,
   }
 }
 
+std::vector<Tensor*> Adam::state() {
+  std::vector<Tensor*> out;
+  out.reserve(1 + m_.size() + v_.size());
+  out.push_back(&stepState_);
+  for (Tensor& m : m_) out.push_back(&m);
+  for (Tensor& v : v_) out.push_back(&v);
+  return out;
+}
+
+void Adam::loadState() {
+  t_ = std::lround(static_cast<double>(stepState_[0]));
+  if (t_ < 0)
+    throw std::runtime_error("Adam::loadState: negative step count");
+}
+
 void Adam::step() {
   ++t_;
+  stepState_[0] = static_cast<float>(t_);
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
   for (std::size_t k = 0; k < params_.size(); ++k) {

@@ -27,6 +27,25 @@ class Optimizer {
   [[nodiscard]] double learningRate() const { return lr_; }
   void setLearningRate(double lr) { lr_ = lr; }
 
+  /// The parameter list this optimizer updates (read-only view; used
+  /// by the training harness for gradient sentinels and clipping).
+  [[nodiscard]] const std::vector<Param*>& params() const {
+    return params_;
+  }
+
+  /// Persistent optimizer state in a stable order — the Layer::state()
+  /// tensor-list contract extended to optimizers, so a training
+  /// checkpoint can capture and restore the update rule mid-run
+  /// (momentum velocities, Adam moments, and scalar counters encoded
+  /// as tensors). Stateless optimizers return an empty list.
+  [[nodiscard]] virtual std::vector<Tensor*> state() { return {}; }
+
+  /// Re-derives scalar state from the state() tensors after they have
+  /// been overwritten by a checkpoint load (e.g. Adam's step count,
+  /// which drives bias correction). No-op for optimizers whose state
+  /// is tensors only.
+  virtual void loadState() {}
+
  protected:
   /// Effective gradient of parameter scalar i including weight decay.
   [[nodiscard]] static double effectiveGrad(const Param& p, std::size_t i) {
@@ -37,27 +56,38 @@ class Optimizer {
   double lr_;
 };
 
-/// SGD with classical momentum.
+/// SGD with classical momentum. state() exposes one velocity tensor
+/// per parameter.
 class Sgd final : public Optimizer {
  public:
   Sgd(std::vector<Param*> params, double lr, double momentum = 0.0);
   void step() override;
+  [[nodiscard]] std::vector<Tensor*> state() override;
 
  private:
   double momentum_;
   std::vector<Tensor> velocity_;
 };
 
-/// Adam (Kingma & Ba). Default betas as in the reference implementation.
+/// Adam (Kingma & Ba). Default betas as in the reference
+/// implementation. state() exposes the step counter (a 1-element
+/// tensor, exact up to 2^24 steps — far beyond any training run here)
+/// followed by the first- and second-moment tensors; loadState()
+/// re-derives the integer step count that drives bias correction.
 class Adam final : public Optimizer {
  public:
   Adam(std::vector<Param*> params, double lr, double beta1 = 0.9,
        double beta2 = 0.999, double eps = 1e-8);
   void step() override;
+  [[nodiscard]] std::vector<Tensor*> state() override;
+  void loadState() override;
+
+  [[nodiscard]] long stepCount() const { return t_; }
 
  private:
   double beta1_, beta2_, eps_;
   long t_ = 0;
+  Tensor stepState_;  ///< t_ mirrored as a tensor for the state() list
   std::vector<Tensor> m_, v_;
 };
 

@@ -275,11 +275,23 @@ void Bundle::save(const std::string& dir) const {
 
 std::shared_ptr<const Bundle> buildBundle(
     const BundleSpec& spec, const BundleBuildConfig& config,
-    const std::vector<squish::Topology>& topologies, Rng& rng) {
+    const std::vector<squish::Topology>& topologies, Rng& rng,
+    Metrics* metrics) {
   if (topologies.empty())
     throw std::invalid_argument("buildBundle: empty topology library");
   auto bundle = std::make_shared<Bundle>(spec, rng);
-  bundle->tcae().train(topologies, rng);
+  const models::TrainStats trainStats =
+      bundle->tcae().train(topologies, rng, config.tcaeTrain);
+  if (metrics) {
+    TrainCounters counters;
+    counters.steps = static_cast<std::uint64_t>(trainStats.steps);
+    counters.rollbacks = static_cast<std::uint64_t>(trainStats.rollbacks);
+    counters.nanEvents = static_cast<std::uint64_t>(trainStats.nanEvents);
+    counters.checkpointsSaved =
+        static_cast<std::uint64_t>(trainStats.checkpointsSaved);
+    counters.resumes = trainStats.resumed ? 1 : 0;
+    metrics->recordTrain(counters);
+  }
   bundle->setSensitivity(core::estimateSensitivity(
       bundle->tcae(), topologies, bundle->checker(), config.sensitivity));
   bundle->setSourceLatents(core::encodeSourceLatents(

@@ -44,8 +44,10 @@
 #include "geometry/design_rules.hpp"
 #include "lp/geometry_solver.hpp"
 #include "models/tcae.hpp"
+#include "serve/metrics.hpp"
 #include "squish/topology.hpp"
 #include "tensor/tensor.hpp"
+#include "train/harness.hpp"
 
 namespace dp::serve {
 
@@ -138,15 +140,23 @@ struct BundleBuildConfig {
   /// Good-vector collection run used to train the guide (only when
   /// spec.guide is set); collectGoodVectors is forced on.
   core::FlowConfig guideCollect;
+  /// Robustness options for the TCAE training phase: checkpointing
+  /// (tcaeTrain.checkpointDir makes the build crash-resumable),
+  /// divergence guards, LR backoff. Defaults: sentinels on, no disk
+  /// checkpoints.
+  train::TrainOptions tcaeTrain;
 };
 
 /// Trains a complete bundle from an existing topology library: TCAE
 /// identity training, Algorithm-1 sensitivity, source-latent encoding,
 /// and (when spec.guide is set) a guide trained on the perturbation
-/// vectors that decoded legally. Deterministic given `rng`.
+/// vectors that decoded legally. Deterministic given `rng`. When
+/// `metrics` is non-null, the TCAE harness counters are folded into
+/// its dp_train_* exposition.
 [[nodiscard]] std::shared_ptr<const Bundle> buildBundle(
     const BundleSpec& spec, const BundleBuildConfig& config,
-    const std::vector<squish::Topology>& topologies, Rng& rng);
+    const std::vector<squish::Topology>& topologies, Rng& rng,
+    Metrics* metrics = nullptr);
 
 /// Loads a bundle directory written by Bundle::save.
 [[nodiscard]] std::shared_ptr<const Bundle> loadBundle(

@@ -109,6 +109,20 @@ std::map<std::string, StageCounter> Metrics::stageTotals() const {
   return stages_;
 }
 
+void Metrics::recordTrain(const TrainCounters& delta) {
+  LockGuard lock(mutex_);
+  train_.steps += delta.steps;
+  train_.rollbacks += delta.rollbacks;
+  train_.nanEvents += delta.nanEvents;
+  train_.checkpointsSaved += delta.checkpointsSaved;
+  train_.resumes += delta.resumes;
+}
+
+TrainCounters Metrics::trainTotals() const {
+  LockGuard lock(mutex_);
+  return train_;
+}
+
 void Metrics::countShed(const std::string& reason) {
   LockGuard lock(mutex_);
   ++shed_[reason];
@@ -152,12 +166,14 @@ std::string Metrics::renderPrometheus() const {
   std::map<std::string, BundleStats> bundles;
   std::map<std::string, std::uint64_t> shed;
   std::map<std::string, StageCounter> stages;
+  TrainCounters train;
   {
     LockGuard lock(mutex_);
     requests = requests_;
     bundles = bundles_;
     shed = shed_;
     stages = stages_;
+    train = train_;
   }
 
   line("# HELP dp_requests_total HTTP requests by route and status.");
@@ -214,6 +230,27 @@ std::string Metrics::renderPrometheus() const {
     for (const auto& [stage, counter] : stages)
       line("dp_pipeline_stage_seconds_total{stage=\"" + stage + "\"} " +
            num(counter.seconds));
+  }
+
+  if (train.steps > 0 || train.nanEvents > 0 || train.resumes > 0) {
+    line("# HELP dp_train_steps_total Harnessed training steps run.");
+    line("# TYPE dp_train_steps_total counter");
+    line("dp_train_steps_total " + std::to_string(train.steps));
+    line("# HELP dp_train_rollbacks_total Divergence rollbacks taken.");
+    line("# TYPE dp_train_rollbacks_total counter");
+    line("dp_train_rollbacks_total " + std::to_string(train.rollbacks));
+    line(
+        "# HELP dp_train_nan_events_total Non-finite loss/gradient "
+        "detections.");
+    line("# TYPE dp_train_nan_events_total counter");
+    line("dp_train_nan_events_total " + std::to_string(train.nanEvents));
+    line("# HELP dp_train_checkpoints_saved_total Checkpoints sealed.");
+    line("# TYPE dp_train_checkpoints_saved_total counter");
+    line("dp_train_checkpoints_saved_total " +
+         std::to_string(train.checkpointsSaved));
+    line("# HELP dp_train_resumes_total Runs resumed from a checkpoint.");
+    line("# TYPE dp_train_resumes_total counter");
+    line("dp_train_resumes_total " + std::to_string(train.resumes));
   }
 
   line("# HELP dp_shed_total Requests shed by reason.");

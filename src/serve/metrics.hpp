@@ -57,6 +57,16 @@ struct StageCounter {
   double seconds = 0.0;
 };
 
+/// Training-harness robustness counters (DESIGN.md §16), accumulated
+/// across every harnessed run this process drove (bundle builds).
+struct TrainCounters {
+  std::uint64_t steps = 0;           ///< optimizer steps completed
+  std::uint64_t rollbacks = 0;       ///< divergence rollbacks taken
+  std::uint64_t nanEvents = 0;       ///< non-finite loss/grad detections
+  std::uint64_t checkpointsSaved = 0;
+  std::uint64_t resumes = 0;         ///< runs continued from a checkpoint
+};
+
 /// Per-bundle generation quality counters.
 struct BundleStats {
   std::uint64_t requests = 0;
@@ -83,6 +93,11 @@ class Metrics {
                    double seconds) DP_EXCLUDES(mutex_);
   [[nodiscard]] std::map<std::string, StageCounter> stageTotals() const
       DP_EXCLUDES(mutex_);
+
+  /// Folds one harnessed training run's counters into the dp_train_*
+  /// exposition (steps, rollbacks, NaN events, checkpoints, resumes).
+  void recordTrain(const TrainCounters& delta) DP_EXCLUDES(mutex_);
+  [[nodiscard]] TrainCounters trainTotals() const DP_EXCLUDES(mutex_);
 
   /// Counts one load-shed request. `reason` labels the shed class
   /// (queue_full, deadline, fault) in the dp_shed_total exposition.
@@ -154,6 +169,7 @@ class Metrics {
   std::map<std::string, BundleStats> bundles_ DP_GUARDED_BY(mutex_);
   std::map<std::string, std::uint64_t> shed_ DP_GUARDED_BY(mutex_);
   std::map<std::string, StageCounter> stages_ DP_GUARDED_BY(mutex_);
+  TrainCounters train_ DP_GUARDED_BY(mutex_);
   std::atomic<long> queueDepth_{0};
   std::atomic<long> connectionsOpen_{0};
   std::atomic<std::uint64_t> connectionsTotal_{0};

@@ -1,0 +1,197 @@
+#include "train/checkpoint.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/atomic_file.hpp"
+#include "common/fault.hpp"
+#include "io/json.hpp"
+#include "nn/serialize.hpp"
+
+namespace dp::train {
+
+namespace fs = std::filesystem;
+using dp::io::Json;
+
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string stateFileName(long step) {
+  // Built piecewise: gcc 12's -Wrestrict misfires on chained
+  // "state." + std::to_string(...) + ".bin" temporaries.
+  std::string name = "state.";
+  name += std::to_string(step);
+  name += ".bin";
+  return name;
+}
+
+Json traceJson(const std::vector<double>& values) {
+  Json arr = Json::array();
+  for (const double v : values) arr.push(Json(v));
+  return arr;
+}
+
+std::vector<double> traceFromJson(const Json& arr) {
+  std::vector<double> out;
+  out.reserve(arr.size());
+  for (std::size_t i = 0; i < arr.size(); ++i)
+    out.push_back(arr.at(i).asDouble());
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t hashInit() { return 0xcbf29ce484222325ull; }
+
+std::uint64_t hashMix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t hashMixDouble(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  __builtin_memcpy(&bits, &v, sizeof bits);
+  return hashMix(h, bits);
+}
+
+void saveCheckpoint(const std::string& dir, const TrainCheckpoint& record,
+                    const std::vector<const nn::Tensor*>& tensors) {
+  static FaultSite saveFault("train.checkpoint.save");
+  saveFault.orThrow();
+  fs::create_directories(dir);
+
+  // Data first, commit second: the state file carries the step as its
+  // generation suffix, so it never overwrites the file the current
+  // manifest points at (a re-save of the same step after a crash
+  // rewrites identical bytes through an atomic rename).
+  const std::string stateFile = stateFileName(record.step);
+  nn::saveTensors(tensors, dir + "/" + stateFile);
+
+  Json files = Json::object();
+  {
+    Json f = Json::object();
+    f.set("path", stateFile);
+    f.set("crc32",
+          static_cast<double>(crc32File(dir + "/" + stateFile)));
+    f.set("bytes",
+          static_cast<double>(fs::file_size(dir + "/" + stateFile)));
+    files.set("state", std::move(f));
+  }
+
+  // Every field below is a pure function of the training history (no
+  // timestamps, no save counters), so an interrupted-and-resumed run
+  // commits a manifest byte-identical to the uninterrupted run's.
+  Json m = Json::object();
+  m.set("format", "dp-train-1");
+  m.set("step", static_cast<double>(record.step));
+  m.set("totalSteps", static_cast<double>(record.totalSteps));
+  m.set("epoch", static_cast<double>(record.epoch));
+  m.set("rollbacks", record.rollbacks);
+  m.set("lrScale", record.lrScale);
+  m.set("nanEvents", static_cast<double>(record.nanEvents));
+  m.set("lossTrace", traceJson(record.lossTrace));
+  m.set("recentLosses", traceJson(record.recentLosses));
+  m.set("rngState", record.rngState);
+  // Decimal string: a 64-bit hash does not survive a double round-trip.
+  m.set("configHash", std::to_string(record.configHash));
+  m.set("files", std::move(files));
+
+  AtomicFileWriter out(dir + "/manifest.json");
+  out.append(m.dump());
+  out.append("\n");
+  (void)out.commit();
+
+  sweepStaleCheckpoints(dir, record.step);
+}
+
+std::optional<TrainCheckpoint> loadCheckpoint(
+    const std::string& dir, std::uint64_t expectConfigHash,
+    const std::vector<nn::Tensor*>& tensors) {
+  static FaultSite loadFault("train.checkpoint.load");
+  const std::string manifestPath = dir + "/manifest.json";
+  if (!fs::exists(manifestPath)) {
+    // Fresh run — but a crashed save may have left temp files or an
+    // uncommitted state file behind; start from a clean directory.
+    if (fs::is_directory(dir)) sweepStaleCheckpoints(dir, -1);
+    return std::nullopt;
+  }
+  loadFault.orThrow();
+
+  const Json m = Json::parse(readFile(manifestPath));
+  if (!m.get("format").isString() ||
+      m.at("format").asString() != "dp-train-1")
+    throw std::runtime_error("loadCheckpoint: " + dir +
+                             ": unsupported manifest format");
+
+  TrainCheckpoint rec;
+  rec.step = m.at("step").asLong();
+  rec.totalSteps = m.at("totalSteps").asLong();
+  rec.epoch = m.at("epoch").asLong();
+  rec.rollbacks = static_cast<int>(m.at("rollbacks").asLong());
+  rec.lrScale = m.at("lrScale").asDouble();
+  rec.nanEvents = m.at("nanEvents").asLong();
+  rec.lossTrace = traceFromJson(m.at("lossTrace"));
+  rec.recentLosses = traceFromJson(m.at("recentLosses"));
+  rec.rngState = m.at("rngState").asString();
+  rec.configHash = m.at("configHash").asUint64();
+  if (rec.configHash != expectConfigHash)
+    throw std::runtime_error(
+        "loadCheckpoint: " + dir +
+        ": checkpoint was written by a run with different parameters "
+        "(config hash mismatch) — refusing to resume");
+
+  // Verify byte size and CRC-32 before anything is deserialized, like
+  // serve bundles: a torn or bit-rotted state file must never load.
+  const Json& f = m.at("files").at("state");
+  const std::string statePath = dir + "/" + f.at("path").asString();
+  const std::uint64_t bytes = f.at("bytes").asUint64();
+  const auto want = static_cast<std::uint32_t>(f.at("crc32").asUint64());
+  std::error_code ec;
+  const std::uint64_t actual = fs::file_size(statePath, ec);
+  if (ec || actual != bytes)
+    throw std::runtime_error(
+        "loadCheckpoint: " + statePath + ": size mismatch (manifest says " +
+        std::to_string(bytes) + " bytes, file has " +
+        (ec ? "none" : std::to_string(actual)) + ")");
+  if (crc32File(statePath) != want)
+    throw std::runtime_error("loadCheckpoint: " + statePath +
+                             ": checksum mismatch (corrupt checkpoint)");
+  nn::loadTensors(tensors, statePath);
+
+  // A SIGKILL between a commit and its sweep leaves stale files the
+  // unwind-based cleanup never saw; converge here so the directory's
+  // final content does not depend on where the crash landed.
+  sweepStaleCheckpoints(dir, rec.step);
+  return rec;
+}
+
+void sweepStaleCheckpoints(const std::string& dir, long keepStep) {
+  const std::string keep = keepStep < 0 ? "" : stateFileName(keepStep);
+  std::error_code ec;
+  std::vector<fs::path> stale;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) {
+      stale.push_back(entry.path());  // crashed atomic write
+      continue;
+    }
+    if (name.rfind("state.", 0) == 0 && name != keep)
+      stale.push_back(entry.path());
+  }
+  for (const auto& path : stale) fs::remove(path, ec);
+}
+
+}  // namespace dp::train

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// The TrainCheckpoint record: everything a resumable training run
+/// needs to continue bit-exactly from a step boundary — model
+/// parameters and running stats, optimizer state, the RNG stream
+/// position, the step/epoch cursor, the loss trace, and the guard's
+/// rollback state (DESIGN.md §16).
+///
+/// On-disk layout (one directory per run):
+///   manifest.json    the atomic commit record: format tag, cursor,
+///                    guard state, RNG state, loss traces, and a
+///                    "files" map (path + byte size + CRC-32) for the
+///                    state file, published last via AtomicFileWriter
+///   state.<s>.bin    all checkpoint tensors at step s (nn::saveTensors)
+///
+/// The scheme mirrors dp-bundles (serve/bundle.cpp) with the step
+/// cursor as the generation number: a save at step s writes
+/// state.<s>.bin first and commits the manifest second, so a crash at
+/// any instant leaves the previous checkpoint loadable; stale
+/// generations are swept only after commit. Because the file name is
+/// the step — not a monotonic save counter — an interrupted-and-
+/// resumed run converges on a directory byte-identical to an
+/// uninterrupted run's, no matter how many extra checkpoints (SIGTERM
+/// seals, crash windows) happened along the way.
+///
+/// Fault sites (common/fault.hpp): train.checkpoint.save,
+/// train.checkpoint.load.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dp::train {
+
+/// Serializable cursor + guard state of a training run. The tensor
+/// payload (params, model state, optimizer state) travels separately
+/// as the state file; this record is the manifest's content.
+struct TrainCheckpoint {
+  long step = 0;        ///< completed steps (the resume cursor)
+  long totalSteps = 0;  ///< target step count of the run
+  long epoch = 0;       ///< derived: step*samplesPerStep/datasetSize
+  int rollbacks = 0;    ///< divergence rollbacks taken so far
+  double lrScale = 1.0; ///< product of LR backoff factors
+  long nanEvents = 0;   ///< non-finite loss/grad detections so far
+  /// Loss at every traceEvery-th step, keyed implicitly by index
+  /// (entry i = step i*traceEvery). Re-recorded entries after a
+  /// rollback overwrite their slot, so the trace stays well-defined.
+  std::vector<double> lossTrace;
+  /// The guard's trailing loss window (most recent last) — carried so
+  /// a resumed run's spike detector sees exactly the history the
+  /// uninterrupted run would.
+  std::vector<double> recentLosses;
+  std::string rngState;        ///< Rng::state() of the training stream
+  std::uint64_t configHash = 0;  ///< run identity; mismatch = reject
+};
+
+/// FNV-1a accumulation helpers for TrainCheckpoint::configHash. Models
+/// fold their hyper-parameters and dataset size into a hash so a
+/// checkpoint directory cannot silently resume a different run.
+[[nodiscard]] std::uint64_t hashInit();
+[[nodiscard]] std::uint64_t hashMix(std::uint64_t h, std::uint64_t v);
+[[nodiscard]] std::uint64_t hashMixDouble(std::uint64_t h, double v);
+
+/// Publishes a checkpoint: state.<step>.bin (tensor payload) then
+/// manifest.json (atomic commit), then sweeps stale generations and
+/// orphaned temp files. Crash-safe at every instant.
+void saveCheckpoint(const std::string& dir, const TrainCheckpoint& record,
+                    const std::vector<const nn::Tensor*>& tensors);
+
+/// Loads the checkpoint committed in `dir` into `tensors` (shapes must
+/// match exactly; see nn::loadTensors) and returns its record.
+/// Returns nullopt when the directory has no manifest (fresh run).
+/// Throws on a corrupt manifest, a state-file size/CRC mismatch, or a
+/// configHash differing from `expectConfigHash` — a checkpoint must
+/// never silently resume under different parameters.
+[[nodiscard]] std::optional<TrainCheckpoint> loadCheckpoint(
+    const std::string& dir, std::uint64_t expectConfigHash,
+    const std::vector<nn::Tensor*>& tensors);
+
+/// Removes state files from steps other than `keepStep` plus orphaned
+/// atomic-writer temp files (a SIGKILL skips unwind cleanup).
+/// Best-effort: stale files cost disk, never correctness.
+void sweepStaleCheckpoints(const std::string& dir, long keepStep);
+
+}  // namespace dp::train

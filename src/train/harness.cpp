@@ -1,0 +1,291 @@
+#include "train/harness.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <csignal>
+#include <limits>
+
+#include "common/fault.hpp"
+#include "train/checkpoint.hpp"
+
+namespace dp::train {
+
+namespace {
+
+// Set from the SIGTERM handler, so it must be lock-free; relaxed
+// ordering suffices because the flag carries no other data.
+std::atomic<bool> g_stopRequested{false};
+static_assert(std::atomic<bool>::is_always_lock_free);
+
+extern "C" void stopSignalHandler(int) {
+  g_stopRequested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void installStopHandler() {
+  struct sigaction sa = {};
+  sa.sa_handler = stopSignalHandler;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+void requestStop() { g_stopRequested.store(true, std::memory_order_relaxed); }
+
+void clearStopRequest() {
+  g_stopRequested.store(false, std::memory_order_relaxed);
+}
+
+bool stopRequested() {
+  return g_stopRequested.load(std::memory_order_relaxed);
+}
+
+Harness::Harness(std::vector<nn::Param*> params,
+                 std::vector<nn::Tensor*> modelState,
+                 std::vector<nn::Optimizer*> optimizers, HarnessSpec spec,
+                 TrainOptions options)
+    : params_(std::move(params)), modelState_(std::move(modelState)),
+      opts_(std::move(optimizers)), spec_(std::move(spec)),
+      options_(std::move(options)) {
+  if (!spec_.lrAt)
+    throw std::invalid_argument("Harness: spec.lrAt is required");
+  if (spec_.totalSteps < 0)
+    throw std::invalid_argument("Harness: negative totalSteps");
+  if (options_.checkpointEvery < 1)
+    throw std::invalid_argument("Harness: checkpointEvery must be >= 1");
+  if (options_.traceEvery < 1)
+    throw std::invalid_argument("Harness: traceEvery must be >= 1");
+  for (nn::Param* p : params_)
+    if (!p) throw std::invalid_argument("Harness: null parameter");
+  for (nn::Tensor* t : modelState_)
+    if (!t) throw std::invalid_argument("Harness: null state tensor");
+  for (nn::Optimizer* o : opts_)
+    if (!o) throw std::invalid_argument("Harness: null optimizer");
+}
+
+std::vector<nn::Tensor*> Harness::checkpointTensors() {
+  std::vector<nn::Tensor*> out;
+  out.reserve(params_.size() + modelState_.size());
+  for (nn::Param* p : params_) out.push_back(&p->value);
+  for (nn::Tensor* t : modelState_) out.push_back(t);
+  for (nn::Optimizer* o : opts_)
+    for (nn::Tensor* t : o->state()) out.push_back(t);
+  return out;
+}
+
+void Harness::takeSnapshot(const Rng& rng) {
+  snapshot_.step = cursor_;
+  snapshot_.tensors.clear();
+  for (nn::Tensor* t : checkpointTensors()) snapshot_.tensors.push_back(*t);
+  snapshot_.rngState = rng.state();
+  snapshot_.lossTrace = lossTrace_;
+  snapshot_.recentLosses = recentLosses_;
+}
+
+void Harness::restoreSnapshot(Rng& rng) {
+  const std::vector<nn::Tensor*> live = checkpointTensors();
+  for (std::size_t i = 0; i < live.size(); ++i)
+    *live[i] = snapshot_.tensors[i];
+  syncOptimizers();
+  rng.setState(snapshot_.rngState);
+  cursor_ = snapshot_.step;
+  lossTrace_ = snapshot_.lossTrace;
+  recentLosses_ = snapshot_.recentLosses;
+}
+
+void Harness::syncOptimizers() {
+  for (nn::Optimizer* o : opts_) o->loadState();
+}
+
+void Harness::setLearningRate() {
+  const double lr = spec_.lrAt(cursor_) * lrScale_;
+  for (nn::Optimizer* o : opts_) o->setLearningRate(lr);
+}
+
+void Harness::guardedStep(nn::Optimizer& opt) {
+  static FaultSite nanFault("train.guard.nan");
+  if (nanFault.shouldFail())
+    throw DivergenceError(
+        DivergenceError::Kind::kInjected, cursor_,
+        "injected non-finite gradient (train.guard.nan)",
+        std::numeric_limits<double>::quiet_NaN());
+  if (options_.sentinels) {
+    for (const nn::Param* p : opt.params())
+      for (std::size_t i = 0; i < p->grad.numel(); ++i)
+        if (!std::isfinite(p->grad[i]))
+          throw DivergenceError(DivergenceError::Kind::kNonFinite, cursor_,
+                                "non-finite gradient",
+                                static_cast<double>(p->grad[i]));
+  }
+  if (options_.gradClipNorm > 0.0) {
+    // Serial accumulation: the clip factor must not depend on thread
+    // count. Weight decay is applied at update time, after the clip,
+    // matching the usual clip-then-decay convention.
+    double sumSq = 0.0;
+    for (const nn::Param* p : opt.params())
+      for (std::size_t i = 0; i < p->grad.numel(); ++i) {
+        const double g = p->grad[i];
+        sumSq += g * g;
+      }
+    const double norm = std::sqrt(sumSq);
+    if (norm > options_.gradClipNorm) {
+      const auto scale =
+          static_cast<float>(options_.gradClipNorm / norm);
+      for (nn::Param* p : opt.params())
+        for (std::size_t i = 0; i < p->grad.numel(); ++i)
+          p->grad[i] *= scale;
+    }
+  }
+  opt.step();
+}
+
+void Harness::guardLoss(double loss) {
+  if (options_.sentinels && !std::isfinite(loss))
+    throw DivergenceError(DivergenceError::Kind::kNonFinite, cursor_,
+                          "non-finite loss", loss);
+  if (options_.spikeFactor > 0.0 && recentLosses_.size() >= 5) {
+    std::vector<double> window = recentLosses_;
+    const std::size_t mid = window.size() / 2;
+    std::nth_element(window.begin(), window.begin() + mid, window.end());
+    const double median = window[mid];
+    if (std::isfinite(median) && median > 0.0 &&
+        loss > options_.spikeFactor * median)
+      throw DivergenceError(
+          DivergenceError::Kind::kSpike, cursor_,
+          "loss spike (" + std::to_string(loss) + " vs trailing median " +
+              std::to_string(median) + ")",
+          loss);
+  }
+}
+
+void Harness::recordLoss(double loss) {
+  recentLosses_.push_back(loss);
+  const auto window =
+      static_cast<std::size_t>(std::max<long>(1, options_.spikeWindow));
+  if (recentLosses_.size() > window)
+    recentLosses_.erase(recentLosses_.begin());
+  if (cursor_ % options_.traceEvery == 0) {
+    const auto idx = static_cast<std::size_t>(cursor_ / options_.traceEvery);
+    // A replay after a rollback re-records its slot.
+    if (idx < lossTrace_.size())
+      lossTrace_[idx] = loss;
+    else
+      lossTrace_.push_back(loss);
+  }
+}
+
+void Harness::handleDivergence(const DivergenceError& e, Rng& rng) {
+  if (e.kind() != DivergenceError::Kind::kSpike) ++nanEvents_;
+  if (rollbacks_ >= options_.maxRollbacks)
+    throw std::runtime_error(
+        "training diverged at step " + std::to_string(e.step()) + " (" +
+        e.what() + "): rollback budget exhausted after " +
+        std::to_string(rollbacks_) + " rollbacks (lrScale=" +
+        std::to_string(lrScale_) +
+        ") — the run cannot make progress; inspect the data and "
+        "hyper-parameters");
+  ++rollbacks_;
+  lrScale_ *= options_.lrBackoff;
+  restoreSnapshot(rng);
+}
+
+void Harness::sealCheckpoint(const Rng& rng) {
+  TrainCheckpoint rec;
+  rec.step = cursor_;
+  rec.totalSteps = spec_.totalSteps;
+  rec.epoch = (spec_.samplesPerStep > 0 && spec_.datasetSize > 0)
+                  ? cursor_ * spec_.samplesPerStep / spec_.datasetSize
+                  : 0;
+  rec.rollbacks = rollbacks_;
+  rec.lrScale = lrScale_;
+  rec.nanEvents = nanEvents_;
+  rec.lossTrace = lossTrace_;
+  rec.recentLosses = recentLosses_;
+  rec.rngState = rng.state();
+  rec.configHash = spec_.configHash;
+  std::vector<const nn::Tensor*> tensors;
+  for (nn::Tensor* t : checkpointTensors()) tensors.push_back(t);
+  saveCheckpoint(options_.checkpointDir, rec, tensors);
+}
+
+HarnessStats Harness::run(Rng& rng, const StepFn& stepFn) {
+  static FaultSite stepFault("train.checkpoint.step");
+  HarnessStats stats;
+  cursor_ = 0;
+  rollbacks_ = 0;
+  lrScale_ = 1.0;
+  nanEvents_ = 0;
+  lossTrace_.clear();
+  recentLosses_.clear();
+
+  const bool disk = !options_.checkpointDir.empty();
+  if (disk) {
+    const std::optional<TrainCheckpoint> rec = loadCheckpoint(
+        options_.checkpointDir, spec_.configHash, checkpointTensors());
+    if (rec) {
+      if (rec->step > spec_.totalSteps)
+        throw std::runtime_error(
+            "Harness: checkpoint in " + options_.checkpointDir +
+            " is at step " + std::to_string(rec->step) +
+            ", past the requested " + std::to_string(spec_.totalSteps) +
+            " steps — refusing to resume backwards");
+      syncOptimizers();
+      rng.setState(rec->rngState);
+      cursor_ = rec->step;
+      rollbacks_ = rec->rollbacks;
+      lrScale_ = rec->lrScale;
+      nanEvents_ = rec->nanEvents;
+      lossTrace_ = rec->lossTrace;
+      recentLosses_ = rec->recentLosses;
+      stats.resumed = true;
+      stats.resumedFrom = cursor_;
+    }
+  }
+
+  // Rollback anchor at the cursor: divergence guards work (and can be
+  // tested) even with disk checkpointing off.
+  takeSnapshot(rng);
+
+  while (cursor_ < spec_.totalSteps) {
+    const long boundary =
+        std::min(spec_.totalSteps, (cursor_ / options_.checkpointEvery + 1) *
+                                       options_.checkpointEvery);
+    bool stopped = false;
+    while (cursor_ < boundary) {
+      if (stopRequested()) {
+        stopped = true;
+        break;
+      }
+      stepFault.orThrow();
+      setLearningRate();
+      try {
+        const double loss = stepFn(cursor_, rng);
+        guardLoss(loss);
+        recordLoss(loss);
+        ++cursor_;
+      } catch (const DivergenceError& e) {
+        handleDivergence(e, rng);
+      }
+    }
+    takeSnapshot(rng);
+    if (disk) {
+      sealCheckpoint(rng);
+      ++stats.checkpointsSaved;
+    }
+    if (stopped) {
+      stats.sealedByStop = true;
+      break;
+    }
+  }
+
+  if (disk) sweepStaleCheckpoints(options_.checkpointDir, cursor_);
+  stats.steps = cursor_;
+  stats.finalLoss = recentLosses_.empty() ? 0.0 : recentLosses_.back();
+  stats.lossTrace = lossTrace_;
+  stats.rollbacks = rollbacks_;
+  stats.nanEvents = nanEvents_;
+  return stats;
+}
+
+}  // namespace dp::train

@@ -1,0 +1,185 @@
+#pragma once
+
+/// \file harness.hpp
+/// The checkpointed, resumable, divergence-guarded training loop that
+/// every model's train() runs on (DESIGN.md §16). The harness owns the
+/// step loop, the learning-rate schedule, checkpoint publication and
+/// resume, and a guard layer; the model supplies a step function that
+/// does one forward/backward pass and routes its optimizer updates
+/// through guardedStep().
+///
+/// Determinism contract: a run is a pure function of (model init, rng
+/// seed, spec, options) at any DP_THREADS. Checkpoints land on a fixed
+/// step grid (every checkpointEvery steps plus the final step), every
+/// manifest field is a pure function of the training history, and the
+/// state file is named by its step — so a run killed at any instant
+/// and resumed converges on a checkpoint directory byte-identical to
+/// an uninterrupted run's (the PR 6 crash-equivalence property, ported
+/// to training).
+///
+/// Guard layer: per-step NaN/Inf sentinels over the loss and over
+/// every gradient about to be applied, optional global-norm gradient
+/// clipping, and optional loss-spike detection against the trailing
+/// median. A detection rolls the run back to the last checkpoint
+/// (an in-memory snapshot, so rollback works without a checkpoint
+/// directory), scales the learning rate down by lrBackoff, and
+/// replays; after maxRollbacks detections the run hard-fails with a
+/// diagnostic. SIGTERM (installStopHandler) requests a graceful stop:
+/// the loop seals a checkpoint at the current step and returns, and a
+/// later run resumes from the seal.
+///
+/// Fault sites (common/fault.hpp): train.checkpoint.step fires at
+/// every step boundary (the chaos suites' crash window), and
+/// train.guard.nan injects a synthetic non-finite gradient into
+/// guardedStep to exercise the rollback path deterministically.
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/optimizer.hpp"
+
+namespace dp::train {
+
+/// Robustness knobs of a harnessed run. The defaults leave disk
+/// checkpointing off (empty checkpointDir) and the sentinels on.
+struct TrainOptions {
+  std::string checkpointDir;  ///< empty: in-memory rollback only
+  long checkpointEvery = 250; ///< checkpoint grid pitch in steps
+  long traceEvery = 100;      ///< loss-trace recording pitch
+  bool sentinels = true;      ///< NaN/Inf checks on loss + gradients
+  double gradClipNorm = 0.0;  ///< global-L2 clip per update; 0 = off
+  double spikeFactor = 0.0;   ///< loss > factor * trailing median; 0 = off
+  long spikeWindow = 25;      ///< trailing-median window length
+  int maxRollbacks = 4;       ///< divergence budget before hard fail
+  double lrBackoff = 0.5;     ///< LR scale applied per rollback
+};
+
+/// What the model tells the harness about the run.
+struct HarnessSpec {
+  long totalSteps = 0;
+  /// Base learning rate at a step (the schedule); the harness applies
+  /// its rollback backoff on top. Required.
+  std::function<double(long)> lrAt;
+  /// Identity of (hyper-parameters, dataset) — exclude the step count
+  /// so a finished run can be extended. See checkpoint.hpp hash
+  /// helpers. A resume against a different hash is rejected.
+  std::uint64_t configHash = 0;
+  long samplesPerStep = 0;  ///< batch size, for the epoch cursor
+  long datasetSize = 0;     ///< samples per epoch; 0 = no epoch cursor
+};
+
+/// A guard detection (non-finite loss/gradient, injected fault, or
+/// loss spike). Thrown by guardedStep()/the loss guard, caught by the
+/// run loop for rollback; escapes run() only via the hard-fail
+/// diagnostic once the rollback budget is exhausted.
+class DivergenceError : public std::runtime_error {
+ public:
+  enum class Kind { kNonFinite, kInjected, kSpike };
+
+  DivergenceError(Kind kind, long step, const std::string& what,
+                  double value)
+      : std::runtime_error("divergence at step " + std::to_string(step) +
+                           ": " + what),
+        kind_(kind), step_(step), value_(value) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] long step() const { return step_; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  Kind kind_;
+  long step_;
+  double value_;
+};
+
+/// Outcome of a harnessed run.
+struct HarnessStats {
+  long steps = 0;          ///< cursor at return (== totalSteps unless sealed)
+  double finalLoss = 0.0;
+  std::vector<double> lossTrace;  ///< loss at every traceEvery-th step
+  bool resumed = false;
+  long resumedFrom = 0;
+  int rollbacks = 0;
+  long nanEvents = 0;      ///< non-finite/injected detections
+  long checkpointsSaved = 0;
+  bool sealedByStop = false;  ///< a stop request sealed the run early
+};
+
+/// One training step: forward/backward at `step` drawing randomness
+/// from `rng`, optimizer updates via Harness::guardedStep, returns the
+/// step's loss.
+using StepFn = std::function<double(long step, Rng& rng)>;
+
+class Harness {
+ public:
+  /// `params` + `modelState` + each optimizer's state() form the
+  /// checkpoint tensor payload, in that order. All pointers must
+  /// outlive the harness; optimizers must update exactly the given
+  /// params.
+  Harness(std::vector<nn::Param*> params,
+          std::vector<nn::Tensor*> modelState,
+          std::vector<nn::Optimizer*> optimizers, HarnessSpec spec,
+          TrainOptions options);
+
+  /// Called by the step function in place of opt.step(): fires the
+  /// train.guard.nan injection site, scans the gradients about to be
+  /// applied for NaN/Inf, applies the global-norm clip, then steps.
+  /// Throws DivergenceError on a detection (the run loop rolls back).
+  void guardedStep(nn::Optimizer& opt);
+
+  /// Runs (or resumes) the loop to totalSteps. `rng` is the training
+  /// stream whose position is checkpointed; the caller must not draw
+  /// from it between construction and run().
+  HarnessStats run(Rng& rng, const StepFn& stepFn);
+
+  [[nodiscard]] const TrainOptions& options() const { return options_; }
+
+ private:
+  struct Snapshot {
+    long step = 0;
+    std::vector<nn::Tensor> tensors;
+    std::string rngState;
+    std::vector<double> lossTrace;
+    std::vector<double> recentLosses;
+  };
+
+  [[nodiscard]] std::vector<nn::Tensor*> checkpointTensors();
+  void takeSnapshot(const Rng& rng);
+  void restoreSnapshot(Rng& rng);
+  void syncOptimizers();
+  void setLearningRate();
+  void guardLoss(double loss);
+  void recordLoss(double loss);
+  void handleDivergence(const DivergenceError& e, Rng& rng);
+  void sealCheckpoint(const Rng& rng);
+
+  std::vector<nn::Param*> params_;
+  std::vector<nn::Tensor*> modelState_;
+  std::vector<nn::Optimizer*> opts_;
+  HarnessSpec spec_;
+  TrainOptions options_;
+
+  long cursor_ = 0;
+  int rollbacks_ = 0;
+  double lrScale_ = 1.0;
+  long nanEvents_ = 0;
+  std::vector<double> lossTrace_;
+  std::vector<double> recentLosses_;
+  Snapshot snapshot_;
+};
+
+/// Installs an idempotent SIGTERM handler that requests a graceful
+/// stop (the running harness seals a checkpoint and returns with
+/// sealedByStop set). The flag is process-wide.
+void installStopHandler();
+/// Requests a graceful stop programmatically (what the handler does).
+void requestStop();
+/// Clears the stop flag (call before starting/resuming a run).
+void clearStopRequest();
+[[nodiscard]] bool stopRequested();
+
+}  // namespace dp::train

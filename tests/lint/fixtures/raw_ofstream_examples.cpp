@@ -1,0 +1,13 @@
+// dp-lint fixture: raw std::ofstream in examples/ scope — example
+// binaries write user-facing artifacts (libraries, generated layouts,
+// reports) and must publish them atomically like the library code
+// they demonstrate.
+// dp-lint-path: examples/fake_tool.cpp
+// dp-lint-expect: DP006
+#include <fstream>
+#include <string>
+
+void writeReport(const std::string& path) {
+  std::ofstream out(path);
+  out << "clips: 42\n";
+}

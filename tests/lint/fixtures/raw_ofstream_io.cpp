@@ -1,0 +1,27 @@
+// dp-lint fixture: raw std::ofstream artifact writes in src/io/ scope
+// — the DP006 ban extends to every artifact writer, not just model
+// checkpoints. One bare violation, one escaped scratch write, and the
+// read-side std::ifstream which is always fine.
+// dp-lint-path: src/io/fake_writer.cpp
+// dp-lint-expect: DP006
+#include <fstream>
+#include <string>
+
+void crashUnsafeArtifact(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  out << "gdsii bytes";
+}
+
+void deliberateScratchWrite(const std::string& path) {
+  // Scratch diagnostics, not a published artifact.
+  // dp-lint: non-atomic-write
+  std::ofstream out(path);
+  out << "debug dump";
+}
+
+std::string readBack(const std::string& path) {
+  std::ifstream in(path);
+  std::string s;
+  in >> s;
+  return s;
+}

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 
 #include "nn/activations.hpp"
@@ -420,6 +421,126 @@ TEST(Optimizer, WeightDecayShrinksParameters) {
 
 TEST(Optimizer, RejectsNullParams) {
   EXPECT_THROW(Sgd({nullptr}, 0.1), std::invalid_argument);
+}
+
+TEST(Optimizer, SgdMomentumMatchesClosedForm) {
+  // Constant gradient g=1, lr=0.1, momentum=0.5 from w=0:
+  //   v_t = 0.5 v_{t-1} - 0.1,  w_t = w_{t-1} + v_t
+  // so v = -0.1, -0.15, -0.175 and w = -0.1, -0.25, -0.425.
+  Param p(Tensor::zeros({1}));
+  Sgd opt({&p}, 0.1, 0.5);
+  const double expectedV[] = {-0.1, -0.15, -0.175};
+  const double expectedW[] = {-0.1, -0.25, -0.425};
+  for (int t = 0; t < 3; ++t) {
+    p.grad[0] = 1.0f;
+    opt.step();
+    EXPECT_NEAR(p.value[0], expectedW[t], 1e-6) << t;
+    // state() exposes the velocity tensor, one per parameter.
+    const std::vector<Tensor*> state = opt.state();
+    ASSERT_EQ(state.size(), 1u);
+    EXPECT_NEAR((*state[0])[0], expectedV[t], 1e-6) << t;
+  }
+}
+
+TEST(Optimizer, AdamMatchesClosedFormBiasCorrectedMoments) {
+  // Constant gradient g=3 from w=0 (defaults beta1=0.9, beta2=0.999):
+  // the raw moments are m_t = g(1-beta1^t), v_t = g^2(1-beta2^t), so
+  // after bias correction mhat = g and vhat = g^2 exactly — every
+  // update is lr * g/(|g|+eps) ~= lr, the signature Adam property.
+  Param p(Tensor::zeros({1}));
+  Adam opt({&p}, 0.1);
+  p.grad[0] = 3.0f;
+  opt.step();
+  EXPECT_EQ(opt.stepCount(), 1);
+  EXPECT_NEAR(p.value[0], -0.1, 1e-6);
+  // state() is [step counter, m..., v...].
+  std::vector<Tensor*> state = opt.state();
+  ASSERT_EQ(state.size(), 3u);
+  EXPECT_FLOAT_EQ((*state[0])[0], 1.0f);
+  EXPECT_NEAR((*state[1])[0], 0.1 * 3.0, 1e-6);         // m_1
+  EXPECT_NEAR((*state[2])[0], 0.001 * 9.0, 1e-8);       // v_1
+
+  p.grad[0] = 3.0f;
+  opt.step();
+  EXPECT_EQ(opt.stepCount(), 2);
+  EXPECT_NEAR(p.value[0], -0.2, 1e-5);
+  EXPECT_NEAR((*state[1])[0], 0.9 * 0.3 + 0.1 * 3.0, 1e-6);      // m_2
+  EXPECT_NEAR((*state[2])[0], 0.999 * 0.009 + 0.001 * 9.0, 1e-7);// v_2
+}
+
+TEST(Optimizer, StateRoundTripResumesBitIdentically) {
+  // Train 10 steps, checkpoint (params + optimizer state), restore
+  // into fresh objects, then continue both for 10 more steps on the
+  // same gradient sequence: trajectories must match bit for bit, for
+  // both the Adam moments/step-count path and the Sgd velocity path.
+  const auto gradAt = [](long step, std::size_t i) {
+    return static_cast<float>(std::sin(0.3 * static_cast<double>(step) +
+                                       static_cast<double>(i)));
+  };
+  const auto fill = [&](Param& p, long step) {
+    for (std::size_t i = 0; i < p.grad.numel(); ++i)
+      p.grad[i] = gradAt(step, i);
+  };
+
+  dp::Rng rng(31);
+  const Tensor init = Tensor::randn({5}, rng);
+  const std::string adamPath = "dp_nn_adam_state.bin";
+  const std::string sgdPath = "dp_nn_sgd_state.bin";
+
+  Param aw(init);
+  Adam adam({&aw}, 0.05);
+  Param sw(init);
+  Sgd sgd({&sw}, 0.05, 0.9);
+  for (long t = 0; t < 10; ++t) {
+    fill(aw, t);
+    adam.step();
+    fill(sw, t);
+    sgd.step();
+  }
+  {
+    std::vector<const Tensor*> out = {&aw.value};
+    for (Tensor* s : adam.state()) out.push_back(s);
+    saveTensors(out, adamPath);
+  }
+  {
+    std::vector<const Tensor*> out = {&sw.value};
+    for (Tensor* s : sgd.state()) out.push_back(s);
+    saveTensors(out, sgdPath);
+  }
+
+  Param aw2(Tensor::zeros({5}));
+  Adam adam2({&aw2}, 0.05);
+  {
+    std::vector<Tensor*> in = {&aw2.value};
+    for (Tensor* s : adam2.state()) in.push_back(s);
+    loadTensors(in, adamPath);
+    adam2.loadState();  // re-derives the bias-correction step count
+  }
+  EXPECT_EQ(adam2.stepCount(), 10);
+  Param sw2(Tensor::zeros({5}));
+  Sgd sgd2({&sw2}, 0.05, 0.9);
+  {
+    std::vector<Tensor*> in = {&sw2.value};
+    for (Tensor* s : sgd2.state()) in.push_back(s);
+    loadTensors(in, sgdPath);
+    sgd2.loadState();
+  }
+
+  for (long t = 10; t < 20; ++t) {
+    fill(aw, t);
+    adam.step();
+    fill(aw2, t);
+    adam2.step();
+    fill(sw, t);
+    sgd.step();
+    fill(sw2, t);
+    sgd2.step();
+  }
+  EXPECT_TRUE(dp::test::tensorsBitEqual(aw2.value, aw.value));
+  EXPECT_TRUE(dp::test::tensorsBitEqual(sw2.value, sw.value));
+  EXPECT_EQ(adam2.stepCount(), adam.stepCount());
+  std::remove(adamPath.c_str());
+  std::remove(sgdPath.c_str());
 }
 
 // ------------------------------------------------------------- Schedule

@@ -1,6 +1,6 @@
 """DPA102 — fault-site coverage.
 
-Two contracts over src/nn, src/serve, src/pipeline and
+Two contracts over src/nn, src/serve, src/pipeline, src/train and
 src/common/atomic_file.cpp:
 
 1. Domination: every failure-capable syscall (model.FAILURE_CAPABLE)
@@ -27,13 +27,14 @@ from .model import FileModel, Finding, Index
 
 RULE = "DPA102"
 
-SCOPE_PREFIXES = ("src/nn/", "src/serve/", "src/pipeline/")
+SCOPE_PREFIXES = ("src/nn/", "src/serve/", "src/pipeline/", "src/train/")
 SCOPE_FILES = ("src/common/atomic_file.cpp",)
 
 CHAOS_FILES = (
     "tests/fault_test.cpp",
     "tests/pipeline_test.cpp",
     "tests/eventloop_test.cpp",
+    "tests/train_test.cpp",
 )
 
 SITE_NAME = re.compile(r"[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)+")

@@ -41,9 +41,10 @@ THIS repo rather than of C++:
                             its dispatch tier.
   DP006 raw-checkpoint-write
                             std::ofstream may not appear in src/nn/,
-                            src/serve/ or src/pipeline/: checkpoint,
-                            bundle, segment and manifest files
-                            must be published through
+                            src/serve/, src/pipeline/, src/train/,
+                            src/io/, examples/ or tools/: checkpoint,
+                            bundle, segment, manifest and artifact
+                            files must be published through
                             dp::AtomicFileWriter (write-temp + fsync +
                             atomic rename), or a crash mid-write
                             corrupts the previous good file. A
@@ -89,7 +90,7 @@ EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_ERROR = 2
 
-SCAN_DIRS = ("src", "tests", "bench", "examples")
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
 SOURCE_EXTS = (".cpp", ".hpp", ".h", ".cc")
 # Fixture files deliberately violate the rules; never scan them as repo
 # code.
@@ -376,7 +377,9 @@ RE_OFSTREAM = re.compile(r"\bstd::ofstream\b")
 
 
 def rule_raw_checkpoint_write(relpath: str, raw: str, stripped: str):
-    if not relpath.startswith(("src/nn/", "src/serve/", "src/pipeline/")):
+    if not relpath.startswith(("src/nn/", "src/serve/", "src/pipeline/",
+                               "src/train/", "src/io/", "examples/",
+                               "tools/")):
         return
     raw_lines = raw.splitlines()
     for m in RE_OFSTREAM.finditer(stripped):
@@ -523,7 +526,7 @@ RULE_SUMMARIES = {
     "DP003": "-march=native / -ffast-math are banned from the build",
     "DP004": "unordered-container iteration is platform-dependent",
     "DP005": "vector intrinsics confined to *_avx2.cpp / *_avx512.cpp",
-    "DP006": "checkpoint/bundle writes must use dp::AtomicFileWriter",
+    "DP006": "checkpoint/bundle/artifact writes must use dp::AtomicFileWriter",
     "DP007": "event-loop socket calls must be nonblocking and justified",
 }
 
